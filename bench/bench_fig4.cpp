@@ -1,0 +1,62 @@
+// Experiment E3 - paper Figure 4: transaction captures and detector
+// output for an emulated Flaw3D relocation Trojan (Table II test case 7,
+// relocate every 20 movements).
+//
+// Reproduces the three panels: (a) a selection of golden transactions,
+// (b) the same indices from the Trojaned print, and (c) the detection
+// tool's report identifying the mismatches.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "gcode/flaw3d.hpp"
+
+using namespace offramps;
+
+int main() {
+  const gcode::Program object = bench::standard_cube(3.0);
+
+  const host::RunResult golden = bench::run_print(object, {}, /*seed=*/1);
+  const gcode::Program mutated = gcode::flaw3d::apply_relocation(
+      object, {.every_n_moves = 20, .take_fraction = 0.15});
+  const host::RunResult trojaned =
+      bench::run_print(mutated, {}, /*seed=*/7);
+
+  const detect::Report rep =
+      detect::compare(golden.capture, trojaned.capture);
+
+  // Locate the first mismatch to select the context window around it.
+  std::size_t first = 0;
+  if (!rep.mismatches.empty()) first = rep.mismatches.front().index;
+  const std::size_t lo = first > 3 ? first - 3 : 0;
+  const std::size_t hi =
+      std::min({lo + 6, golden.capture.size(), trojaned.capture.size()});
+
+  bench::heading("Fig. 4a: selection of transactions from the golden "
+                 "reference");
+  std::printf("Index, X, Y, Z, E\n");
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& t = golden.capture.transactions[i];
+    std::printf("%u, %d, %d, %d, %d\n", t.index, t.counts[0], t.counts[1],
+                t.counts[2], t.counts[3]);
+  }
+
+  bench::heading("Fig. 4b: selection of transactions from the Flaw3D "
+                 "Trojan print (relocate every 20 moves)");
+  std::printf("Index, X, Y, Z, E\n");
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& t = trojaned.capture.transactions[i];
+    std::printf("%u, %d, %d, %d, %d\n", t.index, t.counts[0], t.counts[1],
+                t.counts[2], t.counts[3]);
+  }
+
+  bench::heading("Fig. 4c: output of the Trojan detection tool");
+  std::printf("%s", rep.to_string(/*max_lines=*/6).c_str());
+
+  std::printf(
+      "\nShape check vs the paper: mismatches appear on motion columns\n"
+      "(the inserted in-place extrusions shift the timeline of every\n"
+      "subsequent move), the largest difference is tens of percent, and\n"
+      "the tool reports 'Trojan likely!'.\n");
+  return rep.trojan_likely ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harness binaries: the standard test
+// object (a calibration cube, as used for the paper's Table I prints),
+// print runners, and table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "detect/compare.hpp"
+#include "gcode/stats.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::bench {
+
+/// The standard experiment workload: a small calibration cube.
+inline gcode::Program standard_cube(double height_mm = 3.0) {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 10.0,
+                      .size_y_mm = 10.0,
+                      .height_mm = height_mm,
+                      .center_x_mm = 110.0,
+                      .center_y_mm = 100.0};
+  return host::slice_cube(cube, profile);
+}
+
+/// Prints one golden/Trojaned run with the given options.
+inline host::RunResult run_print(const gcode::Program& program,
+                                 core::TrojanSuiteConfig trojans = {},
+                                 std::uint64_t seed = 1,
+                                 core::RouteMode route =
+                                     core::RouteMode::kFpgaMitm) {
+  host::RigOptions options;
+  options.trojans = std::move(trojans);
+  options.firmware.jitter_seed = seed;
+  options.route = route;
+  host::Rig rig(options);
+  return rig.run(program);
+}
+
+/// Section header in the style of the experiment logs.
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("-------------------------------------------------------------"
+              "-------------------\n");
+}
+
+}  // namespace offramps::bench

@@ -1,0 +1,149 @@
+// gcode_tool: a small command-line utility over the library's host-side
+// g-code facilities - the kind of tooling a downstream user reaches for
+// first.
+//
+//   gcode_tool stats   [file]        print program statistics
+//   gcode_tool reduce  FACTOR [file] apply the Flaw3D reduction Trojan
+//   gcode_tool relocate N [file]     apply the Flaw3D relocation Trojan
+//   gcode_tool demo                  emit a sliced demo cube to stdout
+//
+// With no file, g-code is read from stdin.  Mutated programs are written
+// to stdout, so mutations compose with shell pipelines:
+//
+//   gcode_tool demo | gcode_tool reduce 0.5 | gcode_tool stats
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "gcode/flaw3d.hpp"
+#include "gcode/parser.hpp"
+#include "gcode/stats.hpp"
+#include "gcode/writer.hpp"
+#include "host/slicer.hpp"
+#include "host/time_estimator.hpp"
+#include "sim/error.hpp"
+
+using namespace offramps;
+
+namespace {
+
+std::string read_input(int argc, char** argv, int file_arg) {
+  if (argc > file_arg) {
+    std::ifstream in(argv[file_arg]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[file_arg]);
+      std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  std::ostringstream ss;
+  ss << std::cin.rdbuf();
+  return ss.str();
+}
+
+int cmd_stats(const gcode::Program& program) {
+  const gcode::Statistics s = gcode::analyze(program);
+  std::printf("commands:          %llu\n",
+              static_cast<unsigned long long>(s.command_count));
+  std::printf("moves:             %llu (%llu extrusion, %llu travel, "
+              "%llu retraction)\n",
+              static_cast<unsigned long long>(s.move_count),
+              static_cast<unsigned long long>(s.extrusion_move_count),
+              static_cast<unsigned long long>(s.travel_move_count),
+              static_cast<unsigned long long>(s.retraction_count));
+  std::printf("filament:          %.2f mm extruded, %.2f mm retracted "
+              "(net %.2f mm)\n",
+              s.extruded_mm, s.retracted_mm, s.net_e_mm());
+  std::printf("path:              %.1f mm printing, %.1f mm travel\n",
+              s.extrusion_path_mm, s.travel_path_mm);
+  std::printf("layers:            %zu (max z %.2f mm)\n", s.layer_z.size(),
+              s.max_z);
+  if (s.extrusion_bbox.valid) {
+    std::printf("footprint:         %.1f x %.1f mm at (%.1f, %.1f)\n",
+                s.extrusion_bbox.width(), s.extrusion_bbox.depth(),
+                s.extrusion_bbox.min_x, s.extrusion_bbox.min_y);
+  }
+  std::printf("naive print time:  %.0f s (feedrate-only estimate)\n",
+              s.naive_time_s);
+  return 0;
+}
+
+int cmd_stats_with_estimate(const gcode::Program& program) {
+  cmd_stats(program);
+  const host::TimeEstimate est = host::estimate_print_time(program);
+  std::printf("planned time:      %.0f s motion + %.0f s dwell over %zu "
+              "moves (trapezoid model)\n",
+              est.motion_s, est.dwell_s, est.moves);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s {stats|reduce FACTOR|relocate N|demo} [file]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  try {
+    if (mode == "demo") {
+      host::SliceProfile profile;
+      host::CubeSpec cube{.size_x_mm = 15, .size_y_mm = 15,
+                          .height_mm = 5, .center_x_mm = 110,
+                          .center_y_mm = 100};
+      std::fputs(gcode::write_program(host::slice_cube(cube, profile))
+                     .c_str(),
+                 stdout);
+      return 0;
+    }
+    if (mode == "stats") {
+      return cmd_stats_with_estimate(
+          gcode::parse_program(read_input(argc, argv, 2)));
+    }
+    if (mode == "reduce") {
+      if (argc < 3) {
+        std::fprintf(stderr, "reduce needs a factor\n");
+        return 2;
+      }
+      const double factor = std::atof(argv[2]);
+      gcode::flaw3d::MutationReport report;
+      const auto mutated = gcode::flaw3d::apply_reduction(
+          gcode::parse_program(read_input(argc, argv, 3)),
+          {.factor = factor}, &report);
+      std::fputs(gcode::write_program(mutated).c_str(), stdout);
+      std::fprintf(stderr, "reduced %llu moves: %.1f mm -> %.1f mm\n",
+                   static_cast<unsigned long long>(report.moves_modified),
+                   report.e_in_mm, report.e_out_mm);
+      return 0;
+    }
+    if (mode == "relocate") {
+      if (argc < 3) {
+        std::fprintf(stderr, "relocate needs a move count\n");
+        return 2;
+      }
+      const auto n = static_cast<std::uint32_t>(std::atoi(argv[2]));
+      gcode::flaw3d::MutationReport report;
+      const auto mutated = gcode::flaw3d::apply_relocation(
+          gcode::parse_program(read_input(argc, argv, 3)),
+          {.every_n_moves = n, .take_fraction = 0.15}, &report);
+      std::fputs(gcode::write_program(mutated).c_str(), stdout);
+      std::fprintf(stderr, "inserted %llu relocation dumps\n",
+                   static_cast<unsigned long long>(
+                       report.commands_inserted));
+      return 0;
+    }
+  } catch (const offramps::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

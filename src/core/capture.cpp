@@ -1,0 +1,140 @@
+#include "core/capture.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "sim/error.hpp"
+
+namespace offramps::core {
+
+std::array<std::uint8_t, 16> Transaction::to_bytes() const {
+  std::array<std::uint8_t, 16> out{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto v = static_cast<std::uint32_t>(counts[i]);
+    out[i * 4 + 0] = static_cast<std::uint8_t>(v & 0xFF);
+    out[i * 4 + 1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+    out[i * 4 + 2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+    out[i * 4 + 3] = static_cast<std::uint8_t>((v >> 24) & 0xFF);
+  }
+  return out;
+}
+
+Transaction Transaction::from_bytes(const std::array<std::uint8_t, 16>& bytes,
+                                    std::uint32_t index,
+                                    std::uint64_t time_ns) {
+  Transaction t;
+  t.index = index;
+  t.time_ns = time_ns;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint32_t v = 0;
+    v |= static_cast<std::uint32_t>(bytes[i * 4 + 0]);
+    v |= static_cast<std::uint32_t>(bytes[i * 4 + 1]) << 8;
+    v |= static_cast<std::uint32_t>(bytes[i * 4 + 2]) << 16;
+    v |= static_cast<std::uint32_t>(bytes[i * 4 + 3]) << 24;
+    t.counts[i] = static_cast<std::int32_t>(v);
+  }
+  return t;
+}
+
+std::string Capture::to_csv() const {
+  std::string out = "Index, X, Y, Z, E\n";
+  char buf[160];
+  for (const auto& t : transactions) {
+    std::snprintf(buf, sizeof(buf), "%u, %d, %d, %d, %d\n", t.index,
+                  t.counts[0], t.counts[1], t.counts[2], t.counts[3]);
+    out += buf;
+  }
+  // Footer: the exact end-of-print totals (captured at finalize, which
+  // can postdate the last periodic transaction) and completion status,
+  // so the 0%-margin final check survives the file round trip.
+  std::snprintf(buf, sizeof(buf), "# final, %lld, %lld, %lld, %lld, %d\n",
+                static_cast<long long>(final_counts[0]),
+                static_cast<long long>(final_counts[1]),
+                static_cast<long long>(final_counts[2]),
+                static_cast<long long>(final_counts[3]),
+                print_completed ? 1 : 0);
+  out += buf;
+  return out;
+}
+
+Capture Capture::from_csv(const std::string& text, std::string label) {
+  Capture cap;
+  cap.label = std::move(label);
+  std::size_t pos = 0;
+  bool header_skipped = false;
+  bool has_footer = false;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Footer: "# final, x, y, z, e, completed".
+      if (line.find("final") != std::string_view::npos) {
+        long long vals[5] = {0, 0, 0, 0, 0};
+        std::size_t cursor = line.find(',');
+        for (auto& val : vals) {
+          if (cursor == std::string_view::npos) break;
+          ++cursor;
+          while (cursor < line.size() && line[cursor] == ' ') ++cursor;
+          const auto [ptr, ec] = std::from_chars(
+              line.data() + cursor, line.data() + line.size(), val);
+          if (ec != std::errc{}) {
+            throw Error("Capture::from_csv: malformed footer: " +
+                        std::string(line));
+          }
+          cursor = line.find(',', static_cast<std::size_t>(
+                                      ptr - line.data()));
+        }
+        for (std::size_t i = 0; i < 4; ++i) cap.final_counts[i] = vals[i];
+        cap.print_completed = vals[4] != 0;
+        has_footer = true;
+      }
+      continue;
+    }
+    if (!header_skipped) {
+      header_skipped = true;
+      if (line.find("Index") != std::string_view::npos) continue;
+    }
+    Transaction t;
+    long long fields[5] = {0, 0, 0, 0, 0};
+    std::size_t field = 0;
+    std::size_t cursor = 0;
+    while (field < 5 && cursor < line.size()) {
+      while (cursor < line.size() &&
+             (line[cursor] == ' ' || line[cursor] == ',')) {
+        ++cursor;
+      }
+      const char* begin = line.data() + cursor;
+      const char* end = line.data() + line.size();
+      long long v = 0;
+      const auto [ptr, ec] = std::from_chars(begin, end, v);
+      if (ec != std::errc{}) {
+        throw Error("Capture::from_csv: malformed line: " +
+                    std::string(line));
+      }
+      fields[field++] = v;
+      cursor = static_cast<std::size_t>(ptr - line.data());
+    }
+    if (field != 5) {
+      throw Error("Capture::from_csv: expected 5 fields in line: " +
+                  std::string(line));
+    }
+    t.index = static_cast<std::uint32_t>(fields[0]);
+    for (std::size_t i = 0; i < 4; ++i) {
+      t.counts[i] = static_cast<std::int32_t>(fields[i + 1]);
+    }
+    cap.transactions.push_back(t);
+  }
+  // Legacy files without a footer: fall back to the last row's counts.
+  if (!has_footer && !cap.transactions.empty()) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      cap.final_counts[i] = cap.transactions.back().counts[i];
+    }
+    cap.print_completed = true;
+  }
+  return cap;
+}
+
+}  // namespace offramps::core

@@ -1,0 +1,49 @@
+// Capture data model: what the OFFRAMPS streams to the host during print
+// monitoring (paper section V-B).
+//
+// Every 0.1 s the FPGA's UART control unit sends one 16-byte transaction:
+// the four signed 32-bit step counters (X, Y, Z, E) accumulated since
+// homing.  A `Capture` is the host-side log of one print: the transaction
+// series plus the final counter values at print end (used by the paper's
+// final 0%-margin check).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace offramps::core {
+
+/// One 16-byte UART transaction: cumulative step counts per motor.
+struct Transaction {
+  std::uint32_t index = 0;                 // transaction sequence number
+  std::array<std::int32_t, 4> counts{};    // X, Y, Z, E
+  std::uint64_t time_ns = 0;               // capture-side timestamp
+
+  /// Serializes the on-the-wire payload (4 x int32, little endian).
+  [[nodiscard]] std::array<std::uint8_t, 16> to_bytes() const;
+  /// Decodes a payload.
+  static Transaction from_bytes(const std::array<std::uint8_t, 16>& bytes,
+                                std::uint32_t index, std::uint64_t time_ns);
+};
+
+/// A full print capture.
+struct Capture {
+  std::string label;
+  std::vector<Transaction> transactions;
+  /// Counter values at the very end of the print (0%-margin final check).
+  std::array<std::int64_t, 4> final_counts{};
+  bool print_completed = false;  // false when the print was killed/aborted
+
+  [[nodiscard]] std::size_t size() const { return transactions.size(); }
+  [[nodiscard]] bool empty() const { return transactions.empty(); }
+
+  /// Renders the "Index, X, Y, Z, E" CSV shown in the paper's Figure 4.
+  [[nodiscard]] std::string to_csv() const;
+  /// Parses a CSV produced by to_csv().  Throws offramps::Error on
+  /// malformed input.
+  static Capture from_csv(const std::string& text, std::string label = {});
+};
+
+}  // namespace offramps::core

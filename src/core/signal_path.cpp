@@ -1,0 +1,84 @@
+#include "core/signal_path.hpp"
+
+namespace offramps::core {
+
+SignalPath::SignalPath(sim::Scheduler& sched, sim::Wire& in, sim::Wire& out,
+                       sim::Tick prop_delay)
+    : sched_(sched), in_(in), out_(out), delay_(prop_delay) {
+  listener_ = in_.on_edge([this](sim::Edge e, sim::Tick) {
+    if (active_) on_input_edge(e);
+  });
+}
+
+SignalPath::~SignalPath() { in_.remove_listener(listener_); }
+
+void SignalPath::set_active(bool active) {
+  if (active_ == active) return;
+  active_ = active;
+  if (active_) {
+    pass_level_ = in_.level();
+    suppressing_pulse_ = false;
+    update_output();
+  }
+  // On deactivation the direct jumpers take over the net; we simply stop
+  // driving (the board re-syncs the output when it re-routes).
+}
+
+void SignalPath::force(std::optional<bool> level) {
+  forced_ = level;
+  if (active_) update_output();
+}
+
+void SignalPath::set_pulse_filter(PulseFilter filter) {
+  filter_ = std::move(filter);
+  suppressing_pulse_ = false;
+}
+
+void SignalPath::inject_pulse(sim::Tick width) {
+  if (!active_ || forced_.has_value()) return;
+  if (out_.level() || inj_level_) {
+    // Wait for a gap between original pulses, then retry.
+    sched_.schedule_in(width, [this, width] { inject_pulse(width); });
+    return;
+  }
+  inj_level_ = true;
+  ++injected_;
+  update_output();
+  sched_.schedule_in(width, [this] {
+    inj_level_ = false;
+    update_output();
+  });
+}
+
+void SignalPath::on_input_edge(sim::Edge e) {
+  if (e == sim::Edge::kRising) {
+    if (filter_ && !filter_()) {
+      suppressing_pulse_ = true;
+      ++dropped_;
+      return;
+    }
+    ++passed_;
+    sched_.schedule_in(delay_, [this] {
+      pass_level_ = true;
+      update_output();
+    });
+  } else {
+    if (suppressing_pulse_) {
+      suppressing_pulse_ = false;
+      return;
+    }
+    sched_.schedule_in(delay_, [this] {
+      pass_level_ = false;
+      update_output();
+    });
+  }
+}
+
+void SignalPath::update_output() {
+  if (!active_) return;
+  const bool level =
+      forced_.has_value() ? *forced_ : (pass_level_ || inj_level_);
+  out_.set(level);
+}
+
+}  // namespace offramps::core

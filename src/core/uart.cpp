@@ -1,0 +1,59 @@
+#include "core/uart.hpp"
+
+namespace offramps::core {
+
+UartReporter::UartReporter(sim::Scheduler& sched,
+                           std::array<AxisTracker*, 4> trackers,
+                           HomingDetector& homing, sim::Tick period)
+    : sched_(sched), trackers_(trackers), period_(period) {
+  homing.on_homed([this](sim::Tick) {
+    // Zero the counters at the homing datum, then wait for the first
+    // step edge before starting the transaction clock.
+    for (auto* t : trackers_) t->arm();
+    arm_on_first_step();
+  });
+}
+
+void UartReporter::arm_on_first_step() {
+  for (auto* t : trackers_) {
+    t->on_first_step([this](sim::Tick at) {
+      if (!streaming_ && !finalized_) start_stream(at);
+    });
+  }
+}
+
+void UartReporter::start_stream(sim::Tick) {
+  streaming_ = true;
+  const auto gen = ++generation_;
+  sched_.schedule_in(period_, [this, gen] { tick(gen); });
+}
+
+void UartReporter::tick(std::uint64_t gen) {
+  if (gen != generation_ || !streaming_) return;
+  emit();
+  sched_.schedule_in(period_, [this, gen] { tick(gen); });
+}
+
+void UartReporter::emit() {
+  Transaction t;
+  t.index = next_index_++;
+  t.time_ns = sched_.now();
+  for (std::size_t i = 0; i < 4; ++i) {
+    t.counts[i] = static_cast<std::int32_t>(trackers_[i]->count());
+  }
+  capture_.transactions.push_back(t);
+  for (const auto& cb : on_txn_) cb(t);
+}
+
+void UartReporter::finalize(bool print_completed) {
+  if (finalized_) return;
+  finalized_ = true;
+  streaming_ = false;
+  ++generation_;
+  for (std::size_t i = 0; i < 4; ++i) {
+    capture_.final_counts[i] = trackers_[i]->count();
+  }
+  capture_.print_completed = print_completed;
+}
+
+}  // namespace offramps::core

@@ -1,0 +1,67 @@
+// UART capture reporter (paper section V-B, "UART").
+//
+// Once the homing detector reports the head has homed AND the first STEP
+// edge has been observed (the paper's synchronization fix that "
+// significantly increased accuracy"), the control unit emits one 16-byte
+// transaction - the four signed step counters - every 0.1 s.  The stream
+// accumulates into a `Capture` and is also delivered per-transaction to an
+// optional listener, which is how the real-time detection monitor halts a
+// print early.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "core/capture.hpp"
+#include "core/monitor.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::core {
+
+/// Periodic step-count transaction generator.
+class UartReporter {
+ public:
+  using TransactionCallback = std::function<void(const Transaction&)>;
+
+  static constexpr sim::Tick kDefaultPeriod = sim::ms(100);
+
+  UartReporter(sim::Scheduler& sched,
+               std::array<AxisTracker*, 4> trackers,
+               HomingDetector& homing, sim::Tick period = kDefaultPeriod);
+
+  UartReporter(const UartReporter&) = delete;
+  UartReporter& operator=(const UartReporter&) = delete;
+
+  /// Adds a per-transaction listener (real-time monitoring, the serial
+  /// PHY, ...).  Multiple consumers may subscribe.
+  void on_transaction(TransactionCallback cb) {
+    on_txn_.push_back(std::move(cb));
+  }
+
+  /// Stops the periodic stream and freezes the capture, recording the
+  /// final counter values (the paper's end-of-print 0%-margin check data).
+  void finalize(bool print_completed);
+
+  [[nodiscard]] const Capture& capture() const { return capture_; }
+  [[nodiscard]] Capture take_capture() { return std::move(capture_); }
+  [[nodiscard]] bool streaming() const { return streaming_; }
+  [[nodiscard]] sim::Tick period() const { return period_; }
+
+ private:
+  void arm_on_first_step();
+  void start_stream(sim::Tick t);
+  void tick(std::uint64_t gen);
+  void emit();
+
+  sim::Scheduler& sched_;
+  std::array<AxisTracker*, 4> trackers_;
+  sim::Tick period_;
+  Capture capture_;
+  bool streaming_ = false;
+  bool finalized_ = false;
+  std::uint32_t next_index_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<TransactionCallback> on_txn_;
+};
+
+}  // namespace offramps::core

@@ -1,0 +1,108 @@
+#include "detect/align.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace offramps::detect {
+namespace {
+
+/// Mean absolute per-column count difference with `observed` shifted by
+/// `shift` windows against `golden`.
+double shifted_cost(const core::Capture& golden,
+                    const core::Capture& observed, int shift,
+                    std::size_t* overlap_out) {
+  const auto& g = golden.transactions;
+  const auto& o = observed.transactions;
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    const std::int64_t gi = static_cast<std::int64_t>(i) + shift;
+    if (gi < 0 || gi >= static_cast<std::int64_t>(g.size())) continue;
+    const auto& gt = g[static_cast<std::size_t>(gi)];
+    for (std::size_t c = 0; c < 4; ++c) {
+      total += std::abs(static_cast<double>(gt.counts[c]) -
+                        static_cast<double>(o[i].counts[c]));
+    }
+    ++n;
+  }
+  if (overlap_out != nullptr) *overlap_out = n;
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return total / (static_cast<double>(n) * 4.0);
+}
+
+}  // namespace
+
+AlignmentResult best_alignment(const core::Capture& golden,
+                               const core::Capture& observed,
+                               int max_shift) {
+  AlignmentResult result;
+  result.unshifted_cost = shifted_cost(golden, observed, 0, nullptr);
+  result.cost = result.unshifted_cost;
+  result.shift = 0;
+  std::size_t overlap = 0;
+  shifted_cost(golden, observed, 0, &overlap);
+  result.overlap = overlap;
+  for (int s = -max_shift; s <= max_shift; ++s) {
+    if (s == 0) continue;
+    std::size_t n = 0;
+    const double cost = shifted_cost(golden, observed, s, &n);
+    // Demand meaningful overlap so extreme shifts cannot "win" by
+    // comparing almost nothing.
+    if (n * 2 < observed.transactions.size()) continue;
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.shift = s;
+      result.overlap = n;
+    }
+  }
+  return result;
+}
+
+Report compare_aligned(const core::Capture& golden,
+                       const core::Capture& observed,
+                       const CompareOptions& options, int max_shift,
+                       AlignmentResult* alignment_out) {
+  const AlignmentResult alignment =
+      best_alignment(golden, observed, max_shift);
+  if (alignment_out != nullptr) *alignment_out = alignment;
+
+  Report rep;
+  rep.golden_length = golden.transactions.size();
+  rep.observed_length = observed.transactions.size();
+  for (std::size_t i = 0; i < observed.transactions.size(); ++i) {
+    const std::int64_t gi =
+        static_cast<std::int64_t>(i) + alignment.shift;
+    if (gi < 0 ||
+        gi >= static_cast<std::int64_t>(golden.transactions.size())) {
+      continue;
+    }
+    ++rep.transactions_compared;
+    compare_transaction(golden.transactions[static_cast<std::size_t>(gi)],
+                        observed.transactions[i], options, rep.mismatches);
+  }
+  for (const auto& m : rep.mismatches) {
+    rep.largest_percent = std::max(rep.largest_percent, m.percent);
+  }
+
+  const double longer = static_cast<double>(
+      std::max(rep.golden_length, rep.observed_length));
+  if (longer > 0.0) {
+    const double diff =
+        std::abs(static_cast<double>(rep.golden_length) -
+                 static_cast<double>(rep.observed_length)) /
+        longer;
+    rep.length_anomaly = diff > options.length_tolerance;
+  }
+  rep.golden_final = golden.final_counts;
+  rep.observed_final = observed.final_counts;
+  if (options.final_check) {
+    rep.final_counts_match = golden.final_counts == observed.final_counts;
+  }
+  rep.trojan_likely = !rep.mismatches.empty() || rep.length_anomaly ||
+                      !rep.final_counts_match;
+  return rep;
+}
+
+}  // namespace offramps::detect

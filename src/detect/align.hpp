@@ -1,0 +1,47 @@
+// Capture alignment (extension on paper section V-C).
+//
+// The paper attributes its 5% margin to "the challenge of synchronizing
+// the step counting with the UART transactions": two prints of the same
+// g-code drift in time, so transaction i of one run corresponds to
+// transaction i +/- a little of the other.  Aligning the two series
+// before comparison absorbs that drift and lets the detector run a much
+// tighter margin - the quantitative counterpart of the paper's remark
+// that better synchronization would shrink the margin.
+//
+// Method: search integer window shifts s in [-max_shift, +max_shift],
+// score each by the mean absolute count difference over the overlap, and
+// keep the minimum.  (A discrete cross-correlation, computed the way the
+// fabric or host tooling cheaply could.)
+#pragma once
+
+#include <cstdint>
+
+#include "core/capture.hpp"
+#include "detect/compare.hpp"
+
+namespace offramps::detect {
+
+/// Result of an alignment search.
+struct AlignmentResult {
+  int shift = 0;          // observed[i] best matches golden[i + shift]
+  double cost = 0.0;      // mean |count delta| per column at best shift
+  double unshifted_cost = 0.0;  // same metric at shift 0
+  std::size_t overlap = 0;      // windows compared at the best shift
+};
+
+/// Finds the integer shift aligning `observed` to `golden`.
+AlignmentResult best_alignment(const core::Capture& golden,
+                               const core::Capture& observed,
+                               int max_shift = 10);
+
+/// Runs the standard golden comparison with the observed series aligned
+/// by its best shift first.  Alignment only re-pairs windows - final
+/// counts (and the exact end-of-print check) are untouched.  When
+/// `alignment_out` is non-null the chosen shift is reported.
+Report compare_aligned(const core::Capture& golden,
+                       const core::Capture& observed,
+                       const CompareOptions& options = {},
+                       int max_shift = 10,
+                       AlignmentResult* alignment_out = nullptr);
+
+}  // namespace offramps::detect

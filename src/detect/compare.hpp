@@ -1,0 +1,90 @@
+// Trojan detection by golden-capture comparison (paper section V-C).
+//
+// Strategy: a print's transaction series is compared, index by index and
+// column by column, against a known-good ("golden") capture.  Cumulative
+// step counts differing by more than the margin of error (5% in the paper,
+// to absorb "time noise" drift between asynchronous prints) are mismatches.
+// A final check with a 0% margin verifies the end-of-print totals exactly.
+// Any mismatch - windowed or final - means interference: "Trojan likely!".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+
+namespace offramps::detect {
+
+/// Detection tuning.
+struct CompareOptions {
+  /// Per-transaction margin of error, percent (paper: 5%).
+  double margin_pct = 5.0;
+  /// Counts smaller than this are ignored in percentage terms (the first
+  /// windows after homing hold single-digit counts where one step of
+  /// jitter is a huge percentage).
+  std::int64_t min_count_for_margin = 20;
+  /// Steps of inherent timing-quantization noise per window boundary.
+  /// Counts below quantization_steps * 100 / margin_pct are exempt from
+  /// the percentage test (below that, this noise alone exceeds the
+  /// margin by construction).  0 disables the scaling floor.
+  double quantization_steps = 2.0;
+  /// Run the end-of-print exact (0% margin) totals check.
+  bool final_check = true;
+  /// Flag a print whose transaction count differs from golden by more
+  /// than this fraction (Trojans that lengthen/shorten the print).
+  double length_tolerance = 0.02;
+  /// Per-window timing slack: observed window i is compared against
+  /// golden windows [i-slack, i+slack] and counts as a mismatch only if
+  /// every candidate mismatches.  Absorbs gradual time-noise drift so a
+  /// tighter margin becomes usable; 0 = strict positional pairing (the
+  /// paper's method).
+  std::uint32_t window_slack = 0;
+};
+
+/// One transaction/column disagreement.
+struct Mismatch {
+  std::uint32_t index = 0;       // transaction index
+  std::size_t column = 0;        // 0..3 = X, Y, Z, E
+  std::int32_t golden = 0;
+  std::int32_t observed = 0;
+  double percent = 0.0;          // |g - o| / max(|g|, 1) * 100
+};
+
+/// Full detection report (the paper's Figure 4c output).
+struct Report {
+  std::vector<Mismatch> mismatches;
+  double largest_percent = 0.0;
+  std::size_t transactions_compared = 0;
+  std::size_t golden_length = 0;
+  std::size_t observed_length = 0;
+  bool length_anomaly = false;
+  bool final_counts_match = true;
+  std::array<std::int64_t, 4> golden_final{};
+  std::array<std::int64_t, 4> observed_final{};
+  bool trojan_likely = false;
+
+  [[nodiscard]] std::size_t mismatch_count() const {
+    return mismatches.size();
+  }
+  /// Renders the report in the tool-output style of paper Figure 4c.
+  [[nodiscard]] std::string to_string(std::size_t max_lines = 8) const;
+};
+
+/// Column display name ("X", "Y", "Z", "E").
+const char* column_name(std::size_t column);
+
+/// Compares an observed print against the golden capture.
+Report compare(const core::Capture& golden, const core::Capture& observed,
+               const CompareOptions& options = {});
+
+/// Compares one transaction pair, appending mismatches to `out`.
+/// Returns true if any column mismatched.  Exposed for the real-time
+/// monitor, which runs the same test as transactions arrive.
+bool compare_transaction(const core::Transaction& golden,
+                         const core::Transaction& observed,
+                         const CompareOptions& options,
+                         std::vector<Mismatch>& out);
+
+}  // namespace offramps::detect

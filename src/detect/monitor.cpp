@@ -1,0 +1,34 @@
+#include "detect/monitor.hpp"
+
+namespace offramps::detect {
+
+RealtimeMonitor::RealtimeMonitor(core::UartReporter& uart,
+                                 core::Capture golden, CompareOptions options,
+                                 std::uint32_t consecutive_to_alarm)
+    : golden_(std::move(golden)),
+      options_(options),
+      threshold_(consecutive_to_alarm == 0 ? 1 : consecutive_to_alarm) {
+  uart.on_transaction(
+      [this](const core::Transaction& txn) { on_transaction(txn); });
+}
+
+void RealtimeMonitor::on_transaction(const core::Transaction& txn) {
+  ++seen_;
+  if (alarmed_) return;
+  if (txn.index >= golden_.transactions.size()) {
+    // The print has outrun the golden capture: either it is about to end
+    // or a Trojan lengthened it.  Treat sustained overrun as suspicious.
+    ++consecutive_;
+  } else {
+    const bool bad = compare_transaction(golden_.transactions[txn.index],
+                                         txn, options_, mismatches_);
+    consecutive_ = bad ? consecutive_ + 1 : 0;
+  }
+  if (consecutive_ >= threshold_) {
+    alarmed_ = true;
+    alarmed_at_index_ = txn.index;
+    if (on_alarm_) on_alarm_(mismatches_);
+  }
+}
+
+}  // namespace offramps::detect

@@ -1,0 +1,61 @@
+// Real-time print monitor (paper section V-C: "This analysis can also be
+// done in real-time while printing, enabling a user to halt a print as
+// soon as a Trojan is suspected").
+//
+// Subscribes to the OFFRAMPS UART stream and compares each arriving
+// transaction against the golden capture at the same index.  After a
+// configurable number of consecutive suspicious transactions (debounce),
+// the alarm callback fires - the harness typically aborts the print,
+// saving machine time and material.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/uart.hpp"
+#include "detect/compare.hpp"
+
+namespace offramps::detect {
+
+/// Streaming detector over a live UART transaction feed.
+class RealtimeMonitor {
+ public:
+  /// Alarm callback: fired once, with the mismatches that tripped it.
+  using AlarmCallback = std::function<void(const std::vector<Mismatch>&)>;
+
+  /// `consecutive_to_alarm` debounces isolated drift spikes.
+  RealtimeMonitor(core::UartReporter& uart, core::Capture golden,
+                  CompareOptions options = {},
+                  std::uint32_t consecutive_to_alarm = 2);
+
+  RealtimeMonitor(const RealtimeMonitor&) = delete;
+  RealtimeMonitor& operator=(const RealtimeMonitor&) = delete;
+
+  void on_alarm(AlarmCallback cb) { on_alarm_ = std::move(cb); }
+
+  [[nodiscard]] bool alarmed() const { return alarmed_; }
+  /// Transaction index at which the alarm fired (0 if not alarmed).
+  [[nodiscard]] std::uint32_t alarmed_at_index() const {
+    return alarmed_at_index_;
+  }
+  [[nodiscard]] std::uint64_t transactions_seen() const { return seen_; }
+  [[nodiscard]] const std::vector<Mismatch>& mismatches() const {
+    return mismatches_;
+  }
+
+ private:
+  void on_transaction(const core::Transaction& txn);
+
+  core::Capture golden_;
+  CompareOptions options_;
+  std::uint32_t threshold_;
+  std::uint32_t consecutive_ = 0;
+  bool alarmed_ = false;
+  std::uint32_t alarmed_at_index_ = 0;
+  std::uint64_t seen_ = 0;
+  std::vector<Mismatch> mismatches_;
+  AlarmCallback on_alarm_;
+};
+
+}  // namespace offramps::detect

@@ -1,0 +1,134 @@
+#include "detect/reconstruct.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+namespace offramps::detect {
+
+ReconstructedPart reconstruct_part(const core::Capture& capture,
+                                   const MachineModel& machine,
+                                   const ReconstructOptions& options) {
+  ReconstructedPart part;
+  const auto& txns = capture.transactions;
+  if (txns.size() < 2) return part;
+
+  const double filament_area = std::numbers::pi *
+                               machine.filament_diameter_mm *
+                               machine.filament_diameter_mm / 4.0;
+
+  std::map<std::int64_t, ReconstructedLayer> layers;
+  for (std::size_t i = 1; i < txns.size(); ++i) {
+    const double de =
+        static_cast<double>(txns[i].counts[3] - txns[i - 1].counts[3]) /
+        machine.steps_per_mm[3];
+    if (de <= 0.0) continue;  // travel / retraction: nothing deposited
+
+    const double x0 =
+        static_cast<double>(txns[i - 1].counts[0]) / machine.steps_per_mm[0];
+    const double y0 =
+        static_cast<double>(txns[i - 1].counts[1]) / machine.steps_per_mm[1];
+    const double x1 =
+        static_cast<double>(txns[i].counts[0]) / machine.steps_per_mm[0];
+    const double y1 =
+        static_cast<double>(txns[i].counts[1]) / machine.steps_per_mm[1];
+    const double z =
+        static_cast<double>(txns[i].counts[2]) / machine.steps_per_mm[2];
+
+    // Stationary extrusion (priming, un-retracts, blob dumps) deposits a
+    // pile at the nozzle, not part geometry.
+    const double length = std::hypot(x1 - x0, y1 - y0);
+    if (length < 0.05) continue;
+    // Travel-contamination filters.  A window dominated by travel with
+    // residual extrusion implies an unprintably thin line; a window
+    // mixing a long travel arrival with an un-retract implies an
+    // unprintably wide one.  Both smear geometry outside the part.
+    if (length > 2.0) {
+      const double implied_width =
+          de * filament_area / (length * machine.nominal_layer_height_mm);
+      if (implied_width < options.min_segment_width_factor *
+                              machine.nominal_line_width_mm ||
+          implied_width > options.max_segment_width_factor *
+                              machine.nominal_line_width_mm) {
+        continue;
+      }
+    }
+
+    const auto bin =
+        static_cast<std::int64_t>(std::llround(z / options.z_quantum_mm));
+    auto [it, inserted] = layers.try_emplace(bin);
+    ReconstructedLayer& L = it->second;
+    if (inserted) {
+      L.z_mm = z;
+      L.min_x = std::min(x0, x1);
+      L.max_x = std::max(x0, x1);
+      L.min_y = std::min(y0, y1);
+      L.max_y = std::max(y0, y1);
+    }
+    L.min_x = std::min({L.min_x, x0, x1});
+    L.max_x = std::max({L.max_x, x0, x1});
+    L.min_y = std::min({L.min_y, y0, y1});
+    L.max_y = std::max({L.max_y, y0, y1});
+    L.path_mm += std::hypot(x1 - x0, y1 - y0);
+    L.filament_mm += de;
+    L.segments.push_back({x0, y0, x1, y1, de});
+  }
+
+  if (layers.empty()) return part;
+  part.layers.reserve(layers.size());
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (auto& [bin, L] : layers) {
+    if (L.filament_mm < options.min_layer_filament_mm) continue;  // blob
+    min_x = std::min(min_x, L.min_x);
+    max_x = std::max(max_x, L.max_x);
+    min_y = std::min(min_y, L.min_y);
+    max_y = std::max(max_y, L.max_y);
+    part.total_path_mm += L.path_mm;
+    part.total_filament_mm += L.filament_mm;
+    part.layers.push_back(std::move(L));
+  }
+  if (part.layers.empty()) return part;
+  part.height_mm = part.layers.back().z_mm;
+  part.bbox_width_mm = max_x - min_x;
+  part.bbox_depth_mm = max_y - min_y;
+  return part;
+}
+
+std::string ReconstructedPart::ascii_layer(std::size_t layer_index,
+                                           std::size_t cols) const {
+  if (layer_index >= layers.size() || cols < 2) return {};
+  const ReconstructedLayer& L = layers[layer_index];
+  const double w = std::max(L.width(), 1e-6);
+  const double h = std::max(L.depth(), 1e-6);
+  // Terminal cells are ~2x taller than wide; halve the row count so the
+  // rendering keeps the part's aspect ratio.
+  const auto rows = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(cols) * h / w / 2.0));
+  std::vector<std::string> grid(rows, std::string(cols, '.'));
+
+  auto plot = [&](double x, double y) {
+    const auto cx = static_cast<std::size_t>(
+        std::min((x - L.min_x) / w, 0.999) * static_cast<double>(cols));
+    const auto cy = static_cast<std::size_t>(
+        std::min((y - L.min_y) / h, 0.999) * static_cast<double>(rows));
+    grid[rows - 1 - cy][cx] = '#';
+  };
+  for (const auto& seg : L.segments) {
+    const double len = std::hypot(seg.x1 - seg.x0, seg.y1 - seg.y0);
+    const int steps = std::max(2, static_cast<int>(len / (w /
+                                  static_cast<double>(cols))) * 2);
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      plot(seg.x0 + t * (seg.x1 - seg.x0), seg.y0 + t * (seg.y1 - seg.y0));
+    }
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace offramps::detect

@@ -1,0 +1,76 @@
+// Part reconstruction from a capture - the IP-exfiltration capability the
+// paper's Discussion anticipates ("even reverse-engineering printed parts
+// from their control signals").
+//
+// The 10 Hz transaction stream gives the toolhead position and cumulative
+// extrusion at every window boundary.  Whenever filament advanced between
+// two windows, material was laid along the toolhead's path between those
+// positions; collecting those segments per Z level recovers the printed
+// geometry to within one window of motion blur.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "detect/golden_free.hpp"  // MachineModel
+
+namespace offramps::detect {
+
+/// One deposition segment recovered from consecutive transactions.
+struct PathSegment {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+  double e_mm = 0.0;  // filament laid along this segment
+};
+
+/// One recovered layer.
+struct ReconstructedLayer {
+  double z_mm = 0.0;
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+  double path_mm = 0.0;
+  double filament_mm = 0.0;
+  std::vector<PathSegment> segments;
+
+  [[nodiscard]] double width() const { return max_x - min_x; }
+  [[nodiscard]] double depth() const { return max_y - min_y; }
+};
+
+/// The recovered part.
+struct ReconstructedPart {
+  std::vector<ReconstructedLayer> layers;
+  double height_mm = 0.0;
+  double total_path_mm = 0.0;
+  double total_filament_mm = 0.0;
+  double bbox_width_mm = 0.0;
+  double bbox_depth_mm = 0.0;
+
+  /// Renders one layer as an ASCII occupancy grid, `cols` characters
+  /// wide ('#' = material, '.' = empty).  Returns an empty string for an
+  /// out-of-range layer.
+  [[nodiscard]] std::string ascii_layer(std::size_t layer_index,
+                                        std::size_t cols = 40) const;
+};
+
+/// Reconstruction tuning.
+struct ReconstructOptions {
+  /// Layers are grouped by Z quantized to this.
+  double z_quantum_mm = 0.05;
+  /// Windows mixing mostly-travel with a little residual extrusion smear
+  /// long, thin segments across the bed; segments whose implied width is
+  /// below this fraction of nominal are discarded as travel blur.
+  double min_segment_width_factor = 0.25;
+  /// Windows mixing a travel arrival with an un-retract smear short, fat
+  /// segments into the part's approach path; implied widths above this
+  /// factor of nominal are discarded likewise.
+  double max_segment_width_factor = 2.5;
+  /// Layers with less filament than this are artifacts (priming blobs).
+  double min_layer_filament_mm = 0.3;
+};
+
+/// Rebuilds the printed geometry from a transaction capture.
+ReconstructedPart reconstruct_part(const core::Capture& capture,
+                                   const MachineModel& machine = {},
+                                   const ReconstructOptions& options = {});
+
+}  // namespace offramps::detect

@@ -1,0 +1,87 @@
+#include "detect/side_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace offramps::detect {
+
+std::vector<double> window_means(const plant::PowerTrace& trace,
+                                 double window_s) {
+  std::vector<double> means;
+  if (trace.empty() || window_s <= 0.0) return means;
+  const double t0 = trace.front().t_s;
+  double sum = 0.0;
+  std::size_t n = 0;
+  std::size_t window = 0;
+  for (const auto& s : trace) {
+    const auto w = static_cast<std::size_t>((s.t_s - t0) / window_s);
+    if (w != window) {
+      if (n > 0) means.push_back(sum / static_cast<double>(n));
+      // Emit empty windows (gaps) as repeats of the last mean.
+      while (means.size() < w) {
+        means.push_back(means.empty() ? 0.0 : means.back());
+      }
+      window = w;
+      sum = 0.0;
+      n = 0;
+    }
+    sum += s.watts;
+    ++n;
+  }
+  if (n > 0) means.push_back(sum / static_cast<double>(n));
+  return means;
+}
+
+PowerReport compare_power(const plant::PowerTrace& golden,
+                          const plant::PowerTrace& observed,
+                          const PowerSignatureOptions& options) {
+  PowerReport rep;
+  const auto g = window_means(golden, options.window_s);
+  const auto o = window_means(observed, options.window_s);
+  const std::size_t n = std::min(g.size(), o.size());
+  rep.windows_compared = n;
+
+  std::uint32_t consecutive = 0;
+  const std::size_t skip = options.skip_edge_windows;
+  for (std::size_t i = skip; i + skip < n; ++i) {
+    const double delta = std::abs(g[i] - o[i]);
+    rep.largest_delta_w = std::max(rep.largest_delta_w, delta);
+    if (delta > options.tolerance_w) {
+      rep.mismatches.push_back({i, g[i], o[i]});
+      ++consecutive;
+      if (consecutive >= options.consecutive_to_flag) {
+        rep.sabotage_likely = true;
+      }
+    } else {
+      consecutive = 0;
+    }
+  }
+  return rep;
+}
+
+std::string PowerReport::to_string(std::size_t max_lines) const {
+  std::string out;
+  char buf[128];
+  std::size_t shown = 0;
+  for (const auto& m : mismatches) {
+    if (shown++ >= max_lines) {
+      out += "...\n";
+      break;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "Window %zu: golden %.1f W, observed %.1f W\n", m.window,
+                  m.golden_w, m.observed_w);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "Windows compared: %zu; mismatches: %zu; largest delta "
+                "%.1f W\n",
+                windows_compared, mismatches.size(), largest_delta_w);
+  out += buf;
+  out += sabotage_likely ? "Sabotage likely (power signature)!\n"
+                         : "No sabotage suspected (power signature).\n";
+  return out;
+}
+
+}  // namespace offramps::detect

@@ -1,0 +1,56 @@
+// Power-signature detection - a reimplementation of the side-channel
+// defense class the paper compares itself against (actuator power
+// signatures, Gatlin et al. 2019), used here as the baseline in the
+// lossless-vs-lossy ablation.
+//
+// Method (as in that literature): golden and observed traces are reduced
+// to per-window mean power; a window disagreeing by more than the
+// tolerance is a mismatch, and sustained mismatches mean sabotage.  The
+// channel's measurement noise forces a generous tolerance, which is
+// exactly the sensitivity gap OFFRAMPS' direct signal taps close.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plant/side_channel.hpp"
+
+namespace offramps::detect {
+
+/// Power-signature comparison tuning.
+struct PowerSignatureOptions {
+  double window_s = 1.0;        // averaging window
+  double tolerance_w = 3.0;     // allowed mean-power deviation per window
+  std::uint32_t consecutive_to_flag = 3;
+  /// Ignore windows this close to print start/end (alignment slop).
+  std::uint32_t skip_edge_windows = 2;
+};
+
+/// One disagreeing window.
+struct PowerMismatch {
+  std::size_t window = 0;
+  double golden_w = 0.0;
+  double observed_w = 0.0;
+};
+
+/// Power-signature verdict.
+struct PowerReport {
+  std::vector<PowerMismatch> mismatches;
+  std::size_t windows_compared = 0;
+  double largest_delta_w = 0.0;
+  bool sabotage_likely = false;
+
+  [[nodiscard]] std::string to_string(std::size_t max_lines = 6) const;
+};
+
+/// Reduces a trace to per-window mean power.
+std::vector<double> window_means(const plant::PowerTrace& trace,
+                                 double window_s);
+
+/// Compares an observed print's power trace against the golden trace.
+PowerReport compare_power(const plant::PowerTrace& golden,
+                          const plant::PowerTrace& observed,
+                          const PowerSignatureOptions& options = {});
+
+}  // namespace offramps::detect

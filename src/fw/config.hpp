@@ -1,0 +1,121 @@
+// Firmware + machine configuration.
+//
+// Values default to a RAMPS 1.4 / A4988 (16x microstepping) stack driving a
+// Prusa i3 MK3S+-class Cartesian printer, matching the paper's test
+// environment (section III-D).  All tunables live here so tests and benches
+// can build variants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/pins.hpp"
+#include "sim/time.hpp"
+
+namespace offramps::fw {
+
+/// PID gains (output is heater duty in [0, 1]).
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;  // per second
+  double kd = 0.0;  // seconds
+};
+
+/// Thermal-runaway protection parameters (Marlin semantics).
+struct ThermalProtection {
+  double watch_period_s = 20.0;    // while first heating...
+  double watch_increase_c = 2.0;   // ...must gain this many deg C per period
+  double protection_period_s = 40.0;  // once stable, max time below...
+  double hysteresis_c = 4.0;          // ...target - hysteresis
+};
+
+/// One heater's firmware-side configuration.
+struct HeaterConfig {
+  PidGains pid{};            // used when use_pid is true
+  bool use_pid = true;       // false = bang-bang with hysteresis
+  double bang_hysteresis_c = 2.0;
+  double max_temp_c = 275.0;  // instant kill above this
+  double min_temp_c = 0.0;    // instant kill below this (sensor fault)
+  ThermalProtection protection{};
+};
+
+/// Complete configuration of the simulated Marlin firmware.
+struct Config {
+  // --- Kinematics -------------------------------------------------------
+  /// Steps per mm for X, Y, Z, E (A4988 at 16x microstepping).
+  std::array<double, 4> steps_per_mm = {100.0, 100.0, 400.0, 280.0};
+  /// Per-axis maximum feedrate, mm/s.
+  std::array<double, 4> max_feedrate_mm_s = {200.0, 200.0, 12.0, 120.0};
+  /// Default acceleration, mm/s^2 (applied on the dominant axis).
+  double acceleration_mm_s2 = 1000.0;
+  /// Junction ("jerk") speed cap, mm/s: segments enter and exit at up to
+  /// this speed without an acceleration ramp.
+  double junction_speed_mm_s = 8.0;
+  /// One-segment junction lookahead (classic jerk): angle-scaled exit
+  /// speeds let collinear chains cruise through segment boundaries.
+  /// Disable to get strict per-segment ramping (useful for ablation).
+  bool junction_lookahead = true;
+  /// Axis travel lengths, mm (X, Y, Z); E is unbounded.
+  std::array<double, 3> axis_length_mm = {250.0, 210.0, 210.0};
+
+  // --- Step signal timing -------------------------------------------------
+  /// STEP pulse high time (paper: minimum observed pulse width 1 us).
+  sim::Tick step_pulse_width = sim::us(1);
+  /// Minimum STEP low time between pulses.
+  sim::Tick step_pulse_gap = sim::us(1);
+  /// DIR setup time before the first STEP of a segment.
+  sim::Tick dir_setup_time = sim::us(1);
+  /// Lowest step rate the engine will run at (steps/s).
+  double min_step_rate_sps = 120.0;
+
+  // --- Homing -------------------------------------------------------------
+  double homing_feed_mm_s = 40.0;   // first fast approach
+  double homing_slow_mm_s = 4.0;    // re-bump approach
+  double homing_bump_mm = 3.0;      // back-off distance between approaches
+
+  // --- Extrusion ----------------------------------------------------------
+  /// Below this hotend temperature, E movement is stripped from moves
+  /// (Marlin's cold-extrusion prevention).
+  double min_extrude_temp_c = 170.0;
+  bool prevent_cold_extrusion = true;
+
+  // --- Thermal ------------------------------------------------------------
+  HeaterConfig hotend{
+      .pid = {.kp = 0.10, .ki = 0.004, .kd = 0.40},
+      .use_pid = true,
+      .bang_hysteresis_c = 2.0,
+      .max_temp_c = 275.0,
+      .min_temp_c = 0.0,
+      .protection = {},
+  };
+  HeaterConfig bed{
+      .pid = {},
+      .use_pid = false,
+      .bang_hysteresis_c = 2.0,
+      .max_temp_c = 125.0,
+      .min_temp_c = 0.0,
+      .protection = {.watch_period_s = 60.0,
+                     .watch_increase_c = 2.0,
+                     .protection_period_s = 90.0,
+                     .hysteresis_c = 4.0},
+  };
+  /// Thermal control loop period (also the soft-PWM window).
+  sim::Tick thermal_period = sim::ms(100);
+  /// Temperature considered "reached" for M109/M190 within this band.
+  double temp_reached_band_c = 2.0;
+
+  // --- Fan ----------------------------------------------------------------
+  /// Part-fan PWM carrier period (D9).
+  sim::Tick fan_pwm_period = sim::ms(10);
+
+  // --- Host / "time noise" -----------------------------------------------
+  /// Per-segment random startup latency emulating planner/serial asynchrony
+  /// ("time noise", paper section V-C).  Uniform in [0, this].  Calibrated
+  /// so known-good reprint drift stays below the paper's 5% envelope (the
+  /// paper measured < 5% on its testbed; see bench_drift).
+  sim::Tick segment_jitter_max = sim::us(350);
+  /// Seed for the firmware's jitter RNG (vary per print for drift studies).
+  std::uint64_t jitter_seed = 1;
+};
+
+}  // namespace offramps::fw

@@ -1,0 +1,574 @@
+#include "fw/firmware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "gcode/parser.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::fw {
+namespace {
+
+constexpr sim::Tick kTempPollPeriod = sim::ms(250);
+constexpr sim::Tick kStreamIdlePoll = sim::ms(50);
+
+std::string format_temp_report(const ThermalManager& tm) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "T:%.1f /%.1f B:%.1f /%.1f",
+                tm.current(Heater::kHotend), tm.target(Heater::kHotend),
+                tm.current(Heater::kBed), tm.target(Heater::kBed));
+  return buf;
+}
+
+}  // namespace
+
+const char* fw_state_name(FwState s) {
+  switch (s) {
+    case FwState::kIdle: return "idle";
+    case FwState::kRunning: return "running";
+    case FwState::kFinished: return "finished";
+    case FwState::kKilled: return "killed";
+  }
+  return "unknown";
+}
+
+Firmware::Firmware(sim::Scheduler& sched, Config config, sim::PinBank& io)
+    : sched_(sched),
+      config_(config),
+      io_(io),
+      planner_(config_),
+      stepper_(sched, io, config_),
+      thermal_(sched, config_, io.analog(sim::APin::kThermHotend),
+               io.analog(sim::APin::kThermBed),
+               io.wire(sim::Pin::kHotendHeat), io.wire(sim::Pin::kBedHeat),
+               [this](Heater h, ThermalFault f) {
+                 kill(std::string("thermal: ") + thermal_fault_name(f) +
+                      (h == Heater::kHotend ? " (hotend)" : " (bed)"));
+               }),
+      fan_pwm_(sched, io.wire(sim::Pin::kFan), config_.fan_pwm_period),
+      jitter_(config_.jitter_seed) {}
+
+void Firmware::enqueue_line(std::string_view line) {
+  if (auto cmd = gcode::parse_line(line)) enqueue(*cmd);
+}
+
+void Firmware::enqueue(const gcode::Command& cmd) {
+  queue_.push_back(cmd);
+  if (state_ == FwState::kRunning) schedule_advance();
+}
+
+void Firmware::enqueue_program(const gcode::Program& program) {
+  for (const auto& cmd : program) queue_.push_back(cmd);
+  if (state_ == FwState::kRunning) schedule_advance();
+}
+
+void Firmware::set_stream_open(bool open) {
+  stream_open_ = open;
+  if (!open && state_ == FwState::kRunning) schedule_advance();
+}
+
+void Firmware::start() {
+  if (state_ != FwState::kIdle) {
+    throw Error("Firmware::start: already started");
+  }
+  state_ = FwState::kRunning;
+  thermal_.start();
+  schedule_advance();
+}
+
+void Firmware::kill(const std::string& reason) {
+  if (state_ == FwState::kKilled) return;
+  state_ = FwState::kKilled;
+  kill_reason_ = reason;
+  ++temp_poll_generation_;  // cancel any M109/M190 poll
+  thermal_.shutdown();
+  stepper_.abort();
+  stepper_.set_all_enabled(false);
+  fan_pwm_.stop();
+  queue_.clear();
+  command_in_flight_ = false;
+  if (on_killed_) on_killed_(reason);
+}
+
+double Firmware::logical_mm(sim::Axis a) const {
+  const auto i = static_cast<std::size_t>(a);
+  return static_cast<double>(position_steps_[i] - origin_steps_[i]) /
+         config_.steps_per_mm[i];
+}
+
+// --- Dispatch ---------------------------------------------------------------
+
+void Firmware::schedule_advance() {
+  if (advance_pending_) return;
+  advance_pending_ = true;
+  sched_.schedule_in(0, [this] {
+    advance_pending_ = false;
+    advance();
+  });
+}
+
+void Firmware::advance() {
+  if (state_ != FwState::kRunning) return;
+  if (command_in_flight_ || stepper_.busy()) return;
+  if (queue_.empty()) {
+    finish_if_drained();
+    return;
+  }
+  gcode::Command cmd = std::move(queue_.front());
+  queue_.pop_front();
+  execute(cmd);
+}
+
+void Firmware::finish_if_drained() {
+  if (stream_open_) {
+    // Streaming host may still deliver lines; poll until it closes.
+    sched_.schedule_in(kStreamIdlePoll, [this] { schedule_advance(); });
+    return;
+  }
+  state_ = FwState::kFinished;
+  if (on_finished_) on_finished_();
+}
+
+void Firmware::command_done() {
+  command_in_flight_ = false;
+  ++commands_executed_;
+  schedule_advance();
+}
+
+void Firmware::execute(const gcode::Command& cmd) {
+  command_in_flight_ = true;
+  if (cmd.letter == 'G') {
+    switch (cmd.code) {
+      case 0:
+      case 1:
+        exec_move(cmd);
+        return;
+      case 2:
+      case 3:
+        exec_arc(cmd, /*clockwise=*/cmd.code == 2);
+        return;
+      case 4:
+        exec_dwell(cmd);
+        return;
+      case 21:  // mm units: the only mode we model
+        command_done();
+        return;
+      case 28:
+        exec_home(cmd);
+        return;
+      case 90:
+        absolute_xyz_ = true;
+        absolute_e_ = true;
+        command_done();
+        return;
+      case 91:
+        absolute_xyz_ = false;
+        absolute_e_ = false;
+        command_done();
+        return;
+      case 92:
+        exec_set_position(cmd);
+        return;
+      default:
+        ++unknown_;
+        command_done();
+        return;
+    }
+  }
+  if (cmd.letter == 'M') {
+    switch (cmd.code) {
+      case 17:
+        stepper_.set_all_enabled(true);
+        command_done();
+        return;
+      case 82:
+        absolute_e_ = true;
+        command_done();
+        return;
+      case 83:
+        absolute_e_ = false;
+        command_done();
+        return;
+      case 84:
+        stepper_.set_all_enabled(false);
+        command_done();
+        return;
+      case 104:
+        thermal_.set_target(Heater::kHotend, cmd.value_or('S', 0.0));
+        command_done();
+        return;
+      case 105:
+        report_temps();
+        command_done();
+        return;
+      case 106:
+        fan_pwm_.set_duty(std::clamp(cmd.value_or('S', 255.0), 0.0, 255.0) /
+                          255.0);
+        command_done();
+        return;
+      case 107:
+        fan_pwm_.set_duty(0.0);
+        command_done();
+        return;
+      case 109:
+        exec_wait_temp(Heater::kHotend, cmd);
+        return;
+      case 112:
+        kill("M112 emergency stop");
+        return;
+      case 114:
+        report_position();
+        command_done();
+        return;
+      case 140:
+        thermal_.set_target(Heater::kBed, cmd.value_or('S', 0.0));
+        command_done();
+        return;
+      case 190:
+        exec_wait_temp(Heater::kBed, cmd);
+        return;
+      case 220:
+        feedrate_pct_ = std::clamp(cmd.value_or('S', 100.0), 10.0, 500.0);
+        command_done();
+        return;
+      case 221:
+        flow_pct_ = std::clamp(cmd.value_or('S', 100.0), 10.0, 500.0);
+        command_done();
+        return;
+      default:
+        ++unknown_;
+        command_done();
+        return;
+    }
+  }
+  ++unknown_;
+  command_done();
+}
+
+// --- Motion -----------------------------------------------------------------
+
+std::int64_t Firmware::mm_to_target_steps(sim::Axis a, double logical) const {
+  const auto i = static_cast<std::size_t>(a);
+  return origin_steps_[i] +
+         static_cast<std::int64_t>(
+             std::llround(logical * config_.steps_per_mm[i]));
+}
+
+void Firmware::start_segment(const Segment& seg,
+                             StepperEngine::Completion cb) {
+  // "Time noise": per-segment startup latency from planner/serial
+  // asynchrony (paper section V-C).
+  const auto jitter = static_cast<sim::Tick>(jitter_.uniform(
+      0.0, static_cast<double>(config_.segment_jitter_max)));
+  sched_.schedule_in(jitter, [this, seg, cb = std::move(cb)]() mutable {
+    if (state_ != FwState::kRunning) return;
+    stepper_.start(seg, std::move(cb));
+  });
+}
+
+void Firmware::exec_move(const gcode::Command& cmd) {
+  if (const auto f = cmd.get('F')) {
+    feed_mm_min_ = std::max(*f, 0.1);
+  }
+
+  static constexpr char kAxisLetters[4] = {'X', 'Y', 'Z', 'E'};
+  std::array<double, 4> target{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    target[i] = logical_mm(static_cast<sim::Axis>(i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (const auto v = cmd.get(kAxisLetters[i])) {
+      const bool absolute = (i == 3) ? absolute_e_ : absolute_xyz_;
+      target[i] = absolute ? *v : target[i] + *v;
+    }
+  }
+
+  // Software endstops: once homed, an axis cannot be commanded outside its
+  // physical range.
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (homed_[i]) {
+      target[i] = std::clamp(target[i], 0.0, config_.axis_length_mm[i]);
+    }
+  }
+
+  // Flow multiplier applies to the filament advance.
+  double de = target[3] - logical_mm(sim::Axis::kE);
+  de *= flow_pct_ / 100.0;
+
+  // Cold-extrusion prevention: strip the E component, keep the motion.
+  if (config_.prevent_cold_extrusion && de != 0.0 &&
+      thermal_.current(Heater::kHotend) < config_.min_extrude_temp_c) {
+    de = 0.0;
+    ++cold_extrusion_blocks_;
+  }
+  target[3] = logical_mm(sim::Axis::kE) + de;
+
+  std::array<std::int64_t, 4> delta{};
+  std::array<std::int64_t, 4> target_steps{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    target_steps[i] =
+        mm_to_target_steps(static_cast<sim::Axis>(i), target[i]);
+    delta[i] = target_steps[i] - position_steps_[i];
+  }
+
+  const double feed_mm_s =
+      std::max((feed_mm_min_ / 60.0) * (feedrate_pct_ / 100.0), 0.1);
+
+  // One-segment lookahead (classic jerk): exit at a speed scaled by the
+  // angle to the next queued move, so collinear chains (arc chords,
+  // straight runs split by the host) cruise through junctions.
+  const double dx = static_cast<double>(delta[0]) / config_.steps_per_mm[0];
+  const double dy = static_cast<double>(delta[1]) / config_.steps_per_mm[1];
+  const double len = std::hypot(dx, dy);
+  double entry_mm_s = -1.0;
+  double exit_mm_s = -1.0;
+  if (config_.junction_lookahead && len > 1e-9) {
+    entry_mm_s = pending_entry_mm_s_;
+    if (const auto next = peek_next_move_dir(target)) {
+      const double cosine = (dx * (*next)[0] + dy * (*next)[1]) / len;
+      const double factor = std::clamp((1.0 + cosine) / 2.0, 0.0, 1.0);
+      exit_mm_s = config_.junction_speed_mm_s +
+                  factor * std::max(feed_mm_s -
+                                        config_.junction_speed_mm_s,
+                                    0.0);
+    }
+  }
+  pending_entry_mm_s_ = exit_mm_s;
+
+  const Segment seg = planner_.plan(delta, feed_mm_s, entry_mm_s,
+                                    exit_mm_s);
+
+  start_segment(seg, [this](bool, std::array<std::int64_t, 4> executed) {
+    for (std::size_t i = 0; i < 4; ++i) position_steps_[i] += executed[i];
+    ++moves_executed_;
+    command_done();
+  });
+}
+
+void Firmware::exec_arc(const gcode::Command& cmd, bool clockwise) {
+  // I/J-form arcs only (the form slicers emit); R-form is unsupported.
+  if (!cmd.has('I') && !cmd.has('J')) {
+    ++unknown_;
+    command_done();
+    return;
+  }
+  constexpr double kMmPerArcSegment = 1.0;  // Marlin MM_PER_ARC_SEGMENT
+
+  const double x0 = logical_mm(sim::Axis::kX);
+  const double y0 = logical_mm(sim::Axis::kY);
+  const double z0 = logical_mm(sim::Axis::kZ);
+  const double e0 = logical_mm(sim::Axis::kE);
+
+  double x1 = x0, y1 = y0, z1 = z0, e1 = e0;
+  if (const auto v = cmd.get('X')) x1 = absolute_xyz_ ? *v : x0 + *v;
+  if (const auto v = cmd.get('Y')) y1 = absolute_xyz_ ? *v : y0 + *v;
+  if (const auto v = cmd.get('Z')) z1 = absolute_xyz_ ? *v : z0 + *v;
+  if (const auto v = cmd.get('E')) e1 = absolute_e_ ? *v : e0 + *v;
+
+  // Arc center from the I/J offsets (always relative to the start point).
+  const double cx = x0 + cmd.value_or('I', 0.0);
+  const double cy = y0 + cmd.value_or('J', 0.0);
+  const double radius = std::hypot(x0 - cx, y0 - cy);
+  if (radius < 1e-6) {
+    ++unknown_;  // degenerate: no radius
+    command_done();
+    return;
+  }
+
+  double a0 = std::atan2(y0 - cy, x0 - cx);
+  double a1 = std::atan2(y1 - cy, x1 - cx);
+  constexpr double kTau = 6.283185307179586;
+  double sweep = a1 - a0;
+  if (clockwise) {
+    if (sweep >= -1e-9) sweep -= kTau;  // includes full circles
+  } else {
+    if (sweep <= 1e-9) sweep += kTau;
+  }
+
+  const double arc_len = std::abs(sweep) * radius;
+  const int segments =
+      std::max(2, static_cast<int>(std::ceil(arc_len / kMmPerArcSegment)));
+
+  // Synthesize the chord moves and splice them in front of the queue, so
+  // they execute before whatever the host sends next.
+  std::vector<gcode::Command> chords;
+  chords.reserve(static_cast<std::size_t>(segments));
+  for (int s = 1; s <= segments; ++s) {
+    const double t = static_cast<double>(s) / segments;
+    gcode::Command g1;
+    g1.letter = 'G';
+    g1.code = 1;
+    if (s == segments) {
+      // Land exactly on the commanded endpoint (no trig rounding).
+      g1.set('X', x1);
+      g1.set('Y', y1);
+    } else {
+      const double a = a0 + sweep * t;
+      g1.set('X', cx + radius * std::cos(a));
+      g1.set('Y', cy + radius * std::sin(a));
+    }
+    if (z1 != z0) g1.set('Z', z0 + (z1 - z0) * t);  // helical
+    if (e1 != e0) {
+      g1.set('E', absolute_e_ ? e0 + (e1 - e0) * t
+                              : (e1 - e0) / segments);
+    }
+    if (s == 1 && cmd.has('F')) g1.set('F', cmd.value_or('F', 0.0));
+    chords.push_back(std::move(g1));
+  }
+  for (auto it = chords.rbegin(); it != chords.rend(); ++it) {
+    queue_.push_front(std::move(*it));
+  }
+  command_done();
+}
+
+std::optional<std::array<double, 2>> Firmware::peek_next_move_dir(
+    const std::array<double, 4>& from) const {
+  if (queue_.empty()) return std::nullopt;
+  const gcode::Command& next = queue_.front();
+  if (!(next.is('G', 0) || next.is('G', 1))) return std::nullopt;
+  if (!next.has('X') && !next.has('Y')) return std::nullopt;
+  double nx = from[0];
+  double ny = from[1];
+  if (const auto v = next.get('X')) nx = absolute_xyz_ ? *v : from[0] + *v;
+  if (const auto v = next.get('Y')) ny = absolute_xyz_ ? *v : from[1] + *v;
+  const double dx = nx - from[0];
+  const double dy = ny - from[1];
+  const double len = std::hypot(dx, dy);
+  if (len < 1e-9) return std::nullopt;
+  return std::array<double, 2>{dx / len, dy / len};
+}
+
+void Firmware::exec_dwell(const gcode::Command& cmd) {
+  pending_entry_mm_s_ = -1.0;  // motion stops across a dwell
+  double wait_s = 0.0;
+  if (const auto p = cmd.get('P')) wait_s = *p / 1000.0;
+  if (const auto s = cmd.get('S')) wait_s = *s;
+  sched_.schedule_in(sim::from_seconds(std::max(wait_s, 0.0)),
+                     [this] { command_done(); });
+}
+
+void Firmware::exec_set_position(const gcode::Command& cmd) {
+  static constexpr char kAxisLetters[4] = {'X', 'Y', 'Z', 'E'};
+  bool any = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (const auto v = cmd.get(kAxisLetters[i])) {
+      any = true;
+      origin_steps_[i] =
+          position_steps_[i] -
+          static_cast<std::int64_t>(
+              std::llround(*v * config_.steps_per_mm[i]));
+    }
+  }
+  if (!any) {
+    // Bare G92: all axes read zero from here.
+    origin_steps_ = position_steps_;
+  }
+  command_done();
+}
+
+void Firmware::exec_wait_temp(Heater h, const gcode::Command& cmd) {
+  pending_entry_mm_s_ = -1.0;
+  const double target = cmd.has('R') ? cmd.value_or('R', 0.0)
+                                     : cmd.value_or('S', 0.0);
+  thermal_.set_target(h, target);
+  if (target <= 0.0) {
+    command_done();
+    return;
+  }
+  const auto gen = ++temp_poll_generation_;
+  poll_temp(h, gen);
+}
+
+void Firmware::poll_temp(Heater h, std::uint64_t gen) {
+  if (gen != temp_poll_generation_ || state_ != FwState::kRunning) return;
+  if (thermal_.at_target(h)) {
+    command_done();
+    return;
+  }
+  sched_.schedule_in(kTempPollPeriod, [this, h, gen] { poll_temp(h, gen); });
+}
+
+void Firmware::report_temps() {
+  if (on_report_) on_report_(format_temp_report(thermal_));
+}
+
+void Firmware::report_position() {
+  if (on_report_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "X:%.2f Y:%.2f Z:%.2f E:%.2f",
+                  logical_mm(sim::Axis::kX), logical_mm(sim::Axis::kY),
+                  logical_mm(sim::Axis::kZ), logical_mm(sim::Axis::kE));
+    on_report_(buf);
+  }
+}
+
+// --- Homing -----------------------------------------------------------------
+
+void Firmware::exec_home(const gcode::Command& cmd) {
+  pending_entry_mm_s_ = -1.0;
+  const bool all = !cmd.has('X') && !cmd.has('Y') && !cmd.has('Z');
+  homing_plan_.clear();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto axis = static_cast<sim::Axis>(i);
+    const char letter = "XYZ"[i];
+    if (!all && !cmd.has(letter)) continue;
+    const double len = config_.axis_length_mm[i];
+    // Fast approach: long enough to reach the switch from anywhere.
+    homing_plan_.push_back({axis, -(len + 20.0), config_.homing_feed_mm_s,
+                            /*abort_on_endstop=*/true,
+                            /*require_trigger=*/true,
+                            /*zero_after=*/true, /*mark_homed=*/false});
+    // Back off the switch.
+    homing_plan_.push_back({axis, config_.homing_bump_mm,
+                            config_.homing_feed_mm_s, false, false, false,
+                            false});
+    // Slow re-bump for precision.
+    homing_plan_.push_back({axis, -(config_.homing_bump_mm + 5.0),
+                            config_.homing_slow_mm_s, true, true,
+                            /*zero_after=*/true, /*mark_homed=*/true});
+  }
+  if (homing_plan_.empty()) {
+    command_done();
+    return;
+  }
+  run_homing_phase(0);
+}
+
+void Firmware::run_homing_phase(std::size_t index) {
+  if (state_ != FwState::kRunning) return;
+  if (index >= homing_plan_.size()) {
+    command_done();
+    return;
+  }
+  const HomingPhase phase = homing_plan_[index];
+  const auto axis_idx = static_cast<std::size_t>(phase.axis);
+
+  std::array<std::int64_t, 4> delta{};
+  delta[axis_idx] = static_cast<std::int64_t>(std::llround(
+      phase.distance_mm * config_.steps_per_mm[axis_idx]));
+  Segment seg = planner_.plan(delta, phase.feed_mm_s);
+  seg.abort_on_endstop = phase.abort_on_endstop;
+  seg.endstop_axis = phase.axis;
+
+  start_segment(seg, [this, phase, axis_idx, index](
+                         bool aborted,
+                         std::array<std::int64_t, 4> executed) {
+    for (std::size_t i = 0; i < 4; ++i) position_steps_[i] += executed[i];
+    if (phase.require_trigger && !aborted) {
+      kill(std::string("Homing failed: ") + sim::axis_name(phase.axis) +
+           " endstop never triggered");
+      return;
+    }
+    if (phase.zero_after) {
+      // The carriage is physically at the switch: this is the new datum.
+      position_steps_[axis_idx] = 0;
+      origin_steps_[axis_idx] = 0;
+    }
+    if (phase.mark_homed) homed_[axis_idx] = true;
+    run_homing_phase(index + 1);
+  });
+}
+
+}  // namespace offramps::fw

@@ -1,0 +1,118 @@
+#include "fw/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/error.hpp"
+
+namespace offramps::fw {
+
+sim::Axis Segment::dominant() const {
+  std::size_t best = 0;
+  std::int64_t best_abs = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto a = static_cast<std::int64_t>(std::llabs(steps[i]));
+    if (a > best_abs) {
+      best_abs = a;
+      best = i;
+    }
+  }
+  return static_cast<sim::Axis>(best);
+}
+
+std::int64_t Segment::dominant_steps() const {
+  std::int64_t best = 0;
+  for (const auto s : steps) {
+    best = std::max(best, static_cast<std::int64_t>(std::llabs(s)));
+  }
+  return best;
+}
+
+bool Segment::empty() const {
+  for (const auto s : steps) {
+    if (s != 0) return false;
+  }
+  return true;
+}
+
+Segment Planner::plan(const std::array<std::int64_t, 4>& delta_steps,
+                      double feed_mm_s, double entry_mm_s,
+                      double exit_mm_s) const {
+  if (feed_mm_s <= 0.0) {
+    throw Error("Planner::plan: feedrate must be positive");
+  }
+  Segment seg;
+  seg.steps = delta_steps;
+
+  // Displacement in mm per axis and along the XYZ path.
+  std::array<double, 4> delta_mm{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    delta_mm[i] =
+        static_cast<double>(delta_steps[i]) / config_.steps_per_mm[i];
+  }
+  const double path_mm =
+      std::sqrt(delta_mm[0] * delta_mm[0] + delta_mm[1] * delta_mm[1] +
+                delta_mm[2] * delta_mm[2]);
+  const double ref_mm = path_mm > 0.0 ? path_mm : std::abs(delta_mm[3]);
+  if (ref_mm <= 0.0) return seg;  // nothing moves
+
+  // Per-axis speed at the requested path feedrate; scale the whole move
+  // down so no axis exceeds its maximum (Marlin's limit_speed behaviour).
+  double scale = 1.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double axis_speed = feed_mm_s * std::abs(delta_mm[i]) / ref_mm;
+    if (axis_speed > config_.max_feedrate_mm_s[i]) {
+      scale = std::min(scale, config_.max_feedrate_mm_s[i] / axis_speed);
+    }
+  }
+  const double path_speed = feed_mm_s * scale;
+
+  const auto dom = static_cast<std::size_t>(seg.dominant());
+  const double dom_ratio = std::abs(delta_mm[dom]) / ref_mm;
+  const double spm = config_.steps_per_mm[dom];
+
+  seg.cruise_sps = std::max(path_speed * dom_ratio * spm,
+                            config_.min_step_rate_sps);
+  seg.accel_sps2 =
+      std::max(config_.acceleration_mm_s2 * dom_ratio * spm, 1.0);
+
+  // End speeds: explicit lookahead values when given, otherwise the
+  // junction ("jerk") cap.  Everything is clamped to the cruise speed.
+  const auto end_sps = [&](double mm_s) {
+    const double requested =
+        mm_s < 0.0 ? config_.junction_speed_mm_s : mm_s;
+    return std::clamp(requested * dom_ratio * spm,
+                      config_.min_step_rate_sps, seg.cruise_sps);
+  };
+  seg.entry_sps = end_sps(entry_mm_s);
+  seg.exit_sps = end_sps(exit_mm_s);
+  // The exit speed must be reachable from the entry speed within this
+  // segment under the acceleration limit.
+  const double n = static_cast<double>(seg.dominant_steps());
+  const double reachable = std::sqrt(
+      seg.entry_sps * seg.entry_sps + 2.0 * seg.accel_sps2 * n);
+  seg.exit_sps = std::min(seg.exit_sps, reachable);
+  return seg;
+}
+
+double Planner::duration_s(const Segment& seg) {
+  const double n = static_cast<double>(seg.dominant_steps());
+  if (n <= 0.0) return 0.0;
+  const double v0 = seg.entry_sps;
+  const double v1 = seg.exit_sps;
+  const double vc = seg.cruise_sps;
+  const double a = seg.accel_sps2;
+  const double up_steps = (vc * vc - v0 * v0) / (2.0 * a);
+  const double down_steps = (vc * vc - v1 * v1) / (2.0 * a);
+  if (up_steps + down_steps <= n) {
+    // Full trapezoid: two ramps plus a cruise phase.
+    return (vc - v0) / a + (vc - v1) / a +
+           (n - up_steps - down_steps) / vc;
+  }
+  // Triangular profile: find the reachable peak.
+  const double peak = std::sqrt(
+      std::max((2.0 * a * n + v0 * v0 + v1 * v1) / 2.0, v0 * v0));
+  return (peak - v0) / a + std::max(peak - v1, 0.0) / a;
+}
+
+}  // namespace offramps::fw

@@ -1,0 +1,75 @@
+// Motion planner: converts a step-space displacement plus a path feedrate
+// into an executable trapezoidal segment for the stepper engine.
+//
+// The model is a simplified Marlin/grbl planner with one-segment
+// lookahead: by default a segment enters and exits at the junction
+// ("jerk") speed cap, but the firmware passes explicit entry/exit path
+// speeds computed from the angle to the adjacent move (classic-jerk
+// style), so collinear chains - arc chords especially - cruise through
+// junctions instead of decelerating at every boundary.  Cruise speed is
+// subject to per-axis feedrate limits; exit speed is clamped to what the
+// acceleration limit can actually reach within the segment.  Both the
+// golden and the Trojaned prints run through the same planner, so the
+// detection comparison (which is what the paper evaluates) sees exactly
+// the timing properties it would on hardware: trapezoidal step-rate
+// ramps, <20 kHz step rates, and asynchronous per-segment timing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fw/config.hpp"
+#include "sim/pins.hpp"
+
+namespace offramps::fw {
+
+/// One executable motion segment in step space.
+struct Segment {
+  /// Signed step counts per axis (X, Y, Z, E).
+  std::array<std::int64_t, 4> steps{};
+  /// Dominant-axis step rates, steps/s.
+  double entry_sps = 0.0;
+  double cruise_sps = 0.0;
+  double exit_sps = 0.0;
+  /// Dominant-axis acceleration, steps/s^2.
+  double accel_sps2 = 0.0;
+  /// Homing support: abort the segment when this axis' min endstop rises.
+  bool abort_on_endstop = false;
+  sim::Axis endstop_axis = sim::Axis::kX;
+
+  /// Axis with the largest |steps| (the Bresenham major axis).
+  [[nodiscard]] sim::Axis dominant() const;
+  /// |steps| of the dominant axis.
+  [[nodiscard]] std::int64_t dominant_steps() const;
+  /// True when no axis moves.
+  [[nodiscard]] bool empty() const;
+};
+
+/// Stateless planning functions parameterized by the firmware config.
+class Planner {
+ public:
+  explicit Planner(const Config& config) : config_(config) {}
+
+  /// Plans a segment for `delta_steps` at the requested path feedrate
+  /// (mm/s).  Feedrate is interpreted along the XYZ path, or along E for
+  /// extrusion-only moves, then clamped by per-axis maxima.
+  ///
+  /// `entry_mm_s` / `exit_mm_s` are path speeds at the segment's ends
+  /// (lookahead junction speeds); negative values mean "use the junction
+  /// cap".  Both are clamped to the cruise speed, and the exit speed is
+  /// further clamped to what the acceleration limit can reach from the
+  /// entry speed within the segment's length.
+  [[nodiscard]] Segment plan(const std::array<std::int64_t, 4>& delta_steps,
+                             double feed_mm_s, double entry_mm_s = -1.0,
+                             double exit_mm_s = -1.0) const;
+
+  /// Analytic execution time of a planned segment (trapezoid or triangle
+  /// profile), excluding scheduling jitter.  Used by the host-side print
+  /// time estimator and by tests as the engine's reference model.
+  [[nodiscard]] static double duration_s(const Segment& seg);
+
+ private:
+  const Config& config_;
+};
+
+}  // namespace offramps::fw

@@ -1,0 +1,87 @@
+// Software PWM generator, as Marlin drives heater MOSFET gates and the
+// part-fan output.  Emits no events while saturated at 0% or 100%, so idle
+// heaters cost nothing in the event queue.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/scheduler.hpp"
+#include "sim/wire.hpp"
+
+namespace offramps::fw {
+
+/// Drives `out` with a fixed-period PWM waveform of adjustable duty.
+class SoftPwm {
+ public:
+  SoftPwm(sim::Scheduler& sched, sim::Wire& out, sim::Tick period)
+      : sched_(sched), out_(out), period_(period) {}
+
+  SoftPwm(const SoftPwm&) = delete;
+  SoftPwm& operator=(const SoftPwm&) = delete;
+
+  /// Sets the duty cycle, clamped to [0, 1].  Takes effect at the next
+  /// window boundary (matching a timer-based soft PWM); saturated values
+  /// take effect immediately.
+  void set_duty(double d) {
+    duty_ = std::clamp(d, 0.0, 1.0);
+    if (duty_ == 0.0) {
+      ++generation_;  // cancel any in-flight window
+      running_ = false;
+      out_.set(false);
+      return;
+    }
+    if (duty_ == 1.0) {
+      ++generation_;
+      running_ = false;
+      out_.set(true);
+      return;
+    }
+    if (!running_) {
+      running_ = true;
+      const auto gen = ++generation_;
+      window(gen);
+    }
+  }
+
+  [[nodiscard]] double duty() const { return duty_; }
+  [[nodiscard]] sim::Tick period() const { return period_; }
+
+  /// Stops the waveform and leaves the output low.
+  void stop() { set_duty(0.0); }
+
+ private:
+  /// Smallest realizable on/off slice (timer resolution): duties whose
+  /// high or low time would be narrower saturate for that window instead
+  /// of emitting degenerate zero-width pulses.
+  static constexpr sim::Tick kMinSlice = sim::us(1);
+
+  void window(std::uint64_t gen) {
+    if (gen != generation_) return;
+    const auto high =
+        static_cast<sim::Tick>(duty_ * static_cast<double>(period_));
+    if (high < kMinSlice) {
+      out_.set(false);
+    } else if (period_ - high < kMinSlice) {
+      out_.set(true);
+    } else {
+      out_.set(true);
+      sched_.schedule_in(high, [this, gen] {
+        if (gen != generation_) return;
+        out_.set(false);
+      });
+    }
+    // Re-arm one tick past the nominal boundary so window starts never
+    // collide with the controller's duty update on the same instant
+    // (which would order a rise before a same-tick shutdown).
+    sched_.schedule_in(period_ + 1, [this, gen] { window(gen); });
+  }
+
+  sim::Scheduler& sched_;
+  sim::Wire& out_;
+  sim::Tick period_;
+  double duty_ = 0.0;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace offramps::fw

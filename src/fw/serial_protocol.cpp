@@ -1,0 +1,109 @@
+#include "fw/serial_protocol.hpp"
+
+#include <charconv>
+
+#include "gcode/parser.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::fw {
+namespace {
+
+/// Extracts the N<line> prefix, if present.  Returns true on success.
+bool parse_line_number(std::string_view raw, std::uint32_t* out) {
+  std::size_t i = 0;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (i >= raw.size() || (raw[i] != 'N' && raw[i] != 'n')) return false;
+  ++i;
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data() + i, raw.data() + raw.size(), value);
+  if (ec != std::errc{}) return false;
+  *out = value;
+  return true;
+}
+
+/// Validates the *<checksum> trailer against the body before it.
+bool checksum_valid(std::string_view raw) {
+  const std::size_t star = raw.find('*');
+  if (star == std::string_view::npos) return false;
+  std::uint32_t claimed = 0;
+  const auto [ptr, ec] = std::from_chars(
+      raw.data() + star + 1, raw.data() + raw.size(), claimed);
+  if (ec != std::errc{}) return false;
+  return claimed == gcode::reprap_checksum(raw.substr(0, star));
+}
+
+}  // namespace
+
+const char* line_status_name(LineStatus s) {
+  switch (s) {
+    case LineStatus::kOk: return "ok";
+    case LineStatus::kResend: return "Resend";
+    case LineStatus::kDuplicate: return "ok (duplicate dropped)";
+    case LineStatus::kBusy: return "busy";
+  }
+  return "unknown";
+}
+
+LineStatus SerialProtocol::receive(std::string_view raw,
+                                   std::uint32_t* resend_from) {
+  if (firmware_.queue_depth() >= buffer_limit_) {
+    return LineStatus::kBusy;
+  }
+
+  std::uint32_t line_number = 0;
+  const bool numbered = parse_line_number(raw, &line_number);
+
+  std::optional<gcode::Command> cmd;
+  bool parse_failed = false;
+  try {
+    cmd = gcode::parse_line(raw);
+  } catch (const Error&) {
+    // Malformed content; if the checksum also fails this is corruption
+    // (resend); if it passes, treat like Marlin's "unknown command" echo.
+    parse_failed = true;
+  }
+
+  if (!numbered && raw.find('*') != std::string_view::npos) {
+    // A checksum without a line number means the N prefix itself was
+    // corrupted (Marlin: "No Line Number with checksum").
+    ++checksum_errors_;
+    if (resend_from != nullptr) *resend_from = expected_;
+    return LineStatus::kResend;
+  }
+
+  if (numbered) {
+    if (!checksum_valid(raw)) {
+      ++checksum_errors_;
+      if (resend_from != nullptr) *resend_from = expected_;
+      return LineStatus::kResend;
+    }
+    // M110 renumbers the stream and bypasses sequence validation (it is
+    // how hosts recover sequencing in the first place).
+    if (cmd.has_value() && cmd->is('M', 110)) {
+      expected_ = line_number + 1;
+      ++accepted_;
+      return LineStatus::kOk;
+    }
+    if (line_number < expected_) {
+      // The host resent further back than needed; drop silently.
+      ++duplicates_;
+      return LineStatus::kDuplicate;
+    }
+    if (line_number > expected_) {
+      ++sequence_errors_;
+      if (resend_from != nullptr) *resend_from = expected_;
+      return LineStatus::kResend;
+    }
+  }
+
+  if (cmd.has_value() && !cmd->is('M', 110)) {
+    firmware_.enqueue(*cmd);
+  }
+  (void)parse_failed;
+  if (numbered) expected_ = line_number + 1;
+  ++accepted_;
+  return LineStatus::kOk;
+}
+
+}  // namespace offramps::fw

@@ -1,0 +1,68 @@
+// Firmware side of the Marlin host protocol.
+//
+// Hosts like Repetier Host stream "N<line> <command>*<checksum>" and wait
+// for "ok" / "Resend: <n>" responses.  This component reproduces
+// Marlin's gcode_queue behaviour:
+//   * checksum validation (XOR of all bytes before '*'),
+//   * strict line-number sequencing with duplicate-drop and
+//     "Resend:" on gaps or corruption,
+//   * M110 line-number reset,
+//   * window-limited buffering (the planner queue depth): commands are
+//     acknowledged only when buffer space exists, which is how the host
+//     is throttled on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "fw/firmware.hpp"
+
+namespace offramps::fw {
+
+/// Response to one received line.
+enum class LineStatus : std::uint8_t {
+  kOk,         // accepted and enqueued
+  kResend,     // checksum/sequence error: host must resend from a line
+  kDuplicate,  // already seen (host resent too much): dropped, ok'd
+  kBusy,       // buffer full: host must retry later
+};
+
+const char* line_status_name(LineStatus s);
+
+/// Firmware-side protocol handler wrapping a Firmware's input queue.
+class SerialProtocol {
+ public:
+  /// `buffer_limit` models the serial command buffer (Marlin: 4-8).
+  explicit SerialProtocol(Firmware& firmware, std::size_t buffer_limit = 8)
+      : firmware_(firmware), buffer_limit_(buffer_limit) {}
+
+  SerialProtocol(const SerialProtocol&) = delete;
+  SerialProtocol& operator=(const SerialProtocol&) = delete;
+
+  /// Processes one raw line from the host.  Returns the protocol response
+  /// and, for kResend, sets `resend_from` to the expected line number.
+  LineStatus receive(std::string_view raw, std::uint32_t* resend_from);
+
+  [[nodiscard]] std::uint32_t expected_line() const { return expected_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t checksum_errors() const {
+    return checksum_errors_;
+  }
+  [[nodiscard]] std::uint64_t sequence_errors() const {
+    return sequence_errors_;
+  }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  Firmware& firmware_;
+  std::size_t buffer_limit_;
+  std::uint32_t expected_ = 1;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t checksum_errors_ = 0;
+  std::uint64_t sequence_errors_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace offramps::fw

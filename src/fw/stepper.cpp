@@ -1,0 +1,161 @@
+#include "fw/stepper.hpp"
+
+#include <cmath>
+
+#include "sim/error.hpp"
+
+namespace offramps::fw {
+
+StepperEngine::StepperEngine(sim::Scheduler& sched, sim::PinBank& io,
+                             const Config& config)
+    : sched_(sched), io_(io), config_(config) {}
+
+StepperEngine::~StepperEngine() {
+  if (watching_endstop_) {
+    io_.min_endstop(seg_.endstop_axis).remove_listener(endstop_listener_);
+  }
+}
+
+void StepperEngine::start(const Segment& seg, Completion on_done) {
+  if (busy_) throw Error("StepperEngine::start: engine is busy");
+  if (seg.empty()) {
+    // Zero-length segment: complete on the next scheduler slot so callers
+    // can rely on asynchronous completion in all cases.
+    sched_.schedule_in(0, [cb = std::move(on_done)] {
+      cb(false, std::array<std::int64_t, 4>{});
+    });
+    return;
+  }
+
+  seg_ = seg;
+  on_done_ = std::move(on_done);
+  busy_ = true;
+  const std::uint64_t gen = ++generation_;
+
+  dominant_ = static_cast<std::size_t>(seg_.dominant());
+  total_steps_ = seg_.dominant_steps();
+  done_steps_ = 0;
+  executed_ = {};
+  speed_sps_ = std::max(seg_.entry_sps, config_.min_step_rate_sps);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto axis = static_cast<sim::Axis>(i);
+    const std::int64_t s = seg_.steps[i];
+    step_sign_[i] = (s > 0) - (s < 0);
+    bres_err_[i] = total_steps_ / 2;
+    if (s != 0) {
+      // Auto-enable (Marlin enables a driver before moving it) and set the
+      // direction line; DIR high = motion toward the axis maximum.
+      io_.enable(axis).set(false);  // /EN is active low at the A4988
+      io_.dir(axis).set(s > 0);
+    }
+  }
+
+  if (seg_.abort_on_endstop) {
+    auto& wire = io_.min_endstop(seg_.endstop_axis);
+    watching_endstop_ = true;
+    endstop_listener_ = wire.on_rising([this, gen](sim::Tick) {
+      if (gen != generation_ || !busy_) return;
+      finish(/*aborted=*/true);
+    });
+    // The switch may already be held closed (e.g. re-bump starting on the
+    // stop): abort immediately, emitting no steps.
+    if (wire.level()) {
+      sched_.schedule_in(0, [this, gen] {
+        if (gen != generation_ || !busy_) return;
+        finish(/*aborted=*/true);
+      });
+      return;
+    }
+  }
+
+  // The first step is paced at the entry rate (as in Marlin's ISR, where
+  // a block's first step lands one interval into the block): this keeps
+  // the step-rate envelope continuous across segment boundaries instead
+  // of emitting a spuriously fast pulse pair at every junction.
+  sched_.schedule_in(config_.dir_setup_time + interval_for_current_speed(),
+                     [this, gen] { step_due(gen); });
+}
+
+void StepperEngine::abort() {
+  if (!busy_) return;
+  finish(/*aborted=*/true);
+}
+
+void StepperEngine::set_all_enabled(bool enable) {
+  for (const auto axis : sim::kAllAxes) {
+    io_.enable(axis).set(!enable);  // active low
+  }
+}
+
+sim::Tick StepperEngine::interval_for_current_speed() const {
+  const double sps = std::max(speed_sps_, 1.0);
+  const auto ticks = static_cast<sim::Tick>(
+      static_cast<double>(sim::kTicksPerSecond) / sps);
+  const sim::Tick floor = config_.step_pulse_width + config_.step_pulse_gap;
+  return ticks < floor ? floor : ticks;
+}
+
+void StepperEngine::step_due(std::uint64_t gen) {
+  if (gen != generation_ || !busy_) return;
+
+  // Pulse the dominant axis plus any Bresenham-due follower axes.
+  io_.step(static_cast<sim::Axis>(dominant_)).pulse(config_.step_pulse_width);
+  executed_[dominant_] += step_sign_[dominant_];
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == dominant_ || seg_.steps[i] == 0) continue;
+    bres_err_[i] += std::llabs(seg_.steps[i]);
+    if (bres_err_[i] >= total_steps_) {
+      bres_err_[i] -= total_steps_;
+      io_.step(static_cast<sim::Axis>(i)).pulse(config_.step_pulse_width);
+      executed_[i] += step_sign_[i];
+    }
+  }
+  ++done_steps_;
+
+  if (done_steps_ >= total_steps_) {
+    // Let the final pulse fall before reporting completion.
+    sched_.schedule_in(config_.step_pulse_width + config_.step_pulse_gap,
+                       [this, gen] {
+                         if (gen != generation_ || !busy_) return;
+                         finish(/*aborted=*/false);
+                       });
+    return;
+  }
+
+  // Trapezoid integration, one step at a time: v' = sqrt(v^2 +- 2a).
+  const double a2 = 2.0 * seg_.accel_sps2;
+  const double exit = std::max(seg_.exit_sps, config_.min_step_rate_sps);
+  const std::int64_t remaining = total_steps_ - done_steps_;
+  const double decel_steps =
+      (speed_sps_ * speed_sps_ - exit * exit) / a2;
+  if (static_cast<double>(remaining) <= decel_steps) {
+    speed_sps_ = std::max(exit, std::sqrt(std::max(
+                                    speed_sps_ * speed_sps_ - a2, 1.0)));
+  } else if (speed_sps_ < seg_.cruise_sps) {
+    speed_sps_ =
+        std::min(seg_.cruise_sps, std::sqrt(speed_sps_ * speed_sps_ + a2));
+  }
+
+  sched_.schedule_in(interval_for_current_speed(),
+                     [this, gen] { step_due(gen); });
+}
+
+void StepperEngine::finish(bool aborted) {
+  busy_ = false;
+  ++generation_;  // invalidate pending step events
+  if (watching_endstop_) {
+    io_.min_endstop(seg_.endstop_axis).remove_listener(endstop_listener_);
+    watching_endstop_ = false;
+  }
+  for (std::size_t i = 0; i < 4; ++i) lifetime_steps_[i] += executed_[i];
+  if (on_done_) {
+    // Move the callback out first: it may start another segment, which
+    // installs a new on_done_.
+    Completion cb = std::move(on_done_);
+    on_done_ = nullptr;
+    cb(aborted, executed_);
+  }
+}
+
+}  // namespace offramps::fw

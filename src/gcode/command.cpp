@@ -1,0 +1,19 @@
+#include "gcode/command.hpp"
+
+namespace offramps::gcode {
+
+Command make_linear_move(std::optional<double> x, std::optional<double> y,
+                         std::optional<double> z, std::optional<double> e,
+                         std::optional<double> feedrate_mm_min, bool rapid) {
+  Command c;
+  c.letter = 'G';
+  c.code = rapid ? 0 : 1;
+  if (x) c.params.push_back({'X', *x});
+  if (y) c.params.push_back({'Y', *y});
+  if (z) c.params.push_back({'Z', *z});
+  if (e) c.params.push_back({'E', *e});
+  if (feedrate_mm_min) c.params.push_back({'F', *feedrate_mm_min});
+  return c;
+}
+
+}  // namespace offramps::gcode

@@ -1,0 +1,179 @@
+#include "gcode/flaw3d.hpp"
+
+#include "gcode/modal.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::gcode::flaw3d {
+namespace {
+
+/// Shared rewriting engine: walks the program with a modal interpreter on
+/// the *original* stream while maintaining the mutated stream's E
+/// coordinate, so absolute-E slicer output stays consistent after deltas
+/// are changed.  `mutate_delta(kind, de)` returns the mutated advance for a
+/// move; `after_move(out, n_extrusions)` may append extra commands.
+class ERewriter {
+ public:
+  virtual ~ERewriter() = default;
+
+  Program run(const Program& program, MutationReport& report) {
+    Program out;
+    out.reserve(program.size() + 16);
+    for (const auto& cmd : program) {
+      // Resolve the move against the original modal state first.
+      const bool is_move = cmd.is('G', 0) || cmd.is('G', 1);
+      const auto mv = modal_.apply(cmd);
+
+      if (cmd.is('G', 92)) {
+        // A G92 pins both streams' logical E to the same value, so
+        // subsequent untouched absolute E words are valid again.
+        out_e_ = modal_.position()[3];
+        diverged_ = false;
+        out.push_back(cmd);
+        continue;
+      }
+      if (!is_move || !mv || mv->delta[3] == 0.0) {
+        out.push_back(cmd);
+        continue;
+      }
+
+      const double de = mv->delta[3];
+      ++report.moves_seen;
+      if (de > 0.0) report.e_in_mm += de;
+
+      const double de_out = mutate_delta(mv->kind, de);
+      if (de_out > 0.0) report.e_out_mm += de_out;
+
+      Command mutated = cmd;
+      out_e_ += de_out;
+      if (de_out != de) {
+        ++report.moves_modified;
+        diverged_ = true;
+      }
+      // Rewrite the E word only when needed: when this move's advance
+      // changed, or (in absolute mode) when an earlier change shifted the
+      // accumulated E coordinate under every later word.
+      if (de_out != de || (modal_.absolute_e() && diverged_)) {
+        mutated.set('E', modal_.absolute_e() ? out_e_ : de_out);
+      }
+      out.push_back(std::move(mutated));
+
+      if (mv->kind == MoveKind::kExtrusion) {
+        ++extrusion_moves_;
+        after_move(out, report);
+      }
+    }
+    return out;
+  }
+
+ protected:
+  virtual double mutate_delta(MoveKind kind, double de) = 0;
+  virtual void after_move(Program& out, MutationReport& report) = 0;
+
+  /// Appends an in-place extrusion of `amount` mm at `feed` mm/min.
+  void emit_blob(Program& out, double amount, double feed,
+                 MutationReport& report) {
+    Command blob;
+    blob.letter = 'G';
+    blob.code = 1;
+    out_e_ += amount;
+    blob.params.push_back(
+        {'E', modal_.absolute_e() ? out_e_ : amount});
+    blob.params.push_back({'F', feed});
+    out.push_back(std::move(blob));
+    diverged_ = true;
+    ++report.commands_inserted;
+    report.e_out_mm += amount;
+    // Restore the modal feedrate for subsequent moves that rely on it.
+    if (modal_.feed_mm_min() != feed) {
+      Command f;
+      f.letter = 'G';
+      f.code = 1;
+      f.params.push_back({'F', modal_.feed_mm_min()});
+      out.push_back(std::move(f));
+      ++report.commands_inserted;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t extrusion_moves() const {
+    return extrusion_moves_;
+  }
+
+ private:
+  ModalState modal_;            // tracks the ORIGINAL stream
+  double out_e_ = 0.0;          // logical E of the MUTATED stream
+  bool diverged_ = false;       // mutated E coordinate differs from original
+  std::uint64_t extrusion_moves_ = 0;
+};
+
+class ReductionRewriter final : public ERewriter {
+ public:
+  explicit ReductionRewriter(const ReductionOptions& opt) : opt_(opt) {}
+
+ private:
+  double mutate_delta(MoveKind kind, double de) override {
+    // Only positive advances shrink; retractions pass through so travel
+    // behaviour (and stringing) stays native, matching Flaw3D.
+    if (de <= 0.0) return de;
+    (void)kind;
+    return de * opt_.factor;
+  }
+  void after_move(Program&, MutationReport&) override {}
+
+  ReductionOptions opt_;
+};
+
+class RelocationRewriter final : public ERewriter {
+ public:
+  explicit RelocationRewriter(const RelocationOptions& opt) : opt_(opt) {}
+
+ private:
+  double mutate_delta(MoveKind kind, double de) override {
+    if (kind != MoveKind::kExtrusion || de <= 0.0) return de;
+    const double stolen = de * opt_.take_fraction;
+    withheld_ += stolen;
+    return de - stolen;
+  }
+
+  void after_move(Program& out, MutationReport& report) override {
+    if (opt_.every_n_moves == 0) return;
+    if (extrusion_moves() % opt_.every_n_moves == 0 && withheld_ > 0.0) {
+      emit_blob(out, withheld_, opt_.blob_feed_mm_min, report);
+      withheld_ = 0.0;
+    }
+  }
+
+  RelocationOptions opt_;
+  double withheld_ = 0.0;
+};
+
+}  // namespace
+
+Program apply_reduction(const Program& program, const ReductionOptions& opt,
+                        MutationReport* report) {
+  if (opt.factor < 0.0 || opt.factor > 1.0) {
+    throw Error("flaw3d::apply_reduction: factor must be within [0, 1]");
+  }
+  MutationReport local;
+  ReductionRewriter rw(opt);
+  Program out = rw.run(program, local);
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+Program apply_relocation(const Program& program, const RelocationOptions& opt,
+                         MutationReport* report) {
+  if (opt.take_fraction <= 0.0 || opt.take_fraction >= 1.0) {
+    throw Error(
+        "flaw3d::apply_relocation: take_fraction must be within (0, 1)");
+  }
+  if (opt.every_n_moves == 0) {
+    throw Error("flaw3d::apply_relocation: every_n_moves must be positive");
+  }
+  MutationReport local;
+  RelocationRewriter rw(opt);
+  Program out = rw.run(program, local);
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+}  // namespace offramps::gcode::flaw3d

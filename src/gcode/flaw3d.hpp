@@ -1,0 +1,59 @@
+// Flaw3D Trojan emulation (paper section V-D, Table II).
+//
+// Flaw3D (Pearce et al., IEEE TMECH 2022) is a malicious AVR bootloader
+// that rewrites g-code in flight between the host and Marlin.  The OFFRAMPS
+// paper recreates its two Trojan families with a host-side g-code mutation
+// script; this module is the C++ equivalent.  Both transforms preserve the
+// program's structure and rewrite only extrusion amounts:
+//
+//  * Reduction  - every positive filament advance is scaled by a factor
+//                 (Table II cases 1-4: 0.5, 0.85, 0.9, 0.98).
+//  * Relocation - a fraction of each extrusion move's filament is withheld
+//                 and, every N extrusion moves, deposited in place as a
+//                 blob (Table II cases 5-8: N = 5, 10, 20, 100).  Total
+//                 filament is conserved, only its placement/timing changes.
+//
+// The transforms handle absolute and relative E modes and G92 E resets.
+#pragma once
+
+#include <cstdint>
+
+#include "gcode/command.hpp"
+
+namespace offramps::gcode::flaw3d {
+
+/// Outcome summary of a transform, for reporting and tests.
+struct MutationReport {
+  std::uint64_t moves_seen = 0;       // extrusion-relevant moves examined
+  std::uint64_t moves_modified = 0;   // moves whose E word was rewritten
+  std::uint64_t commands_inserted = 0;
+  double e_in_mm = 0.0;               // total positive advance, original
+  double e_out_mm = 0.0;              // total positive advance, mutated
+};
+
+/// Parameters for the reduction Trojan.
+struct ReductionOptions {
+  /// Multiplier applied to every positive filament advance: 0.5 halves the
+  /// extruded material; 0.98 is the paper's stealthiest case (2% less).
+  double factor = 0.5;
+};
+
+/// Parameters for the relocation Trojan.
+struct RelocationOptions {
+  /// Number of extrusion moves between relocations (Table II's value).
+  std::uint32_t every_n_moves = 20;
+  /// Fraction of each extrusion move's filament withheld for relocation.
+  double take_fraction = 0.15;
+  /// Feedrate of the inserted in-place extrusion, mm/min.
+  double blob_feed_mm_min = 1800.0;
+};
+
+/// Applies the reduction Trojan; returns the mutated program.
+Program apply_reduction(const Program& program, const ReductionOptions& opt,
+                        MutationReport* report = nullptr);
+
+/// Applies the relocation Trojan; returns the mutated program.
+Program apply_relocation(const Program& program, const RelocationOptions& opt,
+                         MutationReport* report = nullptr);
+
+}  // namespace offramps::gcode::flaw3d

@@ -1,0 +1,95 @@
+#include "gcode/modal.hpp"
+
+#include <cmath>
+
+namespace offramps::gcode {
+
+double MoveInfo::travel_mm() const {
+  return std::sqrt(delta[0] * delta[0] + delta[1] * delta[1] +
+                   delta[2] * delta[2]);
+}
+
+std::optional<MoveInfo> ModalState::apply(const Command& cmd) {
+  if (cmd.letter == 'G') {
+    switch (cmd.code) {
+      case 90:
+        absolute_xyz_ = true;
+        absolute_e_ = true;
+        return std::nullopt;
+      case 91:
+        absolute_xyz_ = false;
+        absolute_e_ = false;
+        return std::nullopt;
+      case 92: {
+        // Set logical position without motion.
+        static constexpr char kAxes[4] = {'X', 'Y', 'Z', 'E'};
+        bool any = false;
+        for (int i = 0; i < 4; ++i) {
+          if (const auto v = cmd.get(kAxes[i])) {
+            position_[static_cast<std::size_t>(i)] = *v;
+            any = true;
+          }
+        }
+        if (!any) position_ = {0.0, 0.0, 0.0, 0.0};  // bare G92 zeroes all
+        return std::nullopt;
+      }
+      case 28: {
+        // Homing: logical position of the named axes (or all) becomes 0.
+        const bool all = !cmd.has('X') && !cmd.has('Y') && !cmd.has('Z');
+        if (all || cmd.has('X')) position_[0] = 0.0;
+        if (all || cmd.has('Y')) position_[1] = 0.0;
+        if (all || cmd.has('Z')) position_[2] = 0.0;
+        return std::nullopt;
+      }
+      case 0:
+      case 1:
+      case 2:   // arcs resolve modally like linear moves; travel_mm() is
+      case 3: { // then the chord (a lower bound on the true arc length)
+        MoveInfo mv;
+        mv.from = position_;
+        mv.target = position_;
+        static constexpr char kAxes[4] = {'X', 'Y', 'Z', 'E'};
+        for (int i = 0; i < 4; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          if (const auto v = cmd.get(kAxes[i])) {
+            const bool absolute = (i == 3) ? absolute_e_ : absolute_xyz_;
+            mv.target[idx] = absolute ? *v : position_[idx] + *v;
+          }
+        }
+        if (const auto f = cmd.get('F')) feed_mm_min_ = *f;
+        mv.feed_mm_min = feed_mm_min_;
+        for (std::size_t i = 0; i < 4; ++i) {
+          mv.delta[i] = mv.target[i] - mv.from[i];
+        }
+        const bool moves_xyz = mv.delta[0] != 0.0 || mv.delta[1] != 0.0 ||
+                               mv.delta[2] != 0.0;
+        if (mv.delta[3] < 0.0) {
+          mv.kind = MoveKind::kRetraction;
+        } else if (mv.delta[3] > 0.0) {
+          mv.kind = moves_xyz ? MoveKind::kExtrusion : MoveKind::kEOnly;
+        } else {
+          mv.kind = MoveKind::kTravel;
+        }
+        position_ = mv.target;
+        return mv;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  if (cmd.letter == 'M') {
+    switch (cmd.code) {
+      case 82:
+        absolute_e_ = true;
+        return std::nullopt;
+      case 83:
+        absolute_e_ = false;
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace offramps::gcode

@@ -1,0 +1,57 @@
+// Modal g-code interpretation shared by the host-side tools.
+//
+// Tracks the interpreter state a Marlin-class firmware keeps between lines
+// (absolute/relative positioning, current logical position, feedrate) and
+// classifies motion commands.  Used by the statistics analyzer and by the
+// Flaw3D transforms, which must reason about extrusion *deltas* even when a
+// slicer emits absolute E values.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "gcode/command.hpp"
+
+namespace offramps::gcode {
+
+/// Classification of a linear move after modal resolution.
+enum class MoveKind {
+  kTravel,      // motion without filament advance
+  kExtrusion,   // motion with positive filament advance
+  kRetraction,  // negative filament advance (with or without motion)
+  kEOnly,       // positive filament advance without motion (prime/deprime)
+};
+
+/// Fully resolved linear move.
+struct MoveInfo {
+  std::array<double, 4> from{};   // x, y, z, e before the move (mm)
+  std::array<double, 4> target{}; // x, y, z, e after the move (mm)
+  std::array<double, 4> delta{};  // target - from
+  double feed_mm_min = 0.0;
+  MoveKind kind = MoveKind::kTravel;
+
+  [[nodiscard]] double travel_mm() const;  // XYZ path length
+};
+
+/// Modal interpreter state.  Feed `apply()` each command in program order.
+class ModalState {
+ public:
+  /// Applies one command.  For G0/G1 returns the resolved move; for every
+  /// other command updates state (G90/G91/G92/M82/M83) and returns nullopt.
+  std::optional<MoveInfo> apply(const Command& cmd);
+
+  [[nodiscard]] bool absolute_xyz() const { return absolute_xyz_; }
+  [[nodiscard]] bool absolute_e() const { return absolute_e_; }
+  [[nodiscard]] const std::array<double, 4>& position() const {
+    return position_;
+  }
+  [[nodiscard]] double feed_mm_min() const { return feed_mm_min_; }
+
+ private:
+  bool absolute_xyz_ = true;
+  bool absolute_e_ = true;
+  std::array<double, 4> position_{};  // x, y, z, e (mm)
+  double feed_mm_min_ = 1500.0;
+};
+
+}  // namespace offramps::gcode

@@ -1,0 +1,182 @@
+#include "gcode/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "sim/error.hpp"
+
+namespace offramps::gcode {
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Strips ';' comments (returning the comment text) and '(...)' inline
+/// comments, plus a '*checksum' trailer if present (validating it).
+std::string strip_comments(std::string_view line, std::string& comment_out) {
+  std::string body;
+  body.reserve(line.size());
+  bool in_parens = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_parens) {
+      if (c == ')') in_parens = false;
+      continue;
+    }
+    if (c == '(') {
+      in_parens = true;
+      continue;
+    }
+    if (c == ';') {
+      comment_out = std::string(line.substr(i + 1));
+      // Trim leading spaces of the comment.
+      while (!comment_out.empty() && is_space(comment_out.front())) {
+        comment_out.erase(comment_out.begin());
+      }
+      break;
+    }
+    body.push_back(c);
+  }
+  if (in_parens) {
+    throw Error("gcode: unterminated '(' comment in line: " +
+                std::string(line));
+  }
+  return body;
+}
+
+/// Splits off and validates a "*<checksum>" trailer, in place.
+void handle_checksum(std::string& body) {
+  const std::size_t star = body.find('*');
+  if (star == std::string::npos) return;
+  const std::string digits = body.substr(star + 1);
+  body.erase(star);
+  unsigned long claimed = 0;
+  try {
+    claimed = std::stoul(digits);
+  } catch (const std::exception&) {
+    throw Error("gcode: malformed checksum trailer '*" + digits + "'");
+  }
+  const unsigned char actual = reprap_checksum(body);
+  if (claimed != actual) {
+    throw Error("gcode: checksum mismatch (claimed " +
+                std::to_string(claimed) + ", actual " +
+                std::to_string(actual) + ")");
+  }
+}
+
+double parse_number(std::string_view text, std::string_view line) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) {
+    throw Error("gcode: bad numeric value '" + std::string(text) +
+                "' in line: " + std::string(line));
+  }
+  return v;
+}
+
+}  // namespace
+
+unsigned char reprap_checksum(std::string_view body) {
+  unsigned char cs = 0;
+  for (const char c : body) cs ^= static_cast<unsigned char>(c);
+  return cs;
+}
+
+std::optional<Command> parse_line(std::string_view line) {
+  std::string comment;
+  std::string body = strip_comments(line, comment);
+  handle_checksum(body);
+
+  Command cmd;
+  cmd.comment = comment;
+
+  std::size_t i = 0;
+  const std::size_t n = body.size();
+  bool have_op = false;
+  bool skipped_line_number = false;
+
+  while (i < n) {
+    if (is_space(body[i])) {
+      ++i;
+      continue;
+    }
+    const char raw = body[i];
+    if (std::isalpha(static_cast<unsigned char>(raw)) == 0) {
+      throw Error("gcode: expected a word letter in line: " +
+                  std::string(line));
+    }
+    const char letter =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(raw)));
+    ++i;
+    // Collect the (optional) numeric value.
+    const std::size_t value_begin = i;
+    while (i < n && !is_space(body[i]) &&
+           std::isalpha(static_cast<unsigned char>(body[i])) == 0) {
+      ++i;
+    }
+    const std::string_view value_text(body.data() + value_begin,
+                                      i - value_begin);
+
+    if (letter == 'N' && !have_op && !skipped_line_number) {
+      skipped_line_number = true;  // host line number; not a parameter
+      continue;
+    }
+
+    if (!have_op) {
+      // Only G, M and T introduce commands; anything else leading a line
+      // is a parameter without a command (malformed input).
+      if (letter != 'G' && letter != 'M' && letter != 'T') {
+        throw Error("gcode: line does not start with a G/M/T command: " +
+                    std::string(line));
+      }
+      if (value_text.empty()) {
+        throw Error("gcode: command word '" + std::string(1, letter) +
+                    "' missing its number in line: " + std::string(line));
+      }
+      const double num = parse_number(value_text, line);
+      cmd.letter = letter;
+      cmd.code = static_cast<int>(num);
+      have_op = true;
+      continue;
+    }
+
+    Param p;
+    p.letter = letter;
+    if (!value_text.empty()) p.value = parse_number(value_text, line);
+    cmd.params.push_back(p);
+  }
+
+  if (!have_op) {
+    if (!comment.empty()) return std::nullopt;  // comment-only line
+    // A line that was only whitespace (or only an N word).
+    bool only_ws = true;
+    for (const char c : body) {
+      if (!is_space(c)) {
+        only_ws = false;
+        break;
+      }
+    }
+    if (only_ws) return std::nullopt;
+    throw Error("gcode: line has parameters but no command: " +
+                std::string(line));
+  }
+  return cmd;
+}
+
+Program parse_program(std::string_view text) {
+  Program out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(start, nl - start);
+    if (auto cmd = parse_line(line)) out.push_back(std::move(*cmd));
+    start = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace offramps::gcode

@@ -1,0 +1,28 @@
+// G-code parser.
+//
+// Accepts the dialect produced by common slicers (Cura, Slic3r/PrusaSlicer)
+// and streamed by hosts like Repetier Host: optional "N<line>" numbers and
+// "*<checksum>" trailers, ';' comments, '(...)' inline comments, and
+// case-insensitive words.  Empty/comment-only lines parse to nullopt.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gcode/command.hpp"
+
+namespace offramps::gcode {
+
+/// Parses a single line.  Returns nullopt for blank or comment-only lines.
+/// Throws offramps::Error on malformed input (bad number, stray word, or a
+/// checksum mismatch when a '*' trailer is present).
+std::optional<Command> parse_line(std::string_view line);
+
+/// Parses a whole program, one command per non-empty line.
+Program parse_program(std::string_view text);
+
+/// Computes the RepRap checksum (XOR of bytes before '*') for a line body.
+unsigned char reprap_checksum(std::string_view body);
+
+}  // namespace offramps::gcode

@@ -1,0 +1,73 @@
+#include "gcode/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace offramps::gcode {
+
+void BoundingBox::include(double x, double y) {
+  if (!valid) {
+    min_x = max_x = x;
+    min_y = max_y = y;
+    valid = true;
+    return;
+  }
+  min_x = std::min(min_x, x);
+  max_x = std::max(max_x, x);
+  min_y = std::min(min_y, y);
+  max_y = std::max(max_y, y);
+}
+
+Statistics analyze(const Program& program) {
+  Statistics s;
+  ModalState modal;
+  for (const auto& cmd : program) {
+    ++s.command_count;
+    const auto mv = modal.apply(cmd);
+    if (!mv) continue;
+    ++s.move_count;
+    const double path = mv->travel_mm();
+    const double de = mv->delta[3];
+    if (mv->feed_mm_min > 0.0) {
+      const double commanded =
+          std::max(path, std::abs(de));  // E-only moves take |dE| / feed
+      s.naive_time_s += commanded / (mv->feed_mm_min / 60.0);
+    }
+    s.max_z = std::max(s.max_z, mv->target[2]);
+    switch (mv->kind) {
+      case MoveKind::kExtrusion: {
+        ++s.extrusion_move_count;
+        s.extruded_mm += de;
+        s.extrusion_path_mm += path;
+        s.extrusion_bbox.include(mv->from[0], mv->from[1]);
+        s.extrusion_bbox.include(mv->target[0], mv->target[1]);
+        const double z = mv->target[2];
+        if (s.layer_z.empty() || std::abs(s.layer_z.back() - z) > 1e-9) {
+          if (std::find_if(s.layer_z.begin(), s.layer_z.end(),
+                           [z](double lz) {
+                             return std::abs(lz - z) < 1e-9;
+                           }) == s.layer_z.end()) {
+            s.layer_z.push_back(z);
+          }
+        }
+        break;
+      }
+      case MoveKind::kEOnly:
+        s.extruded_mm += de;
+        break;
+      case MoveKind::kRetraction:
+        ++s.retraction_count;
+        s.retracted_mm += -de;
+        s.travel_path_mm += path;
+        break;
+      case MoveKind::kTravel:
+        ++s.travel_move_count;
+        s.travel_path_mm += path;
+        break;
+    }
+  }
+  std::sort(s.layer_z.begin(), s.layer_z.end());
+  return s;
+}
+
+}  // namespace offramps::gcode

@@ -1,0 +1,48 @@
+// Host-side g-code program analysis (a tiny "g-code analyzer"): aggregate
+// motion/extrusion statistics used to validate slicer output, to compute
+// expected step totals for experiments, and by tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gcode/command.hpp"
+#include "gcode/modal.hpp"
+
+namespace offramps::gcode {
+
+/// Axis-aligned bounding box over the XY positions touched while extruding.
+struct BoundingBox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  bool valid = false;
+
+  void include(double x, double y);
+  [[nodiscard]] double width() const { return valid ? max_x - min_x : 0.0; }
+  [[nodiscard]] double depth() const { return valid ? max_y - min_y : 0.0; }
+};
+
+/// Aggregate statistics for one program.
+struct Statistics {
+  std::uint64_t command_count = 0;
+  std::uint64_t move_count = 0;
+  std::uint64_t extrusion_move_count = 0;
+  std::uint64_t travel_move_count = 0;
+  std::uint64_t retraction_count = 0;
+  double extruded_mm = 0.0;       // total positive filament advance
+  double retracted_mm = 0.0;      // total negative filament advance (abs)
+  double extrusion_path_mm = 0.0; // XYZ distance while extruding
+  double travel_path_mm = 0.0;    // XYZ distance while travelling
+  double max_z = 0.0;
+  std::vector<double> layer_z;    // distinct Z heights reached while extruding
+  BoundingBox extrusion_bbox;
+  double naive_time_s = 0.0;      // sum(path / feed), ignoring acceleration
+
+  /// Net filament at end of program (extruded - retracted).
+  [[nodiscard]] double net_e_mm() const { return extruded_mm - retracted_mm; }
+};
+
+/// Analyzes `program` from a fresh modal state.
+Statistics analyze(const Program& program);
+
+}  // namespace offramps::gcode

@@ -1,0 +1,44 @@
+#include "gcode/writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace offramps::gcode {
+
+std::string format_number(double v) {
+  // Slicer-style: fixed with up to 5 decimals, trailing zeros trimmed.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.5f", v);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string write_line(const Command& cmd) {
+  std::string out;
+  out.push_back(cmd.letter);
+  out += std::to_string(cmd.code);
+  for (const auto& p : cmd.params) {
+    out.push_back(' ');
+    out.push_back(p.letter);
+    if (p.value.has_value()) out += format_number(*p.value);
+  }
+  if (!cmd.comment.empty()) {
+    out += " ; ";
+    out += cmd.comment;
+  }
+  return out;
+}
+
+std::string write_program(const Program& program) {
+  std::string out;
+  for (const auto& cmd : program) {
+    out += write_line(cmd);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace offramps::gcode

@@ -1,0 +1,21 @@
+// G-code serializer: turns a Command/Program back into slicer-style text.
+// parse_program(write_program(p)) == p for every program this library
+// produces (round-trip property, covered by tests).
+#pragma once
+
+#include <string>
+
+#include "gcode/command.hpp"
+
+namespace offramps::gcode {
+
+/// Formats a number the way slicers do: up to 5 decimals, no trailing zeros.
+std::string format_number(double v);
+
+/// Serializes one command (no trailing newline).
+std::string write_line(const Command& cmd);
+
+/// Serializes a whole program, one command per line, trailing newline.
+std::string write_program(const Program& program);
+
+}  // namespace offramps::gcode

@@ -1,0 +1,86 @@
+#include "host/reliable_streamer.hpp"
+
+#include "gcode/parser.hpp"
+#include "gcode/writer.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::host {
+
+ReliableStreamer::ReliableStreamer(sim::Scheduler& sched,
+                                   fw::Firmware& firmware,
+                                   fw::SerialProtocol& protocol,
+                                   gcode::Program program,
+                                   ReliableStreamerOptions options)
+    : sched_(sched),
+      firmware_(firmware),
+      protocol_(protocol),
+      options_(options),
+      rng_(options.seed) {
+  lines_.reserve(program.size());
+  for (const auto& cmd : program) {
+    gcode::Command bare = cmd;
+    bare.comment.clear();  // comments are not sent over the wire
+    lines_.push_back(gcode::write_line(bare));
+  }
+}
+
+std::string ReliableStreamer::wire_line(std::size_t index) const {
+  const std::string body =
+      "N" + std::to_string(index + 1) + " " + lines_[index] + " ";
+  return body + "*" + std::to_string(gcode::reprap_checksum(body));
+}
+
+void ReliableStreamer::start() {
+  if (started_) return;
+  started_ = true;
+  firmware_.set_stream_open(true);
+  // Reset the firmware's line counter, checksummed like any other line.
+  const std::string m110_body = "N0 M110 ";
+  std::uint32_t resend = 0;
+  protocol_.receive(
+      m110_body + "*" + std::to_string(gcode::reprap_checksum(m110_body)),
+      &resend);
+  pump();
+}
+
+void ReliableStreamer::pump() {
+  // Send until the firmware reports busy or everything is delivered.
+  while (!done()) {
+    if (transmitted_ > (lines_.size() + 10) * 1000) {
+      throw Error(
+          "ReliableStreamer: link too lossy, no forward progress");
+    }
+    std::string line = wire_line(cursor_);
+    ++transmitted_;
+    if (options_.corruption_probability > 0.0 &&
+        rng_.chance(options_.corruption_probability)) {
+      // Flip one payload character: the checksum no longer matches.
+      const std::size_t pos =
+          static_cast<std::size_t>(rng_.uniform_int(
+              1, static_cast<std::int64_t>(line.find('*')) - 1));
+      line[pos] = line[pos] == 'X' ? 'Y' : 'X';
+      ++corrupted_;
+    }
+
+    std::uint32_t resend_from = 0;
+    const fw::LineStatus status = protocol_.receive(line, &resend_from);
+    switch (status) {
+      case fw::LineStatus::kOk:
+      case fw::LineStatus::kDuplicate:
+        ++cursor_;
+        continue;
+      case fw::LineStatus::kResend:
+        // Wire numbers are 1-based; rewind to the requested line.
+        ++resends_;
+        cursor_ = resend_from == 0 ? 0 : resend_from - 1;
+        continue;
+      case fw::LineStatus::kBusy:
+        ++busy_;
+        sched_.schedule_in(options_.poll_period, [this] { pump(); });
+        return;
+    }
+  }
+  firmware_.set_stream_open(false);
+}
+
+}  // namespace offramps::host

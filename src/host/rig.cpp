@@ -1,0 +1,132 @@
+#include "host/rig.hpp"
+
+#include "sim/error.hpp"
+
+namespace offramps::host {
+
+double RunResult::flow_ratio() const {
+  const double commanded = static_cast<double>(commanded_steps[3]);
+  if (commanded <= 0.0) return 0.0;
+  return static_cast<double>(motor_steps[3]) / commanded;
+}
+
+Rig::Rig(RigOptions options)
+    : options_(std::move(options)),
+      board_(sched_, options_.board, options_.route),
+      firmware_(sched_, options_.firmware, board_.arduino_side()),
+      printer_(sched_, board_.ramps_side(), options_.printer) {
+  if (options_.trojans.any()) {
+    board_.trojans().arm(options_.trojans);
+  }
+  // Logic-rail brown-out resets the MCU mid-print (modelled as a kill:
+  // the job is lost either way).
+  printer_.logic_rail().on_change([this](double) {
+    if (printer_.power().mcu_brownout() &&
+        firmware_.state() == fw::FwState::kRunning) {
+      firmware_.kill("MCU brown-out reset (logic rail sag)");
+    }
+  });
+  if (options_.power_probe.has_value()) {
+    power_probe_ = std::make_unique<plant::PowerTraceProbe>(
+        sched_, printer_, board_.ramps_side(), *options_.power_probe);
+  }
+  if (options_.brownout.has_value()) {
+    const BrownoutScenario& b = *options_.brownout;
+    plant::PowerRail& rail = b.rail == BrownoutScenario::Rail::kMotor
+                                 ? printer_.motor_rail()
+                                 : printer_.logic_rail();
+    sched_.schedule_at(sim::from_seconds(b.start_s), [&rail, b] {
+      rail.set_volts(rail.nominal_v() * b.sag_to_fraction);
+    });
+    sched_.schedule_at(sim::from_seconds(b.start_s + b.duration_s),
+                       [&rail] { rail.restore(); });
+  }
+}
+
+RunResult Rig::run(const gcode::Program& program) {
+  return execute(program, nullptr);
+}
+
+RunResult Rig::run_monitored(const gcode::Program& program,
+                             const core::Capture& golden,
+                             const detect::CompareOptions& detect_options,
+                             bool abort_on_alarm) {
+  detect::RealtimeMonitor monitor(board_.fpga().uart(), golden,
+                                  detect_options);
+  if (abort_on_alarm) {
+    monitor.on_alarm([this](const std::vector<detect::Mismatch>&) {
+      firmware_.kill("print halted by OFFRAMPS real-time Trojan monitor");
+    });
+  }
+  return execute(program, &monitor);
+}
+
+RunResult Rig::execute(const gcode::Program& program,
+                       detect::RealtimeMonitor* monitor) {
+  if (used_) throw Error("Rig::run: a Rig executes a single print");
+  used_ = true;
+
+  bool finished = false;
+  bool killed = false;
+  std::string kill_reason;
+
+  firmware_.on_finished([&] {
+    finished = true;
+    sched_.request_stop();
+  });
+  firmware_.on_killed([&](const std::string& reason) {
+    killed = true;
+    kill_reason = reason;
+    // Keep the world running: destructive Trojans (T7) do their damage
+    // after the firmware has given up.
+    sched_.schedule_in(sim::from_seconds(options_.post_kill_observation_s),
+                       [this] { sched_.request_stop(); });
+  });
+
+  firmware_.enqueue_program(program);
+  firmware_.start();
+
+  const sim::Tick deadline = sim::from_seconds(options_.max_sim_seconds);
+  while (!sched_.stop_requested() && !sched_.idle() &&
+         sched_.now() < deadline) {
+    sched_.run_until(std::min<sim::Tick>(sched_.now() + sim::seconds(1),
+                                         deadline));
+  }
+
+  return collect(finished, killed, kill_reason, monitor);
+}
+
+RunResult Rig::collect(bool finished, bool killed, std::string kill_reason,
+                       detect::RealtimeMonitor* monitor) {
+  RunResult r;
+  board_.fpga().uart().finalize(finished);
+  r.capture = board_.fpga().uart().take_capture();
+  r.finished = finished;
+  r.killed = killed;
+  r.kill_reason = std::move(kill_reason);
+  if (monitor != nullptr) {
+    r.monitor_alarmed = monitor->alarmed();
+    r.alarm_at_transaction = monitor->alarmed_at_index();
+    r.aborted_by_monitor =
+        monitor->alarmed() &&
+        r.kill_reason.find("real-time Trojan monitor") != std::string::npos;
+  }
+
+  r.part = printer_.deposition().report();
+  r.commanded_steps = firmware_.stepper().lifetime_steps();
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto axis = static_cast<sim::Axis>(i);
+    r.motor_steps[i] = printer_.motor(axis).position();
+    r.motor_dropped_steps[i] = printer_.motor(axis).dropped_steps();
+    r.undervolt_skips[i] = printer_.motor(axis).undervolt_skips();
+  }
+  if (power_probe_ != nullptr) r.power_trace = power_probe_->take_trace();
+  r.hotend_peak_c = printer_.hotend().peak_c();
+  r.bed_peak_c = printer_.bed().peak_c();
+  r.mean_fan_rpm = printer_.fan().mean_rpm();
+  r.sim_seconds = sim::to_seconds(sched_.now());
+  r.events_executed = sched_.executed();
+  return r;
+}
+
+}  // namespace offramps::host

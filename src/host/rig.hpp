@@ -1,0 +1,128 @@
+// Experiment rig: the full bench-top stack of the paper's test
+// environment (section III-D), assembled in simulation:
+//
+//   host g-code --> Firmware (Arduino/Marlin) --> OFFRAMPS board --> Printer
+//                        ^                             |  FPGA fabric
+//                        +--- endstops / thermistors --+  (monitors+Trojans)
+//
+// `Rig::run` executes one print end to end and gathers everything the
+// experiments need: the UART capture, part-quality metrics, firmware
+// outcome, thermal peaks, and step accounting on both sides of the board.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/board.hpp"
+#include "detect/compare.hpp"
+#include "detect/monitor.hpp"
+#include "fw/firmware.hpp"
+#include "gcode/command.hpp"
+#include "plant/printer.hpp"
+#include "plant/side_channel.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::host {
+
+/// A scheduled supply-voltage excursion (the undervolting/brown-out
+/// attack class the paper's Limitations section leaves unexplored).
+struct BrownoutScenario {
+  enum class Rail { kMotor, kLogic };
+  Rail rail = Rail::kMotor;
+  double start_s = 30.0;
+  double duration_s = 2.0;
+  /// Sag target as a fraction of nominal (e.g. 0.6 = 24 V -> 14.4 V).
+  double sag_to_fraction = 0.6;
+};
+
+/// Everything configurable about one experiment run.
+struct RigOptions {
+  fw::Config firmware{};
+  plant::PrinterParams printer{};
+  core::BoardOptions board{};
+  core::RouteMode route = core::RouteMode::kFpgaMitm;
+  core::TrojanSuiteConfig trojans{};
+  std::optional<BrownoutScenario> brownout{};
+  /// Attach a power side-channel probe (current clamp on the supply).
+  std::optional<plant::PowerProbeOptions> power_probe{};
+  /// Hard wall on simulated print time (safety backstop).
+  double max_sim_seconds = 4000.0;
+  /// How long to keep simulating after a firmware kill, to observe
+  /// runaway physics (Trojan T7 keeps heating after the firmware dies).
+  double post_kill_observation_s = 60.0;
+};
+
+/// Outcome of one print.
+struct RunResult {
+  core::Capture capture;
+  bool finished = false;
+  bool killed = false;
+  std::string kill_reason;
+  bool monitor_alarmed = false;     // real-time detection fired
+  bool aborted_by_monitor = false;  // ...and halted the print
+  std::uint32_t alarm_at_transaction = 0;  // index where the alarm fired
+
+  plant::PartReport part;
+  /// Steps the firmware commanded (Arduino side), signed, per axis.
+  std::array<std::int64_t, 4> commanded_steps{};
+  /// Steps the motors actually executed (RAMPS side), signed, per axis.
+  std::array<std::int64_t, 4> motor_steps{};
+  /// Steps lost at disabled drivers (Trojan T8's effect).
+  std::array<std::uint64_t, 4> motor_dropped_steps{};
+
+  double hotend_peak_c = 0.0;
+  double bed_peak_c = 0.0;
+  double mean_fan_rpm = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+  /// Steps skipped from motor-rail undervoltage, per axis.
+  std::array<std::uint64_t, 4> undervolt_skips{};
+  /// Power side-channel trace (empty unless a probe was attached).
+  plant::PowerTrace power_trace;
+
+  /// Material actually deposited / material the g-code commanded.
+  [[nodiscard]] double flow_ratio() const;
+};
+
+/// Assembled firmware + OFFRAMPS + printer stack.
+class Rig {
+ public:
+  explicit Rig(RigOptions options = {});
+
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] core::Board& board() { return board_; }
+  [[nodiscard]] fw::Firmware& firmware() { return firmware_; }
+  [[nodiscard]] plant::Printer& printer() { return printer_; }
+
+  /// Runs one complete print.  Call once per Rig (the physical analogue:
+  /// one part per power cycle).
+  RunResult run(const gcode::Program& program);
+
+  /// Runs with the real-time monitor comparing against `golden`;
+  /// `abort_on_alarm` halts the print the moment the alarm fires.
+  RunResult run_monitored(const gcode::Program& program,
+                          const core::Capture& golden,
+                          const detect::CompareOptions& detect_options = {},
+                          bool abort_on_alarm = true);
+
+ private:
+  RunResult execute(const gcode::Program& program,
+                    detect::RealtimeMonitor* monitor);
+  RunResult collect(bool finished, bool killed, std::string kill_reason,
+                    detect::RealtimeMonitor* monitor);
+
+  RigOptions options_;
+  sim::Scheduler sched_;
+  core::Board board_;
+  fw::Firmware firmware_;
+  plant::Printer printer_;
+  std::unique_ptr<plant::PowerTraceProbe> power_probe_;
+  bool used_ = false;
+};
+
+}  // namespace offramps::host

@@ -1,0 +1,51 @@
+// Host-side serial capture: a UART receiver plus transaction decoder
+// listening on the OFFRAMPS TX net - the software that would run on the
+// connected PC, receiving what the paper's Python tooling consumed.
+#pragma once
+
+#include "core/serial.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/wire.hpp"
+
+namespace offramps::host {
+
+/// Decodes the OFFRAMPS transaction stream from the physical TX line.
+/// Must outlive any traffic on the line it taps (the receiver detaches
+/// its listener on destruction).
+class SerialTap {
+ public:
+  SerialTap(sim::Scheduler& sched, sim::Wire& tx_line, std::uint32_t baud)
+      : rx_(sched, tx_line, baud) {
+    rx_.on_byte([this](std::uint8_t byte, sim::Tick t) {
+      decoder_.feed(byte, t);
+    });
+  }
+
+  SerialTap(const SerialTap&) = delete;
+  SerialTap& operator=(const SerialTap&) = delete;
+
+  /// Per-transaction delivery, as decoded off the wire.
+  void on_transaction(core::TransactionDecoder::TransactionCallback cb) {
+    decoder_.on_transaction(std::move(cb));
+  }
+
+  [[nodiscard]] const core::Capture& capture() const {
+    return decoder_.capture();
+  }
+  [[nodiscard]] core::Capture take_capture() {
+    return decoder_.take_capture();
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return rx_.bytes_received();
+  }
+  [[nodiscard]] std::uint64_t framing_errors() const {
+    return rx_.framing_errors();
+  }
+  [[nodiscard]] std::uint64_t resyncs() const { return decoder_.resyncs(); }
+
+ private:
+  core::UartRx rx_;
+  core::TransactionDecoder decoder_;
+};
+
+}  // namespace offramps::host

@@ -1,0 +1,95 @@
+// Slicer-lite: generates realistic slicer-style g-code for simple test
+// objects (the paper's prints were sliced with Ultimaker Cura; these
+// programs reproduce the same structure - start sequence with heat-up and
+// homing, per-layer perimeters + zigzag infill with absolute-E extrusion,
+// retraction on layer changes, fan management, end sequence).
+#pragma once
+
+#include <cstdint>
+
+#include "gcode/command.hpp"
+
+namespace offramps::host {
+
+/// Print settings (a PLA-ish Cura profile).
+struct SliceProfile {
+  double layer_height_mm = 0.25;
+  double line_width_mm = 0.45;
+  double filament_diameter_mm = 1.75;
+
+  double first_layer_speed_mm_s = 20.0;
+  double perimeter_speed_mm_s = 40.0;
+  double infill_speed_mm_s = 50.0;
+  double travel_speed_mm_s = 120.0;
+  double z_speed_mm_s = 8.0;
+
+  double retract_mm = 0.8;
+  double retract_speed_mm_s = 35.0;
+
+  double hotend_temp_c = 210.0;
+  double bed_temp_c = 0.0;  // 0 = unheated bed (faster experiments)
+
+  /// Part fan: off for the first layer, then this duty (0..1).
+  double fan_duty = 0.7;
+  std::uint32_t fan_from_layer = 2;
+
+  int perimeter_count = 2;
+  double infill_spacing_mm = 1.2;
+  double prime_e_mm = 3.0;
+
+  /// First-layer skirt: `skirt_loops` outlines drawn `skirt_gap_mm` away
+  /// from the part before printing it (primes flow and flags adhesion
+  /// problems early).  0 = no skirt.
+  int skirt_loops = 0;
+  double skirt_gap_mm = 3.0;
+
+  /// Filament mm per path mm for this profile's extrusion geometry.
+  [[nodiscard]] double e_per_mm() const;
+};
+
+/// Axis-aligned solid box.
+struct CubeSpec {
+  double size_x_mm = 10.0;
+  double size_y_mm = 10.0;
+  double height_mm = 5.0;
+  double center_x_mm = 110.0;
+  double center_y_mm = 100.0;
+};
+
+/// Single-wall hollow square (a vase-mode-style quick print).
+struct SquareSpec {
+  double size_mm = 20.0;
+  double height_mm = 6.0;
+  double center_x_mm = 110.0;
+  double center_y_mm = 100.0;
+};
+
+/// Polygon-approximated hollow cylinder.
+struct CylinderSpec {
+  double diameter_mm = 16.0;
+  double height_mm = 6.0;
+  int facets = 32;
+  double center_x_mm = 110.0;
+  double center_y_mm = 100.0;
+};
+
+/// Machine start sequence: units/modes, heat-up, homing, priming.
+gcode::Program start_sequence(const SliceProfile& profile);
+/// Machine end sequence: retract, heaters/fan off, lift, motors off.
+gcode::Program end_sequence(const SliceProfile& profile);
+
+/// Full sliced programs (start sequence + object + end sequence).
+gcode::Program slice_cube(const CubeSpec& spec, const SliceProfile& profile);
+gcode::Program slice_square(const SquareSpec& spec,
+                            const SliceProfile& profile);
+gcode::Program slice_cylinder(const CylinderSpec& spec,
+                              const SliceProfile& profile);
+
+/// Cylinder sliced with G2/G3 arc moves (two half-circles per layer), as
+/// ArcWelder-style post-processors emit.  `facets` is ignored; the
+/// firmware segments the arcs itself.
+gcode::Program slice_cylinder_arcs(const CylinderSpec& spec,
+                                   const SliceProfile& profile,
+                                   bool clockwise = false);
+
+}  // namespace offramps::host

@@ -1,0 +1,33 @@
+#include "host/streamer.hpp"
+
+namespace offramps::host {
+
+Streamer::Streamer(sim::Scheduler& sched, fw::Firmware& firmware,
+                   gcode::Program program, std::size_t window,
+                   sim::Tick poll_period)
+    : sched_(sched),
+      firmware_(firmware),
+      program_(std::move(program)),
+      window_(window == 0 ? 1 : window),
+      poll_period_(poll_period) {}
+
+void Streamer::start() {
+  if (started_) return;
+  started_ = true;
+  firmware_.set_stream_open(true);
+  pump();
+}
+
+void Streamer::pump() {
+  while (cursor_ < program_.size() &&
+         firmware_.queue_depth() < window_) {
+    firmware_.enqueue(program_[cursor_++]);
+  }
+  if (done()) {
+    firmware_.set_stream_open(false);
+    return;
+  }
+  sched_.schedule_in(poll_period_, [this] { pump(); });
+}
+
+}  // namespace offramps::host

@@ -1,0 +1,46 @@
+// Host g-code streamer: models a Repetier-Host-style sender that trickles
+// lines to the firmware over serial instead of preloading the whole
+// program, keeping the firmware's input queue shallow the way a live USB
+// link does.
+#pragma once
+
+#include <cstddef>
+
+#include "fw/firmware.hpp"
+#include "gcode/command.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::host {
+
+/// Feeds a program into a firmware incrementally.
+class Streamer {
+ public:
+  /// Keeps at most `window` commands buffered in the firmware, topping the
+  /// queue up every `poll_period`.  Closes the firmware's stream when the
+  /// last line has been delivered.
+  Streamer(sim::Scheduler& sched, fw::Firmware& firmware,
+           gcode::Program program, std::size_t window = 8,
+           sim::Tick poll_period = sim::ms(20));
+
+  Streamer(const Streamer&) = delete;
+  Streamer& operator=(const Streamer&) = delete;
+
+  /// Begins streaming.  The firmware must have its stream marked open.
+  void start();
+
+  [[nodiscard]] bool done() const { return cursor_ >= program_.size(); }
+  [[nodiscard]] std::size_t lines_sent() const { return cursor_; }
+
+ private:
+  void pump();
+
+  sim::Scheduler& sched_;
+  fw::Firmware& firmware_;
+  gcode::Program program_;
+  std::size_t window_;
+  sim::Tick poll_period_;
+  std::size_t cursor_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace offramps::host

@@ -1,0 +1,80 @@
+#include "host/time_estimator.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "fw/planner.hpp"
+#include "gcode/modal.hpp"
+
+namespace offramps::host {
+namespace {
+
+/// XY unit direction of a resolved move, or nullopt when degenerate.
+std::optional<std::array<double, 2>> xy_dir(const gcode::MoveInfo& mv) {
+  const double len = std::hypot(mv.delta[0], mv.delta[1]);
+  if (len < 1e-9) return std::nullopt;
+  return std::array<double, 2>{mv.delta[0] / len, mv.delta[1] / len};
+}
+
+}  // namespace
+
+TimeEstimate estimate_print_time(const gcode::Program& program,
+                                 const fw::Config& config) {
+  TimeEstimate est;
+  fw::Planner planner(config);
+  gcode::ModalState modal;
+
+  // Resolve every move up front so each segment can see its successor
+  // (the firmware's one-segment lookahead).
+  std::vector<gcode::MoveInfo> moves;
+  std::vector<double> dwells;
+  for (const auto& cmd : program) {
+    if (cmd.is('G', 4)) {
+      double s = 0.0;
+      if (const auto p = cmd.get('P')) s = *p / 1000.0;
+      if (const auto v = cmd.get('S')) s = *v;
+      dwells.push_back(std::max(s, 0.0));
+    }
+    if (cmd.is('G', 28)) continue;  // homing excluded (plant-dependent)
+    if (const auto mv = modal.apply(cmd)) {
+      bool any = false;
+      for (const auto d : mv->delta) any = any || d != 0.0;
+      if (any) moves.push_back(*mv);
+    }
+  }
+
+  double pending_entry = -1.0;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const gcode::MoveInfo& mv = moves[i];
+    std::array<std::int64_t, 4> delta{};
+    for (std::size_t a = 0; a < 4; ++a) {
+      delta[a] = static_cast<std::int64_t>(
+          std::llround(mv.delta[a] * config.steps_per_mm[a]));
+    }
+    const double feed = std::max(mv.feed_mm_min / 60.0, 0.1);
+
+    double exit = -1.0;
+    const auto this_dir = xy_dir(mv);
+    if (this_dir && i + 1 < moves.size()) {
+      if (const auto next_dir = xy_dir(moves[i + 1])) {
+        const double cosine = (*this_dir)[0] * (*next_dir)[0] +
+                              (*this_dir)[1] * (*next_dir)[1];
+        const double factor = std::clamp((1.0 + cosine) / 2.0, 0.0, 1.0);
+        exit = config.junction_speed_mm_s +
+               factor * std::max(feed - config.junction_speed_mm_s, 0.0);
+      }
+    }
+    const double entry = this_dir ? pending_entry : -1.0;
+    pending_entry = this_dir ? exit : -1.0;
+
+    const fw::Segment seg = planner.plan(delta, feed, entry, exit);
+    if (!seg.empty()) {
+      est.motion_s += fw::Planner::duration_s(seg);
+      ++est.moves;
+    }
+  }
+  for (const double s : dwells) est.dwell_s += s;
+  return est;
+}
+
+}  // namespace offramps::host

@@ -1,0 +1,31 @@
+// Host-side print-time estimator.
+//
+// Slicers quote print times by replaying the motion pipeline offline;
+// this estimator does the same against OUR firmware's exact planner -
+// modal g-code walk, per-axis feed caps, junction lookahead, trapezoid
+// integration - so its output cross-validates the entire simulated
+// motion stack: the estimate and the measured simulation time must agree
+// to within the firmware's scheduling jitter.
+#pragma once
+
+#include "fw/config.hpp"
+#include "gcode/command.hpp"
+
+namespace offramps::host {
+
+/// Breakdown of an estimate.
+struct TimeEstimate {
+  double motion_s = 0.0;   // moves (incl. arcs) with ramps and junctions
+  double dwell_s = 0.0;    // G4 pauses
+  std::size_t moves = 0;
+
+  [[nodiscard]] double total_s() const { return motion_s + dwell_s; }
+};
+
+/// Estimates execution time of `program` on a machine described by
+/// `config`, excluding homing and heating waits (which depend on plant
+/// state, not g-code).
+TimeEstimate estimate_print_time(const gcode::Program& program,
+                                 const fw::Config& config = {});
+
+}  // namespace offramps::host

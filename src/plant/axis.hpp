@@ -1,0 +1,92 @@
+// Carriage axis: converts motor motion into physical carriage position
+// with hard frame limits, and closes the homing loop by driving the
+// mechanical min-endstop switch.
+//
+// When the firmware commands motion past a frame end the carriage stays
+// put and the motor skips ("grinds") - that is what makes sensorless-free
+// homing work: the firmware over-commands toward the switch and relies on
+// the endstop edge, while the plant clamps position at zero.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "plant/motor.hpp"
+#include "sim/wire.hpp"
+
+namespace offramps::plant {
+
+/// One positional axis (X, Y or Z) with a min endstop.
+class CarriageAxis {
+ public:
+  /// `endstop` is the RAMPS-side endstop net this axis drives.
+  /// `initial_mm` is the unknown power-on carriage position.
+  CarriageAxis(StepperMotor& motor, sim::Wire& endstop, double steps_per_mm,
+               double length_mm, double initial_mm,
+               double endstop_trigger_mm = 0.1)
+      : endstop_(endstop),
+        steps_per_mm_(steps_per_mm),
+        length_mm_(length_mm),
+        trigger_mm_(endstop_trigger_mm),
+        position_mm_(std::clamp(initial_mm, 0.0, length_mm)) {
+    motor.on_step_accepted([this](std::int64_t, bool forward) {
+      on_step(forward);
+    });
+    update_endstop();
+  }
+
+  CarriageAxis(const CarriageAxis&) = delete;
+  CarriageAxis& operator=(const CarriageAxis&) = delete;
+
+  /// Physical carriage position from the frame minimum, mm.
+  [[nodiscard]] double position_mm() const { return position_mm_; }
+  /// Steps lost to grinding against either frame end.
+  [[nodiscard]] std::uint64_t ground_steps() const { return ground_; }
+  [[nodiscard]] double length_mm() const { return length_mm_; }
+
+ private:
+  void on_step(bool forward) {
+    const double delta = (forward ? 1.0 : -1.0) / steps_per_mm_;
+    const double next = position_mm_ + delta;
+    if (next < 0.0) {
+      position_mm_ = 0.0;
+      ++ground_;
+    } else if (next > length_mm_) {
+      position_mm_ = length_mm_;
+      ++ground_;
+    } else {
+      position_mm_ = next;
+    }
+    update_endstop();
+  }
+
+  void update_endstop() { endstop_.set(position_mm_ <= trigger_mm_); }
+
+  sim::Wire& endstop_;
+  double steps_per_mm_;
+  double length_mm_;
+  double trigger_mm_;
+  double position_mm_;
+  std::uint64_t ground_ = 0;
+};
+
+/// The extruder "axis": unbounded filament drive.
+class ExtruderDrive {
+ public:
+  ExtruderDrive(StepperMotor& motor, double steps_per_mm)
+      : motor_(motor), steps_per_mm_(steps_per_mm) {}
+
+  ExtruderDrive(const ExtruderDrive&) = delete;
+  ExtruderDrive& operator=(const ExtruderDrive&) = delete;
+
+  /// Net filament advanced through the drive, mm (can be negative).
+  [[nodiscard]] double filament_mm() const {
+    return static_cast<double>(motor_.position()) / steps_per_mm_;
+  }
+
+ private:
+  StepperMotor& motor_;
+  double steps_per_mm_;
+};
+
+}  // namespace offramps::plant

@@ -1,0 +1,161 @@
+#include "plant/deposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace offramps::plant {
+
+DepositionRecorder::DepositionRecorder(StepperMotor& e_motor,
+                                       const CarriageAxis& x,
+                                       const CarriageAxis& y,
+                                       const CarriageAxis& z,
+                                       double e_steps_per_mm,
+                                       std::uint32_t sample_every,
+                                       double z_ignore_mm)
+    : x_(x),
+      y_(y),
+      z_(z),
+      e_steps_per_mm_(e_steps_per_mm),
+      sample_every_(sample_every == 0 ? 1 : sample_every),
+      z_ignore_mm_(z_ignore_mm) {
+  e_motor.on_step_accepted([this](std::int64_t position, bool forward) {
+    if (!forward) return;  // retraction deposits nothing
+    const double step_mm = 1.0 / e_steps_per_mm_;
+    if (z_.position_mm() <= z_ignore_mm_) {
+      prime_mm_ += step_mm;  // bed-level priming never joins the part
+      return;
+    }
+    const double x = x_.position_mm();
+    const double y = y_.position_mm();
+    // Material extruded with the carriage parked in XY piles up at the
+    // nozzle as a blob; it does not become part geometry.
+    if (std::abs(x - last_x_) < 1e-9 && std::abs(y - last_y_) < 1e-9) {
+      blob_mm_ += step_mm;
+      return;
+    }
+    last_x_ = x;
+    last_y_ = y;
+    if (++forward_steps_ % sample_every_ != 0) return;
+    samples_.push_back({x, y, z_.position_mm(),
+                        static_cast<double>(position) / e_steps_per_mm_});
+  });
+}
+
+PartReport DepositionRecorder::report(double z_quantum_mm) const {
+  PartReport rep;
+  if (samples_.empty()) return rep;
+  rep.any_material = true;
+
+  // Group samples into layers by quantized Z.
+  std::map<std::int64_t, LayerSummary> layers;
+  double prev_e = samples_.front().e_mm;
+  bool first = true;
+  for (const auto& s : samples_) {
+    const auto bin =
+        static_cast<std::int64_t>(std::llround(s.z_mm / z_quantum_mm));
+    auto [it, inserted] = layers.try_emplace(bin);
+    LayerSummary& L = it->second;
+    if (inserted) {
+      L.z_mm = s.z_mm;
+      L.min_x = L.max_x = s.x_mm;
+      L.min_y = L.max_y = s.y_mm;
+    }
+    L.centroid_x += s.x_mm;
+    L.centroid_y += s.y_mm;
+    L.min_x = std::min(L.min_x, s.x_mm);
+    L.max_x = std::max(L.max_x, s.x_mm);
+    L.min_y = std::min(L.min_y, s.y_mm);
+    L.max_y = std::max(L.max_y, s.y_mm);
+    const double de = first ? 0.0 : s.e_mm - prev_e;
+    if (de > 0.0) L.filament_mm += de;
+    prev_e = s.e_mm;
+    first = false;
+    ++L.samples;
+  }
+
+  rep.layers.reserve(layers.size());
+  for (auto& [bin, L] : layers) {
+    L.centroid_x /= static_cast<double>(L.samples);
+    L.centroid_y /= static_cast<double>(L.samples);
+    rep.layers.push_back(L);
+  }
+  rep.layer_count = rep.layers.size();
+  rep.first_layer_z_mm = rep.layers.front().z_mm;
+  rep.total_filament_mm =
+      samples_.back().e_mm - samples_.front().e_mm;
+
+  // Layer shift: centroid and bbox-center offsets relative to layer 0.
+  const LayerSummary& base = rep.layers.front();
+  const double base_cx = base.centroid_x;
+  const double base_cy = base.centroid_y;
+  const double base_bx = (base.min_x + base.max_x) / 2.0;
+  const double base_by = (base.min_y + base.max_y) / 2.0;
+  double shift_sum = 0.0;
+  double overall_min_x = base.min_x, overall_max_x = base.max_x;
+  double overall_min_y = base.min_y, overall_max_y = base.max_y;
+  for (const auto& L : rep.layers) {
+    const double ds = std::hypot(L.centroid_x - base_cx,
+                                 L.centroid_y - base_cy);
+    rep.max_layer_shift_mm = std::max(rep.max_layer_shift_mm, ds);
+    shift_sum += ds;
+    const double bx = (L.min_x + L.max_x) / 2.0;
+    const double by = (L.min_y + L.max_y) / 2.0;
+    rep.footprint_drift_mm = std::max(
+        rep.footprint_drift_mm, std::hypot(bx - base_bx, by - base_by));
+    overall_min_x = std::min(overall_min_x, L.min_x);
+    overall_max_x = std::max(overall_max_x, L.max_x);
+    overall_min_y = std::min(overall_min_y, L.min_y);
+    overall_max_y = std::max(overall_max_y, L.max_y);
+  }
+  rep.mean_layer_shift_mm =
+      shift_sum / static_cast<double>(rep.layers.size());
+  rep.bbox_width_mm = overall_max_x - overall_min_x;
+  rep.bbox_depth_mm = overall_max_y - overall_min_y;
+
+  // Z spacing between consecutive layers.
+  if (rep.layers.size() >= 2) {
+    rep.min_z_spacing_mm = rep.layers[1].z_mm - rep.layers[0].z_mm;
+    for (std::size_t i = 1; i < rep.layers.size(); ++i) {
+      const double dz = rep.layers[i].z_mm - rep.layers[i - 1].z_mm;
+      rep.max_z_spacing_mm = std::max(rep.max_z_spacing_mm, dz);
+      rep.min_z_spacing_mm = std::min(rep.min_z_spacing_mm, dz);
+    }
+  }
+  return rep;
+}
+
+std::string top_view_ascii(const std::vector<DepositionSample>& samples,
+                           std::size_t cols) {
+  if (samples.empty() || cols < 2) return {};
+  double min_x = samples.front().x_mm, max_x = min_x;
+  double min_y = samples.front().y_mm, max_y = min_y;
+  for (const auto& s : samples) {
+    min_x = std::min(min_x, s.x_mm);
+    max_x = std::max(max_x, s.x_mm);
+    min_y = std::min(min_y, s.y_mm);
+    max_y = std::max(max_y, s.y_mm);
+  }
+  const double w = std::max(max_x - min_x, 1e-6);
+  const double h = std::max(max_y - min_y, 1e-6);
+  // Terminal cells are ~2x taller than wide; halve the rows to keep the
+  // part's aspect ratio on screen.
+  const auto rows = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(cols) * h / w / 2.0));
+  std::vector<std::string> grid(rows, std::string(cols, '.'));
+  for (const auto& s : samples) {
+    const auto cx = static_cast<std::size_t>(
+        std::min((s.x_mm - min_x) / w, 0.999) * static_cast<double>(cols));
+    const auto cy = static_cast<std::size_t>(
+        std::min((s.y_mm - min_y) / h, 0.999) * static_cast<double>(rows));
+    grid[rows - 1 - cy][cx] = '#';
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace offramps::plant

@@ -1,0 +1,109 @@
+// Deposition recorder and part-quality metrics.
+//
+// The paper demonstrates Trojans T1-T5 with photographs of deformed parts
+// (Table I).  In simulation the printed part is the set of filament
+// deposition events: whenever the extruder motor advances while the
+// carriage moves, material lands at the carriage's true position.  The
+// recorder samples these events; `PartReport` then quantifies the defects
+// the photographs show - XY layer shifts, flow ratio, Z-spacing anomalies,
+// dimensional error - so every Table I row becomes a measurable effect.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plant/axis.hpp"
+#include "plant/motor.hpp"
+
+namespace offramps::plant {
+
+/// One deposition sample: where material landed.
+struct DepositionSample {
+  double x_mm = 0.0;
+  double y_mm = 0.0;
+  double z_mm = 0.0;
+  double e_mm = 0.0;  // cumulative filament at this event
+};
+
+/// Per-layer aggregate of the deposited material.
+struct LayerSummary {
+  double z_mm = 0.0;
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+  double filament_mm = 0.0;  // filament deposited in this layer
+  std::uint64_t samples = 0;
+};
+
+/// Quantified part quality (the simulated Table I evidence).
+struct PartReport {
+  bool any_material = false;
+  double total_filament_mm = 0.0;     // net filament deposited
+  double first_layer_z_mm = 0.0;      // where the first material landed
+  double max_layer_shift_mm = 0.0;    // max centroid offset vs first layer
+  double mean_layer_shift_mm = 0.0;
+  double max_z_spacing_mm = 0.0;      // largest gap between layers
+  double min_z_spacing_mm = 0.0;
+  double footprint_drift_mm = 0.0;    // max bbox-center offset vs first layer
+  double bbox_width_mm = 0.0;         // overall deposited width (X)
+  double bbox_depth_mm = 0.0;         // overall deposited depth (Y)
+  std::size_t layer_count = 0;
+  std::vector<LayerSummary> layers;
+};
+
+/// Renders deposition samples as an ASCII occupancy map, top view
+/// ('#' = material).  The simulated counterpart of the paper's Table I
+/// part photographs: Trojan-induced layer shifts, smears, and gaps are
+/// directly visible.  Returns an empty string when nothing was printed.
+std::string top_view_ascii(const std::vector<DepositionSample>& samples,
+                           std::size_t cols = 40);
+
+/// Records deposition events from the true (RAMPS-side) motor positions.
+class DepositionRecorder {
+ public:
+  /// Samples every `sample_every` accepted forward E steps (keeps memory
+  /// bounded on long prints while preserving layer geometry).  Material
+  /// extruded with the nozzle at or below `z_ignore_mm` (priming against
+  /// the bed before the print starts) never adheres as part of the part
+  /// and is not recorded.
+  DepositionRecorder(StepperMotor& e_motor, const CarriageAxis& x,
+                     const CarriageAxis& y, const CarriageAxis& z,
+                     double e_steps_per_mm, std::uint32_t sample_every = 8,
+                     double z_ignore_mm = 0.2);
+
+  DepositionRecorder(const DepositionRecorder&) = delete;
+  DepositionRecorder& operator=(const DepositionRecorder&) = delete;
+
+  [[nodiscard]] const std::vector<DepositionSample>& samples() const {
+    return samples_;
+  }
+
+  /// Filament extruded against the bed during priming (below z_ignore).
+  [[nodiscard]] double prime_filament_mm() const { return prime_mm_; }
+  /// Filament extruded with the carriage stationary in XY: it piles up at
+  /// the nozzle as a blob instead of forming part geometry (e.g. the
+  /// Flaw3D relocation Trojan's in-place dumps).
+  [[nodiscard]] double blob_filament_mm() const { return blob_mm_; }
+
+  /// Builds the quality report.  `z_quantum_mm` groups samples into layers
+  /// (should be well below the layer height; default 50 um bins).
+  [[nodiscard]] PartReport report(double z_quantum_mm = 0.05) const;
+
+ private:
+  const CarriageAxis& x_;
+  const CarriageAxis& y_;
+  const CarriageAxis& z_;
+  double e_steps_per_mm_;
+  std::uint32_t sample_every_;
+  double z_ignore_mm_;
+  std::uint64_t forward_steps_ = 0;
+  double prime_mm_ = 0.0;
+  double blob_mm_ = 0.0;
+  double last_x_ = -1e9;
+  double last_y_ = -1e9;
+  std::vector<DepositionSample> samples_;
+};
+
+}  // namespace offramps::plant

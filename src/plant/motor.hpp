@@ -1,0 +1,72 @@
+// Stepper motor model: the electrical consumer of one driver channel on
+// the RAMPS board.  Integrates STEP rising edges, signed by the DIR level,
+// while the driver is enabled (/EN low on the A4988).  Steps arriving with
+// the driver disabled are lost - exactly the mechanism Trojan T8 exploits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "plant/power.hpp"
+#include "sim/pins.hpp"
+#include "sim/wire.hpp"
+
+namespace offramps::plant {
+
+/// One stepper motor driven by STEP/DIR//EN signals.
+class StepperMotor {
+ public:
+  /// Fired after each accepted step with the new signed position.
+  using StepCallback = std::function<void(std::int64_t position, bool forward)>;
+
+  /// `power` (optional) derates the motor under rail sag: steps are lost
+  /// probabilistically below the skip threshold.
+  StepperMotor(sim::Wire& step, sim::Wire& dir, sim::Wire& enable,
+               PowerIntegrity* power = nullptr)
+      : dir_(dir), enable_(enable), power_(power) {
+    step.on_rising([this](sim::Tick) { on_step(); });
+  }
+
+  StepperMotor(const StepperMotor&) = delete;
+  StepperMotor& operator=(const StepperMotor&) = delete;
+
+  /// Net signed steps accepted since power-on.
+  [[nodiscard]] std::int64_t position() const { return position_; }
+  /// Steps that arrived while the driver was disabled.
+  [[nodiscard]] std::uint64_t dropped_steps() const { return dropped_; }
+  /// Steps lost to motor-rail undervoltage (torque skip).
+  [[nodiscard]] std::uint64_t undervolt_skips() const { return skips_; }
+  /// Total accepted steps regardless of direction.
+  [[nodiscard]] std::uint64_t accepted_steps() const { return accepted_; }
+  /// True when the driver is enabled (/EN low).
+  [[nodiscard]] bool enabled() const { return !enable_.level(); }
+
+  void on_step_accepted(StepCallback cb) { callback_ = std::move(cb); }
+
+ private:
+  void on_step() {
+    if (enable_.level()) {  // /EN high: driver off, step lost
+      ++dropped_;
+      return;
+    }
+    if (power_ != nullptr && power_->step_lost()) {  // rail sag: no torque
+      ++skips_;
+      return;
+    }
+    const bool forward = dir_.level();
+    position_ += forward ? 1 : -1;
+    ++accepted_;
+    if (callback_) callback_(position_, forward);
+  }
+
+  sim::Wire& dir_;
+  sim::Wire& enable_;
+  PowerIntegrity* power_;
+  std::int64_t position_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t skips_ = 0;
+  StepCallback callback_;
+};
+
+}  // namespace offramps::plant

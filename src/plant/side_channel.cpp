@@ -1,0 +1,50 @@
+#include "plant/side_channel.hpp"
+
+#include <algorithm>
+
+namespace offramps::plant {
+
+PowerTraceProbe::PowerTraceProbe(sim::Scheduler& sched, Printer& printer,
+                                 sim::PinBank& ramps,
+                                 PowerProbeOptions options)
+    : sched_(sched),
+      printer_(printer),
+      ramps_(ramps),
+      options_(options),
+      noise_(options.noise_seed) {
+  duty_[0] =
+      std::make_unique<sim::DutyMeter>(ramps.wire(sim::Pin::kHotendHeat));
+  duty_[1] =
+      std::make_unique<sim::DutyMeter>(ramps.wire(sim::Pin::kBedHeat));
+  duty_[2] = std::make_unique<sim::DutyMeter>(ramps.wire(sim::Pin::kFan));
+  sched_.schedule_in(options_.sample_period, [this] { sample(); });
+}
+
+double PowerTraceProbe::motor_power(sim::Axis axis, double dt_s) {
+  const auto i = static_cast<std::size_t>(axis);
+  const StepperMotor& motor = printer_.motor(axis);
+  if (!motor.enabled()) return 0.0;
+  const std::uint64_t steps = motor.accepted_steps();
+  const double rate =
+      static_cast<double>(steps - last_step_counts_[i]) / dt_s;
+  last_step_counts_[i] = steps;
+  const double rate_fraction =
+      std::min(rate / options_.full_step_rate_hz, 1.0);
+  return options_.motor_hold_w + options_.motor_switching_w * rate_fraction;
+}
+
+void PowerTraceProbe::sample() {
+  const double dt_s = sim::to_seconds(options_.sample_period);
+  double watts = options_.base_electronics_w;
+  for (const auto axis : sim::kAllAxes) watts += motor_power(axis, dt_s);
+  const double derate = printer_.power().heater_derate();
+  watts += duty_[0]->sample() * printer_.params().hotend.power_w * derate;
+  watts += duty_[1]->sample() * printer_.params().bed.power_w * derate;
+  watts += duty_[2]->sample() * options_.fan_w;
+  watts += noise_.normal(0.0, options_.noise_stddev_w);
+
+  trace_.push_back({sim::to_seconds(sched_.now()), std::max(watts, 0.0)});
+  sched_.schedule_in(options_.sample_period, [this] { sample(); });
+}
+
+}  // namespace offramps::plant

@@ -1,0 +1,78 @@
+// Power side-channel probe (paper section II-B / VI "Related platforms").
+//
+// The defenses OFFRAMPS is compared against are mostly side-channel
+// based - notably actuator power signatures (Gatlin et al., IEEE Access
+// 2019).  To quantify the paper's claim that direct signal access is
+// "uniquely able to ... analyze prints with no loss of data", this probe
+// produces what such a defense would see: the machine's aggregate
+// electrical power, sampled at a fixed rate, through measurement noise.
+//
+// Electrical model (A4988/24 V class):
+//   * each enabled stepper draws a hold current (~4 W) plus a
+//     rate-dependent switching term (up to ~4 W more near 10 kHz),
+//   * heaters draw gate-duty x element power (x rail derate),
+//   * the part fan and base electronics add small constant-ish terms,
+//   * the current clamp adds zero-mean gaussian noise - the "lossy"
+//     part of a side channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plant/printer.hpp"
+#include "sim/pins.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace offramps::plant {
+
+/// Probe configuration.
+struct PowerProbeOptions {
+  sim::Tick sample_period = sim::ms(50);
+  double motor_hold_w = 4.0;
+  double motor_switching_w = 4.0;     // additional at full step rate
+  double full_step_rate_hz = 10'000.0;
+  double fan_w = 2.0;                 // at 100% duty
+  double base_electronics_w = 5.0;
+  double noise_stddev_w = 1.5;        // clamp measurement noise
+  std::uint64_t noise_seed = 0x50C4;
+};
+
+/// One power measurement.
+struct PowerSample {
+  double t_s = 0.0;
+  double watts = 0.0;
+};
+
+/// A whole print's power trace.
+using PowerTrace = std::vector<PowerSample>;
+
+/// Samples the machine's aggregate power draw during a print.
+class PowerTraceProbe {
+ public:
+  /// `ramps` is the RAMPS-side bank (the supply side of the machine).
+  PowerTraceProbe(sim::Scheduler& sched, Printer& printer,
+                  sim::PinBank& ramps, PowerProbeOptions options = {});
+
+  PowerTraceProbe(const PowerTraceProbe&) = delete;
+  PowerTraceProbe& operator=(const PowerTraceProbe&) = delete;
+
+  [[nodiscard]] const PowerTrace& trace() const { return trace_; }
+  [[nodiscard]] PowerTrace take_trace() { return std::move(trace_); }
+
+ private:
+  void sample();
+  [[nodiscard]] double motor_power(sim::Axis axis, double dt_s);
+
+  sim::Scheduler& sched_;
+  Printer& printer_;
+  sim::PinBank& ramps_;
+  PowerProbeOptions options_;
+  sim::Rng noise_;
+  std::array<std::uint64_t, 4> last_step_counts_{};
+  std::array<std::unique_ptr<sim::DutyMeter>, 3> duty_;  // hotend, bed, fan
+  PowerTrace trace_;
+};
+
+}  // namespace offramps::plant

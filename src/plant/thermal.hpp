@@ -1,0 +1,166 @@
+// Thermal plant: lumped first-order heat models for the hotend and heated
+// bed, plus the NTC thermistor divider feeding the firmware's ADC input.
+//
+//   C * dT/dt = P * duty - k * (T - T_ambient)
+//
+// `duty` is measured from the actual MOSFET gate waveform on the RAMPS
+// side, so anything the OFFRAMPS fabric does to the heater signals (T6
+// forcing them off, T7 forcing them on) feeds straight into the physics.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/thermistor.hpp"
+#include "sim/trace.hpp"
+#include "sim/wire.hpp"
+
+namespace offramps::plant {
+
+/// Physical parameters of one heat zone.
+struct HeaterParams {
+  double power_w = 40.0;           // heater power at 100% duty
+  double capacity_j_per_k = 9.0;   // lumped thermal mass
+  double loss_w_per_k = 0.085;     // convective/conductive loss
+  double ambient_c = 25.0;
+  double adc_noise_counts = 0.0;   // gaussian noise on the ADC reading
+};
+
+/// Prusa-class hotend (40 W cartridge in a ~9 J/K block): reaches 210 C in
+/// under a minute, steady-state duty ~35%.
+inline HeaterParams hotend_params() { return {}; }
+
+/// Heated bed (24 V, ~220 W, large thermal mass).
+inline HeaterParams bed_params() {
+  return {.power_w = 220.0,
+          .capacity_j_per_k = 600.0,
+          .loss_w_per_k = 2.6,
+          .ambient_c = 25.0,
+          .adc_noise_counts = 0.0};
+}
+
+/// One heat zone: integrates the ODE and drives the thermistor ADC net.
+class HeaterPlant {
+ public:
+  /// `power_derate` (optional) multiplies heater output, e.g. the
+  /// (V/V_nom)^2 derating of a sagging supply rail.
+  HeaterPlant(sim::Scheduler& sched, sim::Wire& gate,
+              sim::AnalogChannel& adc_out, HeaterParams params,
+              sim::Rng* noise_rng = nullptr,
+              sim::Tick update_period = sim::ms(10),
+              std::function<double()> power_derate = nullptr)
+      : sched_(sched),
+        duty_(gate),
+        adc_out_(adc_out),
+        params_(params),
+        noise_rng_(noise_rng),
+        period_(update_period),
+        derate_(std::move(power_derate)),
+        temp_c_(params.ambient_c) {
+    publish();
+    tick();
+  }
+
+  HeaterPlant(const HeaterPlant&) = delete;
+  HeaterPlant& operator=(const HeaterPlant&) = delete;
+
+  /// True physical temperature (what a reference probe would read).
+  [[nodiscard]] double temperature_c() const { return temp_c_; }
+  /// Highest temperature ever reached (Trojan T7's destructive evidence).
+  [[nodiscard]] double peak_c() const { return peak_c_; }
+  /// Energy delivered by the heater so far, joules.
+  [[nodiscard]] double energy_j() const { return energy_j_; }
+
+  const HeaterParams& params() const { return params_; }
+
+ private:
+  void tick() {
+    sched_.schedule_in(period_, [this] {
+      const double dt = sim::to_seconds(period_);
+      const double duty = duty_.sample();
+      const double p_in =
+          params_.power_w * duty * (derate_ ? derate_() : 1.0);
+      energy_j_ += p_in * dt;
+      temp_c_ += dt *
+                 (p_in - params_.loss_w_per_k * (temp_c_ - params_.ambient_c)) /
+                 params_.capacity_j_per_k;
+      if (temp_c_ > peak_c_) peak_c_ = temp_c_;
+      publish();
+      tick();
+    });
+  }
+
+  void publish() {
+    double counts = therm_.adc_counts(temp_c_);
+    if (noise_rng_ != nullptr && params_.adc_noise_counts > 0.0) {
+      counts += noise_rng_->normal(0.0, params_.adc_noise_counts);
+    }
+    adc_out_.set(counts);
+  }
+
+  sim::Scheduler& sched_;
+  sim::DutyMeter duty_;
+  sim::AnalogChannel& adc_out_;
+  HeaterParams params_;
+  sim::Rng* noise_rng_;
+  sim::Tick period_;
+  std::function<double()> derate_;
+  sim::Thermistor therm_{};
+  double temp_c_;
+  double peak_c_ = 0.0;
+  double energy_j_ = 0.0;
+};
+
+/// Part-cooling fan: PWM duty -> RPM with a first-order spin-up lag.
+class FanPlant {
+ public:
+  FanPlant(sim::Scheduler& sched, sim::Wire& gate, double max_rpm = 5000.0,
+           double time_constant_s = 0.5,
+           sim::Tick update_period = sim::ms(50))
+      : sched_(sched),
+        duty_(gate),
+        max_rpm_(max_rpm),
+        tau_s_(time_constant_s),
+        period_(update_period) {
+    tick();
+  }
+
+  FanPlant(const FanPlant&) = delete;
+  FanPlant& operator=(const FanPlant&) = delete;
+
+  [[nodiscard]] double rpm() const { return rpm_; }
+  /// Time-averaged RPM over the whole run (cooling delivered to the part).
+  [[nodiscard]] double mean_rpm() const {
+    return samples_ == 0 ? 0.0 : rpm_sum_ / static_cast<double>(samples_);
+  }
+  /// Most recent measured gate duty.
+  [[nodiscard]] double last_duty() const { return last_duty_; }
+
+ private:
+  void tick() {
+    sched_.schedule_in(period_, [this] {
+      const double dt = sim::to_seconds(period_);
+      last_duty_ = duty_.sample();
+      const double target = last_duty_ * max_rpm_;
+      rpm_ += (target - rpm_) * (1.0 - std::exp(-dt / tau_s_));
+      rpm_sum_ += rpm_;
+      ++samples_;
+      tick();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  sim::DutyMeter duty_;
+  double max_rpm_;
+  double tau_s_;
+  sim::Tick period_;
+  double rpm_ = 0.0;
+  double rpm_sum_ = 0.0;
+  std::uint64_t samples_ = 0;
+  double last_duty_ = 0.0;
+};
+
+}  // namespace offramps::plant

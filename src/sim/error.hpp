@@ -1,0 +1,22 @@
+// Library-wide error type.
+//
+// `offramps::Error` is thrown for API misuse and unrecoverable host-side
+// failures (malformed g-code fed to the parser, invalid configuration,
+// capture-file format errors).  Conditions that arise *inside* the simulated
+// world — thermal runaway, endstop faults, killed prints — are modelled as
+// state on the affected component, never as exceptions, because on the real
+// hardware they are observable machine states rather than program failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace offramps {
+
+/// Base exception for all host-side failures raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace offramps

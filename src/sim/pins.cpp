@@ -1,0 +1,117 @@
+#include "sim/pins.hpp"
+
+#include "sim/error.hpp"
+
+namespace offramps::sim {
+
+const char* axis_name(Axis a) {
+  switch (a) {
+    case Axis::kX: return "X";
+    case Axis::kY: return "Y";
+    case Axis::kZ: return "Z";
+    case Axis::kE: return "E";
+  }
+  throw Error("axis_name: invalid axis");
+}
+
+const char* pin_name(Pin p) {
+  switch (p) {
+    case Pin::kXStep: return "X_STEP";
+    case Pin::kXDir: return "X_DIR";
+    case Pin::kXEnable: return "X_EN";
+    case Pin::kYStep: return "Y_STEP";
+    case Pin::kYDir: return "Y_DIR";
+    case Pin::kYEnable: return "Y_EN";
+    case Pin::kZStep: return "Z_STEP";
+    case Pin::kZDir: return "Z_DIR";
+    case Pin::kZEnable: return "Z_EN";
+    case Pin::kEStep: return "E_STEP";
+    case Pin::kEDir: return "E_DIR";
+    case Pin::kEEnable: return "E_EN";
+    case Pin::kBedHeat: return "D8_BED_HEAT";
+    case Pin::kFan: return "D9_FAN";
+    case Pin::kHotendHeat: return "D10_HOTEND_HEAT";
+    case Pin::kXMin: return "X_MIN";
+    case Pin::kYMin: return "Y_MIN";
+    case Pin::kZMin: return "Z_MIN";
+    case Pin::kCount: break;
+  }
+  throw Error("pin_name: invalid pin");
+}
+
+const char* apin_name(APin p) {
+  switch (p) {
+    case APin::kThermHotend: return "THERM_HOTEND";
+    case APin::kThermBed: return "THERM_BED";
+    case APin::kCount: break;
+  }
+  throw Error("apin_name: invalid analog pin");
+}
+
+PinDirection pin_direction(Pin p) {
+  switch (p) {
+    case Pin::kXMin:
+    case Pin::kYMin:
+    case Pin::kZMin:
+      return PinDirection::kPrinterToFirmware;
+    default:
+      return PinDirection::kFirmwareToPrinter;
+  }
+}
+
+Pin step_pin(Axis a) {
+  switch (a) {
+    case Axis::kX: return Pin::kXStep;
+    case Axis::kY: return Pin::kYStep;
+    case Axis::kZ: return Pin::kZStep;
+    case Axis::kE: return Pin::kEStep;
+  }
+  throw Error("step_pin: invalid axis");
+}
+
+Pin dir_pin(Axis a) {
+  switch (a) {
+    case Axis::kX: return Pin::kXDir;
+    case Axis::kY: return Pin::kYDir;
+    case Axis::kZ: return Pin::kZDir;
+    case Axis::kE: return Pin::kEDir;
+  }
+  throw Error("dir_pin: invalid axis");
+}
+
+Pin enable_pin(Axis a) {
+  switch (a) {
+    case Axis::kX: return Pin::kXEnable;
+    case Axis::kY: return Pin::kYEnable;
+    case Axis::kZ: return Pin::kZEnable;
+    case Axis::kE: return Pin::kEEnable;
+  }
+  throw Error("enable_pin: invalid axis");
+}
+
+Pin min_endstop_pin(Axis a) {
+  switch (a) {
+    case Axis::kX: return Pin::kXMin;
+    case Axis::kY: return Pin::kYMin;
+    case Axis::kZ: return Pin::kZMin;
+    case Axis::kE: break;
+  }
+  throw Error("min_endstop_pin: extruder has no endstop");
+}
+
+PinBank::PinBank(Scheduler& sched, const std::string& prefix) {
+  for (std::size_t i = 0; i < kPinCount; ++i) {
+    const Pin p = static_cast<Pin>(i);
+    // Enable pins idle high (A4988 /EN deasserted = motor free).
+    const bool initial = (p == Pin::kXEnable || p == Pin::kYEnable ||
+                          p == Pin::kZEnable || p == Pin::kEEnable);
+    wires_[i] = std::make_unique<Wire>(sched, prefix + pin_name(p), initial);
+  }
+  for (std::size_t i = 0; i < kAPinCount; ++i) {
+    const APin p = static_cast<APin>(i);
+    analogs_[i] =
+        std::make_unique<AnalogChannel>(sched, prefix + apin_name(p));
+  }
+}
+
+}  // namespace offramps::sim

@@ -1,0 +1,118 @@
+// Catalog of the Arduino Mega <-> RAMPS 1.4 interface nets that the
+// OFFRAMPS board intercepts (paper section III-C).
+//
+// Digital nets:
+//   * STEP / DIR / EN per stepper driver (X, Y, Z, E0) - firmware -> RAMPS
+//   * D8 (heated bed MOSFET), D9 (part fan MOSFET), D10 (hotend MOSFET)
+//     - firmware -> RAMPS
+//   * X/Y/Z min endstops - RAMPS -> firmware
+// Analog nets:
+//   * hotend / bed thermistor dividers - RAMPS -> firmware (read by the
+//     ATmega ADC; interceptable through the Artix-7 XADC + DAC path)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/wire.hpp"
+
+namespace offramps::sim {
+
+/// Logical axes of the machine.  E is the extruder "axis".
+enum class Axis : std::uint8_t { kX = 0, kY = 1, kZ = 2, kE = 3 };
+
+inline constexpr std::size_t kAxisCount = 4;
+inline constexpr std::array<Axis, kAxisCount> kAllAxes = {
+    Axis::kX, Axis::kY, Axis::kZ, Axis::kE};
+
+/// Short display name for an axis ("X", "Y", "Z", "E").
+const char* axis_name(Axis a);
+
+/// Digital nets of the intercepted interface.
+enum class Pin : std::uint8_t {
+  kXStep, kXDir, kXEnable,
+  kYStep, kYDir, kYEnable,
+  kZStep, kZDir, kZEnable,
+  kEStep, kEDir, kEEnable,
+  kBedHeat,     // D8 MOSFET gate
+  kFan,         // D9 MOSFET gate
+  kHotendHeat,  // D10 MOSFET gate
+  kXMin, kYMin, kZMin,  // mechanical endstops (normally-open, active high)
+  kCount
+};
+
+inline constexpr std::size_t kPinCount = static_cast<std::size_t>(Pin::kCount);
+
+/// Analog nets of the intercepted interface.
+enum class APin : std::uint8_t {
+  kThermHotend,
+  kThermBed,
+  kCount
+};
+
+inline constexpr std::size_t kAPinCount =
+    static_cast<std::size_t>(APin::kCount);
+
+/// Who drives a net in the unmodified Arduino+RAMPS stack.
+enum class PinDirection : std::uint8_t {
+  kFirmwareToPrinter,  // Arduino output, RAMPS input
+  kPrinterToFirmware,  // RAMPS output (endstop/thermistor), Arduino input
+};
+
+/// Display name matching the paper's schematic labels (e.g. "X_STEP").
+const char* pin_name(Pin p);
+
+/// Display name for an analog net.
+const char* apin_name(APin p);
+
+/// Signal direction of `p` in the stock stack.
+PinDirection pin_direction(Pin p);
+
+/// STEP pin for `a`.
+Pin step_pin(Axis a);
+/// DIR pin for `a`.
+Pin dir_pin(Axis a);
+/// EN pin for `a` (active low at the A4988 driver).
+Pin enable_pin(Axis a);
+/// Min endstop pin for a positional axis; throws for Axis::kE.
+Pin min_endstop_pin(Axis a);
+
+/// One side of the intercepted interface: a full set of wires (one per
+/// digital pin) plus the analog channels.  The OFFRAMPS board owns three of
+/// these banks: the Arduino-side header, the RAMPS-side header, and the
+/// FPGA-facing bank.
+class PinBank {
+ public:
+  /// Creates all wires named "<prefix><PIN_NAME>".
+  PinBank(Scheduler& sched, const std::string& prefix);
+
+  PinBank(const PinBank&) = delete;
+  PinBank& operator=(const PinBank&) = delete;
+
+  [[nodiscard]] Wire& wire(Pin p) {
+    return *wires_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const Wire& wire(Pin p) const {
+    return *wires_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] AnalogChannel& analog(APin p) {
+    return *analogs_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const AnalogChannel& analog(APin p) const {
+    return *analogs_[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] Wire& step(Axis a) { return wire(step_pin(a)); }
+  [[nodiscard]] Wire& dir(Axis a) { return wire(dir_pin(a)); }
+  [[nodiscard]] Wire& enable(Axis a) { return wire(enable_pin(a)); }
+  [[nodiscard]] Wire& min_endstop(Axis a) { return wire(min_endstop_pin(a)); }
+
+ private:
+  std::array<std::unique_ptr<Wire>, kPinCount> wires_;
+  std::array<std::unique_ptr<AnalogChannel>, kAPinCount> analogs_;
+};
+
+}  // namespace offramps::sim

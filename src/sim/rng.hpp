@@ -1,0 +1,44 @@
+// Deterministic random source.
+//
+// Everything stochastic in the reproduction (firmware "time noise" jitter,
+// Trojan trigger randomness, thermistor measurement noise) draws from a
+// seeded Rng so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace offramps::sim {
+
+/// Thin wrapper over std::mt19937_64 with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x0ffa117b5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal sample with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace offramps::sim

@@ -1,0 +1,127 @@
+// Discrete-event scheduler.
+//
+// Every component in the reproduction (firmware stepper engine, FPGA fabric
+// modules, printer plant integrators) advances time by scheduling callbacks
+// on a single shared `Scheduler`.  The queue is a min-heap ordered by
+// (time, insertion sequence) so simultaneous events run in FIFO order, which
+// makes runs fully deterministic for a fixed seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/time.hpp"
+
+namespace offramps::sim {
+
+/// Single-threaded discrete-event scheduler on the 1 ns tick grid.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time.  Inside a callback this is the event's time.
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t`.  Scheduling in the past
+  /// (t < now()) is an API misuse and throws.
+  void schedule_at(Tick t, Callback cb) {
+    if (t < now_) {
+      throw Error("Scheduler::schedule_at: event scheduled in the past");
+    }
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedules `cb` to run `dt` ticks from now.
+  void schedule_in(Tick dt, Callback cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// True when no events remain.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Runs the single earliest pending event.  Returns false when idle.
+  bool step() {
+    if (queue_.empty()) return false;
+    // The heap node must be moved out before the callback runs: callbacks
+    // routinely schedule further events, which would invalidate top().
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    executed_++;
+    ev.cb();
+    return true;
+  }
+
+  /// Runs all events with time <= `t`, then advances `now()` to exactly `t`.
+  /// Returns the number of events executed.
+  std::size_t run_until(Tick t) {
+    std::size_t n = 0;
+    while (!queue_.empty() && queue_.top().time <= t && !stop_requested_) {
+      step();
+      ++n;
+    }
+    if (!stop_requested_ && now_ < t) now_ = t;
+    return n;
+  }
+
+  /// Runs until the queue drains, a stop is requested, or `max_events`
+  /// events have executed (a runaway-simulation backstop).  Returns the
+  /// number of events executed.
+  std::size_t run_all(std::size_t max_events = kDefaultEventLimit) {
+    std::size_t n = 0;
+    while (!queue_.empty() && !stop_requested_) {
+      if (n >= max_events) {
+        throw Error("Scheduler::run_all: event limit exceeded (runaway?)");
+      }
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Asks the current run_* loop to return after the in-flight event.
+  void request_stop() { stop_requested_ = true; }
+
+  /// Clears a previous stop request so the scheduler can be driven again.
+  void clear_stop() { stop_requested_ = false; }
+
+  /// True if request_stop() was called and not yet cleared.
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Total number of events executed over the scheduler's lifetime.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  static constexpr std::size_t kDefaultEventLimit = 2'000'000'000;
+
+ private:
+  struct Event {
+    Tick time = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace offramps::sim

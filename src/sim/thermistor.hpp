@@ -1,0 +1,46 @@
+// NTC thermistor + ADC divider model (RAMPS 1.4 thermistor inputs).
+//
+// A 100 kOhm beta-3950-class NTC forms a divider with a 4.7 kOhm pullup to
+// VCC; the ATmega2560 samples the midpoint with a 10-bit ADC.  The plant
+// uses temp -> ADC counts to drive the analog net; the firmware uses the
+// inverse (its "temperature table") to read it back.  Sharing the exact
+// model here mirrors a correctly-configured Marlin; sensor mismatch can be
+// emulated by giving the two sides different parameters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace offramps::sim {
+
+/// Beta-model NTC thermistor with pullup divider and 10-bit ADC.
+struct Thermistor {
+  double r25_ohm = 100'000.0;   // resistance at 25 C
+  double beta = 4092.0;         // beta coefficient
+  double pullup_ohm = 4'700.0;  // divider pullup
+  static constexpr double kAdcMax = 1023.0;
+
+  /// Thermistor resistance at `temp_c`.
+  [[nodiscard]] double resistance(double temp_c) const {
+    const double t_k = temp_c + 273.15;
+    return r25_ohm * std::exp(beta * (1.0 / t_k - 1.0 / 298.15));
+  }
+
+  /// ADC counts read at `temp_c` (thermistor to ground, pullup to VCC).
+  [[nodiscard]] double adc_counts(double temp_c) const {
+    const double rt = resistance(temp_c);
+    return kAdcMax * rt / (rt + pullup_ohm);
+  }
+
+  /// Inverse mapping: temperature for a given ADC reading.  Readings at the
+  /// rails (shorted/open sensor) map to extreme temperatures so firmware
+  /// min/max-temp protection trips, as on real hardware.
+  [[nodiscard]] double temperature(double adc) const {
+    const double clamped = std::clamp(adc, 0.5, kAdcMax - 0.5);
+    const double rt = pullup_ohm * clamped / (kAdcMax - clamped);
+    const double inv_t = 1.0 / 298.15 + std::log(rt / r25_ohm) / beta;
+    return 1.0 / inv_t - 273.15;
+  }
+};
+
+}  // namespace offramps::sim

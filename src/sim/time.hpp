@@ -1,0 +1,60 @@
+// Simulation time base.
+//
+// The whole OFFRAMPS reproduction runs on a single discrete time grid of
+// 1 tick = 1 ns.  This is fine enough to represent the paper's measured
+// propagation delays (12.923 ns worst case through the level shifters and
+// FPGA fabric, section V-B) while leaving plenty of headroom in a 64-bit
+// counter (2^64 ns is ~584 years of simulated printing).
+//
+// The emulated Cmod-A7 fabric is clocked at 100 MHz, i.e. one FPGA clock
+// cycle every `kFpgaClockTicks` ticks.
+#pragma once
+
+#include <cstdint>
+
+namespace offramps::sim {
+
+/// Absolute simulation time in nanoseconds since simulation start.
+using Tick = std::uint64_t;
+
+/// Signed duration in nanoseconds (useful for jitter and deltas).
+using TickDelta = std::int64_t;
+
+/// Number of ticks per simulated second (1 GHz grid).
+inline constexpr Tick kTicksPerSecond = 1'000'000'000;
+
+/// FPGA fabric clock frequency: 100 MHz (one cycle every 10 ticks = 10 ns).
+inline constexpr Tick kFpgaClockHz = 100'000'000;
+
+/// Ticks per FPGA clock cycle (10 ns at 100 MHz).
+inline constexpr Tick kFpgaClockTicks = kTicksPerSecond / kFpgaClockHz;
+
+/// Converts nanoseconds to ticks (identity on this grid, kept for clarity).
+constexpr Tick ns(std::uint64_t v) { return v; }
+
+/// Converts microseconds to ticks.
+constexpr Tick us(std::uint64_t v) { return v * 1'000; }
+
+/// Converts milliseconds to ticks.
+constexpr Tick ms(std::uint64_t v) { return v * 1'000'000; }
+
+/// Converts whole seconds to ticks.
+constexpr Tick seconds(std::uint64_t v) { return v * kTicksPerSecond; }
+
+/// Converts a floating point second count to ticks (rounds toward zero).
+constexpr Tick from_seconds(double v) {
+  return static_cast<Tick>(v * static_cast<double>(kTicksPerSecond));
+}
+
+/// Converts ticks to floating point seconds.
+constexpr double to_seconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// Rounds `t` up to the next FPGA clock edge (multiples of 10 ns).
+constexpr Tick align_to_fpga_clock(Tick t) {
+  const Tick rem = t % kFpgaClockTicks;
+  return rem == 0 ? t : t + (kFpgaClockTicks - rem);
+}
+
+}  // namespace offramps::sim

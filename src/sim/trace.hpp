@@ -1,0 +1,134 @@
+// Signal observation helpers: trace recording (the FPGA-as-logic-analyzer
+// role from paper section V) and duty-cycle metering (used by the plant to
+// integrate heater power and by Trojan T9 to re-modulate the fan PWM).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/wire.hpp"
+
+namespace offramps::sim {
+
+/// One recorded transition.
+struct Transition {
+  Tick time = 0;
+  bool level = false;
+};
+
+/// Records every transition of a wire, with summary statistics used by the
+/// overhead evaluation (max signal frequency, min pulse width; paper V-B).
+class TraceRecorder {
+ public:
+  /// Starts recording `w` immediately.  `keep_transitions` == false keeps
+  /// only the statistics (bounded memory for multi-minute prints).
+  explicit TraceRecorder(Wire& w, bool keep_transitions = true)
+      : wire_(w), keep_(keep_transitions) {
+    id_ = w.on_edge([this](Edge e, Tick t) { record(e, t); });
+  }
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder() { wire_.remove_listener(id_); }
+
+  /// All recorded transitions (empty when keep_transitions was false).
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return log_;
+  }
+
+  [[nodiscard]] std::uint64_t rising_edges() const { return rising_; }
+  [[nodiscard]] std::uint64_t falling_edges() const { return falling_; }
+
+  /// Shortest observed positive pulse (rising -> falling), or max Tick if
+  /// no complete pulse was seen.
+  [[nodiscard]] Tick min_high_pulse() const { return min_high_; }
+
+  /// Shortest observed negative pulse (falling -> rising), or max Tick.
+  [[nodiscard]] Tick min_low_pulse() const { return min_low_; }
+
+  /// Shortest observed period between consecutive rising edges, or max
+  /// Tick.  1e9 / min_period_ns = max signal frequency in Hz.
+  [[nodiscard]] Tick min_period() const { return min_period_; }
+
+  /// Maximum observed frequency in Hz (0.0 if fewer than two rising edges).
+  [[nodiscard]] double max_frequency_hz() const {
+    if (min_period_ == std::numeric_limits<Tick>::max()) return 0.0;
+    return static_cast<double>(kTicksPerSecond) /
+           static_cast<double>(min_period_);
+  }
+
+ private:
+  void record(Edge e, Tick t) {
+    if (keep_) log_.push_back({t, e == Edge::kRising});
+    if (e == Edge::kRising) {
+      ++rising_;
+      if (rising_ >= 2 && t - last_rise_ < min_period_) {
+        min_period_ = t - last_rise_;
+      }
+      if (falling_ > 0 && t - last_fall_ < min_low_) {
+        min_low_ = t - last_fall_;
+      }
+      last_rise_ = t;
+    } else {
+      ++falling_;
+      if (rising_ > 0 && t - last_rise_ < min_high_) {
+        min_high_ = t - last_rise_;
+      }
+      last_fall_ = t;
+    }
+  }
+
+  Wire& wire_;
+  bool keep_;
+  Wire::ListenerId id_ = 0;
+  std::vector<Transition> log_;
+  std::uint64_t rising_ = 0;
+  std::uint64_t falling_ = 0;
+  Tick last_rise_ = 0;
+  Tick last_fall_ = 0;
+  Tick min_high_ = std::numeric_limits<Tick>::max();
+  Tick min_low_ = std::numeric_limits<Tick>::max();
+  Tick min_period_ = std::numeric_limits<Tick>::max();
+};
+
+/// Measures the duty cycle of a PWM-driven wire between successive calls to
+/// sample().  Used by the thermal plant (heater MOSFET gates) and the fan.
+class DutyMeter {
+ public:
+  explicit DutyMeter(Wire& w) : wire_(w), last_sample_(w.scheduler().now()) {
+    last_edge_ = last_sample_;
+    id_ = w.on_edge([this](Edge e, Tick t) {
+      if (e == Edge::kFalling) high_accum_ += t - last_edge_;
+      last_edge_ = t;
+    });
+  }
+
+  DutyMeter(const DutyMeter&) = delete;
+  DutyMeter& operator=(const DutyMeter&) = delete;
+  ~DutyMeter() { wire_.remove_listener(id_); }
+
+  /// Fraction of time the wire was high since the previous sample() (or
+  /// since construction).  Returns 0.0 for an empty interval.
+  [[nodiscard]] double sample() {
+    const Tick now = wire_.scheduler().now();
+    Tick high = high_accum_;
+    if (wire_.level()) high += now - last_edge_;
+    const Tick interval = now - last_sample_;
+    // Reset accumulation for the next window.
+    high_accum_ = 0;
+    last_edge_ = now;
+    last_sample_ = now;
+    if (interval == 0) return wire_.level() ? 1.0 : 0.0;
+    return static_cast<double>(high) / static_cast<double>(interval);
+  }
+
+ private:
+  Wire& wire_;
+  Wire::ListenerId id_ = 0;
+  Tick last_sample_ = 0;
+  Tick last_edge_ = 0;
+  Tick high_accum_ = 0;
+};
+
+}  // namespace offramps::sim

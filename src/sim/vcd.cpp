@@ -1,0 +1,77 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace offramps::sim {
+namespace {
+
+// Printable VCD identifier characters ('!' .. '~', excluding none).
+constexpr char kFirstCode = '!';
+constexpr char kLastCode = '~';
+
+}  // namespace
+
+VcdRecorder::~VcdRecorder() {
+  for (auto& ch : channels_) ch.wire->remove_listener(ch.listener);
+}
+
+bool VcdRecorder::add(Wire& wire, std::string label) {
+  const int code_value = kFirstCode + static_cast<int>(channels_.size());
+  if (code_value > kLastCode) return false;
+  const char code = static_cast<char>(code_value);
+  const std::size_t index = channels_.size();
+  Channel ch;
+  ch.wire = &wire;
+  ch.label = label.empty() ? wire.name() : std::move(label);
+  // VCD identifiers cannot contain whitespace; sanitize dots for
+  // hierarchy friendliness too.
+  for (auto& c : ch.label) {
+    if (c == ' ' || c == '\t') c = '_';
+  }
+  ch.code = code;
+  ch.initial = wire.level();
+  ch.listener = wire.on_edge([this, index](Edge e, Tick t) {
+    events_.push_back({t, index, e == Edge::kRising});
+  });
+  channels_.push_back(std::move(ch));
+  return true;
+}
+
+std::string VcdRecorder::render(const std::string& module_name) const {
+  std::string out;
+  out += "$date simulated $end\n";
+  out += "$version OFFRAMPS simulated logic analyzer $end\n";
+  out += "$timescale 1ns $end\n";
+  out += "$scope module " + module_name + " $end\n";
+  for (const auto& ch : channels_) {
+    out += "$var wire 1 ";
+    out += ch.code;
+    out += " " + ch.label + " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  out += "$dumpvars\n";
+  for (const auto& ch : channels_) {
+    out += ch.initial ? '1' : '0';
+    out += ch.code;
+    out += '\n';
+  }
+  out += "$end\n";
+
+  // Events arrive in simulation order already, but simultaneous edges on
+  // different wires keep insertion order; group by timestamp.
+  Tick last_time = std::numeric_limits<Tick>::max();
+  for (const auto& ev : events_) {
+    if (ev.time != last_time) {
+      out += '#' + std::to_string(ev.time - start_time_) + '\n';
+      last_time = ev.time;
+    }
+    out += ev.level ? '1' : '0';
+    out += channels_[ev.channel].code;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace offramps::sim

@@ -1,0 +1,61 @@
+// VCD (Value Change Dump) export - the "rudimentary digital logic
+// analyzer" role of the OFFRAMPS FPGA (paper section V), made concrete:
+// any set of wires can be recorded and dumped as an IEEE 1364 VCD file,
+// viewable in GTKWave or any waveform viewer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+
+namespace offramps::sim {
+
+/// Records transitions on a set of wires and renders a VCD document.
+/// Every recorded wire must outlive the recorder: its destructor
+/// detaches the edge listeners it installed.
+class VcdRecorder {
+ public:
+  explicit VcdRecorder(Scheduler& sched) : sched_(sched) {
+    start_time_ = sched.now();
+  }
+
+  VcdRecorder(const VcdRecorder&) = delete;
+  VcdRecorder& operator=(const VcdRecorder&) = delete;
+  ~VcdRecorder();
+
+  /// Starts recording `wire` under `label` (defaults to the wire name).
+  /// Returns false if the recorder ran out of VCD identifier codes.
+  bool add(Wire& wire, std::string label = {});
+
+  /// Number of recorded value changes across all wires.
+  [[nodiscard]] std::size_t events() const { return events_.size(); }
+  [[nodiscard]] std::size_t channels() const { return channels_.size(); }
+
+  /// Renders the full VCD document (header, initial dump, changes).
+  [[nodiscard]] std::string render(const std::string& module_name =
+                                       "offramps") const;
+
+ private:
+  struct Channel {
+    Wire* wire = nullptr;
+    std::string label;
+    char code = '!';
+    bool initial = false;
+    Wire::ListenerId listener = 0;
+  };
+  struct Event {
+    Tick time = 0;
+    std::size_t channel = 0;
+    bool level = false;
+  };
+
+  Scheduler& sched_;
+  Tick start_time_ = 0;
+  std::vector<Channel> channels_;
+  std::vector<Event> events_;
+};
+
+}  // namespace offramps::sim

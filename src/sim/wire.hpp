@@ -1,0 +1,213 @@
+// Digital wires and analog channels.
+//
+// A `Wire` models one digital net of the Arduino <-> RAMPS interface at
+// logic level (the board's 5 V <-> 3.3 V shifting is modelled as pure
+// propagation delay on connections, not as a voltage).  Components observe
+// wires by registering edge listeners; drivers call `set()`.
+//
+// An `AnalogChannel` models one analog net (the thermistor divider
+// voltages, expressed as 10-bit ADC counts like the ATmega2560 sees them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace offramps::sim {
+
+/// Direction of a digital transition.
+enum class Edge : std::uint8_t { kRising, kFalling };
+
+/// One digital net.  Not copyable or movable: listeners capture `this`.
+class Wire {
+ public:
+  using EdgeCallback = std::function<void(Edge, Tick)>;
+  using ListenerId = std::size_t;
+
+  Wire(Scheduler& sched, std::string name, bool initial = false)
+      : sched_(sched), name_(std::move(name)), level_(initial) {}
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool level() const { return level_; }
+
+  /// Drives the wire to `level` at the current simulation time.  A no-op if
+  /// the level is unchanged; otherwise all edge listeners fire immediately.
+  void set(bool level) {
+    if (level == level_) return;
+    level_ = level;
+    const Tick t = sched_.now();
+    last_change_ = t;
+    const Edge e = level ? Edge::kRising : Edge::kFalling;
+    if (level) {
+      ++rising_count_;
+    } else {
+      ++falling_count_;
+    }
+    // Listener list may grow during iteration (a callback adding another
+    // listener); index-based loop keeps that safe.  Newly added listeners do
+    // not see the current edge.
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (listeners_[i].second) listeners_[i].second(e, t);
+    }
+  }
+
+  /// Emits a positive pulse: rising edge now, falling edge `width` later.
+  void pulse(Tick width) {
+    set(true);
+    sched_.schedule_in(width, [this] { set(false); });
+  }
+
+  /// Registers a listener invoked on every edge.  Returns an id usable with
+  /// remove_listener().
+  ListenerId on_edge(EdgeCallback cb) {
+    const ListenerId id = next_listener_id_++;
+    listeners_.emplace_back(id, std::move(cb));
+    return id;
+  }
+
+  /// Convenience: listener fired only on rising edges.
+  ListenerId on_rising(std::function<void(Tick)> cb) {
+    return on_edge([f = std::move(cb)](Edge e, Tick t) {
+      if (e == Edge::kRising) f(t);
+    });
+  }
+
+  /// Convenience: listener fired only on falling edges.
+  ListenerId on_falling(std::function<void(Tick)> cb) {
+    return on_edge([f = std::move(cb)](Edge e, Tick t) {
+      if (e == Edge::kFalling) f(t);
+    });
+  }
+
+  /// Detaches a listener.  Safe to call from inside a callback (the slot is
+  /// nulled and compacted lazily).
+  void remove_listener(ListenerId id) {
+    for (auto& [lid, cb] : listeners_) {
+      if (lid == id) {
+        cb = nullptr;
+        return;
+      }
+    }
+  }
+
+  /// Number of rising edges since construction.
+  [[nodiscard]] std::uint64_t rising_count() const { return rising_count_; }
+  /// Number of falling edges since construction.
+  [[nodiscard]] std::uint64_t falling_count() const { return falling_count_; }
+  /// Time of the most recent transition (0 if never driven).
+  [[nodiscard]] Tick last_change() const { return last_change_; }
+
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
+ private:
+  Scheduler& sched_;
+  std::string name_;
+  bool level_;
+  Tick last_change_ = 0;
+  std::uint64_t rising_count_ = 0;
+  std::uint64_t falling_count_ = 0;
+  ListenerId next_listener_id_ = 0;
+  std::vector<std::pair<ListenerId, EdgeCallback>> listeners_;
+};
+
+/// One analog net carrying a slowly varying value (ADC counts or volts).
+class AnalogChannel {
+ public:
+  using ChangeCallback = std::function<void(double, Tick)>;
+
+  AnalogChannel(Scheduler& sched, std::string name, double initial = 0.0)
+      : sched_(sched), name_(std::move(name)), value_(initial) {}
+
+  AnalogChannel(const AnalogChannel&) = delete;
+  AnalogChannel& operator=(const AnalogChannel&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double value() const { return value_; }
+
+  /// Drives the channel.  Listeners fire on every call, even if unchanged,
+  /// because consumers (the firmware ADC) sample on update cadence.
+  void set(double v) {
+    value_ = v;
+    const Tick t = sched_.now();
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (listeners_[i]) listeners_[i](v, t);
+    }
+  }
+
+  /// Registers an update listener.
+  void on_change(ChangeCallback cb) { listeners_.push_back(std::move(cb)); }
+
+ private:
+  Scheduler& sched_;
+  std::string name_;
+  double value_;
+  std::vector<ChangeCallback> listeners_;
+};
+
+/// RAII handle for a wire-to-wire connection created by `connect()`.
+/// Destroying (or releasing) the handle detaches the forwarding listener,
+/// which is how the OFFRAMPS board re-routes signals when jumpers change.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(Wire& src, Wire::ListenerId id) : src_(&src), id_(id) {}
+  Connection(Connection&& o) noexcept : src_(o.src_), id_(o.id_) {
+    o.src_ = nullptr;
+  }
+  Connection& operator=(Connection&& o) noexcept {
+    if (this != &o) {
+      disconnect();
+      src_ = o.src_;
+      id_ = o.id_;
+      o.src_ = nullptr;
+    }
+    return *this;
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection() { disconnect(); }
+
+  /// Detaches the forwarding listener; the destination keeps its last level.
+  void disconnect() {
+    if (src_ != nullptr) {
+      src_->remove_listener(id_);
+      src_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] bool connected() const { return src_ != nullptr; }
+
+ private:
+  Wire* src_ = nullptr;
+  Wire::ListenerId id_ = 0;
+};
+
+/// Forwards every edge of `src` onto `dst` after a fixed propagation
+/// `delay`.  With delay == 0 the destination switches within the same event.
+/// The destination is immediately synchronized to the source's present
+/// level.  Returns a handle that detaches the forwarding when destroyed.
+inline Connection connect(Wire& src, Wire& dst, Tick delay = 0) {
+  dst.set(src.level());
+  auto id = src.on_edge([&dst, delay](Edge e, Tick) {
+    const bool lvl = (e == Edge::kRising);
+    if (delay == 0) {
+      dst.set(lvl);
+    } else {
+      dst.scheduler().schedule_in(delay, [&dst, lvl] { dst.set(lvl); });
+    }
+  });
+  return Connection(src, id);
+}
+
+}  // namespace offramps::sim

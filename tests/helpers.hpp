@@ -1,0 +1,61 @@
+// Shared test fixtures: a directly-wired firmware + plant stack (no
+// OFFRAMPS board in between) for firmware-level tests, and small g-code
+// builders.
+#pragma once
+
+#include <string>
+
+#include "fw/firmware.hpp"
+#include "gcode/parser.hpp"
+#include "plant/printer.hpp"
+#include "sim/pins.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::test {
+
+/// Firmware and printer sharing one pin bank - the stock Arduino+RAMPS
+/// stack with no intermediary.
+struct DirectStack {
+  sim::Scheduler sched;
+  sim::PinBank bank;
+  plant::Printer printer;
+  fw::Firmware firmware;
+
+  explicit DirectStack(fw::Config config = {},
+                       plant::PrinterParams plant_params = {})
+      : bank(sched, "io."),
+        printer(sched, bank, plant_params),
+        firmware(sched, config, bank) {}
+
+  /// Enqueues a newline-separated script.
+  void enqueue(const std::string& program_text) {
+    firmware.enqueue_program(gcode::parse_program(program_text));
+  }
+
+  /// Starts the firmware and runs the simulation to completion (or until
+  /// `max_seconds`).  Returns true if the firmware finished cleanly.
+  bool run(double max_seconds = 600.0) {
+    firmware.on_finished([this] { sched.request_stop(); });
+    firmware.on_killed([this](const std::string&) {
+      // Drain shortly after a kill so tests can inspect the aftermath.
+      sched.schedule_in(sim::seconds(2), [this] { sched.request_stop(); });
+    });
+    firmware.start();
+    const sim::Tick deadline = sim::from_seconds(max_seconds);
+    while (!sched.stop_requested() && !sched.idle() &&
+           sched.now() < deadline) {
+      sched.run_until(std::min<sim::Tick>(sched.now() + sim::seconds(1),
+                                          deadline));
+    }
+    return firmware.finished();
+  }
+};
+
+/// A script that heats (fast), homes, and is ready to print.  Keeping the
+/// hotend target modest shortens heat-up in thermal-gated tests.
+inline std::string preamble(double hotend_c = 210.0) {
+  return "G21\nG90\nM82\nM104 S" + std::to_string(hotend_c) +
+         "\nM109 S" + std::to_string(hotend_c) + "\nG28\nG92 E0\n";
+}
+
+}  // namespace offramps::test

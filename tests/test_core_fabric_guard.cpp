@@ -1,0 +1,119 @@
+// Tests for the host-free in-fabric guard (extension addressing the
+// paper's standalone-printing limitation).
+#include <gtest/gtest.h>
+
+#include "core/fabric_guard.hpp"
+#include "gcode/flaw3d.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::core {
+namespace {
+
+gcode::Program object() {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  return host::slice_cube(cube, profile);
+}
+
+Capture golden_capture() {
+  host::RigOptions options;
+  options.firmware.jitter_seed = 1;
+  host::Rig rig(options);
+  return rig.run(object()).capture;
+}
+
+TEST(FabricGuard, CleanPrintNeverAlarms) {
+  const Capture golden = golden_capture();
+  host::RigOptions options;
+  options.firmware.jitter_seed = 777;  // a different physical run
+  host::Rig rig(options);
+  FabricGuard guard(rig.board().fpga(), golden);
+  const host::RunResult r = rig.run(object());
+  EXPECT_TRUE(r.finished);
+  EXPECT_FALSE(guard.alarmed());
+  EXPECT_FALSE(guard.alarm_line().level());
+  EXPECT_FALSE(guard.safe_stop_engaged());
+  EXPECT_NEAR(r.flow_ratio(), 1.0, 1e-9);
+}
+
+TEST(FabricGuard, SafeStopsASabotagedPrintWithNoHost) {
+  const Capture golden = golden_capture();
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.85});
+  host::RigOptions options;
+  options.firmware.jitter_seed = 9;
+  host::Rig rig(options);
+  FabricGuard guard(rig.board().fpga(), golden);
+  const host::RunResult r = rig.run(mutated);
+
+  EXPECT_TRUE(guard.alarmed());
+  EXPECT_TRUE(guard.alarm_line().level());
+  EXPECT_TRUE(guard.safe_stop_engaged());
+  // The alarm fired early in the print.
+  EXPECT_LT(guard.alarm_at_index(), golden.size() / 4);
+  // Downstream of the stop, commanded steps were dropped at the freed
+  // drivers and the part stayed a stub.
+  const auto dropped = r.motor_dropped_steps[0] + r.motor_dropped_steps[1] +
+                       r.motor_dropped_steps[3];
+  EXPECT_GT(dropped, 10'000u);
+  EXPECT_LT(r.part.total_filament_mm, 10.0);
+  // Heaters were cut: the hotend fell away from its 210 C setpoint while
+  // the oblivious firmware kept "printing".
+  EXPECT_LT(rig.printer().hotend().temperature_c(), 195.0);
+  EXPECT_GT(rig.printer().hotend().temperature_c(), 25.0);
+}
+
+TEST(FabricGuard, RecordModeAlarmsButCannotStop) {
+  const Capture golden = golden_capture();
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.5});
+  host::RigOptions options;
+  options.firmware.jitter_seed = 9;
+  options.route = core::RouteMode::kFpgaRecord;
+  host::Rig rig(options);
+  FabricGuard guard(rig.board().fpga(), golden);
+  const host::RunResult r = rig.run(mutated);
+  EXPECT_TRUE(guard.alarmed());
+  EXPECT_TRUE(guard.alarm_line().level());
+  EXPECT_FALSE(guard.safe_stop_engaged());  // tap cannot modify
+  EXPECT_TRUE(r.finished);                  // the print sailed on
+}
+
+TEST(FabricGuard, AlarmOnlyModeLeavesMachineRunning) {
+  const Capture golden = golden_capture();
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.5});
+  host::RigOptions options;
+  options.firmware.jitter_seed = 9;
+  host::Rig rig(options);
+  FabricGuardOptions gopt;
+  gopt.safe_stop = false;
+  FabricGuard guard(rig.board().fpga(), golden, gopt);
+  const host::RunResult r = rig.run(mutated);
+  EXPECT_TRUE(guard.alarmed());
+  EXPECT_FALSE(guard.safe_stop_engaged());
+  // The machine kept running to the end: a full-height (if starved)
+  // part emerged.  Note flow_ratio stays 1.0 - the sabotage is in the
+  // g-code, upstream of the signals this ratio measures.
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.part.layer_count, 8u);
+  EXPECT_NEAR(r.flow_ratio(), 1.0, 1e-9);
+}
+
+TEST(FabricGuard, OutrunningGoldenAlarms) {
+  // Guard loaded with a truncated golden model: a longer print
+  // eventually outruns it and that alone is anomalous.
+  Capture golden = golden_capture();
+  golden.transactions.resize(golden.transactions.size() / 2);
+  host::RigOptions options;
+  options.firmware.jitter_seed = 5;
+  host::Rig rig(options);
+  FabricGuard guard(rig.board().fpga(), golden);
+  rig.run(object());
+  EXPECT_TRUE(guard.alarmed());
+}
+
+}  // namespace
+}  // namespace offramps::core

@@ -1,0 +1,169 @@
+// Unit tests for the wire-level UART (TX, RX, transaction decoder) and
+// the end-to-end host link.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/serial.hpp"
+#include "host/rig.hpp"
+#include "host/serial_tap.hpp"
+#include "host/slicer.hpp"
+#include "sim/error.hpp"
+#include "sim/trace.hpp"
+
+namespace offramps::core {
+namespace {
+
+struct SerialFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire line{sched, "UART", true};
+  UartTx tx{sched, line, 115'200};
+  UartRx rx{sched, line, 115'200};
+  std::vector<std::uint8_t> received;
+
+  void SetUp() override {
+    rx.on_byte([this](std::uint8_t b, sim::Tick) { received.push_back(b); });
+  }
+
+  void send_and_run(std::initializer_list<std::uint8_t> bytes) {
+    std::vector<std::uint8_t> v(bytes);
+    tx.send(v);
+    sched.run_all();
+  }
+};
+
+TEST_F(SerialFixture, LineIdlesHigh) { EXPECT_TRUE(line.level()); }
+
+TEST_F(SerialFixture, SingleByteRoundTrip) {
+  send_and_run({0xA5});
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 0xA5);
+  EXPECT_EQ(tx.bytes_sent(), 1u);
+  EXPECT_EQ(rx.framing_errors(), 0u);
+  EXPECT_TRUE(line.level());  // back to idle
+}
+
+TEST_F(SerialFixture, AllByteValuesRoundTrip) {
+  std::vector<std::uint8_t> all;
+  for (int b = 0; b < 256; ++b) all.push_back(static_cast<std::uint8_t>(b));
+  tx.send(all);
+  sched.run_all();
+  ASSERT_EQ(received.size(), 256u);
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_EQ(received[static_cast<std::size_t>(b)], b);
+  }
+}
+
+TEST_F(SerialFixture, FrameTimingMatchesBaud) {
+  // 1 byte = 10 bits at 115200 baud ~= 86.8 us.
+  const sim::Tick start = sched.now();
+  send_and_run({0x00});
+  const double elapsed_us =
+      static_cast<double>(sched.now() - start) / 1000.0;
+  EXPECT_NEAR(elapsed_us, 10.0 * 1e6 / 115'200.0, 2.0);
+  EXPECT_EQ(tx.frame_time(16), tx.bit_time() * 160);
+}
+
+TEST_F(SerialFixture, BackToBackBytesQueue) {
+  std::vector<std::uint8_t> burst(100, 0x5A);
+  tx.send(burst);
+  EXPECT_TRUE(tx.busy());
+  EXPECT_GE(tx.max_queue_depth(), 99u);
+  sched.run_all();
+  EXPECT_EQ(received.size(), 100u);
+  EXPECT_FALSE(tx.busy());
+}
+
+TEST_F(SerialFixture, UtilizationTracksTraffic) {
+  std::vector<std::uint8_t> burst(10, 0xFF);
+  tx.send(burst);
+  sched.run_all();
+  // All time so far was spent transmitting.
+  EXPECT_GT(tx.utilization(), 0.9);
+  sched.run_until(sched.now() + sim::ms(10));
+  EXPECT_LT(tx.utilization(), 0.2);  // idle time dilutes it
+}
+
+TEST_F(SerialFixture, BreakConditionIsFramingError) {
+  // Hold the line low across an entire would-be frame: the receiver sees
+  // a start bit whose stop bit never arrives.
+  line.set(false);
+  sched.run_until(sched.now() + tx.bit_time() * 12);
+  line.set(true);
+  sched.run_all();
+  EXPECT_EQ(rx.framing_errors(), 1u);
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(SerialFixture, RecoversAfterFramingError) {
+  line.set(false);
+  sched.run_until(sched.now() + tx.bit_time() * 12);
+  line.set(true);
+  sched.run_until(sched.now() + tx.bit_time() * 2);
+  send_and_run({0x42});
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 0x42);
+}
+
+TEST(UartTxValidation, ZeroBaudThrows) {
+  sim::Scheduler sched;
+  sim::Wire line(sched, "U", true);
+  EXPECT_THROW(UartTx(sched, line, 0), offramps::Error);
+  EXPECT_THROW(UartRx(sched, line, 0), offramps::Error);
+}
+
+TEST(Decoder, ReassemblesTransactions) {
+  TransactionDecoder dec;
+  Transaction a;
+  a.counts = {100, -200, 300, 40000};
+  std::vector<Transaction> seen;
+  dec.on_transaction([&](const Transaction& t) { seen.push_back(t); });
+  const auto bytes = a.to_bytes();
+  sim::Tick t = 1000;
+  for (const auto b : bytes) dec.feed(b, t += 100);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].counts, a.counts);
+}
+
+TEST(Decoder, ResynchronizesAfterGap) {
+  TransactionDecoder dec(sim::ms(20));
+  Transaction a;
+  a.counts = {1, 2, 3, 4};
+  const auto bytes = a.to_bytes();
+  sim::Tick t = 1000;
+  // Deliver half a payload, then go silent (lost bytes), then a full one.
+  for (std::size_t i = 0; i < 8; ++i) dec.feed(bytes[i], t += 100);
+  t += sim::ms(100);
+  for (const auto b : bytes) dec.feed(b, t += 100);
+  ASSERT_EQ(dec.capture().size(), 1u);
+  EXPECT_EQ(dec.capture().transactions[0].counts, a.counts);
+  EXPECT_EQ(dec.resyncs(), 1u);
+}
+
+TEST(SerialLink, EndToEndPrintCaptureMatchesReporter) {
+  // The host's serially-decoded capture must agree, count for count, with
+  // what the FPGA-side reporter logged.
+  host::RigOptions options;
+  host::Rig rig(options);
+  host::SerialTap tap(rig.scheduler(), rig.board().fpga().uart_tx_line(),
+                      115'200);
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  const host::RunResult r = rig.run(host::slice_cube(cube, profile));
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(tap.framing_errors(), 0u);
+  EXPECT_EQ(tap.resyncs(), 0u);
+  ASSERT_GE(tap.capture().size(), r.capture.size() - 1);
+  for (std::size_t i = 0; i < tap.capture().size(); ++i) {
+    EXPECT_EQ(tap.capture().transactions[i].counts,
+              r.capture.transactions[i].counts)
+        << "transaction " << i;
+  }
+  // Link budget: a 16-byte payload at 115200 baud needs ~1.4 ms, far
+  // below the 100 ms transaction period (paper's design headroom).
+  EXPECT_EQ(rig.board().fpga().uart_phy().max_queue_depth(), 16u);
+}
+
+}  // namespace
+}  // namespace offramps::core

@@ -1,0 +1,149 @@
+// Unit tests for the FPGA signal path: pass-through delay, forcing,
+// pulse filtering, and pulse injection.
+#include <gtest/gtest.h>
+
+#include "core/signal_path.hpp"
+#include "sim/trace.hpp"
+
+namespace offramps::core {
+namespace {
+
+struct PathFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire in{sched, "in"};
+  sim::Wire out{sched, "out"};
+  SignalPath path{sched, in, out, sim::ns(13)};
+
+  void SetUp() override { path.set_active(true); }
+
+  void pulse_in(sim::Tick width = sim::us(1)) {
+    in.set(true);
+    sched.schedule_in(width, [this] { in.set(false); });
+    sched.run_until(sched.now() + width + sim::us(1));
+  }
+};
+
+TEST_F(PathFixture, PassthroughForwardsWithDelay) {
+  in.set(true);
+  EXPECT_FALSE(out.level());
+  sched.run_until(sim::ns(12));
+  EXPECT_FALSE(out.level());
+  sched.run_until(sim::ns(13));
+  EXPECT_TRUE(out.level());
+  in.set(false);
+  sched.run_until(sim::ns(26));
+  EXPECT_FALSE(out.level());
+}
+
+TEST_F(PathFixture, InactivePathDoesNotDrive) {
+  path.set_active(false);
+  in.set(true);
+  sched.run_until(sim::us(1));
+  EXPECT_FALSE(out.level());
+}
+
+TEST_F(PathFixture, ActivationSyncsToInputLevel) {
+  path.set_active(false);
+  in.set(true);
+  sched.run_until(sim::us(1));
+  path.set_active(true);
+  EXPECT_TRUE(out.level());
+}
+
+TEST_F(PathFixture, PulseCountsPreservedByPassthrough) {
+  sim::TraceRecorder trace(out, false);
+  for (int i = 0; i < 20; ++i) pulse_in();
+  sched.run_until(sched.now() + sim::us(10));
+  EXPECT_EQ(trace.rising_edges(), 20u);
+  EXPECT_EQ(path.passed_pulses(), 20u);
+  EXPECT_EQ(path.dropped_pulses(), 0u);
+}
+
+TEST_F(PathFixture, ForceHighOverridesInput) {
+  path.force(true);
+  EXPECT_TRUE(out.level());
+  pulse_in();
+  EXPECT_TRUE(out.level());  // input pulses invisible
+  path.force(std::nullopt);
+  sched.run_until(sched.now() + sim::us(1));
+  EXPECT_FALSE(out.level());  // released to pass-through level
+}
+
+TEST_F(PathFixture, ForceLowBlocksPulses) {
+  sim::TraceRecorder trace(out, false);
+  path.force(false);
+  for (int i = 0; i < 5; ++i) pulse_in();
+  EXPECT_EQ(trace.rising_edges(), 0u);
+}
+
+TEST_F(PathFixture, FilterDropsWholePulses) {
+  sim::TraceRecorder trace(out, false);
+  int n = 0;
+  path.set_pulse_filter([&n] { return (n++ % 2) == 0; });  // keep evens
+  for (int i = 0; i < 10; ++i) pulse_in();
+  sched.run_until(sched.now() + sim::us(10));
+  EXPECT_EQ(trace.rising_edges(), 5u);
+  EXPECT_EQ(trace.falling_edges(), 5u);  // no dangling half-pulses
+  EXPECT_EQ(path.dropped_pulses(), 5u);
+  EXPECT_EQ(path.passed_pulses(), 5u);
+}
+
+TEST_F(PathFixture, ClearingFilterRestoresAll) {
+  int n = 0;
+  path.set_pulse_filter([&n] { return (n++ % 2) == 0; });
+  pulse_in();
+  pulse_in();
+  path.set_pulse_filter(nullptr);
+  sim::TraceRecorder trace(out, false);
+  for (int i = 0; i < 4; ++i) pulse_in();
+  sched.run_until(sched.now() + sim::us(10));
+  EXPECT_EQ(trace.rising_edges(), 4u);
+}
+
+TEST_F(PathFixture, InjectionAddsPulses) {
+  sim::TraceRecorder trace(out, false);
+  path.inject_pulse(sim::us(1));
+  sched.run_until(sched.now() + sim::us(5));
+  EXPECT_EQ(trace.rising_edges(), 1u);
+  EXPECT_EQ(path.injected_pulses(), 1u);
+}
+
+TEST_F(PathFixture, InjectionMergesWithTraffic) {
+  sim::TraceRecorder trace(out, false);
+  // 10 input pulses 50 us apart with 5 injections interleaved.
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(sim::us(static_cast<std::uint64_t>(50 * i)),
+                      [this] { in.pulse(sim::us(1)); });
+  }
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(sim::us(static_cast<std::uint64_t>(25 + 100 * i)),
+                      [this] { path.inject_pulse(sim::us(1)); });
+  }
+  sched.run_all();
+  EXPECT_EQ(trace.rising_edges(), 15u);
+}
+
+TEST_F(PathFixture, InjectionDefersWhenOutputBusy) {
+  sim::TraceRecorder trace(out, false);
+  in.set(true);  // output will go high and stay
+  sched.run_until(sim::us(1));
+  path.inject_pulse(sim::us(1));
+  sched.run_until(sim::us(50));
+  EXPECT_EQ(trace.rising_edges(), 1u);  // still just the input's edge
+  in.set(false);
+  sched.run_until(sim::us(100));
+  EXPECT_EQ(trace.rising_edges(), 2u);  // deferred injection landed
+  EXPECT_EQ(path.injected_pulses(), 1u);
+}
+
+TEST_F(PathFixture, InjectionSuppressedWhileForced) {
+  sim::TraceRecorder trace(out, false);
+  path.force(false);
+  path.inject_pulse(sim::us(1));
+  sched.run_until(sim::us(100));
+  EXPECT_EQ(trace.rising_edges(), 0u);
+  EXPECT_EQ(path.injected_pulses(), 0u);
+}
+
+}  // namespace
+}  // namespace offramps::core

@@ -1,0 +1,131 @@
+// Tests for capture alignment and aligned comparison.
+#include <gtest/gtest.h>
+
+#include "detect/align.hpp"
+#include "gcode/flaw3d.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::detect {
+namespace {
+
+core::Capture synthetic_ramp(std::uint32_t n, std::int32_t rate,
+                             std::uint32_t start_offset = 0) {
+  core::Capture cap;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    core::Transaction t;
+    t.index = i;
+    t.time_ns = static_cast<std::uint64_t>(i) * 100'000'000ull;
+    t.counts[0] = static_cast<std::int32_t>((i + start_offset)) * rate;
+    cap.transactions.push_back(t);
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    cap.final_counts[c] = cap.transactions.back().counts[c];
+  }
+  cap.print_completed = true;
+  return cap;
+}
+
+TEST(Alignment, IdenticalSeriesAlignAtZero) {
+  const auto cap = synthetic_ramp(100, 100);
+  const AlignmentResult a = best_alignment(cap, cap);
+  EXPECT_EQ(a.shift, 0);
+  EXPECT_DOUBLE_EQ(a.cost, 0.0);
+}
+
+TEST(Alignment, RecoversKnownShift) {
+  // Observed lags by 3 windows: observed[i] == golden[i + 3].
+  const auto golden = synthetic_ramp(100, 100);
+  const auto observed = synthetic_ramp(100, 100, 3);
+  const AlignmentResult a = best_alignment(golden, observed);
+  EXPECT_EQ(a.shift, 3);
+  EXPECT_DOUBLE_EQ(a.cost, 0.0);
+  EXPECT_GT(a.unshifted_cost, 50.0);
+}
+
+TEST(Alignment, RecoversNegativeShift) {
+  const auto golden = synthetic_ramp(100, 100, 5);
+  const auto observed = synthetic_ramp(100, 100);
+  const AlignmentResult a = best_alignment(golden, observed);
+  EXPECT_EQ(a.shift, -5);
+}
+
+TEST(Alignment, ShiftBeyondSearchWindowStaysUnaligned) {
+  const auto golden = synthetic_ramp(100, 100);
+  const auto observed = synthetic_ramp(100, 100, 30);
+  const AlignmentResult a = best_alignment(golden, observed, /*max=*/10);
+  // The best in-window shift (10) is found, but cannot zero the cost.
+  EXPECT_GT(a.cost, 0.0);
+}
+
+TEST(Alignment, EmptyCapturesAreSafe) {
+  const core::Capture empty;
+  const AlignmentResult a = best_alignment(empty, empty);
+  EXPECT_EQ(a.shift, 0);
+  EXPECT_EQ(a.overlap, 0u);
+}
+
+TEST(CompareAligned, ShiftedCleanSeriesPassesTightMargin) {
+  // A pure 2-window lag would trip a 1% margin positionally; aligned
+  // comparison absorbs it completely.
+  const auto golden = synthetic_ramp(200, 100);
+  auto observed = synthetic_ramp(200, 100, 2);
+  observed.final_counts = golden.final_counts;
+  CompareOptions tight;
+  tight.margin_pct = 1.0;
+  tight.length_tolerance = 1.0;  // length identical anyway
+  EXPECT_TRUE(compare(golden, observed, tight).trojan_likely);
+  AlignmentResult a;
+  const Report rep = compare_aligned(golden, observed, tight, 10, &a);
+  EXPECT_EQ(a.shift, 2);
+  EXPECT_FALSE(rep.trojan_likely) << rep.to_string();
+}
+
+TEST(CompareAligned, RealTrojanStillDetectedAfterAlignment) {
+  // Alignment must absorb timing, never sabotage: a reduction Trojan
+  // stays detected because no shift explains a different E slope.
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  const auto program = host::slice_cube(cube, profile);
+  host::RigOptions gopt;
+  gopt.firmware.jitter_seed = 1;
+  host::Rig grig(gopt);
+  const auto golden = grig.run(program).capture;
+
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(program, {.factor = 0.85});
+  host::RigOptions topt;
+  topt.firmware.jitter_seed = 7;
+  host::Rig trig(topt);
+  const auto trojaned = trig.run(mutated).capture;
+
+  EXPECT_TRUE(compare_aligned(golden, trojaned).trojan_likely);
+}
+
+TEST(CompareAligned, TightensTheUsableMargin) {
+  // On real reprints, alignment reduces worst-case apparent drift, so a
+  // tighter margin becomes usable (the paper's "faster protocol" goal
+  // achieved in software instead).
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  const auto program = host::slice_cube(cube, profile);
+  host::RigOptions a_opt, b_opt;
+  a_opt.firmware.jitter_seed = 1;
+  b_opt.firmware.jitter_seed = 31337;
+  host::Rig a(a_opt), b(b_opt);
+  const auto golden = a.run(program).capture;
+  const auto reprint = b.run(program).capture;
+
+  CompareOptions tight;
+  tight.margin_pct = 1.5;
+  const Report positional = compare(golden, reprint, tight);
+  const Report aligned = compare_aligned(golden, reprint, tight);
+  // Aligned comparison never does worse, and remains clean overall.
+  EXPECT_LE(aligned.mismatch_count(), positional.mismatch_count());
+  EXPECT_FALSE(aligned.trojan_likely) << aligned.to_string();
+}
+
+}  // namespace
+}  // namespace offramps::detect

@@ -1,0 +1,141 @@
+// Tests for the golden-free plausibility detector (the paper's proposed
+// future-work direction, implemented as an extension).
+#include <gtest/gtest.h>
+
+#include "detect/golden_free.hpp"
+#include "gcode/flaw3d.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::detect {
+namespace {
+
+gcode::Program object() {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 10, .size_y_mm = 10, .height_mm = 3,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  return host::slice_cube(cube, profile);
+}
+
+core::Capture capture_of(const gcode::Program& p, std::uint64_t seed) {
+  host::RigOptions options;
+  options.firmware.jitter_seed = seed;
+  host::Rig rig(options);
+  auto r = rig.run(p);
+  EXPECT_TRUE(r.finished);
+  return std::move(r.capture);
+}
+
+TEST(GoldenFree, CleanPrintsPassAllRules) {
+  for (const std::uint64_t seed : {5u, 55u, 555u}) {
+    const GoldenFreeReport rep =
+        analyze_golden_free(capture_of(object(), seed));
+    EXPECT_FALSE(rep.trojan_likely) << "seed " << seed << "\n"
+                                    << rep.to_string();
+    EXPECT_TRUE(rep.violations.empty()) << rep.to_string();
+    EXPECT_GT(rep.printing_windows, 100u);
+  }
+}
+
+TEST(GoldenFree, HeavyReductionFlagsDensity) {
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.5});
+  const GoldenFreeReport rep =
+      analyze_golden_free(capture_of(mutated, 6));
+  EXPECT_TRUE(rep.trojan_likely);
+  EXPECT_GT(rep.count(Rule::kDensityLow), 10u);
+}
+
+TEST(GoldenFree, CoarseRelocationFlagsBlobs) {
+  const auto mutated = gcode::flaw3d::apply_relocation(
+      object(), {.every_n_moves = 100, .take_fraction = 0.15});
+  const GoldenFreeReport rep =
+      analyze_golden_free(capture_of(mutated, 6));
+  EXPECT_TRUE(rep.trojan_likely);
+  EXPECT_GE(rep.count(Rule::kBlobDump), 2u);
+}
+
+TEST(GoldenFree, SubtleTrojansEscape) {
+  // The honest limitation golden-free analysis carries: a 2% reduction
+  // and fine-grained relocation stay within physical plausibility.  This
+  // is exactly why the paper's golden-model comparison exists.
+  const auto subtle_reduction =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.98});
+  EXPECT_FALSE(
+      analyze_golden_free(capture_of(subtle_reduction, 6)).trojan_likely);
+  const auto fine_relocation = gcode::flaw3d::apply_relocation(
+      object(), {.every_n_moves = 5, .take_fraction = 0.15});
+  EXPECT_FALSE(
+      analyze_golden_free(capture_of(fine_relocation, 6)).trojan_likely);
+}
+
+TEST(GoldenFree, SyntheticKinematicViolation) {
+  // Hand-build a capture where X teleports 40 mm in one 0.1 s window
+  // (400 mm/s against a 200 mm/s machine).
+  core::Capture cap;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    core::Transaction t;
+    t.index = i;
+    t.time_ns = static_cast<std::uint64_t>(i) * 100'000'000ull;
+    t.counts[0] = static_cast<std::int32_t>(i < 6 ? i * 500 : i * 500 + 4000);
+    t.counts[3] = static_cast<std::int32_t>(i * 100);
+    cap.transactions.push_back(t);
+  }
+  const GoldenFreeReport rep = analyze_golden_free(cap, {}, 1);
+  EXPECT_TRUE(rep.trojan_likely);
+  EXPECT_GE(rep.count(Rule::kKinematics), 1u);
+}
+
+TEST(GoldenFree, SyntheticBuildVolumeViolation) {
+  core::Capture cap;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    core::Transaction t;
+    t.index = i;
+    t.time_ns = static_cast<std::uint64_t>(i) * 100'000'000ull;
+    t.counts[1] = -1000;  // Y at -10 mm: outside the frame
+    cap.transactions.push_back(t);
+  }
+  const GoldenFreeReport rep = analyze_golden_free(cap, {}, 1);
+  EXPECT_TRUE(rep.trojan_likely);
+  EXPECT_GE(rep.count(Rule::kBuildVolume), 1u);
+}
+
+TEST(GoldenFree, SyntheticNegativeExtrusion) {
+  core::Capture cap;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    core::Transaction t;
+    t.index = i;
+    t.time_ns = static_cast<std::uint64_t>(i) * 100'000'000ull;
+    t.counts[3] = -1000;  // 3.6 mm net retraction
+    cap.transactions.push_back(t);
+  }
+  const GoldenFreeReport rep = analyze_golden_free(cap, {}, 1);
+  EXPECT_TRUE(rep.trojan_likely);
+  EXPECT_GE(rep.count(Rule::kNegativeExtrusion), 1u);
+}
+
+TEST(GoldenFree, EmptyAndTinyCapturesAreSafe) {
+  EXPECT_FALSE(analyze_golden_free(core::Capture{}).trojan_likely);
+  core::Capture one;
+  one.transactions.push_back({});
+  EXPECT_FALSE(analyze_golden_free(one).trojan_likely);
+}
+
+TEST(GoldenFree, ReportRendering) {
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.5});
+  const GoldenFreeReport rep =
+      analyze_golden_free(capture_of(mutated, 6));
+  const std::string text = rep.to_string(3);
+  EXPECT_NE(text.find("extrusion density implausibly low"),
+            std::string::npos);
+  EXPECT_NE(text.find("Trojan likely (golden-free)!"), std::string::npos);
+}
+
+TEST(GoldenFree, RuleNamesAreDistinct) {
+  EXPECT_STRNE(rule_name(Rule::kDensityLow), rule_name(Rule::kDensityHigh));
+  EXPECT_STRNE(rule_name(Rule::kKinematics), rule_name(Rule::kBlobDump));
+}
+
+}  // namespace
+}  // namespace offramps::detect

@@ -1,0 +1,115 @@
+// Unit tests for the real-time detection monitor.
+#include <gtest/gtest.h>
+
+#include "core/uart.hpp"
+#include "detect/monitor.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::detect {
+namespace {
+
+/// UART reporter fed by hand-driven tracker wires.
+struct MonitorFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire xs{sched, "XS"}, xd{sched, "XD"};
+  sim::Wire ys{sched, "YS"}, yd{sched, "YD"};
+  sim::Wire zs{sched, "ZS"}, zd{sched, "ZD"};
+  sim::Wire es{sched, "ES"}, ed{sched, "ED"};
+  sim::Wire xm{sched, "XM"}, ym{sched, "YM"}, zm{sched, "ZM"};
+  core::AxisTracker tx{sched, xs, xd}, ty{sched, ys, yd},
+      tz{sched, zs, zd}, te{sched, es, ed};
+  core::HomingDetector homing{sched, xm, ym, zm};
+  core::UartReporter uart{sched, {&tx, &ty, &tz, &te}, homing};
+
+  void home() {
+    for (sim::Wire* w : {&xm, &ym, &zm}) {
+      for (int hit = 0; hit < 2; ++hit) {
+        w->set(true);
+        sched.run_until(sched.now() + sim::ms(1));
+        w->set(false);
+        sched.run_until(sched.now() + sim::ms(1));
+      }
+    }
+  }
+
+  /// Steps X at `sps` steps/s for `seconds` of simulated time.
+  void run_x(double sps, double seconds) {
+    xd.set(true);
+    const auto interval = static_cast<sim::Tick>(1e9 / sps);
+    const sim::Tick end = sched.now() + sim::from_seconds(seconds);
+    while (sched.now() < end) {
+      xs.set(true);
+      xs.set(false);
+      sched.run_until(sched.now() + interval);
+    }
+  }
+
+  /// A golden capture with X advancing at `sps` for `seconds`.
+  core::Capture golden_for(double sps, double seconds) {
+    core::Capture cap;
+    const int n = static_cast<int>(seconds * 10.0);
+    for (int i = 1; i <= n; ++i) {
+      core::Transaction t;
+      t.index = static_cast<std::uint32_t>(i - 1);
+      t.counts[0] = static_cast<std::int32_t>(sps * 0.1 * i);
+      cap.transactions.push_back(t);
+    }
+    return cap;
+  }
+};
+
+TEST_F(MonitorFixture, CleanPrintRaisesNoAlarm) {
+  RealtimeMonitor monitor(uart, golden_for(1000.0, 10.0));
+  bool alarmed = false;
+  monitor.on_alarm([&](const auto&) { alarmed = true; });
+  home();
+  run_x(1000.0, 5.0);
+  EXPECT_FALSE(alarmed);
+  EXPECT_GT(monitor.transactions_seen(), 40u);
+}
+
+TEST_F(MonitorFixture, DivergentPrintAlarms) {
+  RealtimeMonitor monitor(uart, golden_for(1000.0, 10.0));
+  std::vector<Mismatch> alarm_mismatches;
+  monitor.on_alarm([&](const std::vector<Mismatch>& m) {
+    alarm_mismatches = m;
+  });
+  home();
+  run_x(1000.0, 2.0);  // on profile
+  run_x(2000.0, 2.0);  // Trojan doubles the step rate
+  EXPECT_TRUE(monitor.alarmed());
+  EXPECT_FALSE(alarm_mismatches.empty());
+  EXPECT_EQ(alarm_mismatches.front().column, 0u);
+}
+
+TEST_F(MonitorFixture, AlarmFiresOnlyOnce) {
+  RealtimeMonitor monitor(uart, golden_for(1000.0, 10.0));
+  int alarms = 0;
+  monitor.on_alarm([&](const auto&) { ++alarms; });
+  home();
+  run_x(3000.0, 4.0);  // way off profile the whole time
+  EXPECT_EQ(alarms, 1);
+}
+
+TEST_F(MonitorFixture, DebounceRequiresConsecutiveMismatches) {
+  // Threshold of 50 consecutive bad transactions never satisfied by a
+  // 2-transaction glitch.
+  RealtimeMonitor monitor(uart, golden_for(1000.0, 60.0), {}, 50);
+  home();
+  run_x(1000.0, 2.0);
+  run_x(4000.0, 0.15);  // brief glitch (~2 transactions)
+  run_x(1000.0, 2.0);
+  EXPECT_FALSE(monitor.alarmed());
+  EXPECT_FALSE(monitor.mismatches().empty());  // observed but debounced
+}
+
+TEST_F(MonitorFixture, OverrunningGoldenEventuallyAlarms) {
+  // Golden print was only 1 s long; the observed print keeps going.
+  RealtimeMonitor monitor(uart, golden_for(1000.0, 1.0), {}, 3);
+  home();
+  run_x(1000.0, 3.0);
+  EXPECT_TRUE(monitor.alarmed());
+}
+
+}  // namespace
+}  // namespace offramps::detect

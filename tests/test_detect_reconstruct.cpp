@@ -1,0 +1,101 @@
+// Tests for capture-based part reconstruction.
+#include <gtest/gtest.h>
+
+#include "detect/reconstruct.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::detect {
+namespace {
+
+host::RunResult print_cube(double size_mm, double height_mm) {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = size_mm, .size_y_mm = size_mm,
+                      .height_mm = height_mm, .center_x_mm = 110,
+                      .center_y_mm = 100};
+  host::Rig rig;
+  return rig.run(host::slice_cube(cube, profile));
+}
+
+TEST(Reconstruct, RecoversCubeGeometry) {
+  const host::RunResult r = print_cube(10.0, 3.0);
+  const ReconstructedPart part = reconstruct_part(r.capture);
+  EXPECT_EQ(part.layers.size(), r.part.layer_count);
+  EXPECT_NEAR(part.height_mm, 3.0, 0.15);
+  EXPECT_NEAR(part.bbox_width_mm, 10.0, 0.6);
+  EXPECT_NEAR(part.bbox_depth_mm, 10.0, 0.6);
+  // Filament estimate within ~25% (unretracts absorbed into moving
+  // windows inflate it slightly).
+  EXPECT_NEAR(part.total_filament_mm, r.part.total_filament_mm,
+              r.part.total_filament_mm * 0.25);
+}
+
+TEST(Reconstruct, LayerDetailsAreOrderedAndPlausible) {
+  const host::RunResult r = print_cube(10.0, 2.0);
+  const ReconstructedPart part = reconstruct_part(r.capture);
+  ASSERT_GE(part.layers.size(), 2u);
+  for (std::size_t i = 1; i < part.layers.size(); ++i) {
+    EXPECT_GT(part.layers[i].z_mm, part.layers[i - 1].z_mm);
+  }
+  for (const auto& L : part.layers) {
+    EXPECT_GT(L.path_mm, 10.0);     // a real layer has real travel
+    EXPECT_GT(L.filament_mm, 0.3);  // and real material
+    EXPECT_NEAR(L.width(), 10.0, 1.0);
+    EXPECT_FALSE(L.segments.empty());
+  }
+}
+
+TEST(Reconstruct, PrimeBlobExcluded) {
+  // The reconstructed footprint must not stretch to the priming location
+  // at the homing corner.
+  const host::RunResult r = print_cube(8.0, 2.0);
+  const ReconstructedPart part = reconstruct_part(r.capture);
+  EXPECT_LT(part.bbox_width_mm, 12.0);
+  for (const auto& L : part.layers) {
+    EXPECT_GT(L.min_x, 50.0);  // nothing near the 0,0 prime site
+  }
+}
+
+TEST(Reconstruct, EmptyCapture) {
+  const ReconstructedPart part = reconstruct_part(core::Capture{});
+  EXPECT_TRUE(part.layers.empty());
+  EXPECT_DOUBLE_EQ(part.height_mm, 0.0);
+  EXPECT_TRUE(part.ascii_layer(0).empty());
+}
+
+TEST(Reconstruct, AsciiArtRendersMaterial) {
+  const host::RunResult r = print_cube(10.0, 2.0);
+  const ReconstructedPart part = reconstruct_part(r.capture);
+  const std::string art = part.ascii_layer(1, 32);
+  ASSERT_FALSE(art.empty());
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  // Each row is `cols` wide.
+  EXPECT_EQ(art.find('\n'), 32u);
+}
+
+TEST(Reconstruct, AsciiArtOutOfRangeIsEmpty) {
+  const host::RunResult r = print_cube(8.0, 2.0);
+  const ReconstructedPart part = reconstruct_part(r.capture);
+  EXPECT_TRUE(part.ascii_layer(999).empty());
+}
+
+TEST(Reconstruct, HollowVsSolidTelluride) {
+  // A single-wall square and a solid cube of the same footprint differ
+  // hugely in per-layer path: reconstruction preserves that distinction
+  // (infill density is recoverable, not just outline).
+  host::SliceProfile profile;
+  host::SquareSpec hollow{.size_mm = 10, .height_mm = 2, .center_x_mm = 110,
+                          .center_y_mm = 100};
+  host::Rig rig_hollow;
+  const auto hollow_part = reconstruct_part(
+      rig_hollow.run(host::slice_square(hollow, profile)).capture);
+  const auto solid_part = reconstruct_part(print_cube(10.0, 2.0).capture);
+  ASSERT_FALSE(hollow_part.layers.empty());
+  ASSERT_FALSE(solid_part.layers.empty());
+  EXPECT_GT(solid_part.layers[1].path_mm,
+            2.0 * hollow_part.layers[1].path_mm);
+}
+
+}  // namespace
+}  // namespace offramps::detect

@@ -1,0 +1,142 @@
+// Tests for G2/G3 arc execution: geometry, direction, helical Z,
+// extrusion distribution, and the arc-sliced cylinder end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::fw {
+namespace {
+
+using offramps::test::DirectStack;
+
+TEST(Arcs, QuarterCircleCcwEndsAtTarget) {
+  DirectStack s;
+  // From (60,50), CCW quarter around center (50,50) -> (50,60).
+  s.enqueue("G28\nG0 X60 Y50 F6000\nG3 X50 Y60 I-10 J0 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kX).position_mm(), 50.0, 0.15);
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kY).position_mm(), 60.0, 0.15);
+}
+
+TEST(Arcs, QuarterCircleCwEndsAtTarget) {
+  DirectStack s;
+  // From (60,50), CW quarter around (50,50) -> (50,40).
+  s.enqueue("G28\nG0 X60 Y50 F6000\nG2 X50 Y40 I-10 J0 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kX).position_mm(), 50.0, 0.15);
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kY).position_mm(), 40.0, 0.15);
+}
+
+TEST(Arcs, DirectionsTakeDifferentPaths) {
+  // CCW quarter passes the top (y > 50); CW quarter the bottom.  Watch
+  // the carriage extremes to tell them apart.
+  for (const bool cw : {false, true}) {
+    DirectStack s;
+    const char* code = cw ? "G2 X40 Y50 I-10 J0 F3000"
+                          : "G3 X40 Y50 I-10 J0 F3000";
+    s.enqueue(std::string("G28\nG0 X60 Y50 F6000\n") + code + "\n");
+    double max_y = 0.0, min_y = 1e9;
+    auto& y_axis = s.printer.axis(sim::Axis::kY);
+    s.bank.step(sim::Axis::kY).on_rising([&](sim::Tick) {
+      // Ignore homing and the positioning travel; sample the arc chords
+      // only (the travel is the first completed move).
+      if (s.firmware.moves_executed() < 1) return;
+      max_y = std::max(max_y, y_axis.position_mm());
+      min_y = std::min(min_y, y_axis.position_mm());
+    });
+    EXPECT_TRUE(s.run());
+    if (cw) {
+      EXPECT_LT(min_y, 41.0);   // dipped to the bottom of the circle
+      EXPECT_LT(max_y, 51.0);   // never crossed the top
+    } else {
+      EXPECT_GT(max_y, 59.0);   // crossed the top
+      EXPECT_GT(min_y, 49.0);
+    }
+  }
+}
+
+TEST(Arcs, FullCircleReturnsToStart) {
+  DirectStack s;
+  s.enqueue("G28\nG0 X60 Y50 F6000\nG3 X60 Y50 I-10 J0 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kX).position_mm(), 60.0, 0.2);
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kY).position_mm(), 50.0, 0.2);
+  // A full 10 mm-radius circle is ~62.8 mm of path: the X motor must
+  // have moved substantially even though it ends where it began.
+  EXPECT_GT(s.printer.motor(sim::Axis::kX).accepted_steps(), 3000u);
+}
+
+TEST(Arcs, HelicalArcRaisesZLinearly) {
+  DirectStack s;
+  s.enqueue("G28\nG0 X60 Y50 F6000\nG3 X60 Y50 Z2 I-10 J0 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kZ).position_mm(), 2.1, 0.2);
+}
+
+TEST(Arcs, ExtrusionDistributedAlongArc) {
+  DirectStack s;
+  s.enqueue(offramps::test::preamble() +
+            "G0 X60 Y50 F6000\nG3 X50 Y60 I-10 J0 E2 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.extruder().filament_mm(), 2.0, 0.05);
+}
+
+TEST(Arcs, RelativeEMode) {
+  DirectStack s;
+  s.enqueue(offramps::test::preamble() +
+            "M83\nG0 X60 Y50 F6000\nG3 X50 Y60 I-10 J0 E1.5 F3000\n"
+            "G3 X40 Y50 I0 J-10 E1.5 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.extruder().filament_mm(), 3.0, 0.05);
+}
+
+TEST(Arcs, RFormIsRejectedAsUnknown) {
+  DirectStack s;
+  s.enqueue("G28\nG2 X50 Y40 R10 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_EQ(s.firmware.unknown_commands(), 1u);
+}
+
+TEST(Arcs, DegenerateZeroRadiusRejected) {
+  DirectStack s;
+  s.enqueue("G28\nG2 X50 Y40 I0 J0 F3000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_EQ(s.firmware.unknown_commands(), 1u);
+}
+
+TEST(Arcs, ArcSlicedCylinderPrintsRound) {
+  host::SliceProfile profile;
+  host::CylinderSpec spec{.diameter_mm = 14, .height_mm = 2, .facets = 0,
+                          .center_x_mm = 110, .center_y_mm = 100};
+  host::Rig rig;
+  const host::RunResult r =
+      rig.run(host::slice_cylinder_arcs(spec, profile));
+  EXPECT_TRUE(r.finished);
+  EXPECT_NEAR(r.part.bbox_width_mm, 14.0, 0.3);
+  EXPECT_NEAR(r.part.bbox_depth_mm, 14.0, 0.3);
+  EXPECT_EQ(r.part.layer_count, 8u);
+  EXPECT_NEAR(r.flow_ratio(), 1.0, 1e-9);
+}
+
+TEST(Arcs, ArcAndChordCylindersAgree) {
+  host::SliceProfile profile;
+  host::CylinderSpec spec{.diameter_mm = 14, .height_mm = 2, .facets = 64,
+                          .center_x_mm = 110, .center_y_mm = 100};
+  host::Rig chord_rig, arc_rig;
+  const host::RunResult chords =
+      chord_rig.run(host::slice_cylinder(spec, profile));
+  const host::RunResult arcs =
+      arc_rig.run(host::slice_cylinder_arcs(spec, profile));
+  ASSERT_TRUE(chords.finished);
+  ASSERT_TRUE(arcs.finished);
+  EXPECT_NEAR(arcs.part.bbox_width_mm, chords.part.bbox_width_mm, 0.3);
+  EXPECT_NEAR(arcs.part.total_filament_mm, chords.part.total_filament_mm,
+              chords.part.total_filament_mm * 0.05);
+}
+
+}  // namespace
+}  // namespace offramps::fw

@@ -1,0 +1,107 @@
+// Tests for the one-segment junction lookahead: collinear chains cruise
+// through segment boundaries; sharp corners still slow to the jerk cap.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "helpers.hpp"
+
+namespace offramps::fw {
+namespace {
+
+using offramps::test::DirectStack;
+
+/// Runs a script and returns the simulated duration in seconds.
+double timed(const std::string& script) {
+  fw::Config config;
+  config.segment_jitter_max = 0;  // deterministic timing comparisons
+  DirectStack s(config);
+  s.enqueue(script);
+  EXPECT_TRUE(s.run());
+  return sim::to_seconds(s.sched.now());
+}
+
+TEST(Lookahead, CollinearSplitMatchesSingleMove) {
+  // The same 100 mm line, whole vs split into ten host segments: with
+  // junction lookahead the split version must not pay ten ramp cycles.
+  std::string split = "G28 X\n";
+  for (int i = 1; i <= 10; ++i) {
+    split += "G1 X" + std::to_string(i * 10) + " F6000\n";
+  }
+  const double whole = timed("G28 X\nG1 X100 F6000\n");
+  const double chopped = timed(split);
+  EXPECT_NEAR(chopped, whole, whole * 0.06);
+}
+
+TEST(Lookahead, ReversalsStillSlowToJunctionSpeed) {
+  // Ten 10 mm zigzag reversals cover the same 100 mm of path but must
+  // re-ramp at every reversal: slower than the collinear chain once the
+  // shared homing time is factored out.
+  std::string zigzag = "G28 X\n";
+  for (int i = 0; i < 10; ++i) {
+    zigzag += (i % 2 == 0) ? "G1 X10 F6000\n" : "G1 X0 F6000\n";
+  }
+  std::string collinear = "G28 X\n";
+  for (int i = 1; i <= 10; ++i) {
+    collinear += "G1 X" + std::to_string(i * 10) + " F6000\n";
+  }
+  const double homing = timed("G28 X\n");
+  const double zig_motion = timed(zigzag) - homing;
+  const double line_motion = timed(collinear) - homing;
+  EXPECT_GT(zig_motion, line_motion * 1.2);
+}
+
+TEST(Lookahead, RightAngleCornersAreIntermediate) {
+  // An L-shaped staircase sits between collinear (full speed) and
+  // reversal (jerk floor) behaviour.
+  std::string stairs = "G28\n";
+  for (int i = 1; i <= 5; ++i) {
+    stairs += "G1 X" + std::to_string(i * 10) + " F6000\n";
+    stairs += "G1 Y" + std::to_string(i * 10) + " F6000\n";
+  }
+  std::string collinear = "G28\n";
+  for (int i = 1; i <= 10; ++i) {
+    collinear += "G1 X" + std::to_string(i * 10) + " F6000\n";
+  }
+  // Same total path length (100 mm).
+  const double corner_time = timed(stairs);
+  const double straight_time = timed(collinear);
+  EXPECT_GT(corner_time, straight_time);
+}
+
+TEST(Lookahead, ArcChordsCruise) {
+  // A G3 circle is executed as ~1 mm chords; with lookahead the whole
+  // arc runs near the commanded feedrate.  62.8 mm at 40 mm/s ~= 1.57 s
+  // ideal; without lookahead every chord would ramp 8->40->8 mm/s at
+  // ~63 ramp cycles (~2x slower).
+  const double baseline = timed("G28\nG0 X60 Y50 F6000\n");
+  const double with_arc =
+      timed("G28\nG0 X60 Y50 F6000\nG3 X60 Y50 I-10 J0 F2400\n");
+  const double arc_s = with_arc - baseline;
+  EXPECT_GT(arc_s, 1.5);
+  EXPECT_LT(arc_s, 2.4);
+}
+
+TEST(Lookahead, MotionBreakersResetContinuity) {
+  // A dwell between two collinear moves forces a full stop; timing must
+  // exceed the continuous version.
+  const double continuous = timed("G28 X\nG1 X50 F6000\nG1 X100 F6000\n");
+  const double broken =
+      timed("G28 X\nG1 X50 F6000\nG4 P0\nG1 X100 F6000\n");
+  EXPECT_GT(broken, continuous - 1e-9);
+}
+
+TEST(Lookahead, StepCountsAreUnchangedByLookahead) {
+  // Lookahead is a timing feature: positions and step totals must be
+  // exactly the geometry's.
+  fw::Config config;
+  config.segment_jitter_max = 0;
+  DirectStack s(config);
+  s.enqueue("G28\nG1 X40 Y0 F6000\nG1 X40 Y40 F6000\nG1 X0 Y40 F6000\n");
+  EXPECT_TRUE(s.run());
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kX).position_mm(), 0.0, 0.15);
+  EXPECT_NEAR(s.printer.axis(sim::Axis::kY).position_mm(), 40.0, 0.15);
+}
+
+}  // namespace
+}  // namespace offramps::fw

@@ -1,0 +1,134 @@
+// Unit + property tests for the motion planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fw/planner.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::fw {
+namespace {
+
+Config cfg() { return Config{}; }
+
+TEST(Segment, DominantAxisIsLargestMagnitude) {
+  Segment s;
+  s.steps = {100, -300, 4, 0};
+  EXPECT_EQ(s.dominant(), sim::Axis::kY);
+  EXPECT_EQ(s.dominant_steps(), 300);
+}
+
+TEST(Segment, EmptyDetection) {
+  Segment s;
+  EXPECT_TRUE(s.empty());
+  s.steps = {0, 0, 0, 1};
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Planner, CruiseMatchesRequestedFeed) {
+  const Config c = cfg();
+  Planner p(c);
+  // Pure X move: 10 mm at 50 mm/s -> 5000 steps/s at 100 steps/mm.
+  const Segment s = p.plan({1000, 0, 0, 0}, 50.0);
+  EXPECT_NEAR(s.cruise_sps, 5000.0, 1.0);
+  EXPECT_EQ(s.dominant(), sim::Axis::kX);
+}
+
+TEST(Planner, DiagonalSplitsSpeedAcrossAxes) {
+  const Config c = cfg();
+  Planner p(c);
+  // 45-degree XY move at 50 mm/s: each axis runs at 50/sqrt(2) mm/s.
+  const Segment s = p.plan({1000, 1000, 0, 0}, 50.0);
+  EXPECT_NEAR(s.cruise_sps, 50.0 / std::sqrt(2.0) * 100.0, 1.0);
+}
+
+TEST(Planner, PerAxisFeedrateCapScalesWholeMove) {
+  const Config c = cfg();  // Z max 12 mm/s
+  Planner p(c);
+  // Z-only move requested at 50 mm/s must clamp to 12 mm/s -> 4800 sps.
+  const Segment s = p.plan({0, 0, 4000, 0}, 50.0);
+  EXPECT_NEAR(s.cruise_sps, 12.0 * 400.0, 1.0);
+}
+
+TEST(Planner, EOnlyMoveUsesEFeed) {
+  const Config c = cfg();
+  Planner p(c);
+  // 2 mm retract at 35 mm/s -> 35 * 280 = 9800 sps.
+  const Segment s = p.plan({0, 0, 0, -560}, 35.0);
+  EXPECT_EQ(s.dominant(), sim::Axis::kE);
+  EXPECT_NEAR(s.cruise_sps, 9800.0, 1.0);
+}
+
+TEST(Planner, JunctionSpeedCapsEntryAndExit) {
+  const Config c = cfg();  // junction 8 mm/s
+  Planner p(c);
+  const Segment s = p.plan({2000, 0, 0, 0}, 100.0);
+  EXPECT_NEAR(s.entry_sps, 8.0 * 100.0, 1.0);
+  EXPECT_NEAR(s.exit_sps, s.entry_sps, 1e-9);
+  EXPECT_LT(s.entry_sps, s.cruise_sps);
+}
+
+TEST(Planner, SlowMovesEnterAtCruise) {
+  const Config c = cfg();
+  Planner p(c);
+  // 4 mm/s < 8 mm/s junction speed: no ramp needed.
+  const Segment s = p.plan({1000, 0, 0, 0}, 4.0);
+  EXPECT_NEAR(s.entry_sps, s.cruise_sps, 1e-9);
+}
+
+TEST(Planner, ExtruderFollowsAsBresenhamMinor) {
+  const Config c = cfg();
+  Planner p(c);
+  const Segment s = p.plan({1000, 0, 0, 130}, 40.0);
+  EXPECT_EQ(s.dominant(), sim::Axis::kX);
+  EXPECT_EQ(s.steps[3], 130);
+}
+
+TEST(Planner, ZeroFeedThrows) {
+  const Config c = cfg();
+  Planner p(c);
+  EXPECT_THROW(p.plan({100, 0, 0, 0}, 0.0), offramps::Error);
+}
+
+TEST(Planner, EmptyMoveYieldsEmptySegment) {
+  const Config c = cfg();
+  Planner p(c);
+  const Segment s = p.plan({0, 0, 0, 0}, 40.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Planner, AccelerationScalesWithDominantShare) {
+  const Config c = cfg();
+  Planner p(c);
+  const Segment pure_x = p.plan({1000, 0, 0, 0}, 40.0);
+  EXPECT_NEAR(pure_x.accel_sps2, c.acceleration_mm_s2 * 100.0, 1.0);
+  const Segment diag = p.plan({1000, 1000, 0, 0}, 40.0);
+  EXPECT_LT(diag.accel_sps2, pure_x.accel_sps2);
+}
+
+// Property sweep: for any feed and distance, planned speeds never exceed
+// per-axis limits and entry <= cruise.
+class PlannerSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::int64_t>> {};
+
+TEST_P(PlannerSweep, KinematicLimitsHold) {
+  const auto [feed, steps] = GetParam();
+  const Config c = cfg();
+  Planner p(c);
+  const Segment s = p.plan({steps, steps / 2, 0, steps / 8}, feed);
+  EXPECT_LE(s.entry_sps, s.cruise_sps + 1e-9);
+  EXPECT_LE(s.exit_sps, s.cruise_sps + 1e-9);
+  // Dominant is X here; X speed cap is 200 mm/s = 20000 sps.
+  EXPECT_LE(s.cruise_sps, 200.0 * 100.0 + 1e-9);
+  EXPECT_GE(s.cruise_sps, c.min_step_rate_sps - 1e-9);
+  EXPECT_GT(s.accel_sps2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FeedByDistance, PlannerSweep,
+    ::testing::Combine(::testing::Values(1.0, 10.0, 40.0, 120.0, 500.0),
+                       ::testing::Values<std::int64_t>(8, 160, 4000,
+                                                       100000)));
+
+}  // namespace
+}  // namespace offramps::fw

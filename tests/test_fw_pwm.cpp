@@ -1,0 +1,89 @@
+// Unit tests for the soft-PWM generator.
+#include <gtest/gtest.h>
+
+#include "fw/pwm.hpp"
+#include "sim/trace.hpp"
+
+namespace offramps::fw {
+namespace {
+
+struct PwmFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire out{sched, "pwm"};
+  SoftPwm pwm{sched, out, sim::ms(10)};
+};
+
+TEST_F(PwmFixture, ZeroDutyDrivesLowWithNoEvents) {
+  pwm.set_duty(0.0);
+  const auto pending = sched.pending();
+  sched.run_until(sim::ms(100));
+  EXPECT_FALSE(out.level());
+  EXPECT_EQ(out.rising_count(), 0u);
+  EXPECT_EQ(pending, 0u);  // saturated output costs nothing
+}
+
+TEST_F(PwmFixture, FullDutyDrivesHighSolid) {
+  pwm.set_duty(1.0);
+  sched.run_until(sim::ms(100));
+  EXPECT_TRUE(out.level());
+  EXPECT_EQ(out.rising_count(), 1u);  // one edge, no toggling
+}
+
+TEST_F(PwmFixture, FractionalDutyMeasuresCorrectly) {
+  sim::DutyMeter meter(out);
+  pwm.set_duty(0.3);
+  sched.run_until(sim::ms(1000));
+  EXPECT_NEAR(meter.sample(), 0.3, 0.02);
+}
+
+TEST_F(PwmFixture, PeriodIsRespected) {
+  sim::TraceRecorder trace(out, false);
+  pwm.set_duty(0.5);
+  sched.run_until(sim::ms(1000));
+  // 100 windows in 1000 ms at 10 ms period (re-armed 1 ns past the
+  // boundary to avoid same-instant controller collisions).
+  EXPECT_NEAR(static_cast<double>(trace.rising_edges()), 100.0, 2.0);
+  EXPECT_GE(trace.min_period(), sim::ms(10));
+  EXPECT_LE(trace.min_period(), sim::ms(10) + 10);
+}
+
+TEST_F(PwmFixture, DutyClampsOutOfRange) {
+  pwm.set_duty(1.7);
+  EXPECT_DOUBLE_EQ(pwm.duty(), 1.0);
+  pwm.set_duty(-0.3);
+  EXPECT_DOUBLE_EQ(pwm.duty(), 0.0);
+}
+
+TEST_F(PwmFixture, DutyChangeTakesEffect) {
+  sim::DutyMeter meter(out);
+  pwm.set_duty(0.8);
+  sched.run_until(sim::ms(500));
+  meter.sample();
+  pwm.set_duty(0.2);
+  sched.run_until(sim::ms(1500));
+  EXPECT_NEAR(meter.sample(), 0.2, 0.05);
+}
+
+TEST_F(PwmFixture, StopDrivesLowImmediately) {
+  pwm.set_duty(0.5);
+  sched.run_until(sim::ms(105));
+  pwm.stop();
+  EXPECT_FALSE(out.level());
+  const auto edges_at_stop = out.rising_count();
+  sched.run_until(sim::ms(300));
+  EXPECT_EQ(out.rising_count(), edges_at_stop);  // waveform really stopped
+}
+
+TEST_F(PwmFixture, RestartAfterStop) {
+  pwm.set_duty(0.5);
+  sched.run_until(sim::ms(100));
+  pwm.stop();
+  sched.run_until(sim::ms(200));
+  pwm.set_duty(0.5);
+  sim::DutyMeter meter(out);
+  sched.run_until(sim::ms(1200));
+  EXPECT_NEAR(meter.sample(), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace offramps::fw

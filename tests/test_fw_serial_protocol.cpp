@@ -1,0 +1,151 @@
+// Tests for the Marlin-style host protocol: checksums, sequencing,
+// resend, duplicates, buffer throttling, M110 - plus the end-to-end
+// guarantee that a noisy link still produces a bit-identical print.
+#include <gtest/gtest.h>
+
+#include "fw/serial_protocol.hpp"
+#include "gcode/parser.hpp"
+#include "helpers.hpp"
+#include "host/reliable_streamer.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::fw {
+namespace {
+
+using offramps::test::DirectStack;
+
+std::string framed(std::uint32_t n, const std::string& body) {
+  const std::string line = "N" + std::to_string(n) + " " + body + " ";
+  return line + "*" + std::to_string(gcode::reprap_checksum(line));
+}
+
+struct ProtocolFixture : ::testing::Test {
+  DirectStack stack;
+  SerialProtocol protocol{stack.firmware, /*buffer_limit=*/4};
+  std::uint32_t resend_from = 0;
+
+  LineStatus rx(const std::string& raw) {
+    return protocol.receive(raw, &resend_from);
+  }
+};
+
+TEST_F(ProtocolFixture, AcceptsSequencedChecksummedLines) {
+  EXPECT_EQ(rx(framed(1, "G28 X")), LineStatus::kOk);
+  EXPECT_EQ(rx(framed(2, "G1 X10 F4800")), LineStatus::kOk);
+  EXPECT_EQ(protocol.expected_line(), 3u);
+  EXPECT_EQ(stack.firmware.queue_depth(), 2u);
+  EXPECT_EQ(protocol.accepted(), 2u);
+}
+
+TEST_F(ProtocolFixture, BadChecksumRequestsResend) {
+  EXPECT_EQ(rx("N1 G28 X *99"), LineStatus::kResend);
+  EXPECT_EQ(resend_from, 1u);
+  EXPECT_EQ(protocol.checksum_errors(), 1u);
+  EXPECT_EQ(stack.firmware.queue_depth(), 0u);
+}
+
+TEST_F(ProtocolFixture, SequenceGapRequestsResend) {
+  EXPECT_EQ(rx(framed(1, "G28 X")), LineStatus::kOk);
+  EXPECT_EQ(rx(framed(5, "G1 X10")), LineStatus::kResend);
+  EXPECT_EQ(resend_from, 2u);
+  EXPECT_EQ(protocol.sequence_errors(), 1u);
+}
+
+TEST_F(ProtocolFixture, DuplicatesAreDroppedSilently) {
+  EXPECT_EQ(rx(framed(1, "G28 X")), LineStatus::kOk);
+  EXPECT_EQ(rx(framed(2, "G1 X10 F4800")), LineStatus::kOk);
+  EXPECT_EQ(rx(framed(1, "G28 X")), LineStatus::kDuplicate);
+  EXPECT_EQ(stack.firmware.queue_depth(), 2u);  // not enqueued again
+  EXPECT_EQ(protocol.duplicates(), 1u);
+}
+
+TEST_F(ProtocolFixture, BufferFullReportsBusy) {
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(rx(framed(i, "G4 P100")), LineStatus::kOk);
+  }
+  EXPECT_EQ(rx(framed(5, "G4 P100")), LineStatus::kBusy);
+  EXPECT_EQ(protocol.expected_line(), 5u);  // busy does not consume
+}
+
+TEST_F(ProtocolFixture, M110ResetsLineNumberBypassingSequence) {
+  EXPECT_EQ(rx(framed(1, "G28 X")), LineStatus::kOk);
+  EXPECT_EQ(rx(framed(2, "G4 P10")), LineStatus::kOk);
+  // Renumber backwards: M110 ignores sequencing entirely.
+  EXPECT_EQ(rx(framed(0, "M110")), LineStatus::kOk);
+  EXPECT_EQ(protocol.expected_line(), 1u);
+  EXPECT_EQ(rx(framed(1, "G4 P10")), LineStatus::kOk);
+  // The M110 itself was never enqueued as a command.
+  EXPECT_EQ(stack.firmware.queue_depth(), 3u);
+}
+
+TEST_F(ProtocolFixture, UnnumberedDebugLinesPassThrough) {
+  EXPECT_EQ(rx("M105"), LineStatus::kOk);
+  EXPECT_EQ(protocol.expected_line(), 1u);  // sequence untouched
+}
+
+TEST(ReliableLink, CleanLinkDeliversEverything) {
+  host::Rig rig;
+  SerialProtocol protocol(rig.firmware());
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  const auto program = host::slice_cube(cube, profile);
+  host::ReliableStreamer streamer(rig.scheduler(), rig.firmware(), protocol,
+                                  program);
+  streamer.start();
+  const host::RunResult r = rig.run({});
+  EXPECT_TRUE(r.finished);
+  EXPECT_TRUE(streamer.done());
+  EXPECT_EQ(streamer.corrupted_lines(), 0u);
+  EXPECT_EQ(streamer.resends_honored(), 0u);
+  EXPECT_EQ(protocol.accepted(), program.size() + 1);  // + M110
+}
+
+TEST(ReliableLink, NoisyLinkStillPrintsIdentically) {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  const auto program = host::slice_cube(cube, profile);
+
+  // Reference: clean link.
+  host::RigOptions opts;
+  opts.firmware.jitter_seed = 3;
+  host::Rig clean_rig(opts);
+  const host::RunResult clean = clean_rig.run(program);
+
+  // 5% of lines arrive corrupted.
+  host::Rig noisy_rig(opts);
+  SerialProtocol protocol(noisy_rig.firmware());
+  host::ReliableStreamerOptions sopt;
+  sopt.corruption_probability = 0.05;
+  host::ReliableStreamer streamer(noisy_rig.scheduler(),
+                                  noisy_rig.firmware(), protocol, program,
+                                  sopt);
+  streamer.start();
+  const host::RunResult noisy = noisy_rig.run({});
+
+  EXPECT_TRUE(noisy.finished);
+  EXPECT_GT(streamer.corrupted_lines(), 5u);
+  // Every resend traces back to a detected checksum/sequence error.
+  EXPECT_EQ(streamer.resends_honored(),
+            protocol.checksum_errors() + protocol.sequence_errors());
+  EXPECT_GT(protocol.checksum_errors(), 0u);
+  // The corruption never reached the motion system: identical outcome.
+  EXPECT_EQ(noisy.capture.final_counts, clean.capture.final_counts);
+  EXPECT_EQ(noisy.motor_steps, clean.motor_steps);
+}
+
+TEST(ReliableLink, HopelesslyLossyLinkThrows) {
+  host::Rig rig;
+  SerialProtocol protocol(rig.firmware());
+  host::ReliableStreamerOptions sopt;
+  sopt.corruption_probability = 1.0;  // every line corrupted
+  gcode::Program tiny = gcode::parse_program("G28 X\n");
+  host::ReliableStreamer streamer(rig.scheduler(), rig.firmware(), protocol,
+                                  tiny, sopt);
+  EXPECT_THROW(streamer.start(), offramps::Error);
+}
+
+}  // namespace
+}  // namespace offramps::fw

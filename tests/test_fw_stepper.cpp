@@ -1,0 +1,196 @@
+// Unit tests for the stepper engine: pulse counts, Bresenham following,
+// direction lines, enable management, trapezoid timing, and aborts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fw/planner.hpp"
+#include "fw/stepper.hpp"
+#include "sim/error.hpp"
+#include "sim/pins.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace offramps::fw {
+namespace {
+
+struct StepperFixture : ::testing::Test {
+  sim::Scheduler sched;
+  Config config;
+  sim::PinBank bank{sched, "t."};
+  StepperEngine engine{sched, bank, config};
+  Planner planner{config};
+
+  /// Runs a segment to completion; returns the executed steps.
+  std::array<std::int64_t, 4> run(const Segment& seg,
+                                  bool* aborted_out = nullptr) {
+    std::array<std::int64_t, 4> result{};
+    bool done = false;
+    engine.start(seg, [&](bool aborted, std::array<std::int64_t, 4> ex) {
+      result = ex;
+      done = true;
+      if (aborted_out != nullptr) *aborted_out = aborted;
+    });
+    sched.run_all();
+    EXPECT_TRUE(done);
+    return result;
+  }
+};
+
+TEST_F(StepperFixture, EmitsExactPulseCount) {
+  sim::TraceRecorder x(bank.step(sim::Axis::kX), false);
+  const auto executed = run(planner.plan({500, 0, 0, 0}, 40.0));
+  EXPECT_EQ(x.rising_edges(), 500u);
+  EXPECT_EQ(x.falling_edges(), 500u);
+  EXPECT_EQ(executed[0], 500);
+}
+
+TEST_F(StepperFixture, NegativeMoveSetsDirLow) {
+  const auto executed = run(planner.plan({-200, 0, 0, 0}, 40.0));
+  EXPECT_FALSE(bank.dir(sim::Axis::kX).level());
+  EXPECT_EQ(executed[0], -200);
+}
+
+TEST_F(StepperFixture, PositiveMoveSetsDirHigh) {
+  run(planner.plan({200, 0, 0, 0}, 40.0));
+  EXPECT_TRUE(bank.dir(sim::Axis::kX).level());
+}
+
+TEST_F(StepperFixture, AutoEnablesMovingAxes) {
+  EXPECT_TRUE(bank.enable(sim::Axis::kX).level());  // /EN idle high
+  run(planner.plan({100, 0, 0, 20}, 40.0));
+  EXPECT_FALSE(bank.enable(sim::Axis::kX).level());  // enabled
+  EXPECT_FALSE(bank.enable(sim::Axis::kE).level());
+  EXPECT_TRUE(bank.enable(sim::Axis::kY).level());   // untouched
+}
+
+TEST_F(StepperFixture, SetAllEnabled) {
+  engine.set_all_enabled(true);
+  for (const auto a : sim::kAllAxes) {
+    EXPECT_FALSE(bank.enable(a).level());
+  }
+  engine.set_all_enabled(false);
+  for (const auto a : sim::kAllAxes) {
+    EXPECT_TRUE(bank.enable(a).level());
+  }
+}
+
+TEST_F(StepperFixture, BresenhamDeliversMinorAxisExactly) {
+  sim::TraceRecorder x(bank.step(sim::Axis::kX), false);
+  sim::TraceRecorder e(bank.step(sim::Axis::kE), false);
+  const auto executed = run(planner.plan({1000, 0, 0, 137}, 40.0));
+  EXPECT_EQ(x.rising_edges(), 1000u);
+  EXPECT_EQ(e.rising_edges(), 137u);
+  EXPECT_EQ(executed[3], 137);
+}
+
+TEST_F(StepperFixture, MixedSignsFollowCorrectly) {
+  const auto executed = run(planner.plan({800, -600, 0, 0}, 40.0));
+  EXPECT_EQ(executed[0], 800);
+  EXPECT_EQ(executed[1], -600);
+  EXPECT_TRUE(bank.dir(sim::Axis::kX).level());
+  EXPECT_FALSE(bank.dir(sim::Axis::kY).level());
+}
+
+TEST_F(StepperFixture, PulseWidthRespectsConfig) {
+  sim::TraceRecorder x(bank.step(sim::Axis::kX), true);
+  run(planner.plan({50, 0, 0, 0}, 40.0));
+  EXPECT_EQ(x.min_high_pulse(), config.step_pulse_width);
+  EXPECT_GE(x.min_low_pulse(), config.step_pulse_gap);
+}
+
+TEST_F(StepperFixture, TrapezoidTakesLongerThanCruiseOnly) {
+  // 4000 steps at 40 mm/s cruise with accel ramps: the move must take at
+  // least the ideal cruise time and include ramp overhead.
+  const sim::Tick start = sched.now();
+  run(planner.plan({4000, 0, 0, 0}, 40.0));
+  const double elapsed = sim::to_seconds(sched.now() - start);
+  const double cruise_only = 4000.0 / (40.0 * 100.0);
+  EXPECT_GT(elapsed, cruise_only);
+  EXPECT_LT(elapsed, cruise_only * 2.0);
+}
+
+TEST_F(StepperFixture, ShortMoveStillCompletes) {
+  const auto executed = run(planner.plan({1, 0, 0, 0}, 40.0));
+  EXPECT_EQ(executed[0], 1);
+}
+
+TEST_F(StepperFixture, EmptySegmentCompletesAsynchronously) {
+  bool done = false;
+  engine.start(Segment{}, [&](bool aborted, auto) {
+    EXPECT_FALSE(aborted);
+    done = true;
+  });
+  EXPECT_FALSE(done);  // not synchronous
+  sched.run_all();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(StepperFixture, StartWhileBusyThrows) {
+  engine.start(planner.plan({1000, 0, 0, 0}, 40.0), [](bool, auto) {});
+  EXPECT_THROW(
+      engine.start(planner.plan({10, 0, 0, 0}, 40.0), [](bool, auto) {}),
+      offramps::Error);
+  sched.run_all();
+}
+
+TEST_F(StepperFixture, AbortStopsMidSegment) {
+  bool aborted = false;
+  std::array<std::int64_t, 4> executed{};
+  engine.start(planner.plan({100000, 0, 0, 0}, 40.0),
+               [&](bool a, std::array<std::int64_t, 4> ex) {
+                 aborted = a;
+                 executed = ex;
+               });
+  sched.schedule_at(sim::ms(50), [&] { engine.abort(); });
+  sched.run_all();
+  EXPECT_TRUE(aborted);
+  EXPECT_GT(executed[0], 0);
+  EXPECT_LT(executed[0], 100000);
+  EXPECT_FALSE(engine.busy());
+}
+
+TEST_F(StepperFixture, EndstopAbortsHomingSegment) {
+  Segment seg = planner.plan({-5000, 0, 0, 0}, 40.0);
+  seg.abort_on_endstop = true;
+  seg.endstop_axis = sim::Axis::kX;
+  // Trip the endstop 20 ms in.
+  sched.schedule_at(sim::ms(20),
+                    [&] { bank.min_endstop(sim::Axis::kX).set(true); });
+  bool aborted = false;
+  const auto executed = run(seg, &aborted);
+  EXPECT_TRUE(aborted);
+  EXPECT_LT(executed[0], 0);
+  EXPECT_GT(executed[0], -5000);
+}
+
+TEST_F(StepperFixture, AlreadyTriggeredEndstopAbortsImmediately) {
+  bank.min_endstop(sim::Axis::kX).set(true);
+  Segment seg = planner.plan({-5000, 0, 0, 0}, 40.0);
+  seg.abort_on_endstop = true;
+  seg.endstop_axis = sim::Axis::kX;
+  bool aborted = false;
+  const auto executed = run(seg, &aborted);
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(executed[0], 0);
+}
+
+TEST_F(StepperFixture, LifetimeStepsAccumulateAcrossSegments) {
+  run(planner.plan({100, 50, 0, 0}, 40.0));
+  run(planner.plan({-40, 0, 0, 10}, 40.0));
+  const auto& life = engine.lifetime_steps();
+  EXPECT_EQ(life[0], 60);
+  EXPECT_EQ(life[1], 50);
+  EXPECT_EQ(life[3], 10);
+}
+
+TEST_F(StepperFixture, StepRateStaysUnderTwentyKilohertz) {
+  // The paper measured all Arduino->RAMPS signals below 20 kHz; verify a
+  // fast travel move respects that envelope (X at 120 mm/s = 12 kHz).
+  sim::TraceRecorder x(bank.step(sim::Axis::kX), false);
+  run(planner.plan({12000, 0, 0, 0}, 120.0));
+  EXPECT_LT(x.max_frequency_hz(), 20'000.0);
+}
+
+}  // namespace
+}  // namespace offramps::fw

@@ -1,0 +1,217 @@
+// Unit tests for the thermal manager: PID heating against the plant model,
+// bang-bang bed control, and every protection path (max/min temp, heating
+// failed, thermal runaway).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "fw/thermal.hpp"
+#include "plant/thermal.hpp"
+#include "sim/pins.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/thermistor.hpp"
+
+namespace offramps::fw {
+namespace {
+
+/// Thermal manager wired to real heater plants through one pin bank.
+struct ThermalFixture : ::testing::Test {
+  sim::Scheduler sched;
+  Config config;
+  sim::PinBank bank{sched, "t."};
+  std::optional<plant::HeaterPlant> hotend_plant;
+  std::optional<plant::HeaterPlant> bed_plant;
+  std::optional<ThermalManager> tm;
+  bool killed = false;
+  ThermalFault kill_fault = ThermalFault::kNone;
+
+  void build(plant::HeaterParams hotend_params = plant::hotend_params(),
+             plant::HeaterParams bed_params = plant::bed_params()) {
+    hotend_plant.emplace(sched, bank.wire(sim::Pin::kHotendHeat),
+                         bank.analog(sim::APin::kThermHotend),
+                         hotend_params);
+    bed_plant.emplace(sched, bank.wire(sim::Pin::kBedHeat),
+                      bank.analog(sim::APin::kThermBed), bed_params);
+    tm.emplace(sched, config, bank.analog(sim::APin::kThermHotend),
+               bank.analog(sim::APin::kThermBed),
+               bank.wire(sim::Pin::kHotendHeat),
+               bank.wire(sim::Pin::kBedHeat),
+               [this](Heater, ThermalFault f) {
+                 killed = true;
+                 kill_fault = f;
+               });
+    tm->start();
+  }
+};
+
+TEST_F(ThermalFixture, ReadsAmbientAtStart) {
+  build();
+  sched.run_until(sim::seconds(1));
+  EXPECT_NEAR(tm->current(Heater::kHotend), 25.0, 2.0);
+  EXPECT_NEAR(tm->current(Heater::kBed), 25.0, 2.0);
+}
+
+TEST_F(ThermalFixture, PidReachesAndHoldsHotendTarget) {
+  build();
+  tm->set_target(Heater::kHotend, 210.0);
+  sched.run_until(sim::seconds(120));
+  EXPECT_TRUE(tm->at_target(Heater::kHotend));
+  // Hold for two more minutes: stays in band, no fault.
+  double min_seen = 1000.0, max_seen = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    sched.run_until(sched.now() + sim::seconds(1));
+    min_seen = std::min(min_seen, tm->current(Heater::kHotend));
+    max_seen = std::max(max_seen, tm->current(Heater::kHotend));
+  }
+  EXPECT_GT(min_seen, 205.0);
+  EXPECT_LT(max_seen, 218.0);
+  EXPECT_FALSE(killed);
+}
+
+TEST_F(ThermalFixture, BangBangControlsBed) {
+  build();
+  tm->set_target(Heater::kBed, 60.0);
+  sched.run_until(sim::seconds(400));
+  EXPECT_TRUE(tm->at_target(Heater::kBed));
+  EXPECT_FALSE(killed);
+}
+
+TEST_F(ThermalFixture, TargetZeroTurnsHeaterOff) {
+  build();
+  tm->set_target(Heater::kHotend, 210.0);
+  sched.run_until(sim::seconds(120));
+  tm->set_target(Heater::kHotend, 0.0);
+  sched.run_until(sim::seconds(121));
+  EXPECT_FALSE(bank.wire(sim::Pin::kHotendHeat).level());
+  sched.run_until(sim::seconds(400));
+  EXPECT_LT(tm->current(Heater::kHotend), 100.0);  // cooling down
+  EXPECT_FALSE(killed);
+}
+
+TEST_F(ThermalFixture, DeadHeaterTriggersHeatingFailed) {
+  // Heater cartridge unplugged: zero watts delivered.
+  auto params = plant::hotend_params();
+  params.power_w = 0.0;
+  build(params);
+  tm->set_target(Heater::kHotend, 210.0);
+  sched.run_until(sim::seconds(120));
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(kill_fault, ThermalFault::kHeatingFailed);
+  EXPECT_FALSE(bank.wire(sim::Pin::kHotendHeat).level());
+}
+
+/// Fixture with NO plant: the test scripts the ADC reading directly, so
+/// protection paths can be driven through arbitrary temperature profiles.
+struct ManualAdcFixture : ::testing::Test {
+  sim::Scheduler sched;
+  Config config;
+  sim::PinBank bank{sched, "t."};
+  std::optional<ThermalManager> tm;
+  sim::Thermistor therm;
+  bool killed = false;
+  ThermalFault kill_fault = ThermalFault::kNone;
+
+  void SetUp() override {
+    set_temp(25.0);
+    bank.analog(sim::APin::kThermBed).set(therm.adc_counts(25.0));
+    tm.emplace(sched, config, bank.analog(sim::APin::kThermHotend),
+               bank.analog(sim::APin::kThermBed),
+               bank.wire(sim::Pin::kHotendHeat),
+               bank.wire(sim::Pin::kBedHeat),
+               [this](Heater, ThermalFault f) {
+                 killed = true;
+                 kill_fault = f;
+               });
+    tm->start();
+  }
+
+  void set_temp(double c) {
+    bank.analog(sim::APin::kThermHotend).set(therm.adc_counts(c));
+  }
+
+  /// Schedules `temp(t)` samples once per second for `seconds` seconds.
+  template <typename Fn>
+  void drive_profile(double seconds, Fn temp) {
+    for (int i = 0; i <= static_cast<int>(seconds); ++i) {
+      const double c = temp(static_cast<double>(i));
+      sched.schedule_at(sched.now() + sim::seconds(
+                            static_cast<std::uint64_t>(i)),
+                        [this, c] { set_temp(c); });
+    }
+  }
+};
+
+TEST_F(ManualAdcFixture, PowerLossAfterStableTriggersRunaway) {
+  tm->set_target(Heater::kHotend, 210.0);
+  // Healthy heat-up reaching the target, then a fall-away: a downstream
+  // Trojan (T6) or wiring fault has cut heater power.
+  drive_profile(200.0, [](double t) {
+    if (t < 60.0) return 25.0 + t * 3.2;        // heat to ~217
+    if (t < 90.0) return 210.0;                  // stable at target
+    return std::max(25.0, 210.0 - (t - 90.0) * 1.5);  // falling away
+  });
+  sched.run_until(sim::seconds(200));
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(kill_fault, ThermalFault::kThermalRunaway);
+}
+
+TEST_F(ManualAdcFixture, OverTemperatureTriggersMaxTemp) {
+  tm->set_target(Heater::kHotend, 210.0);
+  // An externally forced heater (Trojan T7): readings race past spec.
+  drive_profile(20.0, [](double t) { return 25.0 + t * 20.0; });
+  sched.run_until(sim::seconds(20));
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(kill_fault, ThermalFault::kMaxTemp);
+}
+
+TEST_F(ManualAdcFixture, OpenSensorTriggersMinTemp) {
+  // Thermistor unplugged: ADC pinned at the rail reads far below zero.
+  sched.schedule_at(sim::seconds(2), [this] {
+    bank.analog(sim::APin::kThermHotend).set(1023.0);
+  });
+  sched.run_until(sim::seconds(5));
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(kill_fault, ThermalFault::kMinTemp);
+}
+
+TEST_F(ManualAdcFixture, SlowHeatingTripsHeatingFailedWatch) {
+  tm->set_target(Heater::kHotend, 210.0);
+  // Gains less than watch_increase (2 C) per watch_period (20 s).
+  drive_profile(120.0, [](double t) { return 25.0 + t * 0.05; });
+  sched.run_until(sim::seconds(120));
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(kill_fault, ThermalFault::kHeatingFailed);
+}
+
+TEST_F(ManualAdcFixture, BriefDipWithinHysteresisIsTolerated) {
+  tm->set_target(Heater::kHotend, 210.0);
+  drive_profile(200.0, [](double t) {
+    if (t < 60.0) return 25.0 + t * 3.2;
+    if (t >= 100.0 && t < 110.0) return 207.5;  // dip within hysteresis
+    return 210.0;
+  });
+  sched.run_until(sim::seconds(200));
+  EXPECT_FALSE(killed);
+}
+
+TEST_F(ThermalFixture, ShutdownStopsBothHeaters) {
+  build();
+  tm->set_target(Heater::kHotend, 210.0);
+  tm->set_target(Heater::kBed, 60.0);
+  sched.run_until(sim::seconds(10));
+  tm->shutdown();
+  EXPECT_FALSE(bank.wire(sim::Pin::kHotendHeat).level());
+  EXPECT_FALSE(bank.wire(sim::Pin::kBedHeat).level());
+  EXPECT_DOUBLE_EQ(tm->target(Heater::kHotend), 0.0);
+}
+
+TEST(ThermalFaultNames, AreMarlinLike) {
+  EXPECT_STREQ(thermal_fault_name(ThermalFault::kThermalRunaway),
+               "Thermal Runaway");
+  EXPECT_STREQ(thermal_fault_name(ThermalFault::kHeatingFailed),
+               "Heating failed");
+  EXPECT_STREQ(thermal_fault_name(ThermalFault::kNone), "none");
+}
+
+}  // namespace
+}  // namespace offramps::fw

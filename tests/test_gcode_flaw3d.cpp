@@ -1,0 +1,164 @@
+// Unit + property tests for the Flaw3D Trojan g-code transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gcode/flaw3d.hpp"
+#include "gcode/parser.hpp"
+#include "gcode/stats.hpp"
+#include "host/slicer.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::gcode::flaw3d {
+namespace {
+
+Program sliced_square() {
+  host::SliceProfile profile;
+  host::SquareSpec spec{.size_mm = 15.0, .height_mm = 2.0,
+                        .center_x_mm = 110.0, .center_y_mm = 100.0};
+  return host::slice_square(spec, profile);
+}
+
+TEST(Reduction, ScalesExtrusionByFactor) {
+  const Program original = sliced_square();
+  const Statistics before = analyze(original);
+  MutationReport report;
+  const Program mutated =
+      apply_reduction(original, {.factor = 0.5}, &report);
+  const Statistics after = analyze(mutated);
+  // Retractions (and their matching unretract E-only advances) are
+  // preserved; the printed extrusion shrinks, so total positive advance
+  // lands between 50% and 100% of the original.
+  EXPECT_LT(after.extruded_mm, before.extruded_mm);
+  EXPECT_NEAR(report.e_out_mm / report.e_in_mm, 0.5, 0.25);
+  EXPECT_GT(report.moves_modified, 0u);
+  EXPECT_EQ(report.commands_inserted, 0u);
+  // Geometry untouched: same commands, same motion.
+  ASSERT_EQ(mutated.size(), original.size());
+  EXPECT_DOUBLE_EQ(analyze(mutated).extrusion_path_mm,
+                   before.extrusion_path_mm);
+}
+
+TEST(Reduction, StealthiestCaseBarelyChangesTotals) {
+  const Program original = sliced_square();
+  MutationReport report;
+  apply_reduction(original, {.factor = 0.98}, &report);
+  EXPECT_NEAR(report.e_out_mm / report.e_in_mm, 0.98, 0.02);
+}
+
+TEST(Reduction, FactorOneIsIdentity) {
+  const Program original = sliced_square();
+  MutationReport report;
+  const Program mutated =
+      apply_reduction(original, {.factor = 1.0}, &report);
+  EXPECT_EQ(report.moves_modified, 0u);
+  EXPECT_EQ(mutated, original);
+}
+
+TEST(Reduction, RejectsBadFactor) {
+  EXPECT_THROW(apply_reduction({}, {.factor = -0.1}), offramps::Error);
+  EXPECT_THROW(apply_reduction({}, {.factor = 1.5}), offramps::Error);
+}
+
+TEST(Reduction, HandlesRelativeEMode) {
+  const Program p = parse_program(
+      "M83\n"
+      "G1 X10 E2 F1200\n"
+      "G1 X20 E2 F1200\n");
+  MutationReport report;
+  const Program mutated = apply_reduction(p, {.factor = 0.5}, &report);
+  EXPECT_DOUBLE_EQ(*mutated[1].get('E'), 1.0);
+  EXPECT_DOUBLE_EQ(*mutated[2].get('E'), 1.0);
+}
+
+TEST(Reduction, AbsoluteEAccumulatesConsistently) {
+  const Program p = parse_program(
+      "G1 X10 E2 F1200\n"
+      "G1 X20 E4 F1200\n"
+      "G92 E0\n"
+      "G1 X30 E2 F1200\n");
+  const Program mutated = apply_reduction(p, {.factor = 0.5});
+  EXPECT_DOUBLE_EQ(*mutated[0].get('E'), 1.0);
+  EXPECT_DOUBLE_EQ(*mutated[1].get('E'), 2.0);
+  EXPECT_DOUBLE_EQ(*mutated[3].get('E'), 1.0);  // rebased by G92
+}
+
+TEST(Reduction, RetractionsPassThrough) {
+  const Program p = parse_program(
+      "G1 X10 E2 F1200\n"
+      "G1 E1 F2100\n");  // retract 1 mm
+  const Program mutated = apply_reduction(p, {.factor = 0.5});
+  // Extrusion halves to 1; retraction still pulls back a full 1 mm.
+  EXPECT_DOUBLE_EQ(*mutated[0].get('E'), 1.0);
+  EXPECT_DOUBLE_EQ(*mutated[1].get('E'), 0.0);
+}
+
+TEST(Relocation, ConservesTotalFilamentModuloTail) {
+  const Program original = sliced_square();
+  const Statistics before = analyze(original);
+  MutationReport report;
+  const Program mutated = apply_relocation(
+      original, {.every_n_moves = 5, .take_fraction = 0.15}, &report);
+  const Statistics after = analyze(mutated);
+  // Relocation withholds then re-extrudes; at most one batch can remain
+  // unflushed at program end.
+  EXPECT_NEAR(after.extruded_mm, before.extruded_mm,
+              before.extruded_mm * 0.05);
+  EXPECT_GT(report.commands_inserted, 0u);
+}
+
+TEST(Relocation, InsertsBlobsEveryN) {
+  const Program original = sliced_square();
+  const Statistics s = analyze(original);
+  MutationReport report;
+  apply_relocation(original, {.every_n_moves = 10, .take_fraction = 0.2},
+                   &report);
+  // One blob (plus an optional feedrate restore) about every 10
+  // extrusion moves.
+  const auto expected =
+      static_cast<std::uint64_t>(s.extrusion_move_count / 10);
+  EXPECT_GE(report.commands_inserted, expected);
+  EXPECT_LE(report.commands_inserted, 2 * expected + 2);
+}
+
+TEST(Relocation, LargerNMeansFewerInsertions) {
+  const Program original = sliced_square();
+  MutationReport r5, r100;
+  apply_relocation(original, {.every_n_moves = 5, .take_fraction = 0.15},
+                   &r5);
+  apply_relocation(original, {.every_n_moves = 100, .take_fraction = 0.15},
+                   &r100);
+  EXPECT_GT(r5.commands_inserted, r100.commands_inserted);
+}
+
+TEST(Relocation, RejectsBadParameters) {
+  EXPECT_THROW(apply_relocation({}, {.every_n_moves = 0}), offramps::Error);
+  EXPECT_THROW(
+      apply_relocation({}, {.every_n_moves = 5, .take_fraction = 0.0}),
+      offramps::Error);
+  EXPECT_THROW(
+      apply_relocation({}, {.every_n_moves = 5, .take_fraction = 1.0}),
+      offramps::Error);
+}
+
+// Property sweep over Table II's reduction factors: output/input extrusion
+// ratio tracks the factor (within the tolerance induced by preserved
+// retract/unretract pairs).
+class ReductionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReductionSweep, RatioTracksFactor) {
+  const double factor = GetParam();
+  MutationReport report;
+  apply_reduction(sliced_square(), {.factor = factor}, &report);
+  ASSERT_GT(report.e_in_mm, 0.0);
+  const double ratio = report.e_out_mm / report.e_in_mm;
+  // Unretract E-only moves are scaled too; only pure retractions are
+  // exempt, so the overall ratio stays close to the factor.
+  EXPECT_NEAR(ratio, factor, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ReductionSweep,
+                         ::testing::Values(0.5, 0.85, 0.9, 0.98));
+
+}  // namespace
+}  // namespace offramps::gcode::flaw3d

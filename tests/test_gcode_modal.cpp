@@ -1,0 +1,117 @@
+// Unit tests for the modal g-code interpreter.
+#include <gtest/gtest.h>
+
+#include "gcode/modal.hpp"
+#include "gcode/parser.hpp"
+
+namespace offramps::gcode {
+namespace {
+
+Command line(const char* text) {
+  auto cmd = parse_line(text);
+  EXPECT_TRUE(cmd.has_value()) << text;
+  return *cmd;
+}
+
+TEST(Modal, AbsoluteMoveResolvesDeltas) {
+  ModalState m;
+  const auto mv = m.apply(line("G1 X10 Y5 F1200"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->delta[0], 10.0);
+  EXPECT_DOUBLE_EQ(mv->delta[1], 5.0);
+  EXPECT_DOUBLE_EQ(mv->feed_mm_min, 1200.0);
+  EXPECT_EQ(mv->kind, MoveKind::kTravel);
+}
+
+TEST(Modal, RelativeModeAccumulates) {
+  ModalState m;
+  m.apply(line("G91"));
+  m.apply(line("G1 X5"));
+  const auto mv = m.apply(line("G1 X5"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->from[0], 5.0);
+  EXPECT_DOUBLE_EQ(mv->target[0], 10.0);
+}
+
+TEST(Modal, G90RestoresAbsolute) {
+  ModalState m;
+  m.apply(line("G91"));
+  m.apply(line("G1 X5"));
+  m.apply(line("G90"));
+  const auto mv = m.apply(line("G1 X5"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->delta[0], 0.0);
+}
+
+TEST(Modal, ExtruderModeIndependentViaM82M83) {
+  ModalState m;
+  m.apply(line("M83"));  // relative E, absolute XYZ
+  m.apply(line("G1 X10 E2"));
+  const auto mv = m.apply(line("G1 X20 E2"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->delta[3], 2.0);
+  EXPECT_DOUBLE_EQ(mv->target[3], 4.0);
+  EXPECT_DOUBLE_EQ(mv->delta[0], 10.0);  // XYZ still absolute
+}
+
+TEST(Modal, G92RebasesE) {
+  ModalState m;
+  m.apply(line("G1 E5"));
+  m.apply(line("G92 E0"));
+  const auto mv = m.apply(line("G1 E1"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->delta[3], 1.0);
+}
+
+TEST(Modal, BareG92ZeroesEverything) {
+  ModalState m;
+  m.apply(line("G1 X10 Y10 Z2 E5"));
+  m.apply(line("G92"));
+  EXPECT_DOUBLE_EQ(m.position()[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.position()[3], 0.0);
+}
+
+TEST(Modal, G28ZeroesNamedAxes) {
+  ModalState m;
+  m.apply(line("G1 X10 Y10 Z5"));
+  m.apply(line("G28 X"));
+  EXPECT_DOUBLE_EQ(m.position()[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.position()[1], 10.0);
+  m.apply(line("G28"));
+  EXPECT_DOUBLE_EQ(m.position()[1], 0.0);
+  EXPECT_DOUBLE_EQ(m.position()[2], 0.0);
+}
+
+TEST(Modal, FeedratePersistsAcrossMoves) {
+  ModalState m;
+  m.apply(line("G1 X1 F600"));
+  const auto mv = m.apply(line("G1 X2"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->feed_mm_min, 600.0);
+}
+
+TEST(Modal, MoveClassification) {
+  ModalState m;
+  EXPECT_EQ(m.apply(line("G1 X10"))->kind, MoveKind::kTravel);
+  EXPECT_EQ(m.apply(line("G1 X20 E1"))->kind, MoveKind::kExtrusion);
+  EXPECT_EQ(m.apply(line("G1 E0.5"))->kind, MoveKind::kRetraction);
+  EXPECT_EQ(m.apply(line("G1 E2"))->kind, MoveKind::kEOnly);
+  EXPECT_EQ(m.apply(line("G1 X30 E1"))->kind, MoveKind::kRetraction);
+}
+
+TEST(Modal, TravelDistance) {
+  ModalState m;
+  const auto mv = m.apply(line("G1 X3 Y4"));
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_DOUBLE_EQ(mv->travel_mm(), 5.0);
+}
+
+TEST(Modal, NonMotionCommandsReturnNullopt) {
+  ModalState m;
+  EXPECT_FALSE(m.apply(line("M104 S210")).has_value());
+  EXPECT_FALSE(m.apply(line("G90")).has_value());
+  EXPECT_FALSE(m.apply(line("M106 S255")).has_value());
+}
+
+}  // namespace
+}  // namespace offramps::gcode

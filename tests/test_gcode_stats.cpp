@@ -1,0 +1,88 @@
+// Unit tests for the g-code statistics analyzer.
+#include <gtest/gtest.h>
+
+#include "gcode/parser.hpp"
+#include "gcode/stats.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::gcode {
+namespace {
+
+TEST(Stats, CountsMoveKinds) {
+  const Program p = parse_program(
+      "G28\n"
+      "G1 X10 Y0 E1 F1200\n"   // extrusion
+      "G1 E0.2 F2100\n"        // retraction
+      "G0 X20 F6000\n"         // travel
+      "G1 E1.0 F2100\n"        // unretract (E-only positive)
+      "G1 X30 E2 F1200\n");    // extrusion
+  const Statistics s = analyze(p);
+  EXPECT_EQ(s.command_count, 6u);
+  EXPECT_EQ(s.move_count, 5u);
+  EXPECT_EQ(s.extrusion_move_count, 2u);
+  EXPECT_EQ(s.travel_move_count, 1u);
+  EXPECT_EQ(s.retraction_count, 1u);
+}
+
+TEST(Stats, ExtrusionTotals) {
+  const Program p = parse_program(
+      "G1 X10 E2 F1200\n"
+      "G1 E1 F2100\n"     // retract 1
+      "G1 E2 F2100\n"     // unretract 1
+      "G1 X20 E4 F1200\n");
+  const Statistics s = analyze(p);
+  EXPECT_DOUBLE_EQ(s.extruded_mm, 5.0);   // 2 + 1 + 2
+  EXPECT_DOUBLE_EQ(s.retracted_mm, 1.0);
+  EXPECT_DOUBLE_EQ(s.net_e_mm(), 4.0);
+}
+
+TEST(Stats, BoundingBoxCoversExtrusionOnly) {
+  const Program p = parse_program(
+      "G0 X100 Y100 F6000\n"
+      "G1 X110 Y100 E1 F1200\n"
+      "G1 X110 Y110 E2 F1200\n"
+      "G0 X0 Y0 F6000\n");  // travel back should not expand the bbox
+  const Statistics s = analyze(p);
+  ASSERT_TRUE(s.extrusion_bbox.valid);
+  EXPECT_DOUBLE_EQ(s.extrusion_bbox.min_x, 100.0);
+  EXPECT_DOUBLE_EQ(s.extrusion_bbox.max_x, 110.0);
+  EXPECT_DOUBLE_EQ(s.extrusion_bbox.width(), 10.0);
+  EXPECT_DOUBLE_EQ(s.extrusion_bbox.depth(), 10.0);
+}
+
+TEST(Stats, LayerDetection) {
+  const Program p = parse_program(
+      "G1 Z0.25 F480\nG1 X10 E1 F1200\n"
+      "G1 Z0.5 F480\nG1 X0 E2 F1200\n"
+      "G1 Z0.75 F480\nG1 X10 E3 F1200\n");
+  const Statistics s = analyze(p);
+  ASSERT_EQ(s.layer_z.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.layer_z[0], 0.25);
+  EXPECT_DOUBLE_EQ(s.layer_z[2], 0.75);
+  EXPECT_DOUBLE_EQ(s.max_z, 0.75);
+}
+
+TEST(Stats, NaiveTimeUsesFeedrate) {
+  // 60 mm at 60 mm/s (F3600) = 1 s.
+  const Program p = parse_program("G1 X60 F3600\n");
+  const Statistics s = analyze(p);
+  EXPECT_NEAR(s.naive_time_s, 1.0, 1e-9);
+}
+
+TEST(Stats, SlicedCubeHasSaneNumbers) {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 10, .size_y_mm = 10, .height_mm = 4,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  const Statistics s = analyze(host::slice_cube(cube, profile));
+  EXPECT_EQ(s.layer_z.size(), 16u);  // 4 mm / 0.25 mm
+  EXPECT_GT(s.extruded_mm, 50.0);
+  EXPECT_LT(s.extruded_mm, 500.0);
+  // Footprint matches the requested size.
+  EXPECT_NEAR(s.extrusion_bbox.width(), 10.0, 1e-6);
+  EXPECT_NEAR(s.extrusion_bbox.depth(), 10.0, 1e-6);
+  // More extrusion path than travel path for a solid part.
+  EXPECT_GT(s.extrusion_path_mm, s.travel_path_mm);
+}
+
+}  // namespace
+}  // namespace offramps::gcode

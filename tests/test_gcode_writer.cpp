@@ -1,0 +1,108 @@
+// Unit + property tests for the g-code serializer (round-trip with parser).
+#include <gtest/gtest.h>
+
+#include "gcode/parser.hpp"
+#include "gcode/writer.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::gcode {
+namespace {
+
+TEST(Writer, FormatsNumbersLikeASlicer) {
+  EXPECT_EQ(format_number(10.0), "10");
+  EXPECT_EQ(format_number(10.5), "10.5");
+  EXPECT_EQ(format_number(0.42), "0.42");
+  EXPECT_EQ(format_number(-3.0), "-3");
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(1.23456789), "1.23457");  // 5 decimals max
+}
+
+TEST(Writer, WritesCommandWithParams) {
+  Command c;
+  c.letter = 'G';
+  c.code = 1;
+  c.params = {{'X', 10.5}, {'E', 0.42}};
+  EXPECT_EQ(write_line(c), "G1 X10.5 E0.42");
+}
+
+TEST(Writer, WritesFlagsWithoutValues) {
+  Command c;
+  c.letter = 'G';
+  c.code = 28;
+  c.params = {{'X', std::nullopt}, {'Y', std::nullopt}};
+  EXPECT_EQ(write_line(c), "G28 X Y");
+}
+
+TEST(Writer, WritesComment) {
+  Command c;
+  c.letter = 'M';
+  c.code = 104;
+  c.params = {{'S', 210.0}};
+  c.comment = "heat";
+  EXPECT_EQ(write_line(c), "M104 S210 ; heat");
+}
+
+TEST(Writer, ProgramRoundTripsThroughParser) {
+  Program original;
+  {
+    Command c;
+    c.letter = 'G';
+    c.code = 28;
+    original.push_back(c);
+  }
+  {
+    Command c;
+    c.letter = 'G';
+    c.code = 1;
+    c.params = {{'X', 10.0}, {'Y', 20.25}, {'E', 1.5}, {'F', 1800.0}};
+    original.push_back(c);
+  }
+  {
+    Command c;
+    c.letter = 'M';
+    c.code = 106;
+    c.params = {{'S', 178.5}};
+    original.push_back(c);
+  }
+  const Program reparsed = parse_program(write_program(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i].letter, original[i].letter);
+    EXPECT_EQ(reparsed[i].code, original[i].code);
+    EXPECT_EQ(reparsed[i].params, original[i].params);
+  }
+}
+
+// Property: every program the slicer-lite emits survives a full
+// write -> parse round trip with identical commands and parameters.
+class SlicerRoundTrip
+    : public ::testing::TestWithParam<double> {};  // param: cube size
+
+TEST_P(SlicerRoundTrip, SlicedProgramsRoundTrip) {
+  host::SliceProfile profile;
+  host::CubeSpec cube;
+  cube.size_x_mm = GetParam();
+  cube.size_y_mm = GetParam();
+  cube.height_mm = 2.0;
+  const Program p = host::slice_cube(cube, profile);
+  const Program q = parse_program(write_program(p));
+  ASSERT_EQ(p.size(), q.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p[i].letter, q[i].letter) << "command " << i;
+    EXPECT_EQ(p[i].code, q[i].code) << "command " << i;
+    ASSERT_EQ(p[i].params.size(), q[i].params.size()) << "command " << i;
+    for (std::size_t j = 0; j < p[i].params.size(); ++j) {
+      EXPECT_EQ(p[i].params[j].letter, q[i].params[j].letter);
+      if (p[i].params[j].value) {
+        // Serialization rounds to 5 decimals.
+        EXPECT_NEAR(*p[i].params[j].value, *q[i].params[j].value, 1e-5);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CubeSizes, SlicerRoundTrip,
+                         ::testing::Values(6.0, 10.0, 15.0));
+
+}  // namespace
+}  // namespace offramps::gcode

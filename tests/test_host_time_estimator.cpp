@@ -1,0 +1,94 @@
+// Tests for the host-side print time estimator - including the
+// cross-validation property: the offline estimate must match the
+// measured simulation time of the same g-code.
+#include <gtest/gtest.h>
+
+#include "gcode/parser.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+#include "host/time_estimator.hpp"
+
+namespace offramps::host {
+namespace {
+
+TEST(TimeEstimator, EmptyProgramIsZero) {
+  const TimeEstimate est = estimate_print_time({});
+  EXPECT_DOUBLE_EQ(est.total_s(), 0.0);
+  EXPECT_EQ(est.moves, 0u);
+}
+
+TEST(TimeEstimator, SingleCruiseMove) {
+  // 100 mm at 50 mm/s with ramps: slightly over 2 s.
+  const auto p = gcode::parse_program("G1 X100 F3000\n");
+  const TimeEstimate est = estimate_print_time(p);
+  EXPECT_GT(est.motion_s, 100.0 / 50.0);
+  EXPECT_LT(est.motion_s, 100.0 / 50.0 * 1.2);
+}
+
+TEST(TimeEstimator, DwellsAreCounted) {
+  const auto p = gcode::parse_program("G4 P500\nG4 S2\n");
+  const TimeEstimate est = estimate_print_time(p);
+  EXPECT_DOUBLE_EQ(est.dwell_s, 2.5);
+}
+
+TEST(TimeEstimator, FeedrateCapsApply) {
+  // Z at F6000 is capped to 12 mm/s: 24 mm takes at least 2 s.
+  const auto p = gcode::parse_program("G1 Z24 F6000\n");
+  const TimeEstimate est = estimate_print_time(p);
+  EXPECT_GT(est.motion_s, 2.0);
+}
+
+TEST(TimeEstimator, CollinearChainsBeatZigzags) {
+  std::string collinear, zigzag;
+  for (int i = 1; i <= 10; ++i) {
+    collinear += "G1 X" + std::to_string(i * 10) + " F6000\n";
+    zigzag += (i % 2 == 1) ? "G1 X10 F6000\n" : "G1 X0 F6000\n";
+  }
+  EXPECT_LT(estimate_print_time(gcode::parse_program(collinear)).motion_s,
+            estimate_print_time(gcode::parse_program(zigzag)).motion_s);
+}
+
+/// The headline property: the offline estimate agrees with the measured
+/// end-to-end simulation across objects.
+class EstimatorCrossValidation
+    : public ::testing::TestWithParam<double> {};  // param: cube size
+
+TEST_P(EstimatorCrossValidation, EstimateMatchesSimulation) {
+  SliceProfile profile;
+  CubeSpec cube{.size_x_mm = GetParam(), .size_y_mm = GetParam(),
+                .height_mm = 2.5, .center_x_mm = 110, .center_y_mm = 100};
+  const gcode::Program program = slice_cube(cube, profile);
+
+  RigOptions options;
+  options.firmware.segment_jitter_max = 0;  // isolate pure motion time
+  Rig rig(options);
+  const RunResult r = rig.run(program);
+  ASSERT_TRUE(r.finished);
+  ASSERT_FALSE(r.capture.empty());
+
+  // Measured motion time: from the first post-homing step (the capture
+  // stream's start) to the end of the print.
+  const double measured =
+      r.sim_seconds -
+      static_cast<double>(r.capture.transactions.front().time_ns) / 1e9;
+  const TimeEstimate est = estimate_print_time(program);
+  EXPECT_NEAR(est.motion_s, measured, measured * 0.1)
+      << "cube " << GetParam() << " mm";
+}
+
+INSTANTIATE_TEST_SUITE_P(CubeSizes, EstimatorCrossValidation,
+                         ::testing::Values(6.0, 10.0, 15.0));
+
+TEST(TimeEstimator, ArcProgramsEstimateViaChords) {
+  SliceProfile profile;
+  CylinderSpec spec{.diameter_mm = 14, .height_mm = 2, .facets = 0,
+                    .center_x_mm = 110, .center_y_mm = 100};
+  const gcode::Program program = slice_cylinder_arcs(spec, profile);
+  const TimeEstimate est = estimate_print_time(program);
+  // Modal resolution reduces each G2/G3 to its chord: a lower bound on
+  // motion, still positive and plausible.
+  EXPECT_GT(est.motion_s, 1.0);
+}
+
+}  // namespace
+}  // namespace offramps::host

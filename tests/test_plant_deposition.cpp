@@ -1,0 +1,164 @@
+// Unit tests for the deposition recorder and part-quality metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "plant/axis.hpp"
+#include "plant/deposition.hpp"
+#include "plant/motor.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::plant {
+namespace {
+
+/// Hand-driven mini printer: X/Y/Z carriages and an extruder whose wires
+/// the test toggles directly.
+struct DepoFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire xs{sched, "XS"}, xd{sched, "XD"}, xe{sched, "XE", false};
+  sim::Wire ys{sched, "YS"}, yd{sched, "YD"}, ye{sched, "YE", false};
+  sim::Wire zs{sched, "ZS"}, zd{sched, "ZD"}, ze{sched, "ZE", false};
+  sim::Wire es{sched, "ES"}, ed{sched, "ED"}, ee{sched, "EE", false};
+  sim::Wire xstop{sched, "XM"}, ystop{sched, "YM"}, zstop{sched, "ZM"};
+  StepperMotor mx{xs, xd, xe}, my{ys, yd, ye}, mz{zs, zd, ze},
+      me{es, ed, ee};
+  CarriageAxis ax{mx, xstop, 100.0, 200.0, 0.0};
+  CarriageAxis ay{my, ystop, 100.0, 200.0, 0.0};
+  CarriageAxis az{mz, zstop, 400.0, 200.0, 0.0};
+  DepositionRecorder depo{me, ax, ay, az, 280.0, /*sample_every=*/1,
+                          /*z_ignore_mm=*/0.05};
+
+  void steps(sim::Wire& w, sim::Wire& dir, bool fwd, int n) {
+    dir.set(fwd);
+    for (int i = 0; i < n; ++i) {
+      w.set(true);
+      w.set(false);
+    }
+  }
+  void move_x(double mm) { steps(xs, xd, mm > 0, int(std::abs(mm) * 100)); }
+  void move_y(double mm) { steps(ys, yd, mm > 0, int(std::abs(mm) * 100)); }
+  void move_z(double mm) { steps(zs, zd, mm > 0, int(std::abs(mm) * 400)); }
+  void extrude(double mm) { steps(es, ed, mm > 0, int(std::abs(mm) * 280)); }
+
+  /// Lays one straight X line at the current z, extruding as it goes.
+  void lay_line(double length_mm, double e_mm) {
+    const int xsteps = static_cast<int>(length_mm * 100);
+    const int esteps = static_cast<int>(e_mm * 280);
+    xd.set(true);
+    ed.set(true);
+    for (int i = 0, ei = 0; i < xsteps; ++i) {
+      xs.set(true);
+      xs.set(false);
+      while (ei * xsteps < i * esteps) {
+        es.set(true);
+        es.set(false);
+        ++ei;
+      }
+    }
+  }
+};
+
+TEST_F(DepoFixture, RetractionRecordsNothing) {
+  move_z(0.3);
+  extrude(-2.0);
+  EXPECT_TRUE(depo.samples().empty());
+  EXPECT_FALSE(depo.report().any_material);
+}
+
+TEST_F(DepoFixture, BedLevelPrimingIsIgnored) {
+  extrude(3.0);  // z = 0
+  EXPECT_TRUE(depo.samples().empty());
+  EXPECT_NEAR(depo.prime_filament_mm(), 3.0, 0.01);
+}
+
+TEST_F(DepoFixture, StationaryExtrusionIsABlobNotALayer) {
+  move_z(0.3);
+  extrude(2.0);  // nozzle parked: piles up at the tip
+  // At most the very first step can be attributed to motion (the recorder
+  // cannot see "before power-on"); everything after is blob material.
+  EXPECT_LE(depo.samples().size(), 1u);
+  EXPECT_NEAR(depo.blob_filament_mm(), 2.0, 0.01);
+}
+
+TEST_F(DepoFixture, RecordsPositionsOfExtrusion) {
+  move_z(0.3);
+  lay_line(10.0, 1.0);
+  ASSERT_FALSE(depo.samples().empty());
+  EXPECT_NEAR(depo.samples().back().x_mm, 10.0, 0.1);
+  EXPECT_NEAR(depo.samples().back().z_mm, 0.3, 1e-6);
+}
+
+TEST_F(DepoFixture, ReportGroupsLayers) {
+  for (int layer = 1; layer <= 3; ++layer) {
+    move_z(0.25);
+    lay_line(10.0, 1.0);
+    move_x(-10.0);
+  }
+  const PartReport rep = depo.report();
+  EXPECT_TRUE(rep.any_material);
+  EXPECT_EQ(rep.layer_count, 3u);
+  EXPECT_NEAR(rep.first_layer_z_mm, 0.25, 0.05);
+  EXPECT_NEAR(rep.max_z_spacing_mm, 0.25, 0.06);
+  EXPECT_NEAR(rep.total_filament_mm, 3.0, 0.1);
+}
+
+TEST_F(DepoFixture, LayerShiftIsMeasured) {
+  // Layer 1 line from x=0..10; layer 2 same line shifted +2 mm in Y.
+  move_z(0.25);
+  lay_line(10.0, 1.0);
+  move_z(0.25);
+  move_y(2.0);
+  move_x(-10.0);
+  lay_line(10.0, 1.0);
+  const PartReport rep = depo.report();
+  ASSERT_EQ(rep.layer_count, 2u);
+  EXPECT_NEAR(rep.max_layer_shift_mm, 2.0, 0.3);
+  EXPECT_NEAR(rep.footprint_drift_mm, 2.0, 0.3);
+}
+
+TEST_F(DepoFixture, AlignedLayersShowNoShift) {
+  for (int layer = 0; layer < 4; ++layer) {
+    move_z(0.25);
+    lay_line(10.0, 1.0);
+    move_x(-10.0);
+  }
+  const PartReport rep = depo.report();
+  EXPECT_LT(rep.max_layer_shift_mm, 0.2);
+}
+
+TEST_F(DepoFixture, ZSpacingDetectsDelamination) {
+  move_z(0.25);
+  lay_line(10.0, 1.0);
+  move_x(-10.0);
+  move_z(0.55);  // Trojan-style extra Z lift
+  lay_line(10.0, 1.0);
+  const PartReport rep = depo.report();
+  EXPECT_GT(rep.max_z_spacing_mm, 0.5);
+}
+
+TEST_F(DepoFixture, SamplingDecimationBoundsMemory) {
+  sim::Wire es2{sched, "ES2"}, ed2{sched, "ED2"}, ee2{sched, "EE2", false};
+  StepperMotor me2{es2, ed2, ee2};
+  DepositionRecorder sparse{me2, ax, ay, az, 280.0, /*sample_every=*/16,
+                            0.05};
+  move_z(0.3);
+  ed2.set(true);
+  xd.set(true);
+  for (int i = 0; i < 1600; ++i) {
+    xs.set(true);  // keep the carriage moving while extruding
+    xs.set(false);
+    es2.set(true);
+    es2.set(false);
+  }
+  EXPECT_EQ(sparse.samples().size(), 100u);
+}
+
+TEST_F(DepoFixture, EmptyReportIsSafe) {
+  const PartReport rep = depo.report();
+  EXPECT_FALSE(rep.any_material);
+  EXPECT_EQ(rep.layer_count, 0u);
+  EXPECT_DOUBLE_EQ(rep.total_filament_mm, 0.0);
+}
+
+}  // namespace
+}  // namespace offramps::plant

@@ -1,0 +1,139 @@
+// Unit tests for the plant's motor, carriage axis, endstop, and extruder
+// models.
+#include <gtest/gtest.h>
+
+#include "plant/axis.hpp"
+#include "plant/motor.hpp"
+#include "sim/pins.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::plant {
+namespace {
+
+struct MotorFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire step{sched, "STEP"};
+  sim::Wire dir{sched, "DIR"};
+  sim::Wire enable{sched, "EN", true};  // /EN idle high = disabled
+  StepperMotor motor{step, dir, enable};
+
+  void pulse(int n) {
+    for (int i = 0; i < n; ++i) {
+      step.set(true);
+      step.set(false);
+    }
+  }
+};
+
+TEST_F(MotorFixture, DisabledDriverDropsSteps) {
+  pulse(10);
+  EXPECT_EQ(motor.position(), 0);
+  EXPECT_EQ(motor.dropped_steps(), 10u);
+  EXPECT_FALSE(motor.enabled());
+}
+
+TEST_F(MotorFixture, EnabledDriverCountsSigned) {
+  enable.set(false);
+  dir.set(true);
+  pulse(7);
+  dir.set(false);
+  pulse(3);
+  EXPECT_EQ(motor.position(), 4);
+  EXPECT_EQ(motor.accepted_steps(), 10u);
+  EXPECT_EQ(motor.dropped_steps(), 0u);
+}
+
+TEST_F(MotorFixture, CallbackFiresPerAcceptedStep) {
+  enable.set(false);
+  dir.set(true);
+  int calls = 0;
+  motor.on_step_accepted([&](std::int64_t, bool fwd) {
+    ++calls;
+    EXPECT_TRUE(fwd);
+  });
+  pulse(5);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST_F(MotorFixture, ReenablingResumesCounting) {
+  enable.set(false);
+  dir.set(true);
+  pulse(5);
+  enable.set(true);  // Trojan T8 moment
+  pulse(5);
+  enable.set(false);
+  pulse(5);
+  EXPECT_EQ(motor.position(), 10);
+  EXPECT_EQ(motor.dropped_steps(), 5u);
+}
+
+struct AxisFixture : MotorFixture {
+  sim::Wire endstop{sched, "X_MIN"};
+  CarriageAxis axis{motor, endstop, /*steps_per_mm=*/100.0,
+                    /*length_mm=*/200.0, /*initial_mm=*/50.0};
+
+  void SetUp() override { enable.set(false); }
+
+  void move_mm(double mm) {
+    dir.set(mm > 0);
+    pulse(static_cast<int>(std::abs(mm) * 100.0));
+  }
+};
+
+TEST_F(AxisFixture, TracksPositionFromInitial) {
+  move_mm(10.0);
+  EXPECT_NEAR(axis.position_mm(), 60.0, 1e-9);
+  move_mm(-20.0);
+  EXPECT_NEAR(axis.position_mm(), 40.0, 1e-9);
+  EXPECT_EQ(axis.ground_steps(), 0u);
+}
+
+TEST_F(AxisFixture, ClampsAndGrindsAtMinimum) {
+  move_mm(-80.0);  // commanded past 0 from 50
+  EXPECT_NEAR(axis.position_mm(), 0.0, 1e-9);
+  EXPECT_EQ(axis.ground_steps(), 3000u);  // 30 mm * 100 steps ground away
+}
+
+TEST_F(AxisFixture, ClampsAtMaximum) {
+  move_mm(175.0);  // 50 + 175 > 200
+  EXPECT_NEAR(axis.position_mm(), 200.0, 1e-9);
+  EXPECT_EQ(axis.ground_steps(), 2500u);
+}
+
+TEST_F(AxisFixture, EndstopAssertsOnlyNearMinimum) {
+  EXPECT_FALSE(endstop.level());
+  move_mm(-49.95);
+  EXPECT_TRUE(endstop.level());
+  move_mm(3.0);
+  EXPECT_FALSE(endstop.level());
+}
+
+TEST_F(AxisFixture, GrindingRecoversCleanly) {
+  move_mm(-80.0);  // grind at 0
+  move_mm(10.0);   // back off
+  EXPECT_NEAR(axis.position_mm(), 10.0, 1e-9);
+  EXPECT_FALSE(endstop.level());
+}
+
+TEST(ExtruderDrive, ConvertsStepsToFilament) {
+  sim::Scheduler sched;
+  sim::Wire step(sched, "E_STEP"), dir(sched, "E_DIR"),
+      en(sched, "E_EN", false);
+  StepperMotor motor(step, dir, en);
+  ExtruderDrive extruder(motor, 280.0);
+  dir.set(true);
+  for (int i = 0; i < 560; ++i) {
+    step.set(true);
+    step.set(false);
+  }
+  EXPECT_NEAR(extruder.filament_mm(), 2.0, 1e-9);
+  dir.set(false);
+  for (int i = 0; i < 280; ++i) {
+    step.set(true);
+    step.set(false);
+  }
+  EXPECT_NEAR(extruder.filament_mm(), 1.0, 1e-9);  // retraction
+}
+
+}  // namespace
+}  // namespace offramps::plant

@@ -1,0 +1,128 @@
+// Unit tests for the thermal plant (heater ODE + thermistor publishing)
+// and the fan plant.
+#include <gtest/gtest.h>
+
+#include "plant/thermal.hpp"
+#include "sim/pins.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/thermistor.hpp"
+
+namespace offramps::plant {
+namespace {
+
+struct HeaterFixture : ::testing::Test {
+  sim::Scheduler sched;
+  sim::Wire gate{sched, "D10"};
+  sim::AnalogChannel adc{sched, "THERM"};
+};
+
+TEST_F(HeaterFixture, StartsAtAmbientAndPublishesAdc) {
+  HeaterPlant heater(sched, gate, adc, hotend_params());
+  sim::Thermistor t;
+  EXPECT_NEAR(heater.temperature_c(), 25.0, 1e-9);
+  EXPECT_NEAR(adc.value(), t.adc_counts(25.0), 1.0);
+}
+
+TEST_F(HeaterFixture, StaysAtAmbientWithGateLow) {
+  HeaterPlant heater(sched, gate, adc, hotend_params());
+  sched.run_until(sim::seconds(100));
+  EXPECT_NEAR(heater.temperature_c(), 25.0, 0.1);
+  EXPECT_NEAR(heater.energy_j(), 0.0, 1e-9);
+}
+
+TEST_F(HeaterFixture, FullPowerHeatsTowardEquilibrium) {
+  HeaterPlant heater(sched, gate, adc, hotend_params());
+  gate.set(true);
+  sched.run_until(sim::seconds(60));
+  // 40 W into ~9 J/K must be well past 150 C after a minute...
+  EXPECT_GT(heater.temperature_c(), 150.0);
+  // ...and monotonically below the k*dT equilibrium (~495 C).
+  const auto params = hotend_params();
+  const double equilibrium =
+      params.ambient_c + params.power_w / params.loss_w_per_k;
+  sched.run_until(sim::seconds(2000));
+  EXPECT_NEAR(heater.temperature_c(), equilibrium, 5.0);
+}
+
+TEST_F(HeaterFixture, HalfDutyHeatsSlower) {
+  HeaterPlant full(sched, gate, adc, hotend_params());
+  sim::Wire gate2(sched, "D10b");
+  sim::AnalogChannel adc2(sched, "T2");
+  HeaterPlant half(sched, gate2, adc2, hotend_params());
+  gate.set(true);
+  // 50% duty square wave at 100 ms.
+  std::function<void()> toggler = [&] {
+    gate2.set(!gate2.level());
+    sched.schedule_in(sim::ms(50), toggler);
+  };
+  sched.schedule_at(0, toggler);
+  sched.run_until(sim::seconds(30));
+  EXPECT_GT(full.temperature_c(), half.temperature_c() + 20.0);
+  EXPECT_GT(half.temperature_c(), 40.0);
+}
+
+TEST_F(HeaterFixture, PeakTracksMaximum) {
+  HeaterPlant heater(sched, gate, adc, hotend_params());
+  gate.set(true);
+  sched.run_until(sim::seconds(60));
+  gate.set(false);
+  const double at_off = heater.temperature_c();
+  sched.run_until(sim::seconds(600));
+  EXPECT_LT(heater.temperature_c(), at_off);  // cooled down
+  EXPECT_NEAR(heater.peak_c(), at_off, 2.0);  // peak remembered
+}
+
+TEST_F(HeaterFixture, EnergyIntegratesPower) {
+  HeaterPlant heater(sched, gate, adc, hotend_params());
+  gate.set(true);
+  sched.run_until(sim::seconds(10));
+  EXPECT_NEAR(heater.energy_j(), 40.0 * 10.0, 40.0 * 0.1);
+}
+
+TEST_F(HeaterFixture, BedHeatsMuchSlowerThanHotend) {
+  HeaterPlant hotend(sched, gate, adc, hotend_params());
+  sim::Wire bed_gate(sched, "D8");
+  sim::AnalogChannel bed_adc(sched, "TB");
+  HeaterPlant bed(sched, bed_gate, bed_adc, bed_params());
+  gate.set(true);
+  bed_gate.set(true);
+  sched.run_until(sim::seconds(30));
+  EXPECT_GT(hotend.temperature_c() - 25.0,
+            2.0 * (bed.temperature_c() - 25.0));
+}
+
+TEST(FanPlant, SpinsUpTowardDutyTimesMax) {
+  sim::Scheduler sched;
+  sim::Wire gate(sched, "D9");
+  FanPlant fan(sched, gate, /*max_rpm=*/5000.0, /*time_constant_s=*/0.5);
+  gate.set(true);
+  sched.run_until(sim::seconds(5));
+  EXPECT_NEAR(fan.rpm(), 5000.0, 100.0);
+  EXPECT_NEAR(fan.last_duty(), 1.0, 0.01);
+}
+
+TEST(FanPlant, StopsWhenGateFalls) {
+  sim::Scheduler sched;
+  sim::Wire gate(sched, "D9");
+  FanPlant fan(sched, gate);
+  gate.set(true);
+  sched.run_until(sim::seconds(5));
+  gate.set(false);
+  sched.run_until(sim::seconds(10));
+  EXPECT_LT(fan.rpm(), 100.0);
+  EXPECT_GT(fan.mean_rpm(), 1000.0);  // average remembers the active phase
+}
+
+TEST(FanPlant, LagSmoothsStepChanges) {
+  sim::Scheduler sched;
+  sim::Wire gate(sched, "D9");
+  FanPlant fan(sched, gate, 5000.0, /*time_constant_s=*/2.0);
+  gate.set(true);
+  sched.run_until(sim::ms(500));
+  // After 0.25 time constants the fan is far from full speed.
+  EXPECT_LT(fan.rpm(), 2500.0);
+  EXPECT_GT(fan.rpm(), 200.0);
+}
+
+}  // namespace
+}  // namespace offramps::plant

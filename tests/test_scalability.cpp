@@ -1,0 +1,47 @@
+// Scalability smoke: a realistically sized print (not the miniature
+// experiment cubes) must simulate quickly, with bounded capture memory
+// and all invariants intact - the property that makes this library
+// usable for real studies.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::host {
+namespace {
+
+TEST(Scalability, TwentyMillimetreCubePrintsInSeconds) {
+  SliceProfile profile;
+  profile.skirt_loops = 1;
+  CubeSpec cube{.size_x_mm = 20, .size_y_mm = 20, .height_mm = 10,
+                .center_x_mm = 110, .center_y_mm = 100};
+  const gcode::Program program = slice_cube(cube, profile);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  Rig rig;
+  const RunResult r = rig.run(program);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  ASSERT_TRUE(r.finished);
+  // A print of several simulated minutes...
+  EXPECT_GT(r.sim_seconds, 300.0);
+  // ...simulates in single-digit wall seconds.
+  EXPECT_LT(wall_s, 10.0);
+  // Millions of events processed.
+  EXPECT_GT(r.events_executed, 3'000'000u);
+  // Capture memory stays proportional to print time (16 B per 0.1 s).
+  EXPECT_LT(r.capture.size(), 10'000u);
+  // And the physics still adds up (20 mm part + 3 mm skirt per side).
+  EXPECT_NEAR(r.part.bbox_width_mm, 26.0, 0.5);
+  EXPECT_EQ(r.part.layer_count, 40u);
+  EXPECT_NEAR(r.flow_ratio(), 1.0, 1e-9);
+  EXPECT_LT(r.part.max_layer_shift_mm, 0.2);
+}
+
+}  // namespace
+}  // namespace offramps::host

@@ -1,0 +1,133 @@
+// Tests for the power side-channel probe and signature detection - the
+// lossy baseline the paper's direct-signal approach is compared against.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "detect/side_channel.hpp"
+#include "gcode/flaw3d.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::detect {
+namespace {
+
+gcode::Program object() {
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2.5,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  return host::slice_cube(cube, profile);
+}
+
+host::RunResult probed_run(const gcode::Program& p, std::uint64_t seed,
+                           core::TrojanSuiteConfig trojans = {}) {
+  host::RigOptions options;
+  options.firmware.jitter_seed = seed;
+  options.power_probe = plant::PowerProbeOptions{};
+  options.power_probe->noise_seed = seed ^ 0xFACE;
+  options.trojans = std::move(trojans);
+  host::Rig rig(options);
+  return rig.run(p);
+}
+
+TEST(PowerProbe, TraceCoversTheWholeRun) {
+  const host::RunResult r = probed_run(object(), 1);
+  ASSERT_FALSE(r.power_trace.empty());
+  EXPECT_NEAR(r.power_trace.back().t_s, r.sim_seconds, 0.5);
+  // 50 ms cadence.
+  const double dt = r.power_trace[1].t_s - r.power_trace[0].t_s;
+  EXPECT_NEAR(dt, 0.05, 1e-6);
+}
+
+TEST(PowerProbe, HeatupDrawsFullHotendPower) {
+  const host::RunResult r = probed_run(object(), 1);
+  // Early in heat-up: base (5) + hotend near 100% (40) + no motors.
+  double max_early = 0.0;
+  for (const auto& s : r.power_trace) {
+    if (s.t_s > 20.0) break;
+    max_early = std::max(max_early, s.watts);
+  }
+  EXPECT_GT(max_early, 35.0);
+  EXPECT_LT(max_early, 60.0);
+}
+
+TEST(PowerProbe, PrintingPhaseShowsMotorLoad) {
+  const host::RunResult r = probed_run(object(), 1);
+  // Mid-print: motors enabled (4 x ~4-8 W) + PID duty (~35% x 40 W).
+  std::vector<double> mid;
+  for (const auto& s : r.power_trace) {
+    if (s.t_s > 80.0 && s.t_s < 100.0) mid.push_back(s.watts);
+  }
+  ASSERT_FALSE(mid.empty());
+  const double mean =
+      std::accumulate(mid.begin(), mid.end(), 0.0) /
+      static_cast<double>(mid.size());
+  EXPECT_GT(mean, 25.0);
+  EXPECT_LT(mean, 60.0);
+}
+
+TEST(PowerSignature, CleanReprintPassesDespiteNoise) {
+  const auto golden = probed_run(object(), 1).power_trace;
+  const auto reprint = probed_run(object(), 31337).power_trace;
+  const PowerReport rep = compare_power(golden, reprint);
+  EXPECT_FALSE(rep.sabotage_likely) << rep.to_string();
+}
+
+TEST(PowerSignature, HeaterDosIsObvious) {
+  // Cutting heater power removes ~15-40 W: gross enough for the side
+  // channel.
+  core::TrojanSuiteConfig cfg;
+  cfg.t6 = core::T6Config{.hotend = true, .bed = false,
+                          .delay_after_homing_s = 10.0};
+  const auto golden = probed_run(object(), 1).power_trace;
+  const auto attacked = probed_run(object(), 7, cfg).power_trace;
+  const PowerReport rep = compare_power(golden, attacked);
+  EXPECT_TRUE(rep.sabotage_likely) << rep.to_string();
+  EXPECT_GT(rep.largest_delta_w, 8.0);
+}
+
+TEST(PowerSignature, SubtleReductionIsInvisible) {
+  // A 2% extrusion reduction perturbs one motor's switching power by
+  // milliwatts - far beneath clamp noise.  The paper's lossless
+  // step-count channel catches this case (Table II #4); the lossy
+  // side channel cannot.
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(object(), {.factor = 0.98});
+  const auto golden = probed_run(object(), 1).power_trace;
+  const auto attacked = probed_run(mutated, 7).power_trace;
+  const PowerReport rep = compare_power(golden, attacked);
+  EXPECT_FALSE(rep.sabotage_likely) << rep.to_string();
+}
+
+TEST(WindowMeans, ReducesCorrectly) {
+  plant::PowerTrace trace;
+  for (int i = 0; i < 40; ++i) {
+    trace.push_back({static_cast<double>(i) * 0.05,
+                     i < 20 ? 10.0 : 30.0});
+  }
+  const auto means = window_means(trace, 1.0);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_NEAR(means[0], 10.0, 1e-9);
+  EXPECT_NEAR(means[1], 30.0, 1e-9);
+}
+
+TEST(WindowMeans, EmptyTrace) {
+  EXPECT_TRUE(window_means({}, 1.0).empty());
+}
+
+TEST(PowerReport, Rendering) {
+  plant::PowerTrace g, o;
+  for (int i = 0; i < 200; ++i) {
+    g.push_back({i * 0.05, 20.0});
+    o.push_back({i * 0.05, i > 100 ? 50.0 : 20.0});
+  }
+  const PowerReport rep = compare_power(g, o);
+  EXPECT_TRUE(rep.sabotage_likely);
+  const std::string text = rep.to_string(2);
+  EXPECT_NE(text.find("Sabotage likely (power signature)!"),
+            std::string::npos);
+  EXPECT_NE(text.find("Window"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace offramps::detect

@@ -1,0 +1,74 @@
+// Unit tests for the pin catalog and pin banks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/error.hpp"
+#include "sim/pins.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::sim {
+namespace {
+
+TEST(Pins, EveryPinHasAUniqueName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kPinCount; ++i) {
+    names.insert(pin_name(static_cast<Pin>(i)));
+  }
+  EXPECT_EQ(names.size(), kPinCount);
+}
+
+TEST(Pins, DirectionsMatchTheStack) {
+  EXPECT_EQ(pin_direction(Pin::kXStep), PinDirection::kFirmwareToPrinter);
+  EXPECT_EQ(pin_direction(Pin::kHotendHeat),
+            PinDirection::kFirmwareToPrinter);
+  EXPECT_EQ(pin_direction(Pin::kFan), PinDirection::kFirmwareToPrinter);
+  EXPECT_EQ(pin_direction(Pin::kXMin), PinDirection::kPrinterToFirmware);
+  EXPECT_EQ(pin_direction(Pin::kYMin), PinDirection::kPrinterToFirmware);
+  EXPECT_EQ(pin_direction(Pin::kZMin), PinDirection::kPrinterToFirmware);
+}
+
+TEST(Pins, AxisPinLookup) {
+  EXPECT_EQ(step_pin(Axis::kX), Pin::kXStep);
+  EXPECT_EQ(dir_pin(Axis::kY), Pin::kYDir);
+  EXPECT_EQ(enable_pin(Axis::kE), Pin::kEEnable);
+  EXPECT_EQ(min_endstop_pin(Axis::kZ), Pin::kZMin);
+  EXPECT_THROW(min_endstop_pin(Axis::kE), Error);
+}
+
+TEST(Pins, AxisNames) {
+  EXPECT_STREQ(axis_name(Axis::kX), "X");
+  EXPECT_STREQ(axis_name(Axis::kE), "E");
+}
+
+TEST(PinBank, WiresAreNamedWithPrefix) {
+  Scheduler s;
+  PinBank bank(s, "ard.");
+  EXPECT_EQ(bank.wire(Pin::kXStep).name(), "ard.X_STEP");
+  EXPECT_EQ(bank.analog(APin::kThermBed).name(), "ard.THERM_BED");
+}
+
+TEST(PinBank, EnablePinsIdleHighEverythingElseLow) {
+  Scheduler s;
+  PinBank bank(s, "b.");
+  for (const auto axis : kAllAxes) {
+    EXPECT_TRUE(bank.enable(axis).level()) << axis_name(axis);
+    EXPECT_FALSE(bank.step(axis).level()) << axis_name(axis);
+    EXPECT_FALSE(bank.dir(axis).level()) << axis_name(axis);
+  }
+  EXPECT_FALSE(bank.wire(Pin::kHotendHeat).level());
+  EXPECT_FALSE(bank.wire(Pin::kFan).level());
+}
+
+TEST(PinBank, AxisAccessorsAliasWireAccessors) {
+  Scheduler s;
+  PinBank bank(s, "b.");
+  bank.step(Axis::kY).set(true);
+  EXPECT_TRUE(bank.wire(Pin::kYStep).level());
+  bank.min_endstop(Axis::kX).set(true);
+  EXPECT_TRUE(bank.wire(Pin::kXMin).level());
+}
+
+}  // namespace
+}  // namespace offramps::sim

@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/scheduler.hpp"
+
+namespace offramps::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZeroAndIdle) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SimultaneousEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, NowIsEventTimeInsideCallback) {
+  Scheduler s;
+  Tick seen = 0;
+  s.schedule_at(42, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  Tick seen = 0;
+  s.schedule_at(100, [&] {
+    s.schedule_in(50, [&] { seen = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule_at(50, [] {}), Error);
+}
+
+TEST(Scheduler, CallbacksMayScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) s.schedule_in(10, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.now(), 990u);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Scheduler s;
+  s.run_until(12345);
+  EXPECT_EQ(s.now(), 12345u);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_at(100, [&] { ++ran; });
+  s.schedule_at(101, [&] { ++ran; });
+  s.run_until(100);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), 100u);
+  s.run_until(200);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Scheduler, RequestStopBreaksRunLoop) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_at(10, [&] {
+    ++ran;
+    s.request_stop();
+  });
+  s.schedule_at(20, [&] { ++ran; });
+  s.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(s.stop_requested());
+  s.clear_stop();
+  s.run_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Scheduler, RunAllEventLimitThrows) {
+  Scheduler s;
+  std::function<void()> forever = [&] { s.schedule_in(1, forever); };
+  s.schedule_at(0, forever);
+  EXPECT_THROW(s.run_all(1000), Error);
+}
+
+TEST(Scheduler, ExecutedCounterAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(static_cast<Tick>(i), [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(TimeHelpers, ConversionsAreExact) {
+  EXPECT_EQ(ns(7), 7u);
+  EXPECT_EQ(us(3), 3'000u);
+  EXPECT_EQ(ms(2), 2'000'000u);
+  EXPECT_EQ(seconds(1), kTicksPerSecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kTicksPerSecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), kTicksPerSecond / 2);
+}
+
+TEST(TimeHelpers, FpgaClockAlignment) {
+  EXPECT_EQ(align_to_fpga_clock(0), 0u);
+  EXPECT_EQ(align_to_fpga_clock(10), 10u);
+  EXPECT_EQ(align_to_fpga_clock(11), 20u);
+  EXPECT_EQ(align_to_fpga_clock(19), 20u);
+  EXPECT_EQ(kFpgaClockTicks, 10u);  // 100 MHz on the 1 ns grid
+}
+
+}  // namespace
+}  // namespace offramps::sim

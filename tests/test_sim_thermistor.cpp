@@ -1,0 +1,67 @@
+// Unit and property tests for the NTC thermistor + ADC divider model.
+#include <gtest/gtest.h>
+
+#include "sim/thermistor.hpp"
+
+namespace offramps::sim {
+namespace {
+
+TEST(Thermistor, NominalResistanceAt25C) {
+  Thermistor t;
+  EXPECT_NEAR(t.resistance(25.0), 100'000.0, 1.0);
+}
+
+TEST(Thermistor, ResistanceFallsWithTemperature) {
+  Thermistor t;
+  EXPECT_GT(t.resistance(25.0), t.resistance(100.0));
+  EXPECT_GT(t.resistance(100.0), t.resistance(210.0));
+}
+
+TEST(Thermistor, AdcNearRailWhenCold) {
+  Thermistor t;
+  // 100k against a 4.7k pullup at room temperature: very close to full
+  // scale.
+  EXPECT_GT(t.adc_counts(25.0), 950.0);
+  EXPECT_LT(t.adc_counts(25.0), 1023.0);
+}
+
+TEST(Thermistor, AdcDropsWhenHot) {
+  Thermistor t;
+  EXPECT_LT(t.adc_counts(210.0), 120.0);
+  EXPECT_GT(t.adc_counts(210.0), 1.0);
+}
+
+TEST(Thermistor, RailReadingsMapToExtremeTemperatures) {
+  Thermistor t;
+  // ADC pinned low = thermistor ~0 ohm = extremely hot (fires MAXTEMP).
+  EXPECT_GT(t.temperature(0.0), 400.0);
+  // ADC pinned high = open sensor = extremely cold (fires MINTEMP).
+  EXPECT_LT(t.temperature(1023.0), -40.0);
+}
+
+/// Round trip: temperature -> ADC -> temperature across the working range.
+class ThermistorRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermistorRoundTrip, InverseRecoversTemperature) {
+  Thermistor t;
+  const double temp = GetParam();
+  const double adc = t.adc_counts(temp);
+  EXPECT_NEAR(t.temperature(adc), temp, 0.5) << "at " << temp << " C";
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkingRange, ThermistorRoundTrip,
+                         ::testing::Values(0.0, 25.0, 60.0, 100.0, 150.0,
+                                           210.0, 250.0, 275.0));
+
+TEST(Thermistor, MonotoneAdcOverWorkingRange) {
+  Thermistor t;
+  double prev = t.adc_counts(-10.0);
+  for (double temp = -5.0; temp <= 300.0; temp += 5.0) {
+    const double adc = t.adc_counts(temp);
+    EXPECT_LT(adc, prev) << "at " << temp;
+    prev = adc;
+  }
+}
+
+}  // namespace
+}  // namespace offramps::sim

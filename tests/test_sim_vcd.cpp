@@ -1,0 +1,108 @@
+// Tests for the VCD waveform exporter.
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+#include "sim/vcd.hpp"
+
+namespace offramps::sim {
+namespace {
+
+TEST(Vcd, HeaderDeclaresChannels) {
+  Scheduler sched;
+  Wire a(sched, "X_STEP"), b(sched, "X DIR");
+  VcdRecorder vcd(sched);
+  EXPECT_TRUE(vcd.add(a));
+  EXPECT_TRUE(vcd.add(b, "custom label"));
+  const std::string doc = vcd.render("testbench");
+  EXPECT_NE(doc.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(doc.find("$scope module testbench $end"), std::string::npos);
+  EXPECT_NE(doc.find("$var wire 1 ! X_STEP $end"), std::string::npos);
+  // Whitespace sanitized in labels.
+  EXPECT_NE(doc.find("custom_label"), std::string::npos);
+}
+
+TEST(Vcd, InitialValuesDumped) {
+  Scheduler sched;
+  Wire low(sched, "LOW"), high(sched, "HIGH", true);
+  VcdRecorder vcd(sched);
+  vcd.add(low);
+  vcd.add(high);
+  const std::string doc = vcd.render();
+  const auto dump = doc.find("$dumpvars");
+  ASSERT_NE(dump, std::string::npos);
+  EXPECT_NE(doc.find("0!", dump), std::string::npos);
+  EXPECT_NE(doc.find("1\"", dump), std::string::npos);
+}
+
+TEST(Vcd, RecordsTimestampedChanges) {
+  Scheduler sched;
+  Wire w(sched, "SIG");
+  VcdRecorder vcd(sched);
+  vcd.add(w);
+  sched.schedule_at(us(5), [&] { w.set(true); });
+  sched.schedule_at(us(9), [&] { w.set(false); });
+  sched.run_all();
+  EXPECT_EQ(vcd.events(), 2u);
+  const std::string doc = vcd.render();
+  EXPECT_NE(doc.find("#5000\n1!"), std::string::npos);
+  EXPECT_NE(doc.find("#9000\n0!"), std::string::npos);
+}
+
+TEST(Vcd, TimesRelativeToRecorderStart) {
+  Scheduler sched;
+  Wire w(sched, "SIG");
+  sched.run_until(ms(1));
+  VcdRecorder vcd(sched);  // starts at t = 1 ms
+  vcd.add(w);
+  sched.schedule_at(ms(1) + us(2), [&] { w.set(true); });
+  sched.run_all();
+  const std::string doc = vcd.render();
+  EXPECT_NE(doc.find("#2000\n1!"), std::string::npos);
+}
+
+TEST(Vcd, SimultaneousEdgesShareTimestamp) {
+  Scheduler sched;
+  Wire a(sched, "A"), b(sched, "B");
+  VcdRecorder vcd(sched);
+  vcd.add(a);
+  vcd.add(b);
+  sched.schedule_at(us(1), [&] {
+    a.set(true);
+    b.set(true);
+  });
+  sched.run_all();
+  const std::string doc = vcd.render();
+  const auto pos = doc.find("#1000");
+  ASSERT_NE(pos, std::string::npos);
+  // One timestamp line, two change lines, no second #1000.
+  EXPECT_EQ(doc.find("#1000", pos + 1), std::string::npos);
+  EXPECT_NE(doc.find("1!", pos), std::string::npos);
+  EXPECT_NE(doc.find("1\"", pos), std::string::npos);
+}
+
+TEST(Vcd, IdentifierSpaceIsBounded) {
+  Scheduler sched;
+  // Wires must outlive the recorder (its destructor detaches listeners).
+  std::vector<std::unique_ptr<Wire>> wires;
+  VcdRecorder vcd(sched);
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    wires.push_back(std::make_unique<Wire>(sched, "W" + std::to_string(i)));
+    if (vcd.add(*wires.back())) ++accepted;
+  }
+  EXPECT_EQ(accepted, 94);  // '!' .. '~'
+}
+
+TEST(Vcd, StopsRecordingOnDestruction) {
+  Scheduler sched;
+  Wire w(sched, "SIG");
+  {
+    VcdRecorder vcd(sched);
+    vcd.add(w);
+  }
+  w.set(true);  // must not touch freed recorder state
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace offramps::sim

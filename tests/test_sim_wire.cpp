@@ -1,0 +1,202 @@
+// Unit tests for wires, connections, trace recording, and duty metering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "sim/wire.hpp"
+
+namespace offramps::sim {
+namespace {
+
+TEST(Wire, SetTriggersListenersOnChangeOnly) {
+  Scheduler s;
+  Wire w(s, "w");
+  int edges = 0;
+  w.on_edge([&](Edge, Tick) { ++edges; });
+  w.set(true);
+  w.set(true);  // no-op
+  w.set(false);
+  w.set(false);  // no-op
+  EXPECT_EQ(edges, 2);
+  EXPECT_EQ(w.rising_count(), 1u);
+  EXPECT_EQ(w.falling_count(), 1u);
+}
+
+TEST(Wire, RisingAndFallingFilters) {
+  Scheduler s;
+  Wire w(s, "w");
+  int rises = 0, falls = 0;
+  w.on_rising([&](Tick) { ++rises; });
+  w.on_falling([&](Tick) { ++falls; });
+  w.set(true);
+  w.set(false);
+  w.set(true);
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 1);
+}
+
+TEST(Wire, PulseEmitsBothEdges) {
+  Scheduler s;
+  Wire w(s, "w");
+  std::vector<std::pair<bool, Tick>> log;
+  w.on_edge([&](Edge e, Tick t) { log.push_back({e == Edge::kRising, t}); });
+  w.pulse(us(2));
+  s.run_all();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[0].first);
+  EXPECT_FALSE(log[1].first);
+  EXPECT_EQ(log[1].second - log[0].second, us(2));
+}
+
+TEST(Wire, RemoveListenerStopsDelivery) {
+  Scheduler s;
+  Wire w(s, "w");
+  int edges = 0;
+  const auto id = w.on_edge([&](Edge, Tick) { ++edges; });
+  w.set(true);
+  w.remove_listener(id);
+  w.set(false);
+  EXPECT_EQ(edges, 1);
+}
+
+TEST(Wire, ListenerAddedDuringCallbackMissesCurrentEdge) {
+  Scheduler s;
+  Wire w(s, "w");
+  int inner = 0;
+  w.on_edge([&](Edge, Tick) {
+    w.on_edge([&](Edge, Tick) { ++inner; });
+  });
+  w.set(true);
+  EXPECT_EQ(inner, 0);
+  w.set(false);
+  EXPECT_EQ(inner, 1);  // one listener added on the first edge sees this one
+}
+
+TEST(Connect, ZeroDelayCopiesImmediately) {
+  Scheduler s;
+  Wire a(s, "a"), b(s, "b");
+  auto conn = connect(a, b);
+  a.set(true);
+  EXPECT_TRUE(b.level());
+  a.set(false);
+  EXPECT_FALSE(b.level());
+}
+
+TEST(Connect, SynchronizesInitialLevel) {
+  Scheduler s;
+  Wire a(s, "a", true), b(s, "b", false);
+  auto conn = connect(a, b);
+  EXPECT_TRUE(b.level());
+}
+
+TEST(Connect, DelayDefersPropagation) {
+  Scheduler s;
+  Wire a(s, "a"), b(s, "b");
+  auto conn = connect(a, b, ns(13));
+  a.set(true);
+  EXPECT_FALSE(b.level());
+  s.run_until(12);
+  EXPECT_FALSE(b.level());
+  s.run_until(13);
+  EXPECT_TRUE(b.level());
+}
+
+TEST(Connect, DisconnectStopsForwarding) {
+  Scheduler s;
+  Wire a(s, "a"), b(s, "b");
+  auto conn = connect(a, b);
+  a.set(true);
+  conn.disconnect();
+  a.set(false);
+  EXPECT_TRUE(b.level());  // b keeps its last level
+}
+
+TEST(Connect, ConnectionDestructorDisconnects) {
+  Scheduler s;
+  Wire a(s, "a"), b(s, "b");
+  {
+    auto conn = connect(a, b);
+    a.set(true);
+  }
+  a.set(false);
+  EXPECT_TRUE(b.level());
+}
+
+TEST(AnalogChannel, DeliversEveryUpdate) {
+  Scheduler s;
+  AnalogChannel c(s, "adc", 1.0);
+  std::vector<double> seen;
+  c.on_change([&](double v, Tick) { seen.push_back(v); });
+  c.set(2.0);
+  c.set(2.0);  // analog updates always notify (sampled semantics)
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.value(), 2.0);
+}
+
+TEST(TraceRecorder, CountsEdgesAndMeasuresPulses) {
+  Scheduler s;
+  Wire w(s, "w");
+  TraceRecorder trace(w);
+  // Two pulses: 1 us wide, 5 us apart.
+  s.schedule_at(us(10), [&] { w.set(true); });
+  s.schedule_at(us(11), [&] { w.set(false); });
+  s.schedule_at(us(15), [&] { w.set(true); });
+  s.schedule_at(us(16), [&] { w.set(false); });
+  s.run_all();
+  EXPECT_EQ(trace.rising_edges(), 2u);
+  EXPECT_EQ(trace.falling_edges(), 2u);
+  EXPECT_EQ(trace.min_high_pulse(), us(1));
+  EXPECT_EQ(trace.min_low_pulse(), us(4));
+  EXPECT_EQ(trace.min_period(), us(5));
+  EXPECT_DOUBLE_EQ(trace.max_frequency_hz(), 200'000.0);
+  EXPECT_EQ(trace.transitions().size(), 4u);
+}
+
+TEST(TraceRecorder, StatisticsOnlyModeKeepsNoLog) {
+  Scheduler s;
+  Wire w(s, "w");
+  TraceRecorder trace(w, /*keep_transitions=*/false);
+  w.set(true);
+  w.set(false);
+  EXPECT_TRUE(trace.transitions().empty());
+  EXPECT_EQ(trace.rising_edges(), 1u);
+}
+
+TEST(DutyMeter, MeasuresFiftyPercent) {
+  Scheduler s;
+  Wire w(s, "pwm");
+  DutyMeter meter(w);
+  // 10 ms window: high for 5 ms.
+  s.schedule_at(ms(0) + 1, [&] { w.set(true); });
+  s.schedule_at(ms(5) + 1, [&] { w.set(false); });
+  s.run_until(ms(10));
+  EXPECT_NEAR(meter.sample(), 0.5, 0.01);
+}
+
+TEST(DutyMeter, HandlesAlwaysHighAndAlwaysLow) {
+  Scheduler s;
+  Wire w(s, "pwm");
+  DutyMeter meter(w);
+  s.run_until(ms(10));
+  EXPECT_DOUBLE_EQ(meter.sample(), 0.0);
+  w.set(true);
+  s.run_until(ms(20));
+  EXPECT_NEAR(meter.sample(), 1.0, 1e-9);
+}
+
+TEST(DutyMeter, ResetsBetweenSamples) {
+  Scheduler s;
+  Wire w(s, "pwm");
+  DutyMeter meter(w);
+  w.set(true);
+  s.run_until(ms(10));
+  meter.sample();
+  w.set(false);
+  s.run_until(ms(20));
+  EXPECT_NEAR(meter.sample(), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace offramps::sim
