@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flaw3d_detect.dir/flaw3d_detect.cpp.o"
+  "CMakeFiles/flaw3d_detect.dir/flaw3d_detect.cpp.o.d"
+  "flaw3d_detect"
+  "flaw3d_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flaw3d_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

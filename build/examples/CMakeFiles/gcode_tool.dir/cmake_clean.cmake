@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcode_tool.dir/gcode_tool.cpp.o"
+  "CMakeFiles/gcode_tool.dir/gcode_tool.cpp.o.d"
+  "gcode_tool"
+  "gcode_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcode_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

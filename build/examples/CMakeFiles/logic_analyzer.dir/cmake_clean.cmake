@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_analyzer.dir/logic_analyzer.cpp.o"
+  "CMakeFiles/logic_analyzer.dir/logic_analyzer.cpp.o.d"
+  "logic_analyzer"
+  "logic_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_cli.dir/offramps_cli.cpp.o"
+  "CMakeFiles/offramps_cli.dir/offramps_cli.cpp.o.d"
+  "offramps_cli"
+  "offramps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

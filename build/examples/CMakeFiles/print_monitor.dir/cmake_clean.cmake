@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/print_monitor.dir/print_monitor.cpp.o"
+  "CMakeFiles/print_monitor.dir/print_monitor.cpp.o.d"
+  "print_monitor"
+  "print_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/print_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

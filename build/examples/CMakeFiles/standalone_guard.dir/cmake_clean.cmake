@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_guard.dir/standalone_guard.cpp.o"
+  "CMakeFiles/standalone_guard.dir/standalone_guard.cpp.o.d"
+  "standalone_guard"
+  "standalone_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

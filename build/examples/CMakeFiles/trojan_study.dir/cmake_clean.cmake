@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_study.dir/trojan_study.cpp.o"
+  "CMakeFiles/trojan_study.dir/trojan_study.cpp.o.d"
+  "trojan_study"
+  "trojan_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

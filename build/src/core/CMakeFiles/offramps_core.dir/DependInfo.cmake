@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/board.cpp" "src/core/CMakeFiles/offramps_core.dir/board.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/board.cpp.o.d"
+  "/root/repo/src/core/capture.cpp" "src/core/CMakeFiles/offramps_core.dir/capture.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/capture.cpp.o.d"
+  "/root/repo/src/core/fabric_guard.cpp" "src/core/CMakeFiles/offramps_core.dir/fabric_guard.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/fabric_guard.cpp.o.d"
+  "/root/repo/src/core/fpga.cpp" "src/core/CMakeFiles/offramps_core.dir/fpga.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/fpga.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/offramps_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/pulse_generator.cpp" "src/core/CMakeFiles/offramps_core.dir/pulse_generator.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/pulse_generator.cpp.o.d"
+  "/root/repo/src/core/serial.cpp" "src/core/CMakeFiles/offramps_core.dir/serial.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/serial.cpp.o.d"
+  "/root/repo/src/core/signal_path.cpp" "src/core/CMakeFiles/offramps_core.dir/signal_path.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/signal_path.cpp.o.d"
+  "/root/repo/src/core/trojans.cpp" "src/core/CMakeFiles/offramps_core.dir/trojans.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/trojans.cpp.o.d"
+  "/root/repo/src/core/uart.cpp" "src/core/CMakeFiles/offramps_core.dir/uart.cpp.o" "gcc" "src/core/CMakeFiles/offramps_core.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/offramps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_core.dir/board.cpp.o"
+  "CMakeFiles/offramps_core.dir/board.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/capture.cpp.o"
+  "CMakeFiles/offramps_core.dir/capture.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/fabric_guard.cpp.o"
+  "CMakeFiles/offramps_core.dir/fabric_guard.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/fpga.cpp.o"
+  "CMakeFiles/offramps_core.dir/fpga.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/monitor.cpp.o"
+  "CMakeFiles/offramps_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/pulse_generator.cpp.o"
+  "CMakeFiles/offramps_core.dir/pulse_generator.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/serial.cpp.o"
+  "CMakeFiles/offramps_core.dir/serial.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/signal_path.cpp.o"
+  "CMakeFiles/offramps_core.dir/signal_path.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/trojans.cpp.o"
+  "CMakeFiles/offramps_core.dir/trojans.cpp.o.d"
+  "CMakeFiles/offramps_core.dir/uart.cpp.o"
+  "CMakeFiles/offramps_core.dir/uart.cpp.o.d"
+  "libofframps_core.a"
+  "libofframps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

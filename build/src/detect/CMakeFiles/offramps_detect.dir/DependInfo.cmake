@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/align.cpp" "src/detect/CMakeFiles/offramps_detect.dir/align.cpp.o" "gcc" "src/detect/CMakeFiles/offramps_detect.dir/align.cpp.o.d"
+  "/root/repo/src/detect/compare.cpp" "src/detect/CMakeFiles/offramps_detect.dir/compare.cpp.o" "gcc" "src/detect/CMakeFiles/offramps_detect.dir/compare.cpp.o.d"
+  "/root/repo/src/detect/golden_free.cpp" "src/detect/CMakeFiles/offramps_detect.dir/golden_free.cpp.o" "gcc" "src/detect/CMakeFiles/offramps_detect.dir/golden_free.cpp.o.d"
+  "/root/repo/src/detect/monitor.cpp" "src/detect/CMakeFiles/offramps_detect.dir/monitor.cpp.o" "gcc" "src/detect/CMakeFiles/offramps_detect.dir/monitor.cpp.o.d"
+  "/root/repo/src/detect/reconstruct.cpp" "src/detect/CMakeFiles/offramps_detect.dir/reconstruct.cpp.o" "gcc" "src/detect/CMakeFiles/offramps_detect.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/detect/side_channel.cpp" "src/detect/CMakeFiles/offramps_detect.dir/side_channel.cpp.o" "gcc" "src/detect/CMakeFiles/offramps_detect.dir/side_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/offramps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offramps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

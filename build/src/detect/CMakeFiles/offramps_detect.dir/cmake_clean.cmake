@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_detect.dir/align.cpp.o"
+  "CMakeFiles/offramps_detect.dir/align.cpp.o.d"
+  "CMakeFiles/offramps_detect.dir/compare.cpp.o"
+  "CMakeFiles/offramps_detect.dir/compare.cpp.o.d"
+  "CMakeFiles/offramps_detect.dir/golden_free.cpp.o"
+  "CMakeFiles/offramps_detect.dir/golden_free.cpp.o.d"
+  "CMakeFiles/offramps_detect.dir/monitor.cpp.o"
+  "CMakeFiles/offramps_detect.dir/monitor.cpp.o.d"
+  "CMakeFiles/offramps_detect.dir/reconstruct.cpp.o"
+  "CMakeFiles/offramps_detect.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/offramps_detect.dir/side_channel.cpp.o"
+  "CMakeFiles/offramps_detect.dir/side_channel.cpp.o.d"
+  "libofframps_detect.a"
+  "libofframps_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fw/firmware.cpp" "src/fw/CMakeFiles/offramps_fw.dir/firmware.cpp.o" "gcc" "src/fw/CMakeFiles/offramps_fw.dir/firmware.cpp.o.d"
+  "/root/repo/src/fw/planner.cpp" "src/fw/CMakeFiles/offramps_fw.dir/planner.cpp.o" "gcc" "src/fw/CMakeFiles/offramps_fw.dir/planner.cpp.o.d"
+  "/root/repo/src/fw/serial_protocol.cpp" "src/fw/CMakeFiles/offramps_fw.dir/serial_protocol.cpp.o" "gcc" "src/fw/CMakeFiles/offramps_fw.dir/serial_protocol.cpp.o.d"
+  "/root/repo/src/fw/stepper.cpp" "src/fw/CMakeFiles/offramps_fw.dir/stepper.cpp.o" "gcc" "src/fw/CMakeFiles/offramps_fw.dir/stepper.cpp.o.d"
+  "/root/repo/src/fw/thermal.cpp" "src/fw/CMakeFiles/offramps_fw.dir/thermal.cpp.o" "gcc" "src/fw/CMakeFiles/offramps_fw.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/offramps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcode/CMakeFiles/offramps_gcode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_fw.dir/firmware.cpp.o"
+  "CMakeFiles/offramps_fw.dir/firmware.cpp.o.d"
+  "CMakeFiles/offramps_fw.dir/planner.cpp.o"
+  "CMakeFiles/offramps_fw.dir/planner.cpp.o.d"
+  "CMakeFiles/offramps_fw.dir/serial_protocol.cpp.o"
+  "CMakeFiles/offramps_fw.dir/serial_protocol.cpp.o.d"
+  "CMakeFiles/offramps_fw.dir/stepper.cpp.o"
+  "CMakeFiles/offramps_fw.dir/stepper.cpp.o.d"
+  "CMakeFiles/offramps_fw.dir/thermal.cpp.o"
+  "CMakeFiles/offramps_fw.dir/thermal.cpp.o.d"
+  "libofframps_fw.a"
+  "libofframps_fw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

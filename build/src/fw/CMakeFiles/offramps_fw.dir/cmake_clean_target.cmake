@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libofframps_fw.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcode/command.cpp" "src/gcode/CMakeFiles/offramps_gcode.dir/command.cpp.o" "gcc" "src/gcode/CMakeFiles/offramps_gcode.dir/command.cpp.o.d"
+  "/root/repo/src/gcode/flaw3d.cpp" "src/gcode/CMakeFiles/offramps_gcode.dir/flaw3d.cpp.o" "gcc" "src/gcode/CMakeFiles/offramps_gcode.dir/flaw3d.cpp.o.d"
+  "/root/repo/src/gcode/modal.cpp" "src/gcode/CMakeFiles/offramps_gcode.dir/modal.cpp.o" "gcc" "src/gcode/CMakeFiles/offramps_gcode.dir/modal.cpp.o.d"
+  "/root/repo/src/gcode/parser.cpp" "src/gcode/CMakeFiles/offramps_gcode.dir/parser.cpp.o" "gcc" "src/gcode/CMakeFiles/offramps_gcode.dir/parser.cpp.o.d"
+  "/root/repo/src/gcode/stats.cpp" "src/gcode/CMakeFiles/offramps_gcode.dir/stats.cpp.o" "gcc" "src/gcode/CMakeFiles/offramps_gcode.dir/stats.cpp.o.d"
+  "/root/repo/src/gcode/writer.cpp" "src/gcode/CMakeFiles/offramps_gcode.dir/writer.cpp.o" "gcc" "src/gcode/CMakeFiles/offramps_gcode.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/offramps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

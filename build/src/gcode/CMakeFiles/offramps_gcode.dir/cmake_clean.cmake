@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_gcode.dir/command.cpp.o"
+  "CMakeFiles/offramps_gcode.dir/command.cpp.o.d"
+  "CMakeFiles/offramps_gcode.dir/flaw3d.cpp.o"
+  "CMakeFiles/offramps_gcode.dir/flaw3d.cpp.o.d"
+  "CMakeFiles/offramps_gcode.dir/modal.cpp.o"
+  "CMakeFiles/offramps_gcode.dir/modal.cpp.o.d"
+  "CMakeFiles/offramps_gcode.dir/parser.cpp.o"
+  "CMakeFiles/offramps_gcode.dir/parser.cpp.o.d"
+  "CMakeFiles/offramps_gcode.dir/stats.cpp.o"
+  "CMakeFiles/offramps_gcode.dir/stats.cpp.o.d"
+  "CMakeFiles/offramps_gcode.dir/writer.cpp.o"
+  "CMakeFiles/offramps_gcode.dir/writer.cpp.o.d"
+  "libofframps_gcode.a"
+  "libofframps_gcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_gcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

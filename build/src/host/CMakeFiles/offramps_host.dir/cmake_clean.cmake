@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_host.dir/reliable_streamer.cpp.o"
+  "CMakeFiles/offramps_host.dir/reliable_streamer.cpp.o.d"
+  "CMakeFiles/offramps_host.dir/rig.cpp.o"
+  "CMakeFiles/offramps_host.dir/rig.cpp.o.d"
+  "CMakeFiles/offramps_host.dir/slicer.cpp.o"
+  "CMakeFiles/offramps_host.dir/slicer.cpp.o.d"
+  "CMakeFiles/offramps_host.dir/streamer.cpp.o"
+  "CMakeFiles/offramps_host.dir/streamer.cpp.o.d"
+  "CMakeFiles/offramps_host.dir/time_estimator.cpp.o"
+  "CMakeFiles/offramps_host.dir/time_estimator.cpp.o.d"
+  "libofframps_host.a"
+  "libofframps_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

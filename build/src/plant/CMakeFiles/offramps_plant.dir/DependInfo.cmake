@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plant/deposition.cpp" "src/plant/CMakeFiles/offramps_plant.dir/deposition.cpp.o" "gcc" "src/plant/CMakeFiles/offramps_plant.dir/deposition.cpp.o.d"
+  "/root/repo/src/plant/printer.cpp" "src/plant/CMakeFiles/offramps_plant.dir/printer.cpp.o" "gcc" "src/plant/CMakeFiles/offramps_plant.dir/printer.cpp.o.d"
+  "/root/repo/src/plant/side_channel.cpp" "src/plant/CMakeFiles/offramps_plant.dir/side_channel.cpp.o" "gcc" "src/plant/CMakeFiles/offramps_plant.dir/side_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/offramps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

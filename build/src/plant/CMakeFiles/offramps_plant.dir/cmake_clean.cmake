@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_plant.dir/deposition.cpp.o"
+  "CMakeFiles/offramps_plant.dir/deposition.cpp.o.d"
+  "CMakeFiles/offramps_plant.dir/printer.cpp.o"
+  "CMakeFiles/offramps_plant.dir/printer.cpp.o.d"
+  "CMakeFiles/offramps_plant.dir/side_channel.cpp.o"
+  "CMakeFiles/offramps_plant.dir/side_channel.cpp.o.d"
+  "libofframps_plant.a"
+  "libofframps_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offramps_sim.dir/pins.cpp.o"
+  "CMakeFiles/offramps_sim.dir/pins.cpp.o.d"
+  "CMakeFiles/offramps_sim.dir/vcd.cpp.o"
+  "CMakeFiles/offramps_sim.dir/vcd.cpp.o.d"
+  "libofframps_sim.a"
+  "libofframps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offramps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_board.dir/test_core_board.cpp.o"
+  "CMakeFiles/test_core_board.dir/test_core_board.cpp.o.d"
+  "test_core_board"
+  "test_core_board.pdb"
+  "test_core_board[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

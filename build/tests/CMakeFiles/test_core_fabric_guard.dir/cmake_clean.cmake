@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fabric_guard.dir/test_core_fabric_guard.cpp.o"
+  "CMakeFiles/test_core_fabric_guard.dir/test_core_fabric_guard.cpp.o.d"
+  "test_core_fabric_guard"
+  "test_core_fabric_guard.pdb"
+  "test_core_fabric_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fabric_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_pulse_generator.dir/test_core_pulse_generator.cpp.o"
+  "CMakeFiles/test_core_pulse_generator.dir/test_core_pulse_generator.cpp.o.d"
+  "test_core_pulse_generator"
+  "test_core_pulse_generator.pdb"
+  "test_core_pulse_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_pulse_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_serial.dir/test_core_serial.cpp.o"
+  "CMakeFiles/test_core_serial.dir/test_core_serial.cpp.o.d"
+  "test_core_serial"
+  "test_core_serial.pdb"
+  "test_core_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_signal_path.dir/test_core_signal_path.cpp.o"
+  "CMakeFiles/test_core_signal_path.dir/test_core_signal_path.cpp.o.d"
+  "test_core_signal_path"
+  "test_core_signal_path.pdb"
+  "test_core_signal_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_signal_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_trojans.dir/test_core_trojans.cpp.o"
+  "CMakeFiles/test_core_trojans.dir/test_core_trojans.cpp.o.d"
+  "test_core_trojans"
+  "test_core_trojans.pdb"
+  "test_core_trojans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_trojans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

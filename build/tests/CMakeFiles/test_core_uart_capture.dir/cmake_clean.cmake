@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_uart_capture.dir/test_core_uart_capture.cpp.o"
+  "CMakeFiles/test_core_uart_capture.dir/test_core_uart_capture.cpp.o.d"
+  "test_core_uart_capture"
+  "test_core_uart_capture.pdb"
+  "test_core_uart_capture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_uart_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

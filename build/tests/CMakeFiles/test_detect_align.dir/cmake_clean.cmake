@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_align.dir/test_detect_align.cpp.o"
+  "CMakeFiles/test_detect_align.dir/test_detect_align.cpp.o.d"
+  "test_detect_align"
+  "test_detect_align.pdb"
+  "test_detect_align[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

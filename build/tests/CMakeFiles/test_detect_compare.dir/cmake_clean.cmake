@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_compare.dir/test_detect_compare.cpp.o"
+  "CMakeFiles/test_detect_compare.dir/test_detect_compare.cpp.o.d"
+  "test_detect_compare"
+  "test_detect_compare.pdb"
+  "test_detect_compare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

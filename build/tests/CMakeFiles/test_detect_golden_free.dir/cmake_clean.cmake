@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_golden_free.dir/test_detect_golden_free.cpp.o"
+  "CMakeFiles/test_detect_golden_free.dir/test_detect_golden_free.cpp.o.d"
+  "test_detect_golden_free"
+  "test_detect_golden_free.pdb"
+  "test_detect_golden_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_golden_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

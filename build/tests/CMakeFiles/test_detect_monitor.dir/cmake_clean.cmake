@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_monitor.dir/test_detect_monitor.cpp.o"
+  "CMakeFiles/test_detect_monitor.dir/test_detect_monitor.cpp.o.d"
+  "test_detect_monitor"
+  "test_detect_monitor.pdb"
+  "test_detect_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_reconstruct.dir/test_detect_reconstruct.cpp.o"
+  "CMakeFiles/test_detect_reconstruct.dir/test_detect_reconstruct.cpp.o.d"
+  "test_detect_reconstruct"
+  "test_detect_reconstruct.pdb"
+  "test_detect_reconstruct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_arcs.dir/test_fw_arcs.cpp.o"
+  "CMakeFiles/test_fw_arcs.dir/test_fw_arcs.cpp.o.d"
+  "test_fw_arcs"
+  "test_fw_arcs.pdb"
+  "test_fw_arcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_arcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

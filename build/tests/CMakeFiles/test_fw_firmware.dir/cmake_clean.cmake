@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_firmware.dir/test_fw_firmware.cpp.o"
+  "CMakeFiles/test_fw_firmware.dir/test_fw_firmware.cpp.o.d"
+  "test_fw_firmware"
+  "test_fw_firmware.pdb"
+  "test_fw_firmware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

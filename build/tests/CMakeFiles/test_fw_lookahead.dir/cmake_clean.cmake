@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_lookahead.dir/test_fw_lookahead.cpp.o"
+  "CMakeFiles/test_fw_lookahead.dir/test_fw_lookahead.cpp.o.d"
+  "test_fw_lookahead"
+  "test_fw_lookahead.pdb"
+  "test_fw_lookahead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

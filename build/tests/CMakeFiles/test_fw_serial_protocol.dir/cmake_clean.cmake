@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_serial_protocol.dir/test_fw_serial_protocol.cpp.o"
+  "CMakeFiles/test_fw_serial_protocol.dir/test_fw_serial_protocol.cpp.o.d"
+  "test_fw_serial_protocol"
+  "test_fw_serial_protocol.pdb"
+  "test_fw_serial_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_serial_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_stepper.dir/test_fw_stepper.cpp.o"
+  "CMakeFiles/test_fw_stepper.dir/test_fw_stepper.cpp.o.d"
+  "test_fw_stepper"
+  "test_fw_stepper.pdb"
+  "test_fw_stepper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_stepper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

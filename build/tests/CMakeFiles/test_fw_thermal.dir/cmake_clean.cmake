@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fw_thermal.dir/test_fw_thermal.cpp.o"
+  "CMakeFiles/test_fw_thermal.dir/test_fw_thermal.cpp.o.d"
+  "test_fw_thermal"
+  "test_fw_thermal.pdb"
+  "test_fw_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fw_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcode_modal.dir/test_gcode_modal.cpp.o"
+  "CMakeFiles/test_gcode_modal.dir/test_gcode_modal.cpp.o.d"
+  "test_gcode_modal"
+  "test_gcode_modal.pdb"
+  "test_gcode_modal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcode_modal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcode_parser.dir/test_gcode_parser.cpp.o"
+  "CMakeFiles/test_gcode_parser.dir/test_gcode_parser.cpp.o.d"
+  "test_gcode_parser"
+  "test_gcode_parser.pdb"
+  "test_gcode_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcode_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcode_stats.dir/test_gcode_stats.cpp.o"
+  "CMakeFiles/test_gcode_stats.dir/test_gcode_stats.cpp.o.d"
+  "test_gcode_stats"
+  "test_gcode_stats.pdb"
+  "test_gcode_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcode_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcode_writer.dir/test_gcode_writer.cpp.o"
+  "CMakeFiles/test_gcode_writer.dir/test_gcode_writer.cpp.o.d"
+  "test_gcode_writer"
+  "test_gcode_writer.pdb"
+  "test_gcode_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcode_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_time_estimator.dir/test_host_time_estimator.cpp.o"
+  "CMakeFiles/test_host_time_estimator.dir/test_host_time_estimator.cpp.o.d"
+  "test_host_time_estimator"
+  "test_host_time_estimator.pdb"
+  "test_host_time_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_time_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_flaw3d.dir/test_integration_flaw3d.cpp.o"
+  "CMakeFiles/test_integration_flaw3d.dir/test_integration_flaw3d.cpp.o.d"
+  "test_integration_flaw3d"
+  "test_integration_flaw3d.pdb"
+  "test_integration_flaw3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_flaw3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_trojans.dir/test_integration_trojans.cpp.o"
+  "CMakeFiles/test_integration_trojans.dir/test_integration_trojans.cpp.o.d"
+  "test_integration_trojans"
+  "test_integration_trojans.pdb"
+  "test_integration_trojans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_trojans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

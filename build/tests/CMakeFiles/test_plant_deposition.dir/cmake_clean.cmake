@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plant_deposition.dir/test_plant_deposition.cpp.o"
+  "CMakeFiles/test_plant_deposition.dir/test_plant_deposition.cpp.o.d"
+  "test_plant_deposition"
+  "test_plant_deposition.pdb"
+  "test_plant_deposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plant_deposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plant_motor_axis.dir/test_plant_motor_axis.cpp.o"
+  "CMakeFiles/test_plant_motor_axis.dir/test_plant_motor_axis.cpp.o.d"
+  "test_plant_motor_axis"
+  "test_plant_motor_axis.pdb"
+  "test_plant_motor_axis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plant_motor_axis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

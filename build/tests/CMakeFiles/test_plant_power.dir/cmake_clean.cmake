@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plant_power.dir/test_plant_power.cpp.o"
+  "CMakeFiles/test_plant_power.dir/test_plant_power.cpp.o.d"
+  "test_plant_power"
+  "test_plant_power.pdb"
+  "test_plant_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plant_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

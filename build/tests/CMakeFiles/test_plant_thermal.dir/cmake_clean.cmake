@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plant_thermal.dir/test_plant_thermal.cpp.o"
+  "CMakeFiles/test_plant_thermal.dir/test_plant_thermal.cpp.o.d"
+  "test_plant_thermal"
+  "test_plant_thermal.pdb"
+  "test_plant_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plant_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

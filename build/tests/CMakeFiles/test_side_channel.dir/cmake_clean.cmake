@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_side_channel.dir/test_side_channel.cpp.o"
+  "CMakeFiles/test_side_channel.dir/test_side_channel.cpp.o.d"
+  "test_side_channel"
+  "test_side_channel.pdb"
+  "test_side_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_side_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_pins.dir/test_sim_pins.cpp.o"
+  "CMakeFiles/test_sim_pins.dir/test_sim_pins.cpp.o.d"
+  "test_sim_pins"
+  "test_sim_pins.pdb"
+  "test_sim_pins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_pins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

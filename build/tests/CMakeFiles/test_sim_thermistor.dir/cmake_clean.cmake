@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_thermistor.dir/test_sim_thermistor.cpp.o"
+  "CMakeFiles/test_sim_thermistor.dir/test_sim_thermistor.cpp.o.d"
+  "test_sim_thermistor"
+  "test_sim_thermistor.pdb"
+  "test_sim_thermistor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_thermistor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

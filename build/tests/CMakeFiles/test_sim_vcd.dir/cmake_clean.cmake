@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_vcd.dir/test_sim_vcd.cpp.o"
+  "CMakeFiles/test_sim_vcd.dir/test_sim_vcd.cpp.o.d"
+  "test_sim_vcd"
+  "test_sim_vcd.pdb"
+  "test_sim_vcd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_vcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

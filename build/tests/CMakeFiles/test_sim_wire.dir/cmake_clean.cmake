@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_wire.dir/test_sim_wire.cpp.o"
+  "CMakeFiles/test_sim_wire.dir/test_sim_wire.cpp.o.d"
+  "test_sim_wire"
+  "test_sim_wire.pdb"
+  "test_sim_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

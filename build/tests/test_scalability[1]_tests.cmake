@@ -1,0 +1,3 @@
+add_test([=[Scalability.TwentyMillimetreCubePrintsInSeconds]=]  /root/repo/build/tests/test_scalability [==[--gtest_filter=Scalability.TwentyMillimetreCubePrintsInSeconds]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Scalability.TwentyMillimetreCubePrintsInSeconds]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_scalability_TESTS Scalability.TwentyMillimetreCubePrintsInSeconds)
