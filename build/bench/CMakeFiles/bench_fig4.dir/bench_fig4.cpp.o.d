@@ -133,12 +133,12 @@ bench/CMakeFiles/bench_fig4.dir/bench_fig4.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/capture.hpp \
- /root/repo/src/gcode/stats.hpp /root/repo/src/gcode/command.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/gcode/stats.hpp /root/repo/src/gcode/command.hpp \
  /root/repo/src/gcode/modal.hpp /root/repo/src/host/rig.hpp \
  /root/repo/src/core/board.hpp /root/repo/src/core/fpga.hpp \
  /usr/include/c++/12/memory \
@@ -264,4 +264,5 @@ bench/CMakeFiles/bench_fig4.dir/bench_fig4.cpp.o: \
  /root/repo/src/plant/motor.hpp /root/repo/src/plant/power.hpp \
  /root/repo/src/plant/deposition.hpp /root/repo/src/plant/thermal.hpp \
  /root/repo/src/sim/trace.hpp /root/repo/src/plant/side_channel.hpp \
- /root/repo/src/host/slicer.hpp /root/repo/src/gcode/flaw3d.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/host/slicer.hpp \
+ /root/repo/src/gcode/flaw3d.hpp

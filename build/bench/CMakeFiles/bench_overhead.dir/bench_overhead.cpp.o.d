@@ -213,9 +213,9 @@ bench/CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/bench/common.hpp \
  /root/repo/src/detect/compare.hpp /usr/include/c++/12/array \
- /root/repo/src/core/capture.hpp /root/repo/src/gcode/stats.hpp \
- /root/repo/src/gcode/command.hpp /usr/include/c++/12/optional \
+ /root/repo/src/core/capture.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/gcode/stats.hpp /root/repo/src/gcode/command.hpp \
  /root/repo/src/gcode/modal.hpp /root/repo/src/host/rig.hpp \
  /root/repo/src/core/board.hpp /root/repo/src/core/fpga.hpp \
  /root/repo/src/core/monitor.hpp /usr/include/c++/12/functional \
@@ -266,4 +266,4 @@ bench/CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o: \
  /root/repo/src/plant/motor.hpp /root/repo/src/plant/power.hpp \
  /root/repo/src/plant/deposition.hpp /root/repo/src/plant/thermal.hpp \
  /root/repo/src/sim/trace.hpp /root/repo/src/plant/side_channel.hpp \
- /root/repo/src/host/slicer.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/host/slicer.hpp

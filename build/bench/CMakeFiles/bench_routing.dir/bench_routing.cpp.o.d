@@ -123,12 +123,12 @@ bench/CMakeFiles/bench_routing.dir/bench_routing.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/capture.hpp \
- /root/repo/src/gcode/stats.hpp /root/repo/src/gcode/command.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/gcode/stats.hpp /root/repo/src/gcode/command.hpp \
  /root/repo/src/gcode/modal.hpp /root/repo/src/host/rig.hpp \
  /root/repo/src/core/board.hpp /root/repo/src/core/fpga.hpp \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -215,7 +215,10 @@ bench/CMakeFiles/bench_routing.dir/bench_routing.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/pins.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/sim/wire.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
@@ -253,13 +256,10 @@ bench/CMakeFiles/bench_routing.dir/bench_routing.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/detect/monitor.hpp /root/repo/src/fw/firmware.hpp \
  /root/repo/src/fw/config.hpp /root/repo/src/fw/planner.hpp \
- /root/repo/src/fw/pwm.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/fw/stepper.hpp /root/repo/src/fw/thermal.hpp \
- /root/repo/src/sim/thermistor.hpp /root/repo/src/plant/printer.hpp \
- /root/repo/src/plant/axis.hpp /root/repo/src/plant/motor.hpp \
- /root/repo/src/plant/power.hpp /root/repo/src/plant/deposition.hpp \
- /root/repo/src/plant/thermal.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/plant/side_channel.hpp /root/repo/src/host/slicer.hpp
+ /root/repo/src/fw/pwm.hpp /root/repo/src/fw/stepper.hpp \
+ /root/repo/src/fw/thermal.hpp /root/repo/src/sim/thermistor.hpp \
+ /root/repo/src/plant/printer.hpp /root/repo/src/plant/axis.hpp \
+ /root/repo/src/plant/motor.hpp /root/repo/src/plant/power.hpp \
+ /root/repo/src/plant/deposition.hpp /root/repo/src/plant/thermal.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/plant/side_channel.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/host/slicer.hpp

@@ -199,12 +199,12 @@ examples/CMakeFiles/standalone_guard.dir/standalone_guard.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/capture.hpp \
- /usr/include/c++/12/array /root/repo/src/core/fpga.hpp \
- /root/repo/src/core/monitor.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/core/fpga.hpp /root/repo/src/core/monitor.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
@@ -213,17 +213,20 @@ examples/CMakeFiles/standalone_guard.dir/standalone_guard.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/pins.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/sim/wire.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/core/serial.hpp /usr/include/c++/12/span \
- /root/repo/src/core/signal_path.hpp /usr/include/c++/12/optional \
- /root/repo/src/core/uart.hpp /root/repo/src/gcode/flaw3d.hpp \
- /root/repo/src/gcode/command.hpp /root/repo/src/host/rig.hpp \
- /root/repo/src/core/board.hpp /root/repo/src/core/trojans.hpp \
- /root/repo/src/core/pulse_generator.hpp /root/repo/src/sim/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/signal_path.hpp /root/repo/src/core/uart.hpp \
+ /root/repo/src/gcode/flaw3d.hpp /root/repo/src/gcode/command.hpp \
+ /root/repo/src/host/rig.hpp /root/repo/src/core/board.hpp \
+ /root/repo/src/core/trojans.hpp /root/repo/src/core/pulse_generator.hpp \
+ /root/repo/src/sim/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -254,12 +257,10 @@ examples/CMakeFiles/standalone_guard.dir/standalone_guard.cpp.o: \
  /root/repo/src/detect/compare.hpp /root/repo/src/detect/monitor.hpp \
  /root/repo/src/fw/firmware.hpp /root/repo/src/fw/config.hpp \
  /root/repo/src/fw/planner.hpp /root/repo/src/fw/pwm.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/fw/stepper.hpp /root/repo/src/fw/thermal.hpp \
  /root/repo/src/sim/thermistor.hpp /root/repo/src/plant/printer.hpp \
  /root/repo/src/plant/axis.hpp /root/repo/src/plant/motor.hpp \
  /root/repo/src/plant/power.hpp /root/repo/src/plant/deposition.hpp \
  /root/repo/src/plant/thermal.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/plant/side_channel.hpp /root/repo/src/host/slicer.hpp
+ /root/repo/src/plant/side_channel.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/host/slicer.hpp

@@ -210,17 +210,19 @@ src/core/CMakeFiles/offramps_core.dir/board.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/pins.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/sim/wire.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/scheduler.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/core/serial.hpp /usr/include/c++/12/span \
  /root/repo/src/core/capture.hpp /root/repo/src/core/signal_path.hpp \
- /usr/include/c++/12/optional /root/repo/src/core/uart.hpp \
- /root/repo/src/core/trojans.hpp /root/repo/src/core/pulse_generator.hpp \
- /root/repo/src/sim/rng.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/core/uart.hpp /root/repo/src/core/trojans.hpp \
+ /root/repo/src/core/pulse_generator.hpp /root/repo/src/sim/rng.hpp \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -212,7 +212,10 @@ src/core/CMakeFiles/offramps_core.dir/trojans.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/pins.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/sim/wire.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
@@ -248,7 +251,4 @@ src/core/CMakeFiles/offramps_core.dir/trojans.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/sim/thermistor.hpp /root/repo/src/sim/trace.hpp

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/fault_campaign.cpp" "src/host/CMakeFiles/offramps_host.dir/fault_campaign.cpp.o" "gcc" "src/host/CMakeFiles/offramps_host.dir/fault_campaign.cpp.o.d"
   "/root/repo/src/host/reliable_streamer.cpp" "src/host/CMakeFiles/offramps_host.dir/reliable_streamer.cpp.o" "gcc" "src/host/CMakeFiles/offramps_host.dir/reliable_streamer.cpp.o.d"
   "/root/repo/src/host/rig.cpp" "src/host/CMakeFiles/offramps_host.dir/rig.cpp.o" "gcc" "src/host/CMakeFiles/offramps_host.dir/rig.cpp.o.d"
   "/root/repo/src/host/slicer.cpp" "src/host/CMakeFiles/offramps_host.dir/slicer.cpp.o" "gcc" "src/host/CMakeFiles/offramps_host.dir/slicer.cpp.o.d"

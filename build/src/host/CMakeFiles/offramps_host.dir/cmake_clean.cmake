@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/offramps_host.dir/fault_campaign.cpp.o"
+  "CMakeFiles/offramps_host.dir/fault_campaign.cpp.o.d"
   "CMakeFiles/offramps_host.dir/reliable_streamer.cpp.o"
   "CMakeFiles/offramps_host.dir/reliable_streamer.cpp.o.d"
   "CMakeFiles/offramps_host.dir/rig.cpp.o"

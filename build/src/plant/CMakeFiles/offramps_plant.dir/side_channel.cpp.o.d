@@ -247,7 +247,7 @@ src/plant/CMakeFiles/offramps_plant.dir/side_channel.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/pins.hpp \
- /root/repo/src/sim/wire.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/wire.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/plant/deposition.hpp /root/repo/src/plant/thermal.hpp \
  /root/repo/src/sim/thermistor.hpp /root/repo/src/sim/trace.hpp

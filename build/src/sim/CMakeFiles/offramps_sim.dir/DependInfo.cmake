@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/offramps_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/offramps_sim.dir/fault.cpp.o.d"
   "/root/repo/src/sim/pins.cpp" "src/sim/CMakeFiles/offramps_sim.dir/pins.cpp.o" "gcc" "src/sim/CMakeFiles/offramps_sim.dir/pins.cpp.o.d"
   "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/offramps_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/offramps_sim.dir/vcd.cpp.o.d"
   )

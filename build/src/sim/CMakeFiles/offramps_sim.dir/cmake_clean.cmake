@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/offramps_sim.dir/fault.cpp.o"
+  "CMakeFiles/offramps_sim.dir/fault.cpp.o.d"
   "CMakeFiles/offramps_sim.dir/pins.cpp.o"
   "CMakeFiles/offramps_sim.dir/pins.cpp.o.d"
   "CMakeFiles/offramps_sim.dir/vcd.cpp.o"

@@ -296,8 +296,10 @@ tests/CMakeFiles/test_core_pulse_generator.dir/test_core_pulse_generator.cpp.o: 
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/pulse_generator.hpp \
  /root/repo/src/core/signal_path.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/wire.hpp \
- /root/repo/src/sim/trace.hpp
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/wire.hpp /root/repo/src/sim/trace.hpp

@@ -296,7 +296,9 @@ tests/CMakeFiles/test_core_uart_capture.dir/test_core_uart_capture.cpp.o: \
  /root/repo/src/core/uart.hpp /root/repo/src/core/capture.hpp \
  /root/repo/src/core/monitor.hpp /root/repo/src/sim/pins.hpp \
  /root/repo/src/sim/wire.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
- /root/repo/src/sim/time.hpp
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp

@@ -298,16 +298,16 @@ tests/CMakeFiles/test_failure_injection.dir/test_failure_injection.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/fw/config.hpp \
  /root/repo/src/sim/pins.hpp /root/repo/src/sim/wire.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/fw/planner.hpp \
- /root/repo/src/fw/pwm.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/fw/stepper.hpp /root/repo/src/fw/thermal.hpp \
- /root/repo/src/sim/thermistor.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/fw/planner.hpp \
+ /root/repo/src/fw/pwm.hpp /root/repo/src/fw/stepper.hpp \
+ /root/repo/src/fw/thermal.hpp /root/repo/src/sim/thermistor.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -344,4 +344,5 @@ tests/CMakeFiles/test_failure_injection.dir/test_failure_injection.cpp.o: \
  /root/repo/src/core/signal_path.hpp /root/repo/src/core/uart.hpp \
  /root/repo/src/core/trojans.hpp /root/repo/src/core/pulse_generator.hpp \
  /root/repo/src/detect/monitor.hpp /root/repo/src/plant/side_channel.hpp \
- /root/repo/src/host/slicer.hpp /root/repo/src/host/streamer.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/host/slicer.hpp \
+ /root/repo/src/host/streamer.hpp

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_campaign.cpp" "tests/CMakeFiles/test_fault_campaign.dir/test_fault_campaign.cpp.o" "gcc" "tests/CMakeFiles/test_fault_campaign.dir/test_fault_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/offramps_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/offramps_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/offramps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fw/CMakeFiles/offramps_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/offramps_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcode/CMakeFiles/offramps_gcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offramps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

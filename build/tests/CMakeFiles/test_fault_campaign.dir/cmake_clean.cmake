@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_campaign.dir/test_fault_campaign.cpp.o"
+  "CMakeFiles/test_fault_campaign.dir/test_fault_campaign.cpp.o.d"
+  "test_fault_campaign"
+  "test_fault_campaign.pdb"
+  "test_fault_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

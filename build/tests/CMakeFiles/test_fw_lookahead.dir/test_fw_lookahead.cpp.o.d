@@ -297,16 +297,16 @@ tests/CMakeFiles/test_fw_lookahead.dir/test_fw_lookahead.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/fw/config.hpp \
  /root/repo/src/sim/pins.hpp /root/repo/src/sim/wire.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/fw/planner.hpp \
- /root/repo/src/fw/pwm.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/fw/stepper.hpp /root/repo/src/fw/thermal.hpp \
- /root/repo/src/sim/thermistor.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/fw/planner.hpp \
+ /root/repo/src/fw/pwm.hpp /root/repo/src/fw/stepper.hpp \
+ /root/repo/src/fw/thermal.hpp /root/repo/src/sim/thermistor.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -317,8 +317,10 @@ tests/CMakeFiles/test_fw_stepper.dir/test_fw_stepper.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/fw/planner.hpp \
  /root/repo/src/fw/config.hpp /root/repo/src/sim/pins.hpp \
  /root/repo/src/sim/wire.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/error.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/fw/stepper.hpp \
- /root/repo/src/sim/trace.hpp
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/fw/stepper.hpp /root/repo/src/sim/trace.hpp

@@ -297,7 +297,10 @@ tests/CMakeFiles/test_plant_power.dir/test_plant_power.cpp.o: \
  /root/repo/src/host/rig.hpp /root/repo/src/core/board.hpp \
  /root/repo/src/core/fpga.hpp /root/repo/src/core/monitor.hpp \
  /root/repo/src/sim/pins.hpp /root/repo/src/sim/wire.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/error.hpp /root/repo/src/sim/time.hpp \
@@ -334,14 +337,11 @@ tests/CMakeFiles/test_plant_power.dir/test_plant_power.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/detect/monitor.hpp /root/repo/src/fw/firmware.hpp \
  /root/repo/src/fw/config.hpp /root/repo/src/fw/planner.hpp \
- /root/repo/src/fw/pwm.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/fw/stepper.hpp /root/repo/src/fw/thermal.hpp \
- /root/repo/src/sim/thermistor.hpp /root/repo/src/gcode/command.hpp \
- /root/repo/src/plant/printer.hpp /root/repo/src/plant/axis.hpp \
- /root/repo/src/plant/motor.hpp /root/repo/src/plant/power.hpp \
- /root/repo/src/plant/deposition.hpp /root/repo/src/plant/thermal.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/plant/side_channel.hpp \
+ /root/repo/src/fw/pwm.hpp /root/repo/src/fw/stepper.hpp \
+ /root/repo/src/fw/thermal.hpp /root/repo/src/sim/thermistor.hpp \
+ /root/repo/src/gcode/command.hpp /root/repo/src/plant/printer.hpp \
+ /root/repo/src/plant/axis.hpp /root/repo/src/plant/motor.hpp \
+ /root/repo/src/plant/power.hpp /root/repo/src/plant/deposition.hpp \
+ /root/repo/src/plant/thermal.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/plant/side_channel.hpp /root/repo/src/sim/fault.hpp \
  /root/repo/src/host/slicer.hpp

@@ -345,4 +345,4 @@ tests/CMakeFiles/test_side_channel.dir/test_side_channel.cpp.o: \
  /root/repo/src/fw/firmware.hpp /root/repo/src/fw/config.hpp \
  /root/repo/src/fw/planner.hpp /root/repo/src/fw/pwm.hpp \
  /root/repo/src/fw/stepper.hpp /root/repo/src/fw/thermal.hpp \
- /root/repo/src/host/slicer.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/host/slicer.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fault.dir/test_sim_fault.cpp.o"
+  "CMakeFiles/test_sim_fault.dir/test_sim_fault.cpp.o.d"
+  "test_sim_fault"
+  "test_sim_fault.pdb"
+  "test_sim_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

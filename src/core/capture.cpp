@@ -7,6 +7,18 @@
 
 namespace offramps::core {
 
+std::uint16_t crc16_ccitt(const std::uint8_t* data, std::size_t len) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
 std::array<std::uint8_t, 16> Transaction::to_bytes() const {
   std::array<std::uint8_t, 16> out{};
   for (std::size_t i = 0; i < 4; ++i) {
@@ -34,6 +46,40 @@ Transaction Transaction::from_bytes(const std::array<std::uint8_t, 16>& bytes,
     t.counts[i] = static_cast<std::int32_t>(v);
   }
   return t;
+}
+
+std::array<std::uint8_t, Transaction::kFrameSize> Transaction::to_frame()
+    const {
+  std::array<std::uint8_t, kFrameSize> f{};
+  f[0] = kMagic0;
+  f[1] = kMagic1;
+  f[2] = static_cast<std::uint8_t>(index & 0xFF);
+  f[3] = static_cast<std::uint8_t>((index >> 8) & 0xFF);
+  f[4] = static_cast<std::uint8_t>((index >> 16) & 0xFF);
+  f[5] = static_cast<std::uint8_t>((index >> 24) & 0xFF);
+  const auto payload = to_bytes();
+  for (std::size_t i = 0; i < payload.size(); ++i) f[6 + i] = payload[i];
+  const std::uint16_t crc = crc16_ccitt(f.data() + 2, 20);
+  f[22] = static_cast<std::uint8_t>(crc & 0xFF);
+  f[23] = static_cast<std::uint8_t>((crc >> 8) & 0xFF);
+  return f;
+}
+
+std::optional<Transaction> Transaction::from_frame(
+    const std::array<std::uint8_t, kFrameSize>& frame,
+    std::uint64_t time_ns) {
+  if (frame[0] != kMagic0 || frame[1] != kMagic1) return std::nullopt;
+  const std::uint16_t want = static_cast<std::uint16_t>(
+      frame[22] | (static_cast<std::uint16_t>(frame[23]) << 8));
+  if (crc16_ccitt(frame.data() + 2, 20) != want) return std::nullopt;
+  std::uint32_t index = 0;
+  index |= static_cast<std::uint32_t>(frame[2]);
+  index |= static_cast<std::uint32_t>(frame[3]) << 8;
+  index |= static_cast<std::uint32_t>(frame[4]) << 16;
+  index |= static_cast<std::uint32_t>(frame[5]) << 24;
+  std::array<std::uint8_t, 16> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = frame[6 + i];
+  return from_bytes(payload, index, time_ns);
 }
 
 std::string Capture::to_csv() const {

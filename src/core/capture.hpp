@@ -10,22 +10,52 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace offramps::core {
 
-/// One 16-byte UART transaction: cumulative step counts per motor.
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over `len` bytes.  This is
+/// the checksum the UART frame format carries so receivers can discard
+/// transactions corrupted on the wire instead of mis-counting.
+[[nodiscard]] std::uint16_t crc16_ccitt(const std::uint8_t* data,
+                                        std::size_t len);
+
+/// One UART transaction: cumulative step counts per motor.
 struct Transaction {
   std::uint32_t index = 0;                 // transaction sequence number
   std::array<std::int32_t, 4> counts{};    // X, Y, Z, E
   std::uint64_t time_ns = 0;               // capture-side timestamp
 
-  /// Serializes the on-the-wire payload (4 x int32, little endian).
+  /// On-the-wire frame layout:
+  ///   [0]     0xA5   sync magic, byte 0
+  ///   [1]     0x5A   sync magic, byte 1
+  ///   [2..5]  index, u32 little endian
+  ///   [6..21] counts, 4 x i32 little endian
+  ///   [22..23] CRC-16/CCITT over bytes [2..21], little endian
+  /// The magic lets a receiver that lost byte alignment (dropped or
+  /// duplicated bytes) hunt for the next frame boundary; the CRC catches
+  /// bit flips; the embedded index keeps golden-model comparison aligned
+  /// even when whole frames are discarded.
+  static constexpr std::size_t kFrameSize = 24;
+  static constexpr std::uint8_t kMagic0 = 0xA5;
+  static constexpr std::uint8_t kMagic1 = 0x5A;
+
+  /// Serializes the bare counts payload (4 x int32, little endian) -- the
+  /// paper's original unframed 16-byte transaction body.
   [[nodiscard]] std::array<std::uint8_t, 16> to_bytes() const;
-  /// Decodes a payload.
+  /// Decodes a bare counts payload.
   static Transaction from_bytes(const std::array<std::uint8_t, 16>& bytes,
                                 std::uint32_t index, std::uint64_t time_ns);
+
+  /// Serializes the full framed transaction (magic + index + counts + CRC).
+  [[nodiscard]] std::array<std::uint8_t, kFrameSize> to_frame() const;
+  /// Validates and decodes a frame.  Returns nullopt when the magic or the
+  /// CRC does not check out.
+  static std::optional<Transaction> from_frame(
+      const std::array<std::uint8_t, kFrameSize>& frame,
+      std::uint64_t time_ns);
 };
 
 /// A full print capture.

@@ -47,12 +47,12 @@ Fpga::Fpga(sim::Scheduler& sched, sim::PinBank& fw_side,
       *homing_, options.uart_period);
 
   // The host link: every emitted transaction is serialized onto the TX
-  // net at the configured baud rate.
+  // net at the configured baud rate, as a framed (magic + CRC) burst so
+  // the host side can survive wire corruption.
   uart_tx_line_ = std::make_unique<sim::Wire>(sched, "fpga.UART_TX", true);
   uart_phy_ =
       std::make_unique<UartTx>(sched, *uart_tx_line_, options.serial_baud);
-  uart_->on_transaction([this](const Transaction& txn) {
-    const auto bytes = txn.to_bytes();
+  uart_->on_frame([this](const std::vector<std::uint8_t>& bytes) {
     uart_phy_->send(bytes);
   });
 }

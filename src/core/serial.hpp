@@ -12,8 +12,12 @@
 //   UartRx  - samples the net like a hardware UART: arms on the falling
 //             start edge, samples each bit at its midpoint, validates the
 //             stop bit (framing errors are counted, the byte dropped).
-//   TransactionDecoder - reassembles fixed 16-byte payloads into
-//             `Transaction`s with gap-based resynchronization.
+//   TransactionDecoder - reassembles framed transactions (sync magic +
+//             index + counts + CRC, `Transaction::kFrameSize` bytes) with
+//             three recovery mechanisms: magic hunting re-acquires byte
+//             alignment after drops/duplications, CRC validation discards
+//             bit-flipped frames, and a long inter-byte gap resets the
+//             accumulator outright.
 #pragma once
 
 #include <cstdint>
@@ -102,9 +106,17 @@ class UartRx {
   ByteCallback on_byte_;
 };
 
-/// Reassembles the fixed 16-byte step-count payloads from a byte stream.
-/// A gap longer than `resync_gap` between bytes resets the accumulator,
-/// so the decoder recovers alignment after a dropped byte.
+/// Reassembles framed step-count transactions from a byte stream.
+///
+/// Degradation behaviour (what the fault campaigns exercise):
+///  - a byte that cannot start a frame is discarded while hunting for the
+///    two-byte sync magic, so dropped/duplicated bytes cost at most one
+///    frame before alignment is re-acquired;
+///  - a complete frame whose CRC fails is discarded (counted in
+///    crc_errors()), never delivered as a bogus count sample;
+///  - frames repeating the previous frame's embedded index are dropped as
+///    wire-level duplicates;
+///  - a gap longer than `resync_gap` between bytes resets the accumulator.
 class TransactionDecoder {
  public:
   using TransactionCallback = std::function<void(const Transaction&)>;
@@ -119,15 +131,30 @@ class TransactionDecoder {
 
   [[nodiscard]] const Capture& capture() const { return capture_; }
   [[nodiscard]] Capture take_capture() { return std::move(capture_); }
+  /// Accumulator resets from inter-byte gaps or mid-frame magic loss.
   [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  /// Complete frames discarded for a CRC mismatch.
+  [[nodiscard]] std::uint64_t crc_errors() const { return crc_errors_; }
+  /// Bytes discarded while hunting for the sync magic.
+  [[nodiscard]] std::uint64_t hunted_bytes() const { return hunted_bytes_; }
+  /// Valid frames dropped because they repeated the previous index.
+  [[nodiscard]] std::uint64_t duplicates_dropped() const {
+    return duplicates_dropped_;
+  }
 
  private:
+  void resync_within_buffer();
+
   sim::Tick resync_gap_;
-  std::array<std::uint8_t, 16> buffer_{};
+  std::array<std::uint8_t, Transaction::kFrameSize> buffer_{};
   std::size_t fill_ = 0;
   sim::Tick last_byte_at_ = 0;
-  std::uint32_t next_index_ = 0;
+  bool have_last_index_ = false;
+  std::uint32_t last_index_ = 0;
   std::uint64_t resyncs_ = 0;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t hunted_bytes_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
   Capture capture_;
   TransactionCallback on_txn_;
 };

@@ -1,5 +1,7 @@
 #include "core/uart.hpp"
 
+#include <algorithm>
+
 namespace offramps::core {
 
 UartReporter::UartReporter(sim::Scheduler& sched,
@@ -41,7 +43,32 @@ void UartReporter::emit() {
   for (std::size_t i = 0; i < 4; ++i) {
     t.counts[i] = static_cast<std::int32_t>(trackers_[i]->count());
   }
+  // The capture is the fabric-side ground truth, recorded before the wire
+  // can corrupt anything: it is what the counters actually held.
   capture_.transactions.push_back(t);
+
+  if (!on_frame_.empty() || frame_fault_) {
+    const auto f = t.to_frame();
+    std::vector<std::uint8_t> bytes(f.begin(), f.end());
+    if (frame_fault_) frame_fault_(bytes);
+    ++frames_emitted_;
+    for (const auto& cb : on_frame_) cb(bytes);
+    if (frame_fault_) {
+      // Validated delivery: transaction listeners model receivers, so they
+      // only see frames that still check out after the fault.
+      if (bytes.size() == Transaction::kFrameSize) {
+        std::array<std::uint8_t, Transaction::kFrameSize> frame{};
+        std::copy(bytes.begin(), bytes.end(), frame.begin());
+        if (const auto rx = Transaction::from_frame(frame, sched_.now())) {
+          for (const auto& cb : on_txn_) cb(*rx);
+          return;
+        }
+      }
+      ++crc_rejected_;
+      return;
+    }
+  }
+  // Fast path (no fault installed): no encode/decode round trip.
   for (const auto& cb : on_txn_) cb(t);
 }
 

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/capture.hpp"
 #include "core/monitor.hpp"
@@ -22,6 +24,11 @@ namespace offramps::core {
 class UartReporter {
  public:
   using TransactionCallback = std::function<void(const Transaction&)>;
+  /// Raw framed bytes as they leave the control unit (post any injected
+  /// wire fault) -- what the serial PHY transmits.
+  using FrameCallback = std::function<void(const std::vector<std::uint8_t>&)>;
+  /// In-place corruptor for the framed bytes (`sim::FaultInjector`).
+  using FrameFault = std::function<void(std::vector<std::uint8_t>&)>;
 
   static constexpr sim::Tick kDefaultPeriod = sim::ms(100);
 
@@ -32,11 +39,23 @@ class UartReporter {
   UartReporter(const UartReporter&) = delete;
   UartReporter& operator=(const UartReporter&) = delete;
 
-  /// Adds a per-transaction listener (real-time monitoring, the serial
-  /// PHY, ...).  Multiple consumers may subscribe.
+  /// Adds a per-transaction listener (real-time monitoring, the fabric
+  /// guard, ...).  Multiple consumers may subscribe.  Listeners receive
+  /// only CRC-valid transactions: when a frame fault is active, corrupted
+  /// frames are dropped here (counted in crc_rejected()) exactly as a
+  /// receiver would drop them.
   void on_transaction(TransactionCallback cb) {
     on_txn_.push_back(std::move(cb));
   }
+
+  /// Adds a raw-frame listener (the serial PHY).  Frames are delivered
+  /// after any injected fault, so the wire carries the corrupted bytes.
+  void on_frame(FrameCallback cb) { on_frame_.push_back(std::move(cb)); }
+
+  /// Installs (or clears, with nullptr) a byte-stream fault between the
+  /// counters and every consumer.  With no fault installed the reporter
+  /// takes a fast path that skips the encode/decode round trip entirely.
+  void set_frame_fault(FrameFault fault) { frame_fault_ = std::move(fault); }
 
   /// Stops the periodic stream and freezes the capture, recording the
   /// final counter values (the paper's end-of-print 0%-margin check data).
@@ -46,6 +65,13 @@ class UartReporter {
   [[nodiscard]] Capture take_capture() { return std::move(capture_); }
   [[nodiscard]] bool streaming() const { return streaming_; }
   [[nodiscard]] sim::Tick period() const { return period_; }
+  /// Frames handed to raw-frame listeners.
+  [[nodiscard]] std::uint64_t frames_emitted() const {
+    return frames_emitted_;
+  }
+  /// Transactions withheld from on_transaction() listeners because the
+  /// (faulted) frame failed CRC/size validation.
+  [[nodiscard]] std::uint64_t crc_rejected() const { return crc_rejected_; }
 
  private:
   void arm_on_first_step();
@@ -61,7 +87,11 @@ class UartReporter {
   bool finalized_ = false;
   std::uint32_t next_index_ = 0;
   std::uint64_t generation_ = 0;
+  std::uint64_t frames_emitted_ = 0;
+  std::uint64_t crc_rejected_ = 0;
   std::vector<TransactionCallback> on_txn_;
+  std::vector<FrameCallback> on_frame_;
+  FrameFault frame_fault_;
 };
 
 }  // namespace offramps::core

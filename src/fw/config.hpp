@@ -72,6 +72,13 @@ struct Config {
   double homing_feed_mm_s = 40.0;   // first fast approach
   double homing_slow_mm_s = 4.0;    // re-bump approach
   double homing_bump_mm = 3.0;      // back-off distance between approaches
+  /// Endstop debounce: a homing trigger is accepted only after this many
+  /// consecutive high samples (the trigger edge counts as the first), so a
+  /// bouncy or glitching switch cannot fake an instant home.  1 restores
+  /// raw edge-triggered behaviour.
+  std::uint32_t endstop_debounce_samples = 3;
+  /// Interval between debounce confirmation samples.
+  sim::Tick endstop_sample_interval = sim::us(100);
 
   // --- Extrusion ----------------------------------------------------------
   /// Below this hotend temperature, E movement is stripped from moves

@@ -54,9 +54,16 @@ void StepperEngine::start(const Segment& seg, Completion on_done) {
   if (seg_.abort_on_endstop) {
     auto& wire = io_.min_endstop(seg_.endstop_axis);
     watching_endstop_ = true;
+    debouncing_endstop_ = false;
     endstop_listener_ = wire.on_rising([this, gen](sim::Tick) {
       if (gen != generation_ || !busy_) return;
-      finish(/*aborted=*/true);
+      if (config_.endstop_debounce_samples <= 1) {
+        finish(/*aborted=*/true);
+        return;
+      }
+      if (debouncing_endstop_) return;  // confirmation already running
+      debouncing_endstop_ = true;
+      confirm_endstop(gen, 1);  // the trigger edge is the first high sample
     });
     // The switch may already be held closed (e.g. re-bump starting on the
     // stop): abort immediately, emitting no steps.
@@ -86,6 +93,29 @@ void StepperEngine::set_all_enabled(bool enable) {
   for (const auto axis : sim::kAllAxes) {
     io_.enable(axis).set(!enable);  // active low
   }
+}
+
+void StepperEngine::confirm_endstop(std::uint64_t gen,
+                                    std::uint32_t stable_samples) {
+  // The motor keeps stepping while confirmation runs, exactly like real
+  // firmware polling a debounced switch: at the slow re-bump feedrate the
+  // extra travel is micrometres.
+  sched_.schedule_in(config_.endstop_sample_interval, [this, gen,
+                                                       stable_samples] {
+    if (gen != generation_ || !busy_) return;
+    if (!io_.min_endstop(seg_.endstop_axis).level()) {
+      // The switch fell open again: a bounce or an injected glitch, not a
+      // mechanical trigger.  Re-arm and wait for the next edge.
+      debouncing_endstop_ = false;
+      ++endstop_bounces_rejected_;
+      return;
+    }
+    if (stable_samples + 1 >= config_.endstop_debounce_samples) {
+      finish(/*aborted=*/true);
+      return;
+    }
+    confirm_endstop(gen, stable_samples + 1);
+  });
 }
 
 sim::Tick StepperEngine::interval_for_current_speed() const {

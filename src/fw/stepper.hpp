@@ -56,9 +56,15 @@ class StepperEngine {
     return lifetime_steps_;
   }
 
+  /// Endstop trigger edges rejected by debounce (switch bounce/glitches).
+  [[nodiscard]] std::uint64_t endstop_bounces_rejected() const {
+    return endstop_bounces_rejected_;
+  }
+
  private:
   void begin_pulses();
   void step_due(std::uint64_t gen);
+  void confirm_endstop(std::uint64_t gen, std::uint32_t stable_samples);
   void finish(bool aborted);
   [[nodiscard]] sim::Tick interval_for_current_speed() const;
 
@@ -83,6 +89,8 @@ class StepperEngine {
   // Homing endstop watch.
   sim::Wire::ListenerId endstop_listener_ = 0;
   bool watching_endstop_ = false;
+  bool debouncing_endstop_ = false;
+  std::uint64_t endstop_bounces_rejected_ = 0;
 
   std::array<std::int64_t, 4> lifetime_steps_{};
 };

@@ -1,5 +1,7 @@
 #include "host/reliable_streamer.hpp"
 
+#include <algorithm>
+
 #include "gcode/parser.hpp"
 #include "gcode/writer.hpp"
 #include "sim/error.hpp"
@@ -33,6 +35,7 @@ std::string ReliableStreamer::wire_line(std::size_t index) const {
 void ReliableStreamer::start() {
   if (started_) return;
   started_ = true;
+  last_progress_at_ = sched_.now();
   firmware_.set_stream_open(true);
   // Reset the firmware's line counter, checksummed like any other line.
   const std::string m110_body = "N0 M110 ";
@@ -44,6 +47,13 @@ void ReliableStreamer::start() {
 }
 
 void ReliableStreamer::pump() {
+  if (failed_) return;
+  // A killed firmware will never drain its queue: reporting that beats
+  // polling a corpse until the watchdog trips.
+  if (firmware_.killed()) {
+    fail("firmware killed mid-stream (" + firmware_.kill_reason() + ")");
+    return;
+  }
   // Send until the firmware reports busy or everything is delivered.
   while (!done()) {
     if (transmitted_ > (lines_.size() + 10) * 1000) {
@@ -68,18 +78,43 @@ void ReliableStreamer::pump() {
       case fw::LineStatus::kOk:
       case fw::LineStatus::kDuplicate:
         ++cursor_;
+        backoff_ = 0;  // progress: reset the Busy backoff
+        last_progress_at_ = sched_.now();
         continue;
       case fw::LineStatus::kResend:
         // Wire numbers are 1-based; rewind to the requested line.
         ++resends_;
         cursor_ = resend_from == 0 ? 0 : resend_from - 1;
         continue;
-      case fw::LineStatus::kBusy:
+      case fw::LineStatus::kBusy: {
         ++busy_;
-        sched_.schedule_in(options_.poll_period, [this] { pump(); });
+        if (options_.no_progress_timeout != 0 &&
+            sched_.now() - last_progress_at_ >=
+                options_.no_progress_timeout) {
+          fail("no line accepted for " +
+               std::to_string(sim::to_seconds(options_.no_progress_timeout)) +
+               " s (firmware wedged or dead) at line " +
+               std::to_string(cursor_ + 1) + "/" +
+               std::to_string(lines_.size()));
+          return;
+        }
+        // Exponential backoff, capped: a long print legitimately holds
+        // the queue full for a while, so the poll quickly settles at the
+        // cap instead of hammering the protocol every period.
+        backoff_ = backoff_ == 0
+                       ? options_.poll_period
+                       : std::min(backoff_ * 2, options_.max_poll_period);
+        sched_.schedule_in(backoff_, [this] { pump(); });
         return;
+      }
     }
   }
+  firmware_.set_stream_open(false);
+}
+
+void ReliableStreamer::fail(std::string reason) {
+  failed_ = true;
+  failure_reason_ = std::move(reason);
   firmware_.set_stream_open(false);
 }
 

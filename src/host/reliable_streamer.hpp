@@ -17,7 +17,17 @@ namespace offramps::host {
 
 /// Streaming options.
 struct ReliableStreamerOptions {
+  /// Initial Busy poll period.  Consecutive Busy responses grow the wait
+  /// exponentially (doubling) up to `max_poll_period`; any accepted line
+  /// resets it.
   sim::Tick poll_period = sim::ms(20);
+  sim::Tick max_poll_period = sim::seconds(2);
+  /// Overall no-progress watchdog: if the firmware accepts nothing for
+  /// this long, the streamer gives up and records a failure instead of
+  /// polling forever.  Generous by default because a legitimate M109/M190
+  /// heat-up blocks the queue for minutes; a *dead* firmware is caught
+  /// immediately by the killed() fast path, not this timer.  0 disables.
+  sim::Tick no_progress_timeout = sim::seconds(600);
   /// Probability that a transmitted line arrives corrupted.
   double corruption_probability = 0.0;
   std::uint64_t seed = 0xC0FFEE;
@@ -43,9 +53,18 @@ class ReliableStreamer {
   [[nodiscard]] std::uint64_t corrupted_lines() const { return corrupted_; }
   [[nodiscard]] std::uint64_t resends_honored() const { return resends_; }
   [[nodiscard]] std::uint64_t busy_backoffs() const { return busy_; }
+  /// True when the streamer gave up (no-progress timeout / dead firmware).
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Human-readable diagnosis of why streaming failed (empty if it didn't).
+  [[nodiscard]] const std::string& failure_reason() const {
+    return failure_reason_;
+  }
+  /// Current Busy backoff delay (for observability/tests).
+  [[nodiscard]] sim::Tick current_backoff() const { return backoff_; }
 
  private:
   void pump();
+  void fail(std::string reason);
   [[nodiscard]] std::string wire_line(std::size_t index) const;
 
   sim::Scheduler& sched_;
@@ -56,6 +75,10 @@ class ReliableStreamer {
   sim::Rng rng_;
   std::size_t cursor_ = 0;  // next line index (0-based; wire number is +1)
   bool started_ = false;
+  bool failed_ = false;
+  std::string failure_reason_;
+  sim::Tick backoff_ = 0;             // current Busy wait (0 = reset)
+  sim::Tick last_progress_at_ = 0;    // when a line was last accepted
   std::uint64_t transmitted_ = 0;
   std::uint64_t corrupted_ = 0;
   std::uint64_t resends_ = 0;

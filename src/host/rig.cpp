@@ -1,5 +1,7 @@
 #include "host/rig.hpp"
 
+#include <string_view>
+
 #include "sim/error.hpp"
 
 namespace offramps::host {
@@ -30,6 +32,7 @@ Rig::Rig(RigOptions options)
     power_probe_ = std::make_unique<plant::PowerTraceProbe>(
         sched_, printer_, board_.ramps_side(), *options_.power_probe);
   }
+  if (!options_.faults.empty()) bind_faults();
   if (options_.brownout.has_value()) {
     const BrownoutScenario& b = *options_.brownout;
     plant::PowerRail& rail = b.rail == BrownoutScenario::Rail::kMotor
@@ -40,6 +43,72 @@ Rig::Rig(RigOptions options)
     });
     sched_.schedule_at(sim::from_seconds(b.start_s + b.duration_s),
                        [&rail] { rail.restore(); });
+  }
+}
+
+namespace {
+
+/// Resolves a fault target like "ramps.X_STEP" / "X_MIN" to a header side
+/// and bare net name.  The default side is ramps: that is the motor and
+/// sensor side, where a stuck STEP is invisible to the monitors (they tap
+/// the Arduino side) -- the interesting silent-corruption case.
+sim::PinBank& resolve_bank(core::Board& board, std::string& name) {
+  constexpr std::string_view kArduino = "arduino.";
+  constexpr std::string_view kRamps = "ramps.";
+  if (name.rfind(kArduino, 0) == 0) {
+    name.erase(0, kArduino.size());
+    return board.arduino_side();
+  }
+  if (name.rfind(kRamps, 0) == 0) name.erase(0, kRamps.size());
+  return board.ramps_side();
+}
+
+}  // namespace
+
+void Rig::bind_faults() {
+  fault_injector_ = std::make_unique<sim::FaultInjector>(sched_);
+  std::vector<sim::FaultInjector::StreamFault> stream_faults;
+  for (const auto& spec : options_.faults) {
+    if (sim::fault_targets_timing(spec.kind)) {
+      fault_injector_->inject_timing(spec);
+      continue;
+    }
+    if (sim::fault_targets_stream(spec.kind)) {
+      if (auto f = fault_injector_->make_stream_fault(spec)) {
+        stream_faults.push_back(std::move(f));
+      }
+      continue;
+    }
+    std::string name = spec.target;
+    sim::PinBank& bank = resolve_bank(board_, name);
+    if (sim::fault_targets_digital(spec.kind)) {
+      for (std::size_t i = 0; i < sim::kPinCount; ++i) {
+        const auto pin = static_cast<sim::Pin>(i);
+        if (name == sim::pin_name(pin)) {
+          fault_injector_->inject_digital(spec, bank.wire(pin));
+          name.clear();
+          break;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < sim::kAPinCount; ++i) {
+        const auto apin = static_cast<sim::APin>(i);
+        if (name == sim::apin_name(apin)) {
+          fault_injector_->inject_analog(spec, bank.analog(apin));
+          name.clear();
+          break;
+        }
+      }
+    }
+    if (!name.empty()) {
+      throw Error("Rig: fault target names no known net: " + spec.describe());
+    }
+  }
+  if (!stream_faults.empty()) {
+    board_.fpga().uart().set_frame_fault(
+        [faults = std::move(stream_faults)](std::vector<std::uint8_t>& b) {
+          for (const auto& f : faults) f(b);
+        });
   }
 }
 
@@ -121,6 +190,15 @@ RunResult Rig::collect(bool finished, bool killed, std::string kill_reason,
     r.undervolt_skips[i] = printer_.motor(axis).undervolt_skips();
   }
   if (power_probe_ != nullptr) r.power_trace = power_probe_->take_trace();
+  if (fault_injector_ != nullptr) {
+    r.faults_armed = fault_injector_->armed();
+    r.fault_stats = fault_injector_->stats();
+  }
+  r.uart_crc_rejected = board_.fpga().uart().crc_rejected();
+  r.uart_frames_emitted = board_.fpga().uart().frames_emitted();
+  r.scheduler_warped_events = sched_.warped_events();
+  r.endstop_bounces_rejected =
+      firmware_.stepper().endstop_bounces_rejected();
   r.hotend_peak_c = printer_.hotend().peak_c();
   r.bed_peak_c = printer_.bed().peak_c();
   r.mean_fan_rpm = printer_.fan().mean_rpm();

@@ -22,6 +22,7 @@
 #include "gcode/command.hpp"
 #include "plant/printer.hpp"
 #include "plant/side_channel.hpp"
+#include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 
 namespace offramps::host {
@@ -52,6 +53,12 @@ struct RigOptions {
   /// How long to keep simulating after a firmware kill, to observe
   /// runaway physics (Trojan T7 keeps heating after the firmware dies).
   double post_kill_observation_s = 60.0;
+  /// Faults to arm before power-on (`sim::FaultInjector`).  Digital and
+  /// analog targets are net names ("X_STEP", "X_MIN", "THERM_HOTEND"),
+  /// optionally prefixed "arduino." or "ramps." to pick the header side
+  /// (default: ramps, the motor/sensor side).  Stream faults corrupt the
+  /// UART transaction frames; timing faults jitter the scheduler.
+  std::vector<sim::FaultSpec> faults{};
 };
 
 /// Outcome of one print.
@@ -81,6 +88,17 @@ struct RunResult {
   std::array<std::uint64_t, 4> undervolt_skips{};
   /// Power side-channel trace (empty unless a probe was attached).
   plant::PowerTrace power_trace;
+
+  // Fault-injection observability (all zero on a clean run).
+  std::uint64_t faults_armed = 0;
+  sim::FaultInjector::Stats fault_stats{};
+  /// Corrupted UART frames the reporter's receivers discarded via CRC.
+  std::uint64_t uart_crc_rejected = 0;
+  std::uint64_t uart_frames_emitted = 0;
+  /// Events rescheduled by an active timing-jitter fault.
+  std::uint64_t scheduler_warped_events = 0;
+  /// Homing endstop edges rejected by firmware debounce.
+  std::uint64_t endstop_bounces_rejected = 0;
 
   /// Material actually deposited / material the g-code commanded.
   [[nodiscard]] double flow_ratio() const;
@@ -115,6 +133,7 @@ class Rig {
                     detect::RealtimeMonitor* monitor);
   RunResult collect(bool finished, bool killed, std::string kill_reason,
                     detect::RealtimeMonitor* monitor);
+  void bind_faults();
 
   RigOptions options_;
   sim::Scheduler sched_;
@@ -122,6 +141,9 @@ class Rig {
   fw::Firmware firmware_;
   plant::Printer printer_;
   std::unique_ptr<plant::PowerTraceProbe> power_probe_;
+  // Declared after the stack it injects into: destroyed first, which
+  // unhooks the scheduler time warp before the scheduler goes away.
+  std::unique_ptr<sim::FaultInjector> fault_injector_;
   bool used_ = false;
 };
 

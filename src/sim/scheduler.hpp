@@ -7,6 +7,7 @@
 // makes runs fully deterministic for a fixed seed.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -36,8 +37,23 @@ class Scheduler {
     if (t < now_) {
       throw Error("Scheduler::schedule_at: event scheduled in the past");
     }
+    if (time_warp_) {
+      t = std::max(now_, time_warp_(now_, t));
+      ++warped_events_;
+    }
     queue_.push(Event{t, next_seq_++, std::move(cb)});
   }
+
+  /// Timing-fault hook (`sim::FaultInjector`): maps each requested event
+  /// time to a (possibly jittered) one.  Results earlier than now() are
+  /// clamped.  Pass nullptr to restore exact timing.
+  using TimeWarp = std::function<Tick(Tick now, Tick requested)>;
+  void set_time_warp(TimeWarp warp) { time_warp_ = std::move(warp); }
+  [[nodiscard]] bool time_warp_active() const {
+    return static_cast<bool>(time_warp_);
+  }
+  /// Events scheduled while a time warp was installed.
+  [[nodiscard]] std::uint64_t warped_events() const { return warped_events_; }
 
   /// Schedules `cb` to run `dt` ticks from now.
   void schedule_in(Tick dt, Callback cb) {
@@ -121,7 +137,9 @@ class Scheduler {
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t warped_events_ = 0;
   bool stop_requested_ = false;
+  TimeWarp time_warp_;
 };
 
 }  // namespace offramps::sim

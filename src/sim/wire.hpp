@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,7 +32,8 @@ class Wire {
   using ListenerId = std::size_t;
 
   Wire(Scheduler& sched, std::string name, bool initial = false)
-      : sched_(sched), name_(std::move(name)), level_(initial) {}
+      : sched_(sched), name_(std::move(name)), level_(initial),
+        driven_(initial) {}
 
   Wire(const Wire&) = delete;
   Wire& operator=(const Wire&) = delete;
@@ -41,24 +43,31 @@ class Wire {
 
   /// Drives the wire to `level` at the current simulation time.  A no-op if
   /// the level is unchanged; otherwise all edge listeners fire immediately.
+  /// While a fault is forced onto the net the drive is recorded but masked:
+  /// observers keep seeing the fault level.
   void set(bool level) {
-    if (level == level_) return;
-    level_ = level;
-    const Tick t = sched_.now();
-    last_change_ = t;
-    const Edge e = level ? Edge::kRising : Edge::kFalling;
-    if (level) {
-      ++rising_count_;
-    } else {
-      ++falling_count_;
+    driven_ = level;
+    if (fault_.has_value()) {
+      if (level != level_) ++fault_masked_drives_;
+      return;
     }
-    // Listener list may grow during iteration (a callback adding another
-    // listener); index-based loop keeps that safe.  Newly added listeners do
-    // not see the current edge.
-    const std::size_t n = listeners_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (listeners_[i].second) listeners_[i].second(e, t);
-    }
+    apply(level);
+  }
+
+  /// Physical-fault override (a short to a rail, a stuck pin): forces the
+  /// observable level regardless of what drivers request.  Passing nullopt
+  /// releases the fault and re-synchronizes the net to its driver's level.
+  /// This is the hook `sim::FaultInjector` uses for stuck-at and glitch
+  /// faults; it is not part of the normal driver API.
+  void force_fault(std::optional<bool> level) {
+    fault_ = level;
+    apply(level.value_or(driven_));
+  }
+
+  [[nodiscard]] std::optional<bool> fault() const { return fault_; }
+  /// Driver transitions swallowed while a fault held the net.
+  [[nodiscard]] std::uint64_t fault_masked_drives() const {
+    return fault_masked_drives_;
   }
 
   /// Emits a positive pulse: rising edge now, falling edge `width` later.
@@ -110,9 +119,34 @@ class Wire {
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
 
  private:
+  /// Switches the observable level and fires listeners (the body of the
+  /// pre-fault `set()`).
+  void apply(bool level) {
+    if (level == level_) return;
+    level_ = level;
+    const Tick t = sched_.now();
+    last_change_ = t;
+    const Edge e = level ? Edge::kRising : Edge::kFalling;
+    if (level) {
+      ++rising_count_;
+    } else {
+      ++falling_count_;
+    }
+    // Listener list may grow during iteration (a callback adding another
+    // listener); index-based loop keeps that safe.  Newly added listeners do
+    // not see the current edge.
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (listeners_[i].second) listeners_[i].second(e, t);
+    }
+  }
+
   Scheduler& sched_;
   std::string name_;
   bool level_;
+  bool driven_ = false;
+  std::optional<bool> fault_;
+  std::uint64_t fault_masked_drives_ = 0;
   Tick last_change_ = 0;
   std::uint64_t rising_count_ = 0;
   std::uint64_t falling_count_ = 0;
@@ -126,7 +160,8 @@ class AnalogChannel {
   using ChangeCallback = std::function<void(double, Tick)>;
 
   AnalogChannel(Scheduler& sched, std::string name, double initial = 0.0)
-      : sched_(sched), name_(std::move(name)), value_(initial) {}
+      : sched_(sched), name_(std::move(name)), value_(initial),
+        driven_value_(initial) {}
 
   AnalogChannel(const AnalogChannel&) = delete;
   AnalogChannel& operator=(const AnalogChannel&) = delete;
@@ -136,22 +171,43 @@ class AnalogChannel {
 
   /// Drives the channel.  Listeners fire on every call, even if unchanged,
   /// because consumers (the firmware ADC) sample on update cadence.
+  /// An installed fault transform (sensor drift, open/short circuit)
+  /// distorts the value between driver and observers.
   void set(double v) {
-    value_ = v;
-    const Tick t = sched_.now();
-    const std::size_t n = listeners_.size();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (listeners_[i]) listeners_[i](v, t);
-    }
+    driven_value_ = v;
+    value_ = fault_ ? fault_(v) : v;
+    publish();
   }
 
   /// Registers an update listener.
   void on_change(ChangeCallback cb) { listeners_.push_back(std::move(cb)); }
 
+  /// Physical-fault hook (`sim::FaultInjector`): observers read
+  /// `transform(driven)` instead of the driven value.  Pass nullptr to
+  /// clear.  The faulted value is re-published immediately so slow-cadence
+  /// consumers see the fault without waiting for the next driver update.
+  void set_fault(std::function<double(double)> transform) {
+    fault_ = std::move(transform);
+    value_ = fault_ ? fault_(driven_value_) : driven_value_;
+    publish();
+  }
+
+  [[nodiscard]] bool fault_active() const { return fault_ != nullptr; }
+
  private:
+  void publish() {
+    const Tick t = sched_.now();
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (listeners_[i]) listeners_[i](value_, t);
+    }
+  }
+
   Scheduler& sched_;
   std::string name_;
   double value_;
+  double driven_value_ = 0.0;
+  std::function<double(double)> fault_;
   std::vector<ChangeCallback> listeners_;
 };
 

@@ -118,26 +118,60 @@ TEST(Decoder, ReassemblesTransactions) {
   a.counts = {100, -200, 300, 40000};
   std::vector<Transaction> seen;
   dec.on_transaction([&](const Transaction& t) { seen.push_back(t); });
-  const auto bytes = a.to_bytes();
+  const auto frame = a.to_frame();
   sim::Tick t = 1000;
-  for (const auto b : bytes) dec.feed(b, t += 100);
+  for (const auto b : frame) dec.feed(b, t += 100);
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0].counts, a.counts);
+  EXPECT_EQ(dec.crc_errors(), 0u);
 }
 
 TEST(Decoder, ResynchronizesAfterGap) {
   TransactionDecoder dec(sim::ms(20));
   Transaction a;
   a.counts = {1, 2, 3, 4};
-  const auto bytes = a.to_bytes();
+  const auto frame = a.to_frame();
   sim::Tick t = 1000;
-  // Deliver half a payload, then go silent (lost bytes), then a full one.
-  for (std::size_t i = 0; i < 8; ++i) dec.feed(bytes[i], t += 100);
+  // Deliver half a frame, then go silent (lost bytes), then a full one.
+  for (std::size_t i = 0; i < 8; ++i) dec.feed(frame[i], t += 100);
   t += sim::ms(100);
-  for (const auto b : bytes) dec.feed(b, t += 100);
+  for (const auto b : frame) dec.feed(b, t += 100);
   ASSERT_EQ(dec.capture().size(), 1u);
   EXPECT_EQ(dec.capture().transactions[0].counts, a.counts);
   EXPECT_EQ(dec.resyncs(), 1u);
+}
+
+TEST(Decoder, RejectsCorruptedFrameAndRecovers) {
+  TransactionDecoder dec;
+  Transaction a;
+  a.index = 7;
+  a.counts = {10, 20, 30, 40};
+  auto frame = a.to_frame();
+  frame[8] ^= 0x40;  // flip one payload bit: CRC must catch it
+  sim::Tick t = 1000;
+  for (const auto b : frame) dec.feed(b, t += 100);
+  EXPECT_EQ(dec.capture().size(), 0u);
+  EXPECT_EQ(dec.crc_errors(), 1u);
+  // The next intact frame decodes normally.
+  Transaction b2;
+  b2.index = 8;
+  b2.counts = {11, 21, 31, 41};
+  for (const auto b : b2.to_frame()) dec.feed(b, t += 100);
+  ASSERT_EQ(dec.capture().size(), 1u);
+  EXPECT_EQ(dec.capture().transactions[0].counts, b2.counts);
+}
+
+TEST(Decoder, DropsDuplicateIndices) {
+  TransactionDecoder dec;
+  Transaction a;
+  a.index = 3;
+  a.counts = {5, 6, 7, 8};
+  const auto frame = a.to_frame();
+  sim::Tick t = 1000;
+  for (const auto b : frame) dec.feed(b, t += 100);
+  for (const auto b : frame) dec.feed(b, t += 100);  // duplicated frame
+  EXPECT_EQ(dec.capture().size(), 1u);
+  EXPECT_EQ(dec.duplicates_dropped(), 1u);
 }
 
 TEST(SerialLink, EndToEndPrintCaptureMatchesReporter) {
@@ -160,9 +194,10 @@ TEST(SerialLink, EndToEndPrintCaptureMatchesReporter) {
               r.capture.transactions[i].counts)
         << "transaction " << i;
   }
-  // Link budget: a 16-byte payload at 115200 baud needs ~1.4 ms, far
-  // below the 100 ms transaction period (paper's design headroom).
-  EXPECT_EQ(rig.board().fpga().uart_phy().max_queue_depth(), 16u);
+  // Link budget: a 24-byte frame (magic + index + counts + CRC) at
+  // 115200 baud needs ~2.1 ms, far below the 100 ms transaction period
+  // (paper's design headroom).
+  EXPECT_EQ(rig.board().fpga().uart_phy().max_queue_depth(), 24u);
 }
 
 }  // namespace

@@ -136,6 +136,72 @@ TEST(ReliableLink, NoisyLinkStillPrintsIdentically) {
   EXPECT_EQ(noisy.motor_steps, clean.motor_steps);
 }
 
+TEST(ReliableLink, DeadFirmwareFailsTheRunWithADiagnostic) {
+  // Kill the firmware mid-stream: the streamer must stop polling the
+  // corpse and record why, instead of spinning until the hard deadline.
+  host::Rig rig;
+  SerialProtocol protocol(rig.firmware());
+  host::SliceProfile profile;
+  host::CubeSpec cube{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2,
+                      .center_x_mm = 110, .center_y_mm = 100};
+  host::ReliableStreamer streamer(rig.scheduler(), rig.firmware(), protocol,
+                                  host::slice_cube(cube, profile));
+  streamer.start();
+  rig.scheduler().schedule_at(sim::seconds(10), [&rig] {
+    rig.firmware().kill("bench power fault");
+  });
+  const host::RunResult r = rig.run({});
+  EXPECT_TRUE(r.killed);
+  EXPECT_TRUE(streamer.failed());
+  EXPECT_FALSE(streamer.done());
+  EXPECT_NE(streamer.failure_reason().find("killed mid-stream"),
+            std::string::npos);
+  EXPECT_NE(streamer.failure_reason().find("bench power fault"),
+            std::string::npos);
+}
+
+TEST(ReliableLink, WedgedFirmwareTripsTheNoProgressWatchdog) {
+  // The firmware is alive but never drains its queue (a 200 s dwell with
+  // a tiny buffer): after `no_progress_timeout` of nothing but Busy, the
+  // streamer gives up with a diagnostic that names the stuck line.
+  DirectStack stack;
+  SerialProtocol protocol(stack.firmware, /*buffer_limit=*/2);
+  gcode::Program program = gcode::parse_program(
+      "G4 P200000\nG4 P100\nG4 P100\nG4 P100\nG4 P100\n");
+  host::ReliableStreamerOptions sopt;
+  sopt.no_progress_timeout = sim::seconds(5);
+  host::ReliableStreamer streamer(stack.sched, stack.firmware, protocol,
+                                  program, sopt);
+  streamer.start();
+  stack.run(400.0);
+  EXPECT_TRUE(streamer.failed());
+  EXPECT_FALSE(streamer.done());
+  EXPECT_NE(streamer.failure_reason().find("no line accepted"),
+            std::string::npos);
+}
+
+TEST(ReliableLink, BusyBackoffGrowsExponentiallyUpToTheCap) {
+  // A long dwell holds the queue full; the poll must settle at the cap
+  // instead of hammering the protocol every 20 ms for the whole wait.
+  DirectStack stack;
+  SerialProtocol protocol(stack.firmware, /*buffer_limit=*/2);
+  gcode::Program program = gcode::parse_program(
+      "G4 P30000\nG4 P100\nG4 P100\nG4 P100\nG4 P100\n");
+  host::ReliableStreamerOptions sopt;
+  sopt.no_progress_timeout = 0;  // watchdog off: observe pure backoff
+  host::ReliableStreamer streamer(stack.sched, stack.firmware, protocol,
+                                  program, sopt);
+  streamer.start();
+  stack.sched.run_until(sim::seconds(20));
+  EXPECT_EQ(streamer.current_backoff(), sopt.max_poll_period);
+  stack.run(120.0);
+  EXPECT_TRUE(streamer.done());
+  EXPECT_FALSE(streamer.failed());
+  // ~30 s of Busy at a 2 s cap is ~20 polls; naive 20 ms polling would
+  // have been ~1500.
+  EXPECT_LT(streamer.busy_backoffs(), 60u);
+}
+
 TEST(ReliableLink, HopelesslyLossyLinkThrows) {
   host::Rig rig;
   SerialProtocol protocol(rig.firmware());

@@ -97,12 +97,32 @@ TEST(TrojanT5, OpensZGapsBetweenLayers) {
 
 TEST(TrojanT5, AtStartCausesAdhesionFailure) {
   core::TrojanSuiteConfig cfg;
+  // Lift shortly after homing settles (during heat-up, well before any
+  // material): firing at the exact homed instant no longer works -- see
+  // AtHomedInstantIsAbsorbedByEndstopDebounce below.
   cfg.t5 = core::T5Config{.mode = core::T5Config::Mode::kAtStart,
-                          .shift_steps = 400};  // a full millimeter up
+                          .shift_steps = 400,  // a full millimeter up
+                          .delay_after_homing_s = 1.0};
   const RunResult r = run_with(cfg);
   EXPECT_TRUE(r.finished);
   // First material lands ~1 mm above the nominal first layer.
   EXPECT_GT(r.part.first_layer_z_mm, 1.0);
+}
+
+TEST(TrojanT5, AtHomedInstantIsAbsorbedByEndstopDebounce) {
+  // A Z lift injected at the very instant the homing detector fires races
+  // the firmware's Z re-bump: the lift pulls the head off the switch
+  // inside the debounce confirmation window, the firmware rejects the
+  // trigger as a bounce and keeps homing, and the whole lift is re-zeroed
+  // away.  The first layer lands at its nominal height.
+  core::TrojanSuiteConfig cfg;
+  cfg.t5 = core::T5Config{.mode = core::T5Config::Mode::kAtStart,
+                          .shift_steps = 400,
+                          .delay_after_homing_s = 0.0};
+  const RunResult r = run_with(cfg);
+  EXPECT_TRUE(r.finished);
+  EXPECT_LT(r.part.first_layer_z_mm, 0.5);
+  EXPECT_GE(r.endstop_bounces_rejected, 1u);
 }
 
 TEST(TrojanT6, HeaterDosEndsPrintInThermalError) {
