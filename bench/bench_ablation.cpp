@@ -64,8 +64,18 @@ Drift max_drift(const core::Capture& a, const core::Capture& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto program = bench::standard_cube(2.5);
+  host::ParallelRunner pool(bench::parse_jobs(argc, argv));
+  bench::Stopwatch clock;
+  std::uint64_t total_events = 0;
+
+  // A captured print plus its event count -- what most of the pooled
+  // sections below need back from each job.
+  struct Cap {
+    core::Capture capture;
+    std::uint64_t events = 0;
+  };
 
   // --- A: UART transaction period vs required margin -----------------------
   bench::heading("Ablation A: transaction period vs known-good drift "
@@ -73,21 +83,29 @@ int main() {
   std::printf("%-14s %-14s %-22s %-16s\n", "period (ms)", "transactions",
               "worst relative drift", "worst abs drift");
   bench::rule();
-  for (const auto period_ms : {25u, 50u, 100u, 200u, 400u}) {
-    const auto period = sim::ms(period_ms);
-    const host::RunResult ref = run_with_uart_period(program, 1, period);
+  // 5 periods x 4 seeds (reference + 3 reprints) = 20 independent prints.
+  const unsigned kPeriodsMs[] = {25u, 50u, 100u, 200u, 400u};
+  const std::uint64_t kDriftSeeds[] = {1u, 21u, 99u, 512u};
+  const std::vector<Cap> period_runs =
+      pool.map<Cap>(5 * 4, [&](std::size_t i) {
+        const host::RunResult r = run_with_uart_period(
+            program, kDriftSeeds[i % 4], sim::ms(kPeriodsMs[i / 4]));
+        return Cap{r.capture, r.events_executed};
+      });
+  for (std::size_t p = 0; p < 5; ++p) {
+    const core::Capture& ref = period_runs[p * 4].capture;
     Drift worst;
-    for (const std::uint64_t seed : {21u, 99u, 512u}) {
-      const host::RunResult r = run_with_uart_period(program, seed, period);
-      const Drift d = max_drift(ref.capture, r.capture);
+    for (std::size_t s = 1; s < 4; ++s) {
+      const Drift d = max_drift(ref, period_runs[p * 4 + s].capture);
       worst.worst_pct = std::max(worst.worst_pct, d.worst_pct);
       worst.worst_steps = std::max(worst.worst_steps, d.worst_steps);
     }
-    std::printf("%-14u %-14zu %13.3f%%        %8lld steps%s\n", period_ms,
-                ref.capture.size(), worst.worst_pct,
+    std::printf("%-14u %-14zu %13.3f%%        %8lld steps%s\n",
+                kPeriodsMs[p], ref.size(), worst.worst_pct,
                 static_cast<long long>(worst.worst_steps),
-                period_ms == 100 ? "   <- paper's 0.1 s / 5%" : "");
+                kPeriodsMs[p] == 100 ? "   <- paper's 0.1 s / 5%" : "");
   }
+  for (const Cap& c : period_runs) total_events += c.events;
   std::printf(
       "finding: the paper speculates a faster protocol would permit a\n"
       "smaller margin (\"fewer steps possible per transaction\").  Under\n"
@@ -102,21 +120,37 @@ int main() {
   bench::heading("Ablation B: detection margin vs sensitivity / false "
                  "positives");
   const host::RunResult golden = bench::run_print(program, {}, 1);
+  total_events += golden.events_executed;
   // Observed prints: 3 clean reprints + reduction Trojans of waning
-  // severity.
-  std::vector<std::pair<std::string, core::Capture>> observed;
-  for (const std::uint64_t seed : {42u, 4242u, 424242u}) {
-    observed.emplace_back("clean reprint",
-                          bench::run_print(program, {}, seed).capture);
-  }
-  for (const double factor : {0.5, 0.9, 0.98, 0.995}) {
-    const auto mutated =
-        gcode::flaw3d::apply_reduction(program, {.factor = factor});
-    char label[48];
-    std::snprintf(label, sizeof(label), "reduction x%.3f", factor);
-    observed.emplace_back(label,
-                          bench::run_print(mutated, {}, 7).capture);
-  }
+  // severity -- 7 independent prints, fanned out.
+  const std::uint64_t kCleanSeeds[] = {42u, 4242u, 424242u};
+  const double kFactors[] = {0.5, 0.9, 0.98, 0.995};
+  struct Observed {
+    std::string label;
+    core::Capture capture;
+    std::uint64_t events = 0;
+  };
+  const std::vector<Observed> observed =
+      pool.map<Observed>(3 + 4, [&](std::size_t i) {
+        Observed o;
+        host::RunResult r;
+        if (i < 3) {
+          o.label = "clean reprint";
+          r = bench::run_print(program, {}, kCleanSeeds[i]);
+        } else {
+          const double factor = kFactors[i - 3];
+          char label[48];
+          std::snprintf(label, sizeof(label), "reduction x%.3f", factor);
+          o.label = label;
+          r = bench::run_print(
+              gcode::flaw3d::apply_reduction(program, {.factor = factor}),
+              {}, 7);
+        }
+        o.capture = r.capture;
+        o.events = r.events_executed;
+        return o;
+      });
+  for (const Observed& o : observed) total_events += o.events;
 
   std::printf("%-22s", "margin ->");
   for (const double margin : {1.0, 2.0, 5.0, 10.0, 20.0}) {
@@ -124,7 +158,9 @@ int main() {
   }
   std::printf("  final-check-only\n");
   bench::rule();
-  for (const auto& [label, capture] : observed) {
+  for (const auto& o : observed) {
+    const std::string& label = o.label;
+    const core::Capture& capture = o.capture;
     std::printf("%-22s", label.c_str());
     for (const double margin : {1.0, 2.0, 5.0, 10.0, 20.0}) {
       detect::CompareOptions opt;
@@ -177,8 +213,16 @@ int main() {
              program, {.every_n_moves = n, .take_fraction = 0.15}),
          true});
   }
-  for (const auto& w : workloads) {
-    const core::Capture cap = bench::run_print(w.program, {}, 99).capture;
+  const std::vector<Cap> workload_caps =
+      pool.map<Cap>(workloads.size(), [&](std::size_t i) {
+        const host::RunResult r =
+            bench::run_print(workloads[i].program, {}, 99);
+        return Cap{r.capture, r.events_executed};
+      });
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    const core::Capture& cap = workload_caps[i].capture;
+    total_events += workload_caps[i].events;
     const bool golden_hit =
         detect::compare(golden.capture, cap).trojan_likely;
     const bool free_hit = detect::analyze_golden_free(cap).trojan_likely;
@@ -211,6 +255,7 @@ int main() {
     return rig.run(p);
   };
   const host::RunResult gold = probed(program, 1);
+  total_events += gold.events_executed;
 
   struct DCase {
     std::string label;
@@ -240,8 +285,14 @@ int main() {
   std::printf("%-30s %-18s %-18s\n", "workload", "step counts",
               "power signature");
   bench::rule();
-  for (auto& c : dcases) {
-    const host::RunResult r = probed(c.program, 97, c.trojans);
+  const std::vector<host::RunResult> druns =
+      pool.map<host::RunResult>(dcases.size(), [&](std::size_t i) {
+        return probed(dcases[i].program, 97, dcases[i].trojans);
+      });
+  for (std::size_t i = 0; i < dcases.size(); ++i) {
+    const DCase& c = dcases[i];
+    const host::RunResult& r = druns[i];
+    total_events += r.events_executed;
     const bool counts_hit =
         detect::compare(gold.capture, r.capture).trojan_likely;
     const bool power_hit =
@@ -264,9 +315,17 @@ int main() {
   // --- E: window alignment vs required margin --------------------------------
   bench::heading("Ablation E: positional vs aligned comparison "
                  "(false positives across clean reprints)");
+  const std::uint64_t kReprintSeeds[] = {11u, 222u, 3333u, 44444u, 555555u};
+  const std::vector<Cap> reprint_caps =
+      pool.map<Cap>(5, [&](std::size_t i) {
+        const host::RunResult r =
+            bench::run_print(program, {}, kReprintSeeds[i]);
+        return Cap{r.capture, r.events_executed};
+      });
   std::vector<core::Capture> reprints;
-  for (const std::uint64_t seed : {11u, 222u, 3333u, 44444u, 555555u}) {
-    reprints.push_back(bench::run_print(program, {}, seed).capture);
+  for (const Cap& c : reprint_caps) {
+    reprints.push_back(c.capture);
+    total_events += c.events;
   }
   std::printf("%-12s %-20s %-20s %-20s\n", "margin", "positional (of 5)",
               "global shift (of 5)", "slack +/-2 (of 5)");
@@ -330,8 +389,13 @@ int main() {
     host::Rig rig(options);
     return rig.run(program);
   };
-  const host::RunResult with_la = timed_with(true);
-  const host::RunResult without_la = timed_with(false);
+  const std::vector<host::RunResult> la_runs =
+      pool.map<host::RunResult>(2, [&](std::size_t i) {
+        return timed_with(i == 0);
+      });
+  const host::RunResult& with_la = la_runs[0];
+  const host::RunResult& without_la = la_runs[1];
+  total_events += with_la.events_executed + without_la.events_executed;
   std::printf("  with lookahead:    %.1f s, finals E=%lld\n",
               with_la.sim_seconds,
               static_cast<long long>(with_la.capture.final_counts[3]));
@@ -345,5 +409,14 @@ int main() {
       with_la.capture.final_counts == without_la.capture.final_counts
           ? "yes"
           : "NO");
+
+  const double wall_s = clock.seconds();
+  bench::BenchJson json("ablation");
+  json.add("jobs", pool.workers());
+  json.add("wall_seconds", wall_s);
+  json.add("scheduler_events", total_events);
+  json.add("events_per_second",
+           wall_s > 0.0 ? static_cast<double>(total_events) / wall_s : 0.0);
+  json.write();
   return 0;
 }

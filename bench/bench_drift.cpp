@@ -40,34 +40,56 @@ double max_drift_pct(const core::Capture& a, const core::Capture& b,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto program = bench::standard_cube(3.0);
   constexpr int kReprints = 10;
+  host::ParallelRunner pool(bench::parse_jobs(argc, argv));
 
   bench::heading("Time-noise drift across known-good reprints");
+  bench::Stopwatch clock;
   const host::RunResult reference = bench::run_print(program, {}, 1);
-  std::printf("reference: seed 1, %zu transactions\n\n",
-              reference.capture.size());
+  std::printf("reference: seed 1, %zu transactions (%zu worker(s))\n\n",
+              reference.capture.size(), pool.workers());
   std::printf("%-8s %-14s %-12s %-18s %-14s\n", "seed", "transactions",
               "max drift", "finals match ref", "detector verdict");
   bench::rule();
 
+  // Each reprint is an independent seeded rig; run them on the pool and
+  // report in seed order.
+  struct Row {
+    std::uint64_t seed = 0;
+    std::size_t transactions = 0;
+    double drift = 0.0;
+    bool finals_equal = false;
+    bool false_positive = false;
+    std::uint64_t events = 0;
+  };
+  const std::vector<Row> rows = pool.map<Row>(kReprints, [&](std::size_t i) {
+    Row row;
+    row.seed = 1000 + static_cast<std::uint64_t>(i) * 37;
+    const host::RunResult r = bench::run_print(program, {}, row.seed);
+    row.transactions = r.capture.size();
+    row.drift = max_drift_pct(reference.capture, r.capture);
+    row.finals_equal =
+        r.capture.final_counts == reference.capture.final_counts;
+    row.false_positive =
+        detect::compare(reference.capture, r.capture).trojan_likely;
+    row.events = r.events_executed;
+    return row;
+  });
+  const double wall_s = clock.seconds();
+
   double worst = 0.0;
   int false_positives = 0;
-  for (int i = 0; i < kReprints; ++i) {
-    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(i) * 37;
-    const host::RunResult r = bench::run_print(program, {}, seed);
-    const double drift = max_drift_pct(reference.capture, r.capture);
-    worst = std::max(worst, drift);
-    const bool finals_equal =
-        r.capture.final_counts == reference.capture.final_counts;
-    const detect::Report rep =
-        detect::compare(reference.capture, r.capture);
-    if (rep.trojan_likely) ++false_positives;
+  std::uint64_t total_events = reference.events_executed;
+  for (const Row& row : rows) {
+    worst = std::max(worst, row.drift);
+    if (row.false_positive) ++false_positives;
+    total_events += row.events;
     std::printf("%-8llu %-14zu %9.3f%%  %-18s %-14s\n",
-                static_cast<unsigned long long>(seed), r.capture.size(),
-                drift, finals_equal ? "yes" : "NO",
-                rep.trojan_likely ? "FALSE POSITIVE" : "clean");
+                static_cast<unsigned long long>(row.seed), row.transactions,
+                row.drift, row.finals_equal ? "yes" : "NO",
+                row.false_positive ? "FALSE POSITIVE" : "clean");
   }
   bench::rule();
   std::printf(
@@ -76,5 +98,16 @@ int main() {
       "final step counts are timing-independent, so the 0%%-margin final\n"
       "check never misfires on clean prints.\n",
       kReprints, worst, false_positives, kReprints);
+
+  bench::BenchJson json("drift");
+  json.add("jobs", pool.workers());
+  json.add("reprints", static_cast<std::uint64_t>(kReprints));
+  json.add("wall_seconds", wall_s);
+  json.add("scheduler_events", total_events);
+  json.add("events_per_second",
+           wall_s > 0.0 ? static_cast<double>(total_events) / wall_s : 0.0);
+  json.add("worst_drift_pct", worst);
+  json.add("false_positives", static_cast<std::uint64_t>(false_positives));
+  json.write();
   return (worst < 5.0 && false_positives == 0) ? 0 : 1;
 }

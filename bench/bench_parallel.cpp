@@ -1,0 +1,116 @@
+// Parallel-runner scaling benchmark.
+//
+// Runs the same batch of independent seeded prints on 1 worker and on N
+// workers (default 4, override with --jobs), verifies the two result
+// sets are bit-identical (the ParallelRunner determinism contract), and
+// reports wall-clock, events/sec, and the measured speedup to stdout and
+// BENCH_parallel.json.  The JSON includes the host's hardware
+// concurrency: on a 1-core machine the honest speedup is ~1x and the
+// artifact says why.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace offramps;
+
+namespace {
+
+/// FNV-1a over the run's observable outputs (capture transactions, final
+/// counts, motor steps, part metrics).  Equal digests across worker
+/// counts == equal simulations.
+std::uint64_t digest(const host::RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& txn : r.capture.transactions) {
+    mix(txn.time_ns);
+    for (const auto c : txn.counts) mix(static_cast<std::uint64_t>(c));
+  }
+  for (const auto c : r.capture.final_counts) {
+    mix(static_cast<std::uint64_t>(c));
+  }
+  for (const auto s : r.motor_steps) mix(static_cast<std::uint64_t>(s));
+  mix(static_cast<std::uint64_t>(r.part.total_filament_mm * 1e6));
+  mix(r.events_executed);
+  return h;
+}
+
+struct BatchOut {
+  std::vector<std::uint64_t> digests;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+};
+
+BatchOut run_batch(const gcode::Program& program, std::size_t sims,
+                   std::size_t workers) {
+  host::ParallelRunner pool(workers);
+  bench::Stopwatch clock;
+  struct Out {
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+  };
+  const std::vector<Out> outs = pool.map<Out>(sims, [&](std::size_t i) {
+    const host::RunResult r =
+        bench::run_print(program, {}, 1000 + 37 * i);
+    return Out{digest(r), r.events_executed};
+  });
+  BatchOut batch;
+  batch.wall_s = clock.seconds();
+  for (const Out& o : outs) {
+    batch.digests.push_back(o.digest);
+    batch.events += o.events;
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto program = bench::standard_cube(2.0);
+  constexpr std::size_t kSims = 8;
+  std::size_t jobs = bench::parse_jobs(argc, argv);
+  if (jobs < 2) jobs = 4;  // measure scaling even when launched bare
+
+  bench::heading("ParallelRunner scaling on independent seeded prints");
+  std::printf("batch: %zu prints; comparing 1 worker vs %zu workers "
+              "(hardware concurrency: %u)\n",
+              kSims, jobs, std::thread::hardware_concurrency());
+
+  const BatchOut seq = run_batch(program, kSims, 1);
+  const BatchOut par = run_batch(program, kSims, jobs);
+
+  const bool identical = seq.digests == par.digests;
+  const double speedup = par.wall_s > 0.0 ? seq.wall_s / par.wall_s : 0.0;
+  std::printf("  1 worker : %.3f s  (%.3g events/s)\n", seq.wall_s,
+              static_cast<double>(seq.events) / seq.wall_s);
+  std::printf("  %zu workers: %.3f s  (%.3g events/s)\n", jobs, par.wall_s,
+              static_cast<double>(par.events) / par.wall_s);
+  std::printf("  speedup: %.2fx; results bit-identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf("  note: single-hardware-thread host -- parallel speedup "
+                "cannot exceed ~1x here;\n"
+                "  the determinism contract is what this run verifies.\n");
+  }
+
+  bench::BenchJson json("parallel");
+  json.add("sims", kSims);
+  json.add("jobs", jobs);
+  json.add("wall_seconds_1", seq.wall_s);
+  json.add("wall_seconds_n", par.wall_s);
+  json.add("speedup", speedup);
+  json.add("events_per_second_1",
+           seq.wall_s > 0.0 ? static_cast<double>(seq.events) / seq.wall_s
+                            : 0.0);
+  json.add("events_per_second_n",
+           par.wall_s > 0.0 ? static_cast<double>(par.events) / par.wall_s
+                            : 0.0);
+  json.add("bit_identical", identical);
+  json.write();
+  return identical ? 0 : 1;
+}

@@ -35,7 +35,9 @@ std::string outcome(const host::RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  host::ParallelRunner pool(bench::parse_jobs(argc, argv));
+  bench::Stopwatch clock;
   bench::heading("Table I: Trojans evaluated using OFFRAMPS");
   std::printf(
       "%-4s %-4s %-18s %-52s\n", "Id", "Type", "Scenario", "Effect (paper)");
@@ -92,20 +94,47 @@ int main() {
   };
 
   // Golden references per cube height (for relative comparisons).
-  const host::RunResult golden3 = bench::run_print(bench::standard_cube(3.0));
-  const host::RunResult golden7 = bench::run_print(bench::standard_cube(7.0));
+  const std::vector<host::RunResult> goldens =
+      pool.map<host::RunResult>(2, [](std::size_t i) {
+        return bench::run_print(bench::standard_cube(i == 0 ? 3.0 : 7.0));
+      });
+  const host::RunResult& golden3 = goldens[0];
+  const host::RunResult& golden7 = goldens[1];
 
-  for (const Row& row : rows) {
+  // Every Trojan case is an independent print; run them on the pool.  The
+  // part view must be rendered inside the job because the rig (and its
+  // deposition samples) lives only for the job's duration.
+  struct CaseOut {
+    host::RunResult r;
+    std::string part_view;
+  };
+  constexpr std::size_t kRows = sizeof(rows) / sizeof(rows[0]);
+  const std::vector<CaseOut> outs =
+      pool.map<CaseOut>(kRows, [&](std::size_t i) {
+        const Row& row = rows[i];
+        const auto program = bench::standard_cube(row.cube_height_mm);
+        host::RigOptions options;
+        options.trojans = row.cfg;
+        options.firmware.jitter_seed = 1;
+        // Dense deposition sampling so the part renders crisply.
+        options.printer.deposition_sample_every = 2;
+        host::Rig rig(options);
+        CaseOut out;
+        out.r = rig.run(program);
+        const auto& samples = rig.printer().deposition().samples();
+        const bool is_golden = std::string(row.trojan) == "T0";
+        if (!samples.empty() &&
+            (is_golden || out.r.part.max_layer_shift_mm > 0.1)) {
+          out.part_view = plant::top_view_ascii(samples, 44);
+        }
+        return out;
+      });
+
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const Row& row = rows[i];
     std::printf("%-4s %-4s %-18s %s\n", row.trojan, row.type, row.scenario,
                 row.effect);
-    const auto program = bench::standard_cube(row.cube_height_mm);
-    host::RigOptions options;
-    options.trojans = row.cfg;
-    options.firmware.jitter_seed = 1;
-    // Dense deposition sampling so the part renders crisply.
-    options.printer.deposition_sample_every = 2;
-    host::Rig rig(options);
-    const host::RunResult r = rig.run(program);
+    const host::RunResult& r = outs[i].r;
     const host::RunResult& golden =
         row.cube_height_mm > 5.0 ? golden7 : golden3;
 
@@ -131,13 +160,10 @@ int main() {
         static_cast<unsigned long long>(r.motor_dropped_steps[3]));
     // The simulated "part photograph": top view of the deposited
     // material, where the paper's Table I shows photos on graph paper.
-    const auto& samples = rig.printer().deposition().samples();
-    const bool is_golden = std::string(row.trojan) == "T0";
-    if (!samples.empty() &&
-        (is_golden || r.part.max_layer_shift_mm > 0.1)) {
+    if (!outs[i].part_view.empty()) {
       std::printf("     printed part (top view)%s:\n%s",
-                  is_golden ? " - reference" : "",
-                  plant::top_view_ascii(samples, 44).c_str());
+                  std::string(row.trojan) == "T0" ? " - reference" : "",
+                  outs[i].part_view.c_str());
     }
     bench::rule();
   }
@@ -151,5 +177,18 @@ int main() {
       "   firmware's thermal-runaway panic (destructive)\n"
       " - T8 loses commanded steps at the disabled drivers\n"
       " - T9 under-cools the part relative to golden\n");
+
+  const double wall_s = clock.seconds();
+  std::uint64_t total_events = golden3.events_executed +
+                               golden7.events_executed;
+  for (const CaseOut& out : outs) total_events += out.r.events_executed;
+  bench::BenchJson json("table1");
+  json.add("jobs", pool.workers());
+  json.add("cases", kRows);
+  json.add("wall_seconds", wall_s);
+  json.add("scheduler_events", total_events);
+  json.add("events_per_second",
+           wall_s > 0.0 ? static_cast<double>(total_events) / wall_s : 0.0);
+  json.write();
   return 0;
 }

@@ -12,11 +12,14 @@
 
 using namespace offramps;
 
-int main() {
+int main(int argc, char** argv) {
   const gcode::Program object = bench::standard_cube(3.0);
+  host::ParallelRunner pool(bench::parse_jobs(argc, argv));
+  bench::Stopwatch clock;
 
   bench::heading("Table II: Flaw3D Trojan detection");
-  std::printf("capturing golden reference print...\n");
+  std::printf("capturing golden reference print (%zu worker(s))...\n",
+              pool.workers());
   host::RunResult golden = bench::run_print(object, {}, /*seed=*/1);
   std::printf("golden: %zu transactions, final counts X=%lld Y=%lld Z=%lld "
               "E=%lld\n\n",
@@ -42,20 +45,41 @@ int main() {
       {7, "Relocation", 20},  {8, "Relocation", 100},
   };
 
+  // Each test case (and the known-good control, appended as a ninth job)
+  // mutates its own copy of the program and prints on a fresh rig --
+  // independent jobs, fanned out over the pool, reported in case order.
+  struct CaseOut {
+    detect::Report rep;
+    std::uint64_t events = 0;
+  };
+  constexpr std::size_t kCases = sizeof(cases) / sizeof(cases[0]);
+  const std::vector<CaseOut> outs =
+      pool.map<CaseOut>(kCases + 1, [&](std::size_t i) {
+        host::RunResult r;
+        if (i == kCases) {  // control: clean reprint, different seed
+          r = bench::run_print(object, {}, /*seed=*/777);
+        } else {
+          const Case& c = cases[i];
+          gcode::Program mutated;
+          if (std::string(c.type) == "Reduction") {
+            mutated =
+                gcode::flaw3d::apply_reduction(object, {.factor = c.value});
+          } else {
+            mutated = gcode::flaw3d::apply_relocation(
+                object,
+                {.every_n_moves = static_cast<std::uint32_t>(c.value),
+                 .take_fraction = 0.15});
+          }
+          r = bench::run_print(mutated, {}, /*seed=*/100 + c.id);
+        }
+        return CaseOut{detect::compare(golden.capture, r.capture),
+                       r.events_executed};
+      });
+
   int detected_count = 0;
-  for (const Case& c : cases) {
-    gcode::Program mutated;
-    if (std::string(c.type) == "Reduction") {
-      mutated = gcode::flaw3d::apply_reduction(object, {.factor = c.value});
-    } else {
-      mutated = gcode::flaw3d::apply_relocation(
-          object,
-          {.every_n_moves = static_cast<std::uint32_t>(c.value),
-           .take_fraction = 0.15});
-    }
-    const host::RunResult r =
-        bench::run_print(mutated, {}, /*seed=*/100 + c.id);
-    const detect::Report rep = detect::compare(golden.capture, r.capture);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const Case& c = cases[i];
+    const detect::Report& rep = outs[i].rep;
     if (rep.trojan_likely) ++detected_count;
     std::printf("%-10d %-11s %-19g %-9s %-12zu %8.2f%%\n", c.id, c.type,
                 c.value, rep.trojan_likely ? "yes" : "NO",
@@ -64,9 +88,7 @@ int main() {
   bench::rule();
 
   // Control: a known-good reprint with a different seed must NOT trip.
-  const host::RunResult reprint = bench::run_print(object, {}, /*seed=*/777);
-  const detect::Report control = detect::compare(golden.capture,
-                                                 reprint.capture);
+  const detect::Report& control = outs[kCases].rep;
   std::printf("%-10s %-11s %-19s %-9s %-12zu %8.2f%%\n", "control", "None",
               "known-good reprint",
               control.trojan_likely ? "FALSE POSITIVE" : "no",
@@ -75,5 +97,18 @@ int main() {
   std::printf("\nDetected %d / 8 Trojans (paper: 8 / 8); control %s\n",
               detected_count,
               control.trojan_likely ? "FALSE POSITIVE" : "clean");
+
+  const double wall_s = clock.seconds();
+  std::uint64_t total_events = golden.events_executed;
+  for (const CaseOut& out : outs) total_events += out.events;
+  bench::BenchJson json("table2");
+  json.add("jobs", pool.workers());
+  json.add("cases", kCases);
+  json.add("detected", static_cast<std::uint64_t>(detected_count));
+  json.add("wall_seconds", wall_s);
+  json.add("scheduler_events", total_events);
+  json.add("events_per_second",
+           wall_s > 0.0 ? static_cast<double>(total_events) / wall_s : 0.0);
+  json.write();
   return (detected_count == 8 && !control.trojan_likely) ? 0 : 1;
 }

@@ -1,13 +1,20 @@
 // Shared helpers for the experiment harness binaries: the standard test
 // object (a calibration cube, as used for the paper's Table I prints),
-// print runners, and table formatting.
+// print runners, table formatting, wall-clock timing, and the
+// machine-readable BENCH_<name>.json artifact every harness emits.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "detect/compare.hpp"
 #include "gcode/stats.hpp"
+#include "host/parallel_runner.hpp"
 #include "host/rig.hpp"
 #include "host/slicer.hpp"
 
@@ -47,5 +54,109 @@ inline void rule() {
   std::printf("-------------------------------------------------------------"
               "-------------------\n");
 }
+
+/// Wall-clock stopwatch for harness phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Worker count for a harness run: `--jobs N` / `-j N` on the command
+/// line wins, else OFFRAMPS_JOBS / hardware concurrency via
+/// ParallelRunner::default_workers().  Unrelated argv entries are left
+/// for the caller.
+inline std::size_t parse_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if ((a == "--jobs" || a == "-j") && i + 1 < argc) {
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      return v >= 1 ? static_cast<std::size_t>(v) : 1;
+    }
+    if (a.rfind("--jobs=", 0) == 0) {
+      const long v = std::strtol(a.c_str() + 7, nullptr, 10);
+      return v >= 1 ? static_cast<std::size_t>(v) : 1;
+    }
+  }
+  return host::ParallelRunner::default_workers();
+}
+
+/// Accumulates key/value pairs and writes `BENCH_<name>.json` so CI and
+/// dashboards can track harness results without scraping stdout.  Every
+/// artifact records the machine's hardware concurrency: speedups measured
+/// on a 1-core host are honest 1x numbers, and the field says why.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    add("bench", name_);
+    add("hardware_concurrency",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  }
+
+  void add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, quote(value));
+  }
+  void add(const std::string& key, const char* value) {
+    add(key, std::string(value));
+  }
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+
+  /// Writes BENCH_<name>.json in the working directory and reports the
+  /// path on stdout.  Returns false (after perror) if the file cannot be
+  /// written; harnesses treat that as non-fatal.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::perror(("BenchJson: " + path).c_str());
+      return false;
+    }
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  %s: %s%s\n", quote(entries_[i].first).c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace offramps::bench

@@ -4,24 +4,42 @@
 // small part per cell, and classify every run as clean / fail-safe /
 // silent-corruption / false-alarm against a clean reference.
 //
-//   ./fault_campaign [report.json]
+//   ./fault_campaign [report.json] [--jobs N]
 //
 // Writes the machine-readable JSON report to the given path (default
 // fault_campaign.json in the working directory) and prints a summary
 // table.  The schema is documented in EXPERIMENTS.md, "Fault campaigns".
+// Cells run in parallel across N workers (--jobs, else OFFRAMPS_JOBS,
+// else hardware concurrency); the report is identical for any N.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #include "host/fault_campaign.hpp"
+#include "host/parallel_runner.hpp"
 #include "host/slicer.hpp"
 
 int main(int argc, char** argv) {
   using namespace offramps;
 
-  const char* out_path = argc > 1 ? argv[1] : "fault_campaign.json";
-  if (out_path[0] == '-') {
-    std::fprintf(stderr, "usage: %s [report.json]\n", argv[0]);
-    return 2;
+  const char* out_path = "fault_campaign.json";
+  std::size_t jobs = host::ParallelRunner::default_workers();
+  for (int i = 1; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--jobs") == 0 ||
+         std::strcmp(argv[i], "-j") == 0) &&
+        i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      jobs = v >= 1 ? static_cast<std::size_t>(v) : 1;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const long v = std::strtol(argv[i] + 7, nullptr, 10);
+      jobs = v >= 1 ? static_cast<std::size_t>(v) : 1;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "usage: %s [report.json] [--jobs N]\n", argv[0]);
+      return 2;
+    } else {
+      out_path = argv[i];
+    }
   }
 
   // A small sliced cube keeps each of the sweep's full prints quick while
@@ -36,10 +54,12 @@ int main(int argc, char** argv) {
 
   host::FaultCampaign campaign(program, "cube-10x10x2");
   const auto sweep = host::FaultCampaign::default_sweep();
-  std::printf("running %zu-cell fault sweep (plus 1 clean reference)...\n",
-              sweep.size());
+  host::ParallelRunner pool(jobs);
+  std::printf("running %zu-cell fault sweep (plus 1 clean reference) "
+              "on %zu worker(s)...\n",
+              sweep.size(), pool.workers());
 
-  const host::CampaignReport report = campaign.run(sweep);
+  const host::CampaignReport report = campaign.run(sweep, pool);
 
   std::printf("\n%-15s %-18s %9s %-18s %6s %6s %5s\n", "fault", "target",
               "intensity", "outcome", "dev%", "txns", "crc-");

@@ -139,7 +139,10 @@ double FaultCampaign::deviation_from_reference(const RunResult& r) const {
 
 CellResult FaultCampaign::run_cell(const sim::FaultSpec& spec) {
   run_reference();
+  return evaluate_cell(spec);
+}
 
+CellResult FaultCampaign::evaluate_cell(const sim::FaultSpec& spec) const {
   RigOptions opts = options_.rig;
   opts.faults.push_back(spec);
   Rig rig(opts);
@@ -182,8 +185,20 @@ CampaignReport FaultCampaign::run(const std::vector<sim::FaultSpec>& specs) {
   report.clean_filament_mm = reference_.part.total_filament_mm;
   report.cells.reserve(specs.size());
   for (const auto& spec : specs) {
-    report.cells.push_back(run_cell(spec));
+    report.cells.push_back(evaluate_cell(spec));
   }
+  return report;
+}
+
+CampaignReport FaultCampaign::run(const std::vector<sim::FaultSpec>& specs,
+                                  ParallelRunner& pool) {
+  run_reference();
+  CampaignReport report;
+  report.program_label = label_;
+  report.clean_transactions = golden_.size();
+  report.clean_filament_mm = reference_.part.total_filament_mm;
+  report.cells = pool.map<CellResult>(
+      specs.size(), [&](std::size_t i) { return evaluate_cell(specs[i]); });
   return report;
 }
 

@@ -16,6 +16,7 @@
 
 #include "detect/compare.hpp"
 #include "gcode/command.hpp"
+#include "host/parallel_runner.hpp"
 #include "host/rig.hpp"
 #include "sim/fault.hpp"
 
@@ -87,8 +88,15 @@ class FaultCampaign {
   /// Runs and classifies one faulted, monitor-observed print.
   [[nodiscard]] CellResult run_cell(const sim::FaultSpec& spec);
 
-  /// Runs the whole sweep.
+  /// Runs the whole sweep sequentially.
   [[nodiscard]] CampaignReport run(const std::vector<sim::FaultSpec>& specs);
+
+  /// Runs the whole sweep with cells distributed over `pool`.  Each cell
+  /// is an independent single-threaded Rig simulation, and results land
+  /// in spec order, so the report is bit-identical to the sequential
+  /// overload for any worker count.
+  [[nodiscard]] CampaignReport run(const std::vector<sim::FaultSpec>& specs,
+                                   ParallelRunner& pool);
 
   /// The default acceptance sweep: every fault family (digital stuck &
   /// glitch, analog drift, UART corruption, timing jitter) at zero, low,
@@ -100,6 +108,10 @@ class FaultCampaign {
   [[nodiscard]] const RunResult& reference() const { return reference_; }
 
  private:
+  /// run_cell() after the reference exists.  Const (and shared-state
+  /// read-only), so the pool may call it concurrently for distinct specs.
+  [[nodiscard]] CellResult evaluate_cell(const sim::FaultSpec& spec) const;
+
   [[nodiscard]] double deviation_from_reference(const RunResult& r) const;
 
   gcode::Program program_;

@@ -1,0 +1,144 @@
+#include "host/parallel_runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace offramps::host {
+
+ParallelRunner::ParallelRunner(std::size_t workers)
+    : workers_(workers == 0 ? default_workers() : workers) {
+  if (workers_ < 1) workers_ = 1;
+  if (workers_ <= 1) return;  // Inline mode: no threads, no queues.
+  queues_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t ParallelRunner::default_workers() {
+  if (const char* env = std::getenv("OFFRAMPS_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelRunner::run(std::size_t jobs,
+                         const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) return;
+
+  if (workers_ <= 1) {
+    // Inline path: byte-for-byte the reference execution order, with the
+    // same drain-then-rethrow-first semantics as the threaded path.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  std::uint64_t batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch = ++batch_;
+    body_ = body;
+    unfinished_ = jobs;
+    first_error_ = nullptr;
+  }
+  // Deal jobs round-robin so every worker starts with a local run of
+  // indices; steals then rebalance whatever actually runs long.
+  for (std::size_t i = 0; i < jobs; ++i) {
+    Queue& q = *queues_[i % workers_];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.items.emplace_back(batch, i);
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return unfinished_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+bool ParallelRunner::try_pop(std::size_t self, std::uint64_t batch,
+                             std::size_t& out) {
+  {  // Own queue: take the oldest local job.
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.items.empty() && q.items.front().first == batch) {
+      out = q.items.front().second;
+      q.items.pop_front();
+      return true;
+    }
+  }
+  // Steal from siblings' backs, starting just past ourselves so the
+  // victims rotate instead of all thieves hammering worker 0.
+  for (std::size_t k = 1; k < workers_; ++k) {
+    Queue& q = *queues_[(self + k) % workers_];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.items.empty() && q.items.back().first == batch) {
+      out = q.items.back().second;
+      q.items.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParallelRunner::worker_loop(std::size_t self) {
+  std::uint64_t seen_batch = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || batch_ > seen_batch; });
+      if (shutdown_) return;
+      seen_batch = batch_;
+      body = &body_;
+    }
+    // Drain this batch.  `body_` stays valid until run() observes
+    // unfinished_ == 0, and only jobs tagged with `seen_batch` are
+    // popped, so a straggler can never run a later batch's index
+    // against an earlier batch's body.
+    std::size_t idx = 0;
+    while (try_pop(self, seen_batch, idx)) {
+      std::exception_ptr err;
+      try {
+        (*body)(idx);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--unfinished_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace offramps::host

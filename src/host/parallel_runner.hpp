@@ -1,0 +1,92 @@
+// Work-stealing batch executor for independent simulations.
+//
+// Every evaluation workload in this repository -- the fault-campaign
+// sweep, the drift study's seeded reprints, Table I/II case matrices,
+// ablation grids -- is a batch of *independent, deterministic* `Rig`
+// runs: each job builds its own scheduler, firmware, board, and plant,
+// and shares no mutable state with its siblings.  `ParallelRunner`
+// spreads such a batch over a pool of worker threads.  Each sim stays
+// single-threaded and seed-deterministic, and results are stored by job
+// index, so a batch's output is bit-identical to sequential execution
+// regardless of the worker count or which thread ran which job.
+//
+// Scheduling is work-stealing: jobs are dealt round-robin onto
+// per-worker deques; a worker pops from the front of its own deque and,
+// when empty, steals from the back of a sibling's.  Jobs here are whole
+// prints (milliseconds to seconds each), so per-pop locking is noise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace offramps::host {
+
+class ParallelRunner {
+ public:
+  /// A pool with `workers` threads; 0 resolves via default_workers().
+  /// With one worker, jobs run inline on the calling thread.
+  explicit ParallelRunner(std::size_t workers = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Executes `body(0) .. body(jobs-1)`, distributed over the pool, and
+  /// blocks until every job finished.  `body` must be thread-safe across
+  /// distinct indices (independent jobs).  If any job throws, the first
+  /// exception (in completion order) is rethrown after the batch drains;
+  /// the remaining jobs still run.  Not reentrant: do not call run()
+  /// from inside a job.
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& body);
+
+  /// Maps `fn` over [0, jobs) into a vector ordered by job index --
+  /// identical to the sequential result whatever the worker count.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::size_t jobs, Fn&& fn) {
+    std::vector<T> out(jobs);
+    run(jobs, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Worker count from the environment: `OFFRAMPS_JOBS` if set (clamped
+  /// to >= 1), else std::thread::hardware_concurrency().
+  [[nodiscard]] static std::size_t default_workers();
+
+ private:
+  /// One worker's deque.  Items carry the batch generation so a straggler
+  /// from a finished batch can never pop (and mis-dispatch) the next
+  /// batch's jobs.
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::pair<std::uint64_t, std::size_t>> items;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::uint64_t batch, std::size_t& out);
+
+  std::size_t workers_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::function<void(std::size_t)> body_;
+  std::uint64_t batch_ = 0;
+  std::size_t unfinished_ = 0;
+  std::exception_ptr first_error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace offramps::host

@@ -5,16 +5,23 @@
 // on a single shared `Scheduler`.  The queue is a min-heap ordered by
 // (time, insertion sequence) so simultaneous events run in FIFO order, which
 // makes runs fully deterministic for a fixed seed.
+//
+// Hot-path notes: the heap is a plain `std::vector` driven with
+// `std::push_heap`/`std::pop_heap` (no `std::priority_queue`, whose const
+// top() forces a const_cast to move the event out), and callbacks are
+// small-buffer-optimized `SmallFn`s, so steady-state event traffic performs
+// no per-event heap allocation.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/error.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace offramps::sim {
@@ -22,7 +29,7 @@ namespace offramps::sim {
 /// Single-threaded discrete-event scheduler on the 1 ns tick grid.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn<void()>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -41,7 +48,8 @@ class Scheduler {
       t = std::max(now_, time_warp_(now_, t));
       ++warped_events_;
     }
-    queue_.push(Event{t, next_seq_++, std::move(cb)});
+    heap_.push_back(Event{t, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   /// Timing-fault hook (`sim::FaultInjector`): maps each requested event
@@ -61,21 +69,24 @@ class Scheduler {
   }
 
   /// Number of events currently pending.
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
   /// True when no events remain.
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
 
   /// Runs the single earliest pending event.  Returns false when idle.
   bool step() {
-    if (queue_.empty()) return false;
-    // The heap node must be moved out before the callback runs: callbacks
-    // routinely schedule further events, which would invalidate top().
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    executed_++;
-    ev.cb();
+    if (heap_.empty()) return false;
+    execute(pop_earliest());
+    return true;
+  }
+
+  /// Runs the earliest pending event if its time is <= `t` (one heap-top
+  /// inspection covers both the emptiness and the deadline check).
+  /// Returns false when idle or the next event lies beyond `t`.
+  bool step_if_before(Tick t) {
+    if (heap_.empty() || heap_.front().time > t) return false;
+    execute(pop_earliest());
     return true;
   }
 
@@ -83,10 +94,7 @@ class Scheduler {
   /// Returns the number of events executed.
   std::size_t run_until(Tick t) {
     std::size_t n = 0;
-    while (!queue_.empty() && queue_.top().time <= t && !stop_requested_) {
-      step();
-      ++n;
-    }
+    while (!stop_requested_ && step_if_before(t)) ++n;
     if (!stop_requested_ && now_ < t) now_ = t;
     return n;
   }
@@ -96,7 +104,7 @@ class Scheduler {
   /// number of events executed.
   std::size_t run_all(std::size_t max_events = kDefaultEventLimit) {
     std::size_t n = 0;
-    while (!queue_.empty() && !stop_requested_) {
+    while (!heap_.empty() && !stop_requested_) {
       if (n >= max_events) {
         throw Error("Scheduler::run_all: event limit exceeded (runaway?)");
       }
@@ -133,7 +141,23 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Moves the earliest event out of the heap.  The event must leave the
+  /// container before its callback runs: callbacks routinely schedule
+  /// further events, which would reallocate under top()'s feet.
+  Event pop_earliest() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+  void execute(Event ev) {
+    now_ = ev.time;
+    ++executed_;
+    ev.cb();
+  }
+
+  std::vector<Event> heap_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/scheduler.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace offramps::sim {
@@ -28,7 +29,7 @@ enum class Edge : std::uint8_t { kRising, kFalling };
 /// One digital net.  Not copyable or movable: listeners capture `this`.
 class Wire {
  public:
-  using EdgeCallback = std::function<void(Edge, Tick)>;
+  using EdgeCallback = SmallFn<void(Edge, Tick)>;
   using ListenerId = std::size_t;
 
   Wire(Scheduler& sched, std::string name, bool initial = false)
@@ -85,28 +86,46 @@ class Wire {
   }
 
   /// Convenience: listener fired only on rising edges.
-  ListenerId on_rising(std::function<void(Tick)> cb) {
-    return on_edge([f = std::move(cb)](Edge e, Tick t) {
+  template <typename F>
+  ListenerId on_rising(F cb) {
+    return on_edge([f = std::move(cb)](Edge e, Tick t) mutable {
       if (e == Edge::kRising) f(t);
     });
   }
 
   /// Convenience: listener fired only on falling edges.
-  ListenerId on_falling(std::function<void(Tick)> cb) {
-    return on_edge([f = std::move(cb)](Edge e, Tick t) {
+  template <typename F>
+  ListenerId on_falling(F cb) {
+    return on_edge([f = std::move(cb)](Edge e, Tick t) mutable {
       if (e == Edge::kFalling) f(t);
     });
   }
 
-  /// Detaches a listener.  Safe to call from inside a callback (the slot is
-  /// nulled and compacted lazily).
+  /// Detaches a listener.  Safe to call from inside a callback: the slot is
+  /// nulled immediately and the vector compacted once no edge delivery is
+  /// in flight, so jumper re-routing cannot grow the listener storage (or
+  /// the per-edge scan) without bound.
   void remove_listener(ListenerId id) {
     for (auto& [lid, cb] : listeners_) {
       if (lid == id) {
-        cb = nullptr;
-        return;
+        if (cb != nullptr) {
+          cb = nullptr;
+          ++dead_listeners_;
+        }
+        break;
       }
     }
+    maybe_compact();
+  }
+
+  /// Listener slots currently stored, live or dead (observability for the
+  /// compaction tests; bounded at ~2x the live count).
+  [[nodiscard]] std::size_t listener_slots() const {
+    return listeners_.size();
+  }
+  /// Listeners that still receive edges.
+  [[nodiscard]] std::size_t live_listeners() const {
+    return listeners_.size() - dead_listeners_;
   }
 
   /// Number of rising edges since construction.
@@ -134,11 +153,27 @@ class Wire {
     }
     // Listener list may grow during iteration (a callback adding another
     // listener); index-based loop keeps that safe.  Newly added listeners do
-    // not see the current edge.
+    // not see the current edge.  `delivering_` defers compaction so removal
+    // from inside a callback never shuffles slots mid-scan.
+    ++delivering_;
     const std::size_t n = listeners_.size();
     for (std::size_t i = 0; i < n; ++i) {
-      if (listeners_[i].second) listeners_[i].second(e, t);
+      if (listeners_[i].second != nullptr) listeners_[i].second(e, t);
     }
+    --delivering_;
+    maybe_compact();
+  }
+
+  /// Erases dead slots once they outnumber the live ones (amortized O(1)
+  /// per removal) -- but never while an edge is being delivered.
+  void maybe_compact() {
+    if (delivering_ != 0 || dead_listeners_ * 2 < listeners_.size() ||
+        dead_listeners_ == 0) {
+      return;
+    }
+    std::erase_if(listeners_,
+                  [](const auto& slot) { return slot.second == nullptr; });
+    dead_listeners_ = 0;
   }
 
   Scheduler& sched_;
@@ -151,13 +186,15 @@ class Wire {
   std::uint64_t rising_count_ = 0;
   std::uint64_t falling_count_ = 0;
   ListenerId next_listener_id_ = 0;
+  std::size_t dead_listeners_ = 0;
+  int delivering_ = 0;
   std::vector<std::pair<ListenerId, EdgeCallback>> listeners_;
 };
 
 /// One analog net carrying a slowly varying value (ADC counts or volts).
 class AnalogChannel {
  public:
-  using ChangeCallback = std::function<void(double, Tick)>;
+  using ChangeCallback = SmallFn<void(double, Tick)>;
 
   AnalogChannel(Scheduler& sched, std::string name, double initial = 0.0)
       : sched_(sched), name_(std::move(name)), value_(initial),
@@ -199,7 +236,7 @@ class AnalogChannel {
     const Tick t = sched_.now();
     const std::size_t n = listeners_.size();
     for (std::size_t i = 0; i < n; ++i) {
-      if (listeners_[i]) listeners_[i](value_, t);
+      if (listeners_[i] != nullptr) listeners_[i](value_, t);
     }
   }
 
@@ -250,19 +287,23 @@ class Connection {
 };
 
 /// Forwards every edge of `src` onto `dst` after a fixed propagation
-/// `delay`.  With delay == 0 the destination switches within the same event.
-/// The destination is immediately synchronized to the source's present
-/// level.  Returns a handle that detaches the forwarding when destroyed.
+/// `delay`.  With delay == 0 the destination switches within the same event
+/// via a dedicated fast-path listener: no scheduler trip and no per-edge
+/// delay branch.  The destination is immediately synchronized to the
+/// source's present level.  Returns a handle that detaches the forwarding
+/// when destroyed.
 inline Connection connect(Wire& src, Wire& dst, Tick delay = 0) {
   dst.set(src.level());
-  auto id = src.on_edge([&dst, delay](Edge e, Tick) {
-    const bool lvl = (e == Edge::kRising);
-    if (delay == 0) {
-      dst.set(lvl);
-    } else {
+  Wire::ListenerId id;
+  if (delay == 0) {
+    id = src.on_edge(
+        [&dst](Edge e, Tick) { dst.set(e == Edge::kRising); });
+  } else {
+    id = src.on_edge([&dst, delay](Edge e, Tick) {
+      const bool lvl = (e == Edge::kRising);
       dst.scheduler().schedule_in(delay, [&dst, lvl] { dst.set(lvl); });
-    }
-  });
+    });
+  }
   return Connection(src, id);
 }
 

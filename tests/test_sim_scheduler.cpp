@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event scheduler.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/error.hpp"
@@ -121,6 +123,86 @@ TEST(Scheduler, ExecutedCounterAccumulates) {
   for (int i = 0; i < 7; ++i) s.schedule_at(static_cast<Tick>(i), [] {});
   s.run_all();
   EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(Scheduler, StepIfBeforeRespectsDeadline) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_at(10, [&] { ++ran; });
+  s.schedule_at(20, [&] { ++ran; });
+  EXPECT_FALSE(s.step_if_before(9));   // earliest event is later
+  EXPECT_EQ(ran, 0);
+  EXPECT_TRUE(s.step_if_before(10));   // boundary is inclusive
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), 10u);
+  EXPECT_FALSE(s.step_if_before(19));
+  EXPECT_TRUE(s.step_if_before(20));
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(s.step_if_before(1000));  // idle
+}
+
+TEST(Scheduler, StepIfBeforeDoesNotAdvanceTimeOnRefusal) {
+  Scheduler s;
+  s.schedule_at(50, [] {});
+  EXPECT_FALSE(s.step_if_before(40));
+  EXPECT_EQ(s.now(), 0u);       // refusal leaves time untouched...
+  EXPECT_EQ(s.pending(), 1u);   // ...and the event queued
+}
+
+TEST(Scheduler, CallbackSchedulingDuringStepIsSafe) {
+  // A callback that schedules more events mutates the heap while its own
+  // event is executing; the event must have fully left the container.
+  Scheduler s;
+  std::vector<Tick> fired;
+  s.schedule_at(1, [&] {
+    fired.push_back(s.now());
+    for (Tick t = 2; t <= 64; ++t) {
+      s.schedule_at(t, [&] { fired.push_back(s.now()); });
+    }
+  });
+  s.run_until(100);
+  ASSERT_EQ(fired.size(), 64u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], i + 1);
+  }
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Scheduler, HeavyInterleavedTrafficStaysOrdered) {
+  // Stress the vector-heap ordering: interleaved pushes and pops with
+  // colliding timestamps must still come out in (time, seq) order.
+  Scheduler s;
+  std::vector<std::pair<Tick, int>> fired;
+  int n = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (const Tick t : {Tick{300}, Tick{100}, Tick{200}, Tick{100}}) {
+      s.schedule_at(t, [&fired, &s, id = n++] {
+        fired.emplace_back(s.now(), id);
+      });
+    }
+  }
+  s.run_all();
+  ASSERT_EQ(fired.size(), 200u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      // FIFO among simultaneous events == ascending insertion id.
+      EXPECT_LT(fired[i - 1].second, fired[i].second);
+    }
+  }
+}
+
+TEST(Scheduler, NonTrivialCallbacksFallBackToHeapStorage) {
+  // Callables too big (or not trivially copyable) for SmallFn's inline
+  // buffer must still work through the heap fallback.
+  Scheduler s;
+  std::string log;
+  const std::string big(256, 'x');
+  s.schedule_at(5, [&log, big, copy = big] {
+    log = "big:" + std::to_string(big.size() + copy.size());
+  });
+  s.run_all();
+  EXPECT_EQ(log, "big:512");
 }
 
 TEST(TimeHelpers, ConversionsAreExact) {

@@ -198,5 +198,92 @@ TEST(DutyMeter, ResetsBetweenSamples) {
   EXPECT_NEAR(meter.sample(), 0.0, 0.01);
 }
 
+// --- Listener compaction --------------------------------------------------
+
+TEST(WireCompaction, RepeatedConnectDisconnectKeepsStorageBounded) {
+  Scheduler s;
+  Wire src(s, "src");
+  Wire dst(s, "dst");
+  // Jumper re-routing in a long session: thousands of connect/disconnect
+  // cycles must not grow the listener vector (or the per-edge scan)
+  // without bound.
+  for (int i = 0; i < 10'000; ++i) {
+    Connection c = connect(src, dst);
+    c.disconnect();
+  }
+  EXPECT_LE(src.listener_slots(), 2u);
+  EXPECT_EQ(src.live_listeners(), 0u);
+
+  // The wire still delivers edges to a fresh connection afterwards.
+  Connection c = connect(src, dst);
+  src.set(true);
+  EXPECT_TRUE(dst.level());
+}
+
+TEST(WireCompaction, MixedLiveAndDeadListenersStayNearLiveCount) {
+  Scheduler s;
+  Wire w(s, "w");
+  int persistent_edges = 0;
+  w.on_edge([&](Edge, Tick) { ++persistent_edges; });
+  for (int i = 0; i < 1'000; ++i) {
+    const Wire::ListenerId id = w.on_edge([](Edge, Tick) {});
+    w.remove_listener(id);
+  }
+  // Dead slots are erased once they outnumber the live ones, so storage
+  // is bounded by ~2x the live count, not by churn history.
+  EXPECT_LE(w.listener_slots(), 3u);
+  EXPECT_EQ(w.live_listeners(), 1u);
+  w.set(true);
+  EXPECT_EQ(persistent_edges, 1);
+}
+
+TEST(WireCompaction, RemovalInsideCallbackIsDeferredButApplied) {
+  Scheduler s;
+  Wire w(s, "w");
+  int first_calls = 0, second_calls = 0;
+  Wire::ListenerId second_id = 0;
+  w.on_edge([&](Edge, Tick) {
+    ++first_calls;
+    // Remove the *other* listener mid-delivery: its slot is nulled
+    // immediately but compaction waits until the edge finishes.
+    w.remove_listener(second_id);
+  });
+  second_id = w.on_edge([&](Edge, Tick) { ++second_calls; });
+  w.set(true);
+  EXPECT_EQ(first_calls, 1);
+  EXPECT_EQ(second_calls, 0);  // nulled before its turn in the same edge
+  w.set(false);
+  EXPECT_EQ(first_calls, 2);
+  EXPECT_EQ(second_calls, 0);
+  EXPECT_EQ(w.live_listeners(), 1u);
+}
+
+TEST(WireCompaction, SelfRemovalInsideCallbackIsSafe) {
+  Scheduler s;
+  Wire w(s, "w");
+  int one_shot_calls = 0, other_calls = 0;
+  Wire::ListenerId self_id = 0;
+  self_id = w.on_edge([&](Edge, Tick) {
+    ++one_shot_calls;
+    w.remove_listener(self_id);
+  });
+  w.on_edge([&](Edge, Tick) { ++other_calls; });
+  w.set(true);
+  w.set(false);
+  w.set(true);
+  EXPECT_EQ(one_shot_calls, 1);
+  EXPECT_EQ(other_calls, 3);
+}
+
+TEST(WireCompaction, RemoveListenerIsIdempotent) {
+  Scheduler s;
+  Wire w(s, "w");
+  const Wire::ListenerId id = w.on_edge([](Edge, Tick) {});
+  w.remove_listener(id);
+  w.remove_listener(id);          // double-remove: no double counting
+  w.remove_listener(id + 1000);   // unknown id: no-op
+  EXPECT_EQ(w.live_listeners(), 0u);
+}
+
 }  // namespace
 }  // namespace offramps::sim
