@@ -62,17 +62,27 @@ void ParallelRunner::run(std::size_t jobs,
   std::uint64_t batch;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    batch = ++batch_;
+    batch = batch_ + 1;
     body_ = body;
     unfinished_ = jobs;
     first_error_ = nullptr;
   }
   // Deal jobs round-robin so every worker starts with a local run of
-  // indices; steals then rebalance whatever actually runs long.
+  // indices; steals then rebalance whatever actually runs long.  The
+  // items go in *before* batch_ is published: a worker that wakes for
+  // batch N must find its jobs already queued, otherwise it could scan
+  // empty queues, re-park with its wait predicate already consumed, and
+  // miss the one notify_all() forever (lost wake-up).  Stragglers from
+  // batch N-1 can't mis-pop these early items because try_pop() only
+  // takes jobs tagged with the batch the worker is draining.
   for (std::size_t i = 0; i < jobs; ++i) {
     Queue& q = *queues_[i % workers_];
     std::lock_guard<std::mutex> lk(q.mu);
     q.items.emplace_back(batch, i);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = batch;
   }
   work_cv_.notify_all();
 

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,9 @@ class ParallelRunner {
   /// identical to the sequential result whatever the worker count.
   template <typename T, typename Fn>
   [[nodiscard]] std::vector<T> map(std::size_t jobs, Fn&& fn) {
+    static_assert(!std::is_same_v<T, bool>,
+                  "std::vector<bool> is bit-packed; concurrent writes to "
+                  "adjacent indices race.  Map into char/int instead.");
     std::vector<T> out(jobs);
     run(jobs, [&](std::size_t i) { out[i] = fn(i); });
     return out;

@@ -154,14 +154,21 @@ class Wire {
     // Listener list may grow during iteration (a callback adding another
     // listener); index-based loop keeps that safe.  Newly added listeners do
     // not see the current edge.  `delivering_` defers compaction so removal
-    // from inside a callback never shuffles slots mid-scan.
-    ++delivering_;
+    // from inside a callback never shuffles slots mid-scan; the scope guard
+    // keeps it balanced even when a listener throws, so compaction can't be
+    // disabled permanently by an escaping exception.
+    struct DeliveryGuard {
+      Wire& w;
+      explicit DeliveryGuard(Wire& wire) : w(wire) { ++w.delivering_; }
+      ~DeliveryGuard() {
+        --w.delivering_;
+        w.maybe_compact();
+      }
+    } guard(*this);
     const std::size_t n = listeners_.size();
     for (std::size_t i = 0; i < n; ++i) {
       if (listeners_[i].second != nullptr) listeners_[i].second(e, t);
     }
-    --delivering_;
-    maybe_compact();
   }
 
   /// Erases dead slots once they outnumber the live ones (amortized O(1)

@@ -96,6 +96,23 @@ TEST(ParallelRunner, PoolIsReusableAcrossBatches) {
   }
 }
 
+TEST(ParallelRunner, BackToBackTinyBatchesNeverLoseTheWakeup) {
+  // Regression: run() used to publish the batch counter before enqueuing
+  // jobs, so a worker re-parking between batches could consume its wait
+  // predicate against empty queues and sleep through the only notify.
+  // Tiny batches issued back-to-back maximize that re-park window; a
+  // regression shows up as this test hanging.
+  host::ParallelRunner pool(4);
+  std::atomic<long> total{0};
+  long expected = 0;
+  for (int batch = 0; batch < 2'000; ++batch) {
+    const std::size_t jobs = 1 + batch % 3;
+    expected += static_cast<long>(jobs);
+    pool.run(jobs, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
 TEST(ParallelRunner, ExceptionPropagatesAndBatchDrains) {
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
     host::ParallelRunner pool(workers);

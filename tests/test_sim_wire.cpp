@@ -1,6 +1,7 @@
 // Unit tests for wires, connections, trace recording, and duty metering.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -273,6 +274,21 @@ TEST(WireCompaction, SelfRemovalInsideCallbackIsSafe) {
   w.set(true);
   EXPECT_EQ(one_shot_calls, 1);
   EXPECT_EQ(other_calls, 3);
+}
+
+TEST(WireCompaction, ThrowingListenerDoesNotDisableCompaction) {
+  Scheduler s;
+  Wire w(s, "w");
+  // Regression: an exception escaping a listener used to skip the
+  // delivery-depth decrement, leaving compaction disabled forever.
+  w.on_edge([](Edge, Tick) { throw std::runtime_error("listener boom"); });
+  EXPECT_THROW(w.set(true), std::runtime_error);
+  for (int i = 0; i < 1'000; ++i) {
+    const Wire::ListenerId id = w.on_edge([](Edge, Tick) {});
+    w.remove_listener(id);
+  }
+  EXPECT_LE(w.listener_slots(), 3u);
+  EXPECT_EQ(w.live_listeners(), 1u);
 }
 
 TEST(WireCompaction, RemoveListenerIsIdempotent) {
