@@ -33,6 +33,15 @@ std::string outcome(const host::RunResult& r) {
   return "did not finish";
 }
 
+/// Builds a suite config arming exactly one Trojan.
+template <typename T>
+core::TrojanSuiteConfig suite(std::optional<T> core::TrojanSuiteConfig::*slot,
+                              T cfg) {
+  core::TrojanSuiteConfig s;
+  s.*slot = cfg;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,54 +52,66 @@ int main(int argc, char** argv) {
       "%-4s %-4s %-18s %-52s\n", "Id", "Type", "Scenario", "Effect (paper)");
   bench::rule();
 
+  using core::TrojanSuiteConfig;
   const Row rows[] = {
       {"T0", "None", "None", "Golden print", {}, 3.0},
       {"T1", "PM", "Loose Belt",
        "Randomly changes steps from X or Y axis during print",
-       {.t1 = core::T1Config{.period = sim::seconds(10),
-                             .pulses_per_burst = 100}},
+       suite(&TrojanSuiteConfig::t1,
+             core::T1Config{.period = sim::seconds(10),
+                            .pulses_per_burst = 100}),
        3.0},
       {"T2", "PM", "Incorrect Slicing",
        "Constant over / under extrusion per print (50% mask)",
-       {.t2 = core::T2Config{.keep_ratio = 0.5}}, 3.0},
+       suite(&TrojanSuiteConfig::t2, core::T2Config{.keep_ratio = 0.5}),
+       3.0},
       {"T3", "PM", "Incorrect Slicing",
        "Increases or decreases filament retraction during Y steps",
-       {.t3 = core::T3Config{.over_extrude = true,
-                             .y_steps_per_injection = 8}},
+       suite(&TrojanSuiteConfig::t3,
+             core::T3Config{.over_extrude = true,
+                            .y_steps_per_injection = 8}),
        3.0},
       {"T4", "PM", "Z-Wobble",
        "Small shift along X and Y axis on random Z layer increments",
-       {.t4 = core::T4Config{.layer_probability = 0.4, .shift_steps = 40}},
+       suite(&TrojanSuiteConfig::t4,
+             core::T4Config{.layer_probability = 0.4, .shift_steps = 40}),
        3.0},
       {"T5", "PM", "Incorrect Slicing",
        "Layer delamination via Z-layer shift",
-       {.t5 = core::T5Config{.mode = core::T5Config::Mode::kEveryNLayers,
-                             .every_n_layers = 4,
-                             .shift_steps = 120}},
+       suite(&TrojanSuiteConfig::t5,
+             core::T5Config{.mode = core::T5Config::Mode::kEveryNLayers,
+                            .every_n_layers = 4,
+                            .shift_steps = 120}),
        3.0},
       {"T6", "DoS", "Hardware Failure",
        "Denial of service via disabling D8/D10 heating element power",
-       {.t6 = core::T6Config{.hotend = true, .bed = false,
-                             .delay_after_homing_s = 15.0}},
+       suite(&TrojanSuiteConfig::t6,
+             core::T6Config{.hotend = true, .bed = false,
+                            .delay_after_homing_s = 15.0}),
        7.0},
       {"T7", "D", "Hardware Failure",
        "Forcing thermal runaway and permanently enabling heating elements",
-       {.t7 = core::T7Config{.hotend = true, .delay_after_homing_s = 10.0}},
+       suite(&TrojanSuiteConfig::t7,
+             core::T7Config{.hotend = true, .delay_after_homing_s = 10.0}),
        3.0},
       {"T8", "DoS", "Hardware Failure",
        "Arbitrarily deactivating stepper motors via EN signals",
-       {.t8 = core::T8Config{.axes = {true, true, false, true},
-                             .period_s = 10.0,
-                             .off_duration_s = 0.4,
-                             .delay_after_homing_s = 2.0}},
+       suite(&TrojanSuiteConfig::t8,
+             core::T8Config{.axes = {true, true, false, true},
+                            .period_s = 10.0,
+                            .off_duration_s = 0.4,
+                            .delay_after_homing_s = 2.0}),
        3.0},
       {"T9", "PM", "Hardware Failure",
        "Arbitrarily reducing part fan speed mid-print",
-       {.t9 = core::T9Config{.duty_scale = 0.2}}, 3.0},
+       suite(&TrojanSuiteConfig::t9, core::T9Config{.duty_scale = 0.2}),
+       3.0},
       {"T10", "D", "Sensor Spoofing (extension, not in paper)",
        "Analog thermistor spoof: firmware reads 20 C low, overheats "
        "silently",
-       {.t10 = core::T10Config{.hotend = true, .understate_c = 20.0}}, 3.0},
+       suite(&TrojanSuiteConfig::t10,
+             core::T10Config{.hotend = true, .understate_c = 20.0}),
+       3.0},
   };
 
   // Golden references per cube height (for relative comparisons).

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-shot verification gate - the CI entrypoint.
+#
+#   scripts/check.sh          configure + build (warnings-as-errors) +
+#                             clang-tidy lint + full test suite
+#   scripts/check.sh --quick  skip the test suite (build + lint only)
+#
+# The lint step degrades to a skip message when clang-tidy is not
+# installed; everything else must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> configure (preset: default, warnings are errors)"
+cmake --preset default
+
+echo "==> build"
+cmake --build --preset default -j "${jobs}"
+
+echo "==> lint (clang-tidy)"
+cmake --build --preset lint
+
+if [[ "${quick}" -eq 0 ]]; then
+  echo "==> tests"
+  ctest --preset default -j "${jobs}"
+fi
+
+echo "==> all checks passed"

@@ -1,0 +1,133 @@
+// Static g-code analyzer ("offramps_lint"): an offline detection modality
+// for the attack surface FLAW3D exploits (the g-code -> motion
+// translation), complementing the paper's runtime step-count comparison.
+//
+// One pass over the parsed program computes the static `Oracle` (expected
+// step counts and extrusion profile; see oracle.hpp) and a list of
+// `Finding`s - the Trojan signatures and machine-envelope violations that
+// can be decided without a reference:
+//
+//   * cold-extrusion       - filament advance while the hotend setpoint is
+//                            below the cold-extrusion threshold (heaters
+//                            off; the classic thermal-sabotage signature)
+//   * cold-extrusion-risk  - extrusion after M104 but before any M109 wait
+//   * thermal-overtemp     - setpoint above the heater's kill limit
+//   * axis-limit           - move commanded outside the machine volume
+//                            (runtime clamps it: printed geometry differs
+//                            from the program text)
+//   * feedrate-limit       - requested axis speed above the machine maxima
+//                            (runtime scales the whole move down)
+//   * temp-override        - a live hotend setpoint replaced by a different
+//                            nonzero value before it was ever used
+//   * inplace-extrusion    - stationary filament advance beyond the
+//                            accumulated retraction debt (a relocation
+//                            blob dump)
+//   * unknown-command      - command the firmware would ignore
+//   * rehome / not-armed   - notes about counter-alignment caveats
+//
+// With a *baseline* (the known-good program), `compare_with_baseline`
+// additionally flags any divergence of the two oracles - segment step
+// deltas, extrusion totals, per-segment extrusion ratios, command counts.
+// Static-vs-static comparison is exact, so even the paper's stealthiest
+// 2% reduction Trojan is a guaranteed catch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/oracle.hpp"
+#include "gcode/command.hpp"
+
+namespace offramps::analyze {
+
+enum class Severity : std::uint8_t {
+  kNote,     // informational; does not fail the lint
+  kWarning,  // suspicious; fails the lint
+  kError,    // definite violation; fails the lint
+};
+
+const char* severity_name(Severity s);
+
+/// Stable machine-readable finding codes (the CLI's contract).
+enum class FindingCode : std::uint8_t {
+  kColdExtrusion,
+  kColdExtrusionRisk,
+  kThermalOvertemp,
+  kAxisLimit,
+  kFeedrateLimit,
+  kTempOverride,
+  kInplaceExtrusion,
+  kUnknownCommand,
+  kRehomeUncertainty,
+  kCountersNotArmed,
+  kUnreachableCommands,
+  // Baseline-comparison findings:
+  kMoveCountMismatch,
+  kSegmentMismatch,
+  kStepCountMismatch,
+  kExtrusionTotalMismatch,
+  kRatioMismatch,
+};
+
+const char* finding_code_name(FindingCode c);
+
+/// One diagnostic.
+struct Finding {
+  FindingCode code = FindingCode::kUnknownCommand;
+  Severity severity = Severity::kWarning;
+  /// Index of the offending command in the analyzed program (or the
+  /// first diverging segment's command index for baseline findings).
+  std::size_t command_index = 0;
+  double value = 0.0;  // measured quantity (mm, mm/s, deg C, steps...)
+  double bound = 0.0;  // the bound it broke, when meaningful
+  std::string message;
+};
+
+/// Analyzer tuning.
+struct AnalyzeOptions {
+  /// Stationary positive E advance beyond the retraction debt larger
+  /// than this is an in-place blob dump (mm of filament).
+  double blob_excess_mm = 0.05;
+  /// Relative tolerance for baseline extrusion-total comparison.
+  double extrusion_total_rel_tol = 1e-9;
+  /// Tolerance for baseline per-segment ratio comparison (filament mm
+  /// per path mm).
+  double ratio_tol = 1e-9;
+  /// Cap on reported baseline segment mismatches (the first divergence
+  /// is what matters; the rest is bulk).
+  std::size_t max_segment_findings = 4;
+};
+
+/// Full analysis result.
+struct AnalysisResult {
+  Oracle oracle;
+  std::vector<Finding> findings;
+
+  /// True when no finding of Severity >= kWarning is present (the CLI's
+  /// exit-0 condition).
+  [[nodiscard]] bool clean() const;
+  [[nodiscard]] std::size_t count(FindingCode c) const;
+  [[nodiscard]] bool has(FindingCode c) const { return count(c) > 0; }
+
+  /// Human-readable rendering (one line per finding + oracle summary).
+  [[nodiscard]] std::string to_string(std::size_t max_findings = 16) const;
+  /// Machine-readable rendering (stable JSON object).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Statically analyzes `program` for the given machine configuration.
+AnalysisResult analyze_program(const gcode::Program& program,
+                               const fw::Config& config = {},
+                               const AnalyzeOptions& options = {});
+
+/// Compares a suspect program's oracle against a known-good baseline's,
+/// appending divergence findings to `suspect.findings`.  Returns the
+/// number of findings appended.  Static-vs-static comparison is exact:
+/// zero appended findings means the two programs command identical
+/// motion.
+std::size_t compare_with_baseline(const AnalysisResult& baseline,
+                                  AnalysisResult& suspect,
+                                  const AnalyzeOptions& options = {});
+
+}  // namespace offramps::analyze

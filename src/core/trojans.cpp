@@ -333,7 +333,7 @@ class T9FanTamper final : public Trojan {
   void activate() override {
     meter_ = std::make_unique<sim::DutyMeter>(
         fpga_.fw_side().wire(sim::Pin::kFan));
-    meter_->sample();  // discard history before the Trojan engaged
+    (void)meter_->sample();  // discard history before the Trojan engaged
     const auto gen = ++generation_;
     window(gen);
     note_activation();

@@ -1,0 +1,63 @@
+#include "detect/static_check.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace offramps::detect {
+
+StaticCheckReport static_check(const analyze::Oracle& oracle,
+                               const core::Capture& capture,
+                               const StaticCheckOptions& options) {
+  StaticCheckReport report;
+  report.oracle_armed = oracle.counters_armed;
+  report.print_completed = capture.print_completed;
+  if (!report.oracle_armed || !report.print_completed) {
+    report.trojan_suspected = true;
+    return report;
+  }
+  for (std::size_t axis = 0; axis < 4; ++axis) {
+    const std::int64_t expected = oracle.expected_counts[axis];
+    const std::int64_t observed = capture.final_counts[axis];
+    const std::int64_t diff = std::llabs(expected - observed);
+    const auto allowed = static_cast<std::int64_t>(std::ceil(std::max(
+        static_cast<double>(options.slack_steps),
+        options.margin_pct / 100.0 * std::abs(static_cast<double>(expected)))));
+    const double percent =
+        static_cast<double>(diff) /
+        std::max(std::abs(static_cast<double>(expected)), 1.0) * 100.0;
+    report.largest_percent = std::max(report.largest_percent, percent);
+    if (diff > allowed) {
+      report.mismatches.push_back({axis, expected, observed, percent});
+    }
+  }
+  report.trojan_suspected = !report.mismatches.empty();
+  return report;
+}
+
+std::string StaticCheckReport::to_string() const {
+  std::string out;
+  char buf[160];
+  if (!oracle_armed) {
+    return "static check inconclusive: program never homes all axes "
+           "(counters would not arm). Trojan likely!\n";
+  }
+  if (!print_completed) {
+    return "static check inconclusive: capture aborted mid-print. "
+           "Trojan likely!\n";
+  }
+  for (const auto& m : mismatches) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %c: observed %lld steps vs %lld predicted (%.3f%%)\n",
+                  "XYZE"[m.axis], static_cast<long long>(m.observed),
+                  static_cast<long long>(m.expected), m.percent);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "static check: %zu axis mismatch(es), largest %.3f%%. %s\n",
+                mismatches.size(), largest_percent,
+                trojan_suspected ? "Trojan likely!" : "No Trojan detected.");
+  out += buf;
+  return out;
+}
+
+}  // namespace offramps::detect

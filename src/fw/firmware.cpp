@@ -93,9 +93,7 @@ void Firmware::kill(const std::string& reason) {
 }
 
 double Firmware::logical_mm(sim::Axis a) const {
-  const auto i = static_cast<std::size_t>(a);
-  return static_cast<double>(position_steps_[i] - origin_steps_[i]) /
-         config_.steps_per_mm[i];
+  return motion_.logical_mm(config_, a);
 }
 
 // --- Dispatch ---------------------------------------------------------------
@@ -159,13 +157,8 @@ void Firmware::execute(const gcode::Command& cmd) {
         exec_home(cmd);
         return;
       case 90:
-        absolute_xyz_ = true;
-        absolute_e_ = true;
-        command_done();
-        return;
       case 91:
-        absolute_xyz_ = false;
-        absolute_e_ = false;
+        apply_modal(motion_, cmd);
         command_done();
         return;
       case 92:
@@ -184,11 +177,8 @@ void Firmware::execute(const gcode::Command& cmd) {
         command_done();
         return;
       case 82:
-        absolute_e_ = true;
-        command_done();
-        return;
       case 83:
-        absolute_e_ = false;
+        apply_modal(motion_, cmd);
         command_done();
         return;
       case 84:
@@ -230,11 +220,8 @@ void Firmware::execute(const gcode::Command& cmd) {
         exec_wait_temp(Heater::kBed, cmd);
         return;
       case 220:
-        feedrate_pct_ = std::clamp(cmd.value_or('S', 100.0), 10.0, 500.0);
-        command_done();
-        return;
       case 221:
-        flow_pct_ = std::clamp(cmd.value_or('S', 100.0), 10.0, 500.0);
+        apply_modal(motion_, cmd);
         command_done();
         return;
       default:
@@ -249,13 +236,6 @@ void Firmware::execute(const gcode::Command& cmd) {
 
 // --- Motion -----------------------------------------------------------------
 
-std::int64_t Firmware::mm_to_target_steps(sim::Axis a, double logical) const {
-  const auto i = static_cast<std::size_t>(a);
-  return origin_steps_[i] +
-         static_cast<std::int64_t>(
-             std::llround(logical * config_.steps_per_mm[i]));
-}
-
 void Firmware::start_segment(const Segment& seg,
                              StepperEngine::Completion cb) {
   // "Time noise": per-segment startup latency from planner/serial
@@ -269,155 +249,63 @@ void Firmware::start_segment(const Segment& seg,
 }
 
 void Firmware::exec_move(const gcode::Command& cmd) {
-  if (const auto f = cmd.get('F')) {
-    feed_mm_min_ = std::max(*f, 0.1);
-  }
-
-  static constexpr char kAxisLetters[4] = {'X', 'Y', 'Z', 'E'};
-  std::array<double, 4> target{};
-  for (std::size_t i = 0; i < 4; ++i) {
-    target[i] = logical_mm(static_cast<sim::Axis>(i));
-  }
-  for (std::size_t i = 0; i < 4; ++i) {
-    if (const auto v = cmd.get(kAxisLetters[i])) {
-      const bool absolute = (i == 3) ? absolute_e_ : absolute_xyz_;
-      target[i] = absolute ? *v : target[i] + *v;
-    }
-  }
-
-  // Software endstops: once homed, an axis cannot be commanded outside its
-  // physical range.
-  for (std::size_t i = 0; i < 3; ++i) {
-    if (homed_[i]) {
-      target[i] = std::clamp(target[i], 0.0, config_.axis_length_mm[i]);
-    }
-  }
-
-  // Flow multiplier applies to the filament advance.
-  double de = target[3] - logical_mm(sim::Axis::kE);
-  de *= flow_pct_ / 100.0;
-
-  // Cold-extrusion prevention: strip the E component, keep the motion.
-  if (config_.prevent_cold_extrusion && de != 0.0 &&
-      thermal_.current(Heater::kHotend) < config_.min_extrude_temp_c) {
-    de = 0.0;
-    ++cold_extrusion_blocks_;
-  }
-  target[3] = logical_mm(sim::Axis::kE) + de;
-
-  std::array<std::int64_t, 4> delta{};
-  std::array<std::int64_t, 4> target_steps{};
-  for (std::size_t i = 0; i < 4; ++i) {
-    target_steps[i] =
-        mm_to_target_steps(static_cast<sim::Axis>(i), target[i]);
-    delta[i] = target_steps[i] - position_steps_[i];
-  }
-
-  const double feed_mm_s =
-      std::max((feed_mm_min_ / 60.0) * (feedrate_pct_ / 100.0), 0.1);
+  // Pure translation: modal resolution, software endstops, flow scaling,
+  // cold-extrusion stripping and step quantization all live in
+  // fw::kinematics, shared with the static analyzer.
+  const bool hotend_hot =
+      thermal_.current(Heater::kHotend) >= config_.min_extrude_temp_c;
+  const ResolvedMove mv = resolve_move(config_, motion_, cmd, hotend_hot);
+  if (mv.cold_extrusion_blocked) ++cold_extrusion_blocks_;
+  // The modal feedrate commits now; the position commits only when the
+  // stepper engine reports the executed steps (partial on abort).
+  commit_move(config_, motion_, cmd, mv, /*executed=*/false);
 
   // One-segment lookahead (classic jerk): exit at a speed scaled by the
   // angle to the next queued move, so collinear chains (arc chords,
   // straight runs split by the host) cruise through junctions.
-  const double dx = static_cast<double>(delta[0]) / config_.steps_per_mm[0];
-  const double dy = static_cast<double>(delta[1]) / config_.steps_per_mm[1];
+  const double dx =
+      static_cast<double>(mv.delta_steps[0]) / config_.steps_per_mm[0];
+  const double dy =
+      static_cast<double>(mv.delta_steps[1]) / config_.steps_per_mm[1];
   const double len = std::hypot(dx, dy);
   double entry_mm_s = -1.0;
   double exit_mm_s = -1.0;
   if (config_.junction_lookahead && len > 1e-9) {
     entry_mm_s = pending_entry_mm_s_;
-    if (const auto next = peek_next_move_dir(target)) {
+    if (const auto next = peek_next_move_dir(mv.target_mm)) {
       const double cosine = (dx * (*next)[0] + dy * (*next)[1]) / len;
       const double factor = std::clamp((1.0 + cosine) / 2.0, 0.0, 1.0);
       exit_mm_s = config_.junction_speed_mm_s +
-                  factor * std::max(feed_mm_s -
+                  factor * std::max(mv.feed_mm_s -
                                         config_.junction_speed_mm_s,
                                     0.0);
     }
   }
   pending_entry_mm_s_ = exit_mm_s;
 
-  const Segment seg = planner_.plan(delta, feed_mm_s, entry_mm_s,
-                                    exit_mm_s);
+  const Segment seg = planner_.plan(mv.delta_steps, mv.feed_mm_s,
+                                    entry_mm_s, exit_mm_s);
 
   start_segment(seg, [this](bool, std::array<std::int64_t, 4> executed) {
-    for (std::size_t i = 0; i < 4; ++i) position_steps_[i] += executed[i];
+    for (std::size_t i = 0; i < 4; ++i) {
+      motion_.position_steps[i] += executed[i];
+    }
     ++moves_executed_;
     command_done();
   });
 }
 
 void Firmware::exec_arc(const gcode::Command& cmd, bool clockwise) {
-  // I/J-form arcs only (the form slicers emit); R-form is unsupported.
-  if (!cmd.has('I') && !cmd.has('J')) {
+  // Chord synthesis is pure (fw::kinematics); the firmware's job is only
+  // to splice the chords in front of the queue, so they execute before
+  // whatever the host sends next.
+  ArcExpansion arc = expand_arc(config_, motion_, cmd, clockwise);
+  if (arc.degenerate) {
     ++unknown_;
     command_done();
     return;
   }
-  constexpr double kMmPerArcSegment = 1.0;  // Marlin MM_PER_ARC_SEGMENT
-
-  const double x0 = logical_mm(sim::Axis::kX);
-  const double y0 = logical_mm(sim::Axis::kY);
-  const double z0 = logical_mm(sim::Axis::kZ);
-  const double e0 = logical_mm(sim::Axis::kE);
-
-  double x1 = x0, y1 = y0, z1 = z0, e1 = e0;
-  if (const auto v = cmd.get('X')) x1 = absolute_xyz_ ? *v : x0 + *v;
-  if (const auto v = cmd.get('Y')) y1 = absolute_xyz_ ? *v : y0 + *v;
-  if (const auto v = cmd.get('Z')) z1 = absolute_xyz_ ? *v : z0 + *v;
-  if (const auto v = cmd.get('E')) e1 = absolute_e_ ? *v : e0 + *v;
-
-  // Arc center from the I/J offsets (always relative to the start point).
-  const double cx = x0 + cmd.value_or('I', 0.0);
-  const double cy = y0 + cmd.value_or('J', 0.0);
-  const double radius = std::hypot(x0 - cx, y0 - cy);
-  if (radius < 1e-6) {
-    ++unknown_;  // degenerate: no radius
-    command_done();
-    return;
-  }
-
-  double a0 = std::atan2(y0 - cy, x0 - cx);
-  double a1 = std::atan2(y1 - cy, x1 - cx);
-  constexpr double kTau = 6.283185307179586;
-  double sweep = a1 - a0;
-  if (clockwise) {
-    if (sweep >= -1e-9) sweep -= kTau;  // includes full circles
-  } else {
-    if (sweep <= 1e-9) sweep += kTau;
-  }
-
-  const double arc_len = std::abs(sweep) * radius;
-  const int segments =
-      std::max(2, static_cast<int>(std::ceil(arc_len / kMmPerArcSegment)));
-
-  // Synthesize the chord moves and splice them in front of the queue, so
-  // they execute before whatever the host sends next.
-  std::vector<gcode::Command> chords;
-  chords.reserve(static_cast<std::size_t>(segments));
-  for (int s = 1; s <= segments; ++s) {
-    const double t = static_cast<double>(s) / segments;
-    gcode::Command g1;
-    g1.letter = 'G';
-    g1.code = 1;
-    if (s == segments) {
-      // Land exactly on the commanded endpoint (no trig rounding).
-      g1.set('X', x1);
-      g1.set('Y', y1);
-    } else {
-      const double a = a0 + sweep * t;
-      g1.set('X', cx + radius * std::cos(a));
-      g1.set('Y', cy + radius * std::sin(a));
-    }
-    if (z1 != z0) g1.set('Z', z0 + (z1 - z0) * t);  // helical
-    if (e1 != e0) {
-      g1.set('E', absolute_e_ ? e0 + (e1 - e0) * t
-                              : (e1 - e0) / segments);
-    }
-    if (s == 1 && cmd.has('F')) g1.set('F', cmd.value_or('F', 0.0));
-    chords.push_back(std::move(g1));
-  }
-  for (auto it = chords.rbegin(); it != chords.rend(); ++it) {
+  for (auto it = arc.chords.rbegin(); it != arc.chords.rend(); ++it) {
     queue_.push_front(std::move(*it));
   }
   command_done();
@@ -431,8 +319,12 @@ std::optional<std::array<double, 2>> Firmware::peek_next_move_dir(
   if (!next.has('X') && !next.has('Y')) return std::nullopt;
   double nx = from[0];
   double ny = from[1];
-  if (const auto v = next.get('X')) nx = absolute_xyz_ ? *v : from[0] + *v;
-  if (const auto v = next.get('Y')) ny = absolute_xyz_ ? *v : from[1] + *v;
+  if (const auto v = next.get('X')) {
+    nx = motion_.absolute_xyz ? *v : from[0] + *v;
+  }
+  if (const auto v = next.get('Y')) {
+    ny = motion_.absolute_xyz ? *v : from[1] + *v;
+  }
   const double dx = nx - from[0];
   const double dy = ny - from[1];
   const double len = std::hypot(dx, dy);
@@ -450,21 +342,7 @@ void Firmware::exec_dwell(const gcode::Command& cmd) {
 }
 
 void Firmware::exec_set_position(const gcode::Command& cmd) {
-  static constexpr char kAxisLetters[4] = {'X', 'Y', 'Z', 'E'};
-  bool any = false;
-  for (std::size_t i = 0; i < 4; ++i) {
-    if (const auto v = cmd.get(kAxisLetters[i])) {
-      any = true;
-      origin_steps_[i] =
-          position_steps_[i] -
-          static_cast<std::int64_t>(
-              std::llround(*v * config_.steps_per_mm[i]));
-    }
-  }
-  if (!any) {
-    // Bare G92: all axes read zero from here.
-    origin_steps_ = position_steps_;
-  }
+  apply_set_position(config_, motion_, cmd);
   command_done();
 }
 
@@ -555,7 +433,9 @@ void Firmware::run_homing_phase(std::size_t index) {
   start_segment(seg, [this, phase, axis_idx, index](
                          bool aborted,
                          std::array<std::int64_t, 4> executed) {
-    for (std::size_t i = 0; i < 4; ++i) position_steps_[i] += executed[i];
+    for (std::size_t i = 0; i < 4; ++i) {
+      motion_.position_steps[i] += executed[i];
+    }
     if (phase.require_trigger && !aborted) {
       kill(std::string("Homing failed: ") + sim::axis_name(phase.axis) +
            " endstop never triggered");
@@ -563,10 +443,10 @@ void Firmware::run_homing_phase(std::size_t index) {
     }
     if (phase.zero_after) {
       // The carriage is physically at the switch: this is the new datum.
-      position_steps_[axis_idx] = 0;
-      origin_steps_[axis_idx] = 0;
+      motion_.position_steps[axis_idx] = 0;
+      motion_.origin_steps[axis_idx] = 0;
     }
-    if (phase.mark_homed) homed_[axis_idx] = true;
+    if (phase.mark_homed) motion_.homed[axis_idx] = true;
     run_homing_phase(index + 1);
   });
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "fw/config.hpp"
+#include "fw/kinematics.hpp"
 #include "fw/planner.hpp"
 #include "fw/pwm.hpp"
 #include "fw/stepper.hpp"
@@ -87,16 +88,19 @@ class Firmware {
 
   /// Commanded physical position, in steps from power-on, per axis.
   [[nodiscard]] const std::array<std::int64_t, 4>& position_steps() const {
-    return position_steps_;
+    return motion_.position_steps;
   }
   /// Logical position in mm (what M114 would report).
   [[nodiscard]] double logical_mm(sim::Axis a) const;
   [[nodiscard]] bool homed(sim::Axis a) const {
-    return homed_[static_cast<std::size_t>(a)];
+    return motion_.homed[static_cast<std::size_t>(a)];
   }
   [[nodiscard]] bool all_homed() const {
-    return homed_[0] && homed_[1] && homed_[2];
+    return motion_.homed[0] && motion_.homed[1] && motion_.homed[2];
   }
+  /// The modal/position state of the g-code interpreter (the pure
+  /// `fw::kinematics` translation state this firmware advances).
+  [[nodiscard]] const MotionState& motion_state() const { return motion_; }
 
   [[nodiscard]] ThermalManager& thermal() { return thermal_; }
   [[nodiscard]] const ThermalManager& thermal() const { return thermal_; }
@@ -159,8 +163,6 @@ class Firmware {
 
   // Helpers.
   void start_segment(const Segment& seg, StepperEngine::Completion cb);
-  [[nodiscard]] std::int64_t mm_to_target_steps(sim::Axis a,
-                                                double logical) const;
   void poll_temp(Heater h, std::uint64_t gen);
   void finish_if_drained();
 
@@ -180,12 +182,8 @@ class Firmware {
   bool advance_pending_ = false;
   bool command_in_flight_ = false;
 
-  // Interpreter modal state.
-  bool absolute_xyz_ = true;
-  bool absolute_e_ = true;
-  double feed_mm_min_ = 1500.0;
-  double feedrate_pct_ = 100.0;
-  double flow_pct_ = 100.0;
+  // Interpreter modal/position state (shared pure translation model).
+  MotionState motion_;
 
   // One-segment lookahead: the junction speed the previous move planned
   // to exit at (mm/s along the path); negative = no continuity.
@@ -194,11 +192,6 @@ class Firmware {
   /// or nullopt when the next command is not an XY move.
   [[nodiscard]] std::optional<std::array<double, 2>> peek_next_move_dir(
       const std::array<double, 4>& from) const;
-
-  // Position tracking: physical steps and the logical-zero datum.
-  std::array<std::int64_t, 4> position_steps_{};
-  std::array<std::int64_t, 4> origin_steps_{};
-  std::array<bool, 3> homed_{};
 
   std::vector<HomingPhase> homing_plan_;
 

@@ -1,0 +1,229 @@
+#include "fw/kinematics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace offramps::fw {
+namespace {
+
+constexpr char kAxisLetters[4] = {'X', 'Y', 'Z', 'E'};
+
+}  // namespace
+
+double MotionState::logical_mm(const Config& config, sim::Axis a) const {
+  const auto i = static_cast<std::size_t>(a);
+  return static_cast<double>(position_steps[i] - origin_steps[i]) /
+         config.steps_per_mm[i];
+}
+
+std::int64_t MotionState::steps_from_logical(const Config& config,
+                                             sim::Axis a,
+                                             double logical) const {
+  const auto i = static_cast<std::size_t>(a);
+  return origin_steps[i] +
+         static_cast<std::int64_t>(
+             std::llround(logical * config.steps_per_mm[i]));
+}
+
+ResolvedMove resolve_move(const Config& config, const MotionState& state,
+                          const gcode::Command& cmd, bool hotend_hot) {
+  ResolvedMove out;
+
+  double feed_mm_min = state.feed_mm_min;
+  if (const auto f = cmd.get('F')) {
+    feed_mm_min = std::max(*f, 0.1);
+  }
+
+  std::array<double, 4> target{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    target[i] = state.logical_mm(config, static_cast<sim::Axis>(i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (const auto v = cmd.get(kAxisLetters[i])) {
+      const bool absolute = (i == 3) ? state.absolute_e : state.absolute_xyz;
+      target[i] = absolute ? *v : target[i] + *v;
+    }
+  }
+
+  // Software endstops: once homed, an axis cannot be commanded outside its
+  // physical range.
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (state.homed[i]) {
+      const double clamped =
+          std::clamp(target[i], 0.0, config.axis_length_mm[i]);
+      out.clamped[i] = clamped != target[i];
+      target[i] = clamped;
+    }
+  }
+
+  // Flow multiplier applies to the filament advance.
+  const double e_now = state.logical_mm(config, sim::Axis::kE);
+  double de = (target[3] - e_now) * (state.flow_pct / 100.0);
+
+  // Cold-extrusion prevention: strip the E component, keep the motion.
+  if (config.prevent_cold_extrusion && de != 0.0 && !hotend_hot) {
+    de = 0.0;
+    out.cold_extrusion_blocked = true;
+  }
+  target[3] = e_now + de;
+  out.e_advance_mm = de;
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.target_steps[i] =
+        state.steps_from_logical(config, static_cast<sim::Axis>(i),
+                                 target[i]);
+    out.delta_steps[i] = out.target_steps[i] - state.position_steps[i];
+  }
+  out.target_mm = target;
+
+  const double dx = target[0] - state.logical_mm(config, sim::Axis::kX);
+  const double dy = target[1] - state.logical_mm(config, sim::Axis::kY);
+  const double dz = target[2] - state.logical_mm(config, sim::Axis::kZ);
+  out.path_mm = std::sqrt(dx * dx + dy * dy + dz * dz);
+
+  out.feed_mm_s =
+      std::max((feed_mm_min / 60.0) * (state.feedrate_pct / 100.0), 0.1);
+  return out;
+}
+
+void commit_move(const Config& config, MotionState& state,
+                 const gcode::Command& cmd, const ResolvedMove& move,
+                 bool executed) {
+  (void)config;
+  if (const auto f = cmd.get('F')) {
+    state.feed_mm_min = std::max(*f, 0.1);
+  }
+  (void)move;
+  if (executed) {
+    state.position_steps = move.target_steps;
+  }
+}
+
+void apply_set_position(const Config& config, MotionState& state,
+                        const gcode::Command& cmd) {
+  bool any = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (const auto v = cmd.get(kAxisLetters[i])) {
+      any = true;
+      state.origin_steps[i] =
+          state.position_steps[i] -
+          static_cast<std::int64_t>(
+              std::llround(*v * config.steps_per_mm[i]));
+    }
+  }
+  if (!any) {
+    // Bare G92: all axes read zero from here.
+    state.origin_steps = state.position_steps;
+  }
+}
+
+bool apply_modal(MotionState& state, const gcode::Command& cmd) {
+  if (cmd.letter == 'G') {
+    switch (cmd.code) {
+      case 90:
+        state.absolute_xyz = true;
+        state.absolute_e = true;
+        return true;
+      case 91:
+        state.absolute_xyz = false;
+        state.absolute_e = false;
+        return true;
+      default:
+        return false;
+    }
+  }
+  if (cmd.letter == 'M') {
+    switch (cmd.code) {
+      case 82:
+        state.absolute_e = true;
+        return true;
+      case 83:
+        state.absolute_e = false;
+        return true;
+      case 220:
+        state.feedrate_pct = std::clamp(cmd.value_or('S', 100.0), 10.0,
+                                        500.0);
+        return true;
+      case 221:
+        state.flow_pct = std::clamp(cmd.value_or('S', 100.0), 10.0, 500.0);
+        return true;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+ArcExpansion expand_arc(const Config& config, const MotionState& state,
+                        const gcode::Command& cmd, bool clockwise) {
+  ArcExpansion out;
+  // I/J-form arcs only (the form slicers emit); R-form is unsupported.
+  if (!cmd.has('I') && !cmd.has('J')) {
+    out.degenerate = true;
+    return out;
+  }
+  constexpr double kMmPerArcSegment = 1.0;  // Marlin MM_PER_ARC_SEGMENT
+
+  const double x0 = state.logical_mm(config, sim::Axis::kX);
+  const double y0 = state.logical_mm(config, sim::Axis::kY);
+  const double z0 = state.logical_mm(config, sim::Axis::kZ);
+  const double e0 = state.logical_mm(config, sim::Axis::kE);
+
+  double x1 = x0, y1 = y0, z1 = z0, e1 = e0;
+  if (const auto v = cmd.get('X')) x1 = state.absolute_xyz ? *v : x0 + *v;
+  if (const auto v = cmd.get('Y')) y1 = state.absolute_xyz ? *v : y0 + *v;
+  if (const auto v = cmd.get('Z')) z1 = state.absolute_xyz ? *v : z0 + *v;
+  if (const auto v = cmd.get('E')) e1 = state.absolute_e ? *v : e0 + *v;
+
+  // Arc center from the I/J offsets (always relative to the start point).
+  const double cx = x0 + cmd.value_or('I', 0.0);
+  const double cy = y0 + cmd.value_or('J', 0.0);
+  const double radius = std::hypot(x0 - cx, y0 - cy);
+  if (radius < 1e-6) {
+    out.degenerate = true;  // no radius
+    return out;
+  }
+  out.radius_mm = radius;
+
+  const double a0 = std::atan2(y0 - cy, x0 - cx);
+  const double a1 = std::atan2(y1 - cy, x1 - cx);
+  constexpr double kTau = 6.283185307179586;
+  double sweep = a1 - a0;
+  if (clockwise) {
+    if (sweep >= -1e-9) sweep -= kTau;  // includes full circles
+  } else {
+    if (sweep <= 1e-9) sweep += kTau;
+  }
+
+  const double arc_len = std::abs(sweep) * radius;
+  out.arc_len_mm = arc_len;
+  const int segments =
+      std::max(2, static_cast<int>(std::ceil(arc_len / kMmPerArcSegment)));
+
+  out.chords.reserve(static_cast<std::size_t>(segments));
+  for (int s = 1; s <= segments; ++s) {
+    const double t = static_cast<double>(s) / segments;
+    gcode::Command g1;
+    g1.letter = 'G';
+    g1.code = 1;
+    if (s == segments) {
+      // Land exactly on the commanded endpoint (no trig rounding).
+      g1.set('X', x1);
+      g1.set('Y', y1);
+    } else {
+      const double a = a0 + sweep * t;
+      g1.set('X', cx + radius * std::cos(a));
+      g1.set('Y', cy + radius * std::sin(a));
+    }
+    if (z1 != z0) g1.set('Z', z0 + (z1 - z0) * t);  // helical
+    if (e1 != e0) {
+      g1.set('E', state.absolute_e ? e0 + (e1 - e0) * t
+                                   : (e1 - e0) / segments);
+    }
+    if (s == 1 && cmd.has('F')) g1.set('F', cmd.value_or('F', 0.0));
+    out.chords.push_back(std::move(g1));
+  }
+  return out;
+}
+
+}  // namespace offramps::fw

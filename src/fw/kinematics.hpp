@@ -1,0 +1,132 @@
+// Pure g-code -> step-space translation, factored out of the firmware.
+//
+// The firmware's dispatch loop is tangled with the event scheduler (waits,
+// homing, thermal polls), but the *math* that turns a parsed command into a
+// step-space displacement is deterministic and time-free: modal
+// absolute/relative resolution, software-endstop clamping, flow and
+// feedrate percentages, the llround step quantization against the G92
+// origin, and arc-to-chord expansion.  This header exposes that math as a
+// pure, side-effect-free API over an explicit `MotionState`, so it can be
+// shared verbatim by:
+//
+//   * `fw::Firmware`, which commits a `ResolvedMove` when the stepper
+//     engine reports the segment executed, and
+//   * `analyze::` (the static g-code analyzer), which folds the same
+//     translation over a whole program to predict the step counts the
+//     OFFRAMPS capture will observe at runtime - without running the
+//     event-loop simulation.
+//
+// Every function here is a function of (config, state, command) only; no
+// member of this header touches a scheduler, pin, or clock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fw/config.hpp"
+#include "gcode/command.hpp"
+#include "sim/pins.hpp"
+
+namespace offramps::fw {
+
+/// The interpreter state a Marlin-class firmware keeps between commands,
+/// as far as motion translation is concerned.  Plain data: copy it to
+/// fork hypothetical futures (the static analyzer does).
+struct MotionState {
+  bool absolute_xyz = true;
+  bool absolute_e = true;
+  double feed_mm_min = 1500.0;
+  double feedrate_pct = 100.0;  // M220
+  double flow_pct = 100.0;      // M221
+  /// Commanded physical position, steps from power-on, per axis.
+  std::array<std::int64_t, 4> position_steps{};
+  /// Logical-zero datum (moved by G92 and by homing).
+  std::array<std::int64_t, 4> origin_steps{};
+  std::array<bool, 3> homed{};
+
+  /// Logical position in mm (what M114 reports) for one axis.
+  [[nodiscard]] double logical_mm(const Config& config, sim::Axis a) const;
+  /// Steps-from-power-on equivalent of a logical coordinate.
+  [[nodiscard]] std::int64_t steps_from_logical(const Config& config,
+                                                sim::Axis a,
+                                                double logical) const;
+};
+
+/// A G0/G1 resolved against a `MotionState`: everything the planner and
+/// the step oracle need, plus the clamps/blocks applied along the way.
+struct ResolvedMove {
+  /// Signed step displacement per axis (X, Y, Z, E).
+  std::array<std::int64_t, 4> delta_steps{};
+  /// Absolute step target per axis (position_steps after full execution).
+  std::array<std::int64_t, 4> target_steps{};
+  /// Logical target in mm, after clamping and flow scaling.
+  std::array<double, 4> target_mm{};
+  /// Path feedrate handed to the planner, mm/s (F word, M220-scaled).
+  double feed_mm_s = 0.0;
+  /// Filament advance in mm after the flow multiplier (pre-quantization).
+  double e_advance_mm = 0.0;
+  /// XYZ path length of the move, mm (from the *logical* displacement).
+  double path_mm = 0.0;
+  /// True when cold-extrusion prevention stripped the E component.
+  bool cold_extrusion_blocked = false;
+  /// Axes whose target was clamped by the software endstops.
+  std::array<bool, 3> clamped{};
+
+  [[nodiscard]] bool moves() const {
+    return delta_steps[0] != 0 || delta_steps[1] != 0 ||
+           delta_steps[2] != 0 || delta_steps[3] != 0;
+  }
+};
+
+/// Resolves a G0/G1 against `state` without mutating it.  `hotend_hot`
+/// tells the cold-extrusion guard whether the hotend is at printing
+/// temperature (the firmware passes the live thermistor reading; the
+/// static analyzer passes its modelled setpoint).  The F word's effect on
+/// the modal feedrate is part of the result (`feed update`), not a side
+/// effect: call `commit_move` to fold the result back into the state.
+[[nodiscard]] ResolvedMove resolve_move(const Config& config,
+                                        const MotionState& state,
+                                        const gcode::Command& cmd,
+                                        bool hotend_hot);
+
+/// Folds a resolved move back into the state: modal feedrate and, when
+/// `executed` is true, the position.  (The firmware commits the feedrate
+/// immediately but the position only after the stepper ran the segment;
+/// the analyzer commits both at once.)
+void commit_move(const Config& config, MotionState& state,
+                 const gcode::Command& cmd, const ResolvedMove& move,
+                 bool executed);
+
+/// Applies G92 (set logical position): shifts the origin datum so the
+/// current physical position reads as the given coordinates.  A bare G92
+/// zeroes every axis.
+void apply_set_position(const Config& config, MotionState& state,
+                        const gcode::Command& cmd);
+
+/// Applies the modal-only commands G90/G91/M82/M83/M220/M221.  Returns
+/// true when `cmd` was one of them (and `state` was updated).
+bool apply_modal(MotionState& state, const gcode::Command& cmd);
+
+/// Result of expanding a G2/G3 arc into G1 chords.
+struct ArcExpansion {
+  /// Chord moves in execution order; empty when the arc is degenerate.
+  std::vector<gcode::Command> chords;
+  /// True when the command could not be interpreted as an I/J arc
+  /// (missing offsets or zero radius) - the firmware counts it unknown.
+  bool degenerate = false;
+  double radius_mm = 0.0;
+  double arc_len_mm = 0.0;
+};
+
+/// Expands an I/J-form arc move against the current state into the exact
+/// chord sequence the firmware splices into its queue (Marlin
+/// MM_PER_ARC_SEGMENT = 1 mm, final chord lands on the commanded
+/// endpoint).  Pure: `state` is only read.
+[[nodiscard]] ArcExpansion expand_arc(const Config& config,
+                                      const MotionState& state,
+                                      const gcode::Command& cmd,
+                                      bool clockwise);
+
+}  // namespace offramps::fw

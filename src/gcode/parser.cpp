@@ -45,16 +45,24 @@ std::string strip_comments(std::string_view line, std::string& comment_out) {
   return body;
 }
 
-/// Splits off and validates a "*<checksum>" trailer, in place.
+/// Splits off and validates a "*<checksum>" trailer, in place.  The
+/// trailer must be a bare decimal in [0, 255] (whitespace-trimmed): a
+/// stray second '*', sign, or trailing junk is malformed, not silently
+/// truncated.
 void handle_checksum(std::string& body) {
   const std::size_t star = body.find('*');
   if (star == std::string::npos) return;
-  const std::string digits = body.substr(star + 1);
+  std::string digits = body.substr(star + 1);
   body.erase(star);
-  unsigned long claimed = 0;
-  try {
-    claimed = std::stoul(digits);
-  } catch (const std::exception&) {
+  while (!digits.empty() && is_space(digits.back())) digits.pop_back();
+  while (!digits.empty() && is_space(digits.front())) {
+    digits.erase(digits.begin());
+  }
+  unsigned claimed = 0;
+  const char* begin = digits.data();
+  const char* end = begin + digits.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, claimed);
+  if (digits.empty() || ec != std::errc{} || ptr != end || claimed > 255) {
     throw Error("gcode: malformed checksum trailer '*" + digits + "'");
   }
   const unsigned char actual = reprap_checksum(body);
@@ -86,6 +94,10 @@ unsigned char reprap_checksum(std::string_view body) {
 }
 
 std::optional<Command> parse_line(std::string_view line) {
+  if (line.size() > kMaxLineLength) {
+    throw Error("gcode: line exceeds " + std::to_string(kMaxLineLength) +
+                " characters (" + std::to_string(line.size()) + ")");
+  }
   std::string comment;
   std::string body = strip_comments(line, comment);
   handle_checksum(body);
@@ -151,7 +163,10 @@ std::optional<Command> parse_line(std::string_view line) {
 
   if (!have_op) {
     if (!comment.empty()) return std::nullopt;  // comment-only line
-    // A line that was only whitespace (or only an N word).
+    // A bare host line number ("N123") carries no command: hosts emit
+    // these when resending from an empty queue slot.
+    if (skipped_line_number) return std::nullopt;
+    // A line that was only whitespace.
     bool only_ws = true;
     for (const char c : body) {
       if (!is_space(c)) {

@@ -14,9 +14,15 @@
 
 namespace offramps::gcode {
 
-/// Parses a single line.  Returns nullopt for blank or comment-only lines.
-/// Throws offramps::Error on malformed input (bad number, stray word, or a
-/// checksum mismatch when a '*' trailer is present).
+/// Longest accepted input line (Marlin's serial buffer bounds real
+/// firmware the same way; a runaway unterminated line must not be
+/// swallowed silently).
+inline constexpr std::size_t kMaxLineLength = 256;
+
+/// Parses a single line.  Returns nullopt for blank, comment-only, or
+/// line-number-only lines.  Throws offramps::Error on malformed input
+/// (bad number, stray word, overlong line, or a malformed/mismatched
+/// '*' checksum trailer).
 std::optional<Command> parse_line(std::string_view line);
 
 /// Parses a whole program, one command per non-empty line.

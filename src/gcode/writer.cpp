@@ -12,7 +12,9 @@ std::string format_number(double v) {
   std::string s(buf);
   while (!s.empty() && s.back() == '0') s.pop_back();
   if (!s.empty() && s.back() == '.') s.pop_back();
-  if (s == "-0") s = "0";
+  // (returning a literal here also sidesteps a GCC 12 -Wrestrict false
+  // positive on the char* assignment under sanitizer inlining)
+  if (s == "-0") return "0";
   return s;
 }
 

@@ -1,0 +1,192 @@
+// offramps_lint: static g-code analyzer CLI.
+//
+// Lints a g-code program against the machine envelope and the Flaw3D
+// Trojan signatures without running the simulation, and optionally
+// compares it against a known-good baseline program (exact static
+// comparison - any motion divergence is flagged).
+//
+//   offramps_lint part.gcode                  lint one file
+//   offramps_lint --baseline good.gcode part.gcode
+//                                             also diff against a baseline
+//   offramps_lint --json part.gcode           machine-readable output
+//   offramps_lint --demo clean                self-generated demo input
+//   offramps_lint --demo reduce:0.9           ... with a reduction Trojan
+//   offramps_lint --demo relocate:20          ... with a relocation Trojan
+//                                             (demo Trojans are linted
+//                                             against the clean demo
+//                                             baseline)
+//
+// Exit codes: 0 = clean, 1 = findings at warning severity or above,
+// 2 = usage or parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analyze/analyzer.hpp"
+#include "gcode/flaw3d.hpp"
+#include "gcode/parser.hpp"
+#include "host/slicer.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: offramps_lint [--json] [--baseline FILE] [FILE|--demo SPEC]\n"
+    "  FILE            g-code file to lint ('-' or absent = stdin)\n"
+    "  --baseline FILE known-good program to diff against (exact)\n"
+    "  --json          emit a JSON report instead of human diagnostics\n"
+    "  --demo SPEC     self-generated input: clean | reduce:FACTOR |\n"
+    "                  relocate:N (Trojan demos are diffed against the\n"
+    "                  clean demo baseline automatically)\n"
+    "exit: 0 clean, 1 findings, 2 usage/parse error\n";
+
+offramps::gcode::Program demo_program() {
+  offramps::host::SliceProfile profile;
+  offramps::host::CubeSpec cube;
+  cube.size_x_mm = 8.0;
+  cube.size_y_mm = 8.0;
+  cube.height_mm = 2.0;
+  return offramps::host::slice_cube(cube, profile);
+}
+
+std::optional<offramps::gcode::Program> load_program(const std::string& path,
+                                                     std::string& error) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      error = "cannot open '" + path + "'";
+      return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  try {
+    return offramps::gcode::parse_program(text);
+  } catch (const std::exception& e) {
+    error = std::string("parse error in '") + path + "': " + e.what();
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string baseline_path;
+  std::string input_path;
+  std::string demo_spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--baseline") {
+      if (++i >= argc) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      baseline_path = argv[i];
+    } else if (arg == "--demo") {
+      if (++i >= argc) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      demo_spec = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      std::fputs(kUsage, stderr);
+      return 2;
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+  if (!demo_spec.empty() && (!input_path.empty() || !baseline_path.empty())) {
+    std::fputs("--demo does not combine with FILE or --baseline\n", stderr);
+    return 2;
+  }
+
+  offramps::gcode::Program program;
+  std::optional<offramps::gcode::Program> baseline;
+
+  if (!demo_spec.empty()) {
+    const offramps::gcode::Program clean = demo_program();
+    if (demo_spec == "clean") {
+      program = clean;
+    } else if (demo_spec.rfind("reduce:", 0) == 0) {
+      offramps::gcode::flaw3d::ReductionOptions opt;
+      opt.factor = std::atof(demo_spec.c_str() + 7);
+      if (opt.factor <= 0.0 || opt.factor >= 1.0) {
+        std::fprintf(stderr, "bad reduction factor in '%s'\n",
+                     demo_spec.c_str());
+        return 2;
+      }
+      program = offramps::gcode::flaw3d::apply_reduction(clean, opt);
+      baseline = clean;
+    } else if (demo_spec.rfind("relocate:", 0) == 0) {
+      offramps::gcode::flaw3d::RelocationOptions opt;
+      opt.every_n_moves =
+          static_cast<std::uint32_t>(std::atoi(demo_spec.c_str() + 9));
+      if (opt.every_n_moves == 0) {
+        std::fprintf(stderr, "bad relocation period in '%s'\n",
+                     demo_spec.c_str());
+        return 2;
+      }
+      program = offramps::gcode::flaw3d::apply_relocation(clean, opt);
+      baseline = clean;
+    } else {
+      std::fprintf(stderr, "unknown demo spec '%s'\n", demo_spec.c_str());
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  } else {
+    std::string error;
+    auto loaded = load_program(input_path.empty() ? "-" : input_path, error);
+    if (!loaded) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    program = std::move(*loaded);
+    if (!baseline_path.empty()) {
+      auto loaded_baseline = load_program(baseline_path, error);
+      if (!loaded_baseline) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+      baseline = std::move(*loaded_baseline);
+    }
+  }
+
+  const offramps::analyze::AnalyzeOptions options;
+  offramps::analyze::AnalysisResult result =
+      offramps::analyze::analyze_program(program, {}, options);
+  if (baseline) {
+    const offramps::analyze::AnalysisResult base =
+        offramps::analyze::analyze_program(*baseline, {}, options);
+    offramps::analyze::compare_with_baseline(base, result, options);
+  }
+
+  if (json) {
+    std::fputs(result.to_json().c_str(), stdout);
+  } else {
+    std::fputs(result.to_string().c_str(), stdout);
+    std::fprintf(stdout, "verdict: %s\n",
+                 result.clean() ? "clean" : "FINDINGS");
+  }
+  return result.clean() ? 0 : 1;
+}

@@ -26,18 +26,18 @@ DepositionRecorder::DepositionRecorder(StepperMotor& e_motor,
       prime_mm_ += step_mm;  // bed-level priming never joins the part
       return;
     }
-    const double x = x_.position_mm();
-    const double y = y_.position_mm();
+    const double x_mm = x_.position_mm();
+    const double y_mm = y_.position_mm();
     // Material extruded with the carriage parked in XY piles up at the
     // nozzle as a blob; it does not become part geometry.
-    if (std::abs(x - last_x_) < 1e-9 && std::abs(y - last_y_) < 1e-9) {
+    if (std::abs(x_mm - last_x_) < 1e-9 && std::abs(y_mm - last_y_) < 1e-9) {
       blob_mm_ += step_mm;
       return;
     }
-    last_x_ = x;
-    last_y_ = y;
+    last_x_ = x_mm;
+    last_y_ = y_mm;
     if (++forward_steps_ % sample_every_ != 0) return;
-    samples_.push_back({x, y, z_.position_mm(),
+    samples_.push_back({x_mm, y_mm, z_.position_mm(),
                         static_cast<double>(position) / e_steps_per_mm_});
   });
 }

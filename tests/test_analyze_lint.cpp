@@ -1,0 +1,208 @@
+// Static lint acceptance tests (the tentpole's core claim):
+//
+//  * every shipped motion-perturbing Flaw3D Trojan variant (Table II's
+//    four reduction factors and four relocation periods) is flagged
+//    statically - zero misses;
+//  * a corpus of 20 clean sliced prints lints completely quiet.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "gcode/flaw3d.hpp"
+#include "gcode/parser.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::analyze {
+namespace {
+
+using host::CubeSpec;
+using host::CylinderSpec;
+using host::SliceProfile;
+using host::SquareSpec;
+
+gcode::Program test_object() {
+  return host::slice_cube(
+      CubeSpec{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2},
+      SliceProfile{});
+}
+
+/// Lints `suspect` against the clean `baseline`, as the CLI's
+/// --baseline mode does.
+AnalysisResult lint_with_baseline(const gcode::Program& baseline,
+                                  const gcode::Program& suspect) {
+  const AnalysisResult base = analyze_program(baseline);
+  AnalysisResult res = analyze_program(suspect);
+  compare_with_baseline(base, res, {});
+  return res;
+}
+
+// --- Table II, cases 1-4: reduction ---------------------------------------
+
+class ReductionLint : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReductionLint, IsFlaggedStatically) {
+  const gcode::Program clean = test_object();
+  const auto mutated =
+      gcode::flaw3d::apply_reduction(clean, {.factor = GetParam()});
+  const AnalysisResult res = lint_with_baseline(clean, mutated);
+  EXPECT_FALSE(res.clean());
+  // The extrusion deficit shows up in both the totals and the exact
+  // per-axis count comparison.
+  EXPECT_TRUE(res.has(FindingCode::kExtrusionTotalMismatch))
+      << res.to_string();
+  EXPECT_TRUE(res.has(FindingCode::kStepCountMismatch)) << res.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ReductionLint,
+                         ::testing::Values(0.5, 0.85, 0.9, 0.98));
+
+// --- Table II, cases 5-8: relocation --------------------------------------
+
+class RelocationLint : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RelocationLint, IsFlaggedStatically) {
+  const gcode::Program clean = test_object();
+  const auto mutated = gcode::flaw3d::apply_relocation(
+      clean, {.every_n_moves = GetParam(), .take_fraction = 0.15});
+  const AnalysisResult res = lint_with_baseline(clean, mutated);
+  EXPECT_FALSE(res.clean());
+  // Inserted blob commands change the segment count...
+  EXPECT_TRUE(res.has(FindingCode::kMoveCountMismatch)) << res.to_string();
+  // ...and the withheld-then-dumped filament diverges the segments.
+  EXPECT_TRUE(res.has(FindingCode::kSegmentMismatch)) << res.to_string();
+}
+
+TEST_P(RelocationLint, BlobsAreFlaggedWithoutAnyBaseline) {
+  // The relocation signature (stationary extrusion beyond the retraction
+  // debt) needs no reference program at all.
+  const auto mutated = gcode::flaw3d::apply_relocation(
+      test_object(), {.every_n_moves = GetParam(), .take_fraction = 0.15});
+  const AnalysisResult res = analyze_program(mutated);
+  EXPECT_TRUE(res.has(FindingCode::kInplaceExtrusion)) << res.to_string();
+  EXPECT_FALSE(res.clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, RelocationLint,
+                         ::testing::Values(5u, 10u, 20u, 100u));
+
+// --- Clean corpus ----------------------------------------------------------
+
+TEST(CleanCorpus, TwentyCleanPrintsLintQuiet) {
+  std::vector<gcode::Program> corpus;
+  // 8 cubes of varying footprint and height...
+  for (int i = 0; i < 8; ++i) {
+    CubeSpec cube;
+    cube.size_x_mm = 6.0 + i;
+    cube.size_y_mm = 6.0 + (i % 3);
+    cube.height_mm = 1.0 + 0.5 * (i % 4);
+    SliceProfile profile;
+    if (i % 2 == 1) profile.skirt_loops = 2;
+    corpus.push_back(host::slice_cube(cube, profile));
+  }
+  // ...6 hollow squares...
+  for (int i = 0; i < 6; ++i) {
+    SquareSpec square;
+    square.size_mm = 10.0 + 2 * i;
+    square.height_mm = 1.5 + 0.25 * i;
+    corpus.push_back(host::slice_square(square, SliceProfile{}));
+  }
+  // ...and 6 cylinders, half of them arc-move programs.
+  for (int i = 0; i < 6; ++i) {
+    CylinderSpec cyl;
+    cyl.diameter_mm = 12.0 + 2 * i;
+    cyl.height_mm = 1.5;
+    corpus.push_back(i % 2 == 0
+                         ? host::slice_cylinder(cyl, SliceProfile{})
+                         : host::slice_cylinder_arcs(cyl, SliceProfile{}));
+  }
+  ASSERT_EQ(corpus.size(), 20u);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const AnalysisResult res = analyze_program(corpus[i]);
+    EXPECT_TRUE(res.clean()) << "corpus print " << i << ":\n"
+                             << res.to_string();
+    EXPECT_TRUE(res.oracle.counters_armed);
+  }
+}
+
+TEST(CleanCorpus, CleanPrintDiffsQuietAgainstItself) {
+  const gcode::Program program = test_object();
+  const AnalysisResult res = lint_with_baseline(program, program);
+  EXPECT_TRUE(res.clean()) << res.to_string();
+  EXPECT_EQ(res.count(FindingCode::kSegmentMismatch), 0u);
+}
+
+// --- Envelope and signature checks -----------------------------------------
+
+TEST(LintFindings, ColdExtrusionIsAnError) {
+  const auto program = gcode::parse_program(
+      "G28\nG92 E0\nG1 X10 E1 F600\n");  // heaters never turned on
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kColdExtrusion)) << res.to_string();
+  EXPECT_FALSE(res.clean());
+}
+
+TEST(LintFindings, TempOverrideBeforeUseIsFlagged) {
+  const auto program = gcode::parse_program(
+      "M104 S210\nM104 S275\nG28\nM109 S275\nG92 E0\nG1 X10 E1 F600\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kTempOverride)) << res.to_string();
+}
+
+TEST(LintFindings, MatchingWaitAfterSetIsQuiet) {
+  // The slicer's normal M104 S210 -> M109 S210 pair must not trip the
+  // override check.
+  const auto program = gcode::parse_program(
+      "M104 S210\nM109 S210\nG28\nG92 E0\nG1 X10 E1 F600\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_FALSE(res.has(FindingCode::kTempOverride)) << res.to_string();
+  EXPECT_TRUE(res.clean()) << res.to_string();
+}
+
+TEST(LintFindings, OvertempSetpointIsAnError) {
+  const auto program = gcode::parse_program("M104 S280\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kThermalOvertemp));
+  EXPECT_FALSE(res.clean());
+}
+
+TEST(LintFindings, AxisLimitViolationIsAnError) {
+  const auto program = gcode::parse_program(
+      "G28\nM109 S210\nG1 X400 F3000\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kAxisLimit)) << res.to_string();
+  EXPECT_FALSE(res.clean());
+}
+
+TEST(LintFindings, FeedrateAboveMaximumIsFlagged) {
+  const auto program = gcode::parse_program(
+      "G28\nG1 Z50 F9999\n");  // Z maximum is 12 mm/s = F720
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kFeedrateLimit)) << res.to_string();
+}
+
+TEST(LintFindings, UnknownCommandIsAWarning) {
+  const auto program = gcode::parse_program("G28\nM999 S1\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kUnknownCommand));
+  EXPECT_FALSE(res.clean());
+}
+
+TEST(LintFindings, UnreachableAfterEmergencyStopIsNoted) {
+  const auto program = gcode::parse_program("G28\nM112\nG1 X10 F3000\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.has(FindingCode::kUnreachableCommands));
+}
+
+TEST(LintFindings, JsonReportIsWellFormedEnough) {
+  const auto mutated = gcode::flaw3d::apply_relocation(
+      test_object(), {.every_n_moves = 20, .take_fraction = 0.15});
+  const AnalysisResult res = analyze_program(mutated);
+  const std::string json = res.to_json();
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"inplace-extrusion\""), std::string::npos);
+  EXPECT_NE(json.find("\"expected_counts\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace offramps::analyze

@@ -1,0 +1,131 @@
+// Static-oracle accuracy tests: the analyzer's predicted step counts must
+// match what the full event-loop simulation's OFFRAMPS capture actually
+// counts on clean prints - across objects, seeds, and arc programs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analyze/analyzer.hpp"
+#include "gcode/parser.hpp"
+#include "host/rig.hpp"
+#include "host/slicer.hpp"
+
+namespace offramps::analyze {
+namespace {
+
+using host::CubeSpec;
+using host::CylinderSpec;
+using host::SliceProfile;
+using host::SquareSpec;
+
+core::Capture print_capture(const gcode::Program& program,
+                            std::uint64_t seed) {
+  host::RigOptions options;
+  options.firmware.jitter_seed = seed;
+  host::Rig rig(options);
+  host::RunResult r = rig.run(program);
+  EXPECT_TRUE(r.finished);
+  return std::move(r.capture);
+}
+
+/// Static prediction vs runtime counters, within the homing-debounce
+/// slack (the only stepping the oracle cannot see exactly).
+void expect_oracle_matches_capture(const gcode::Program& program,
+                                   std::uint64_t seed,
+                                   std::int64_t slack = 4) {
+  const AnalysisResult res = analyze_program(program);
+  ASSERT_TRUE(res.oracle.counters_armed);
+  const core::Capture cap = print_capture(program, seed);
+  ASSERT_TRUE(cap.print_completed);
+  for (std::size_t axis = 0; axis < 4; ++axis) {
+    EXPECT_LE(std::llabs(res.oracle.expected_counts[axis] -
+                         cap.final_counts[axis]),
+              slack)
+        << "axis " << "XYZE"[axis] << ": predicted "
+        << res.oracle.expected_counts[axis] << ", captured "
+        << cap.final_counts[axis];
+  }
+}
+
+TEST(AnalyzeOracle, PredictsCubeCapture) {
+  const gcode::Program program = host::slice_cube(
+      CubeSpec{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2},
+      SliceProfile{});
+  expect_oracle_matches_capture(program, /*seed=*/1);
+}
+
+TEST(AnalyzeOracle, PredictionIsSeedInvariant) {
+  // Time noise moves pulses in time, never in count: the same program
+  // under a different jitter seed lands on the same counters.
+  const gcode::Program program = host::slice_cube(
+      CubeSpec{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2},
+      SliceProfile{});
+  expect_oracle_matches_capture(program, /*seed=*/424242);
+}
+
+TEST(AnalyzeOracle, PredictsSquareCapture) {
+  const gcode::Program program = host::slice_square(
+      SquareSpec{.size_mm = 12, .height_mm = 2}, SliceProfile{});
+  expect_oracle_matches_capture(program, /*seed=*/7);
+}
+
+TEST(AnalyzeOracle, PredictsArcProgramCapture) {
+  // G2/G3 arcs go through the analyzer's own chord expansion; it must
+  // agree with the firmware's.
+  const gcode::Program program = host::slice_cylinder_arcs(
+      CylinderSpec{.diameter_mm = 14, .height_mm = 1.5}, SliceProfile{});
+  expect_oracle_matches_capture(program, /*seed=*/3);
+}
+
+TEST(AnalyzeOracle, CleanPrintHasNoFindings) {
+  const gcode::Program program = host::slice_cube(
+      CubeSpec{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2},
+      SliceProfile{});
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_TRUE(res.clean()) << res.to_string();
+}
+
+TEST(AnalyzeOracle, OracleBookkeepingIsConsistent) {
+  const gcode::Program program = host::slice_cube(
+      CubeSpec{.size_x_mm = 8, .size_y_mm = 8, .height_mm = 2},
+      SliceProfile{});
+  const AnalysisResult res = analyze_program(program);
+  const Oracle& o = res.oracle;
+  EXPECT_EQ(o.move_count, o.segments.size());
+  // Segment sums reproduce the totals.
+  double extruded = 0.0;
+  std::array<std::int64_t, 4> counted{};
+  std::uint64_t extruding = 0;
+  for (const auto& seg : o.segments) {
+    if (seg.e_mm > 0.0) extruded += seg.e_mm;
+    if (seg.kind == SegmentKind::kExtrusion) {
+      ++extruding;
+      // A sane extrusion ratio: sliced walls extrude a fraction of a mm
+      // of filament per mm of path.
+      EXPECT_GT(seg.e_per_mm(), 0.01);
+      EXPECT_LT(seg.e_per_mm(), 0.2);
+    }
+    if (seg.counted) {
+      for (std::size_t i = 0; i < 4; ++i) counted[i] += seg.delta_steps[i];
+    }
+  }
+  EXPECT_NEAR(extruded, o.extruded_mm, 1e-9);
+  EXPECT_EQ(extruding, o.extrusion_move_count);
+  // Counted segments alone reproduce expected_counts (homing re-zeroes
+  // are not segments).
+  EXPECT_EQ(counted, o.expected_counts);
+}
+
+TEST(AnalyzeOracle, UnhomedProgramNeverArms) {
+  const gcode::Program program =
+      gcode::parse_program("G21\nG90\nG1 X10 Y10 F3000\n");
+  const AnalysisResult res = analyze_program(program);
+  EXPECT_FALSE(res.oracle.counters_armed);
+  EXPECT_TRUE(res.has(FindingCode::kCountersNotArmed));
+  EXPECT_EQ(res.oracle.expected_counts[0], 0);
+  // Notes alone keep the program lint-clean.
+  EXPECT_TRUE(res.clean()) << res.to_string();
+}
+
+}  // namespace
+}  // namespace offramps::analyze

@@ -169,7 +169,9 @@ TEST(TrojanNames, AllDistinct) {
                           TrojanId::kT10};
   for (const auto a : ids) {
     for (const auto b : ids) {
-      if (a != b) EXPECT_STRNE(trojan_name(a), trojan_name(b));
+      if (a != b) {
+        EXPECT_STRNE(trojan_name(a), trojan_name(b));
+      }
     }
   }
 }

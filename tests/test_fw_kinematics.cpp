@@ -1,0 +1,170 @@
+// Unit tests for the pure fw::kinematics translation layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fw/kinematics.hpp"
+#include "gcode/parser.hpp"
+
+namespace offramps::fw {
+namespace {
+
+gcode::Command cmd_of(const char* line) {
+  auto c = gcode::parse_line(line);
+  EXPECT_TRUE(c.has_value()) << line;
+  return *c;
+}
+
+TEST(Kinematics, AbsoluteMoveResolvesToSteps) {
+  const Config config;
+  MotionState st;
+  const auto mv = resolve_move(config, st, cmd_of("G1 X10 Y-2 F3000"), true);
+  EXPECT_EQ(mv.delta_steps[0], 1000);   // 10 mm * 100 steps/mm
+  EXPECT_EQ(mv.delta_steps[1], -200);   // unhomed: no clamping
+  EXPECT_EQ(mv.delta_steps[2], 0);
+  EXPECT_EQ(mv.delta_steps[3], 0);
+  EXPECT_DOUBLE_EQ(mv.feed_mm_s, 50.0);
+  EXPECT_FALSE(mv.clamped[0]);
+  EXPECT_FALSE(mv.clamped[1]);
+}
+
+TEST(Kinematics, ResolveDoesNotMutateCommitDoes) {
+  const Config config;
+  MotionState st;
+  const auto mv = resolve_move(config, st, cmd_of("G1 X10 F3000"), true);
+  EXPECT_EQ(st.position_steps[0], 0);
+  EXPECT_DOUBLE_EQ(st.feed_mm_min, 1500.0);
+  commit_move(config, st, cmd_of("G1 X10 F3000"), mv, /*executed=*/true);
+  EXPECT_EQ(st.position_steps[0], 1000);
+  EXPECT_DOUBLE_EQ(st.feed_mm_min, 3000.0);
+}
+
+TEST(Kinematics, CommitWithoutExecutionKeepsPosition) {
+  // The firmware commits F immediately but the position only after the
+  // stepper ran the segment.
+  const Config config;
+  MotionState st;
+  const auto mv = resolve_move(config, st, cmd_of("G1 X10 F3000"), true);
+  commit_move(config, st, cmd_of("G1 X10 F3000"), mv, /*executed=*/false);
+  EXPECT_EQ(st.position_steps[0], 0);
+  EXPECT_DOUBLE_EQ(st.feed_mm_min, 3000.0);
+}
+
+TEST(Kinematics, RelativeModeAccumulates) {
+  const Config config;
+  MotionState st;
+  ASSERT_TRUE(apply_modal(st, cmd_of("G91")));
+  auto mv = resolve_move(config, st, cmd_of("G1 X5"), true);
+  commit_move(config, st, cmd_of("G1 X5"), mv, true);
+  mv = resolve_move(config, st, cmd_of("G1 X5"), true);
+  commit_move(config, st, cmd_of("G1 X5"), mv, true);
+  EXPECT_EQ(st.position_steps[0], 1000);
+  EXPECT_DOUBLE_EQ(st.logical_mm(config, sim::Axis::kX), 10.0);
+}
+
+TEST(Kinematics, SoftwareEndstopsClampOnlyWhenHomed) {
+  const Config config;
+  MotionState st;
+  auto mv = resolve_move(config, st, cmd_of("G1 X-5"), true);
+  EXPECT_FALSE(mv.clamped[0]);  // unhomed: firmware trusts the program
+  st.homed = {true, true, true};
+  mv = resolve_move(config, st, cmd_of("G1 X-5"), true);
+  EXPECT_TRUE(mv.clamped[0]);
+  EXPECT_EQ(mv.delta_steps[0], 0);  // clamped to 0
+  mv = resolve_move(config, st, cmd_of("G1 X9999"), true);
+  EXPECT_TRUE(mv.clamped[0]);
+  EXPECT_DOUBLE_EQ(mv.target_mm[0], config.axis_length_mm[0]);
+}
+
+TEST(Kinematics, ColdExtrusionStripsEOnly) {
+  const Config config;
+  MotionState st;
+  const auto mv = resolve_move(config, st, cmd_of("G1 X10 E2"), false);
+  EXPECT_TRUE(mv.cold_extrusion_blocked);
+  EXPECT_EQ(mv.delta_steps[0], 1000);  // XYZ survives
+  EXPECT_EQ(mv.delta_steps[3], 0);     // E stripped
+  EXPECT_DOUBLE_EQ(mv.e_advance_mm, 0.0);
+}
+
+TEST(Kinematics, FlowPercentScalesExtrusion) {
+  const Config config;
+  MotionState st;
+  ASSERT_TRUE(apply_modal(st, cmd_of("M221 S50")));
+  const auto mv = resolve_move(config, st, cmd_of("G1 X10 E2"), true);
+  EXPECT_DOUBLE_EQ(mv.e_advance_mm, 1.0);
+  EXPECT_EQ(mv.delta_steps[3], 280);  // 1 mm * 280 steps/mm
+}
+
+TEST(Kinematics, FeedratePercentScalesSpeed) {
+  const Config config;
+  MotionState st;
+  ASSERT_TRUE(apply_modal(st, cmd_of("M220 S200")));
+  const auto mv = resolve_move(config, st, cmd_of("G1 X10 F3000"), true);
+  EXPECT_DOUBLE_EQ(mv.feed_mm_s, 100.0);
+}
+
+TEST(Kinematics, SetPositionShiftsOriginNotPosition) {
+  const Config config;
+  MotionState st;
+  auto mv = resolve_move(config, st, cmd_of("G1 E5"), true);
+  commit_move(config, st, cmd_of("G1 E5"), mv, true);
+  const auto physical = st.position_steps[3];
+  apply_set_position(config, st, cmd_of("G92 E0"));
+  EXPECT_EQ(st.position_steps[3], physical);  // motor didn't move
+  EXPECT_DOUBLE_EQ(st.logical_mm(config, sim::Axis::kE), 0.0);
+  mv = resolve_move(config, st, cmd_of("G1 E1"), true);
+  EXPECT_EQ(mv.delta_steps[3], 280);  // 1 mm from the new datum
+}
+
+TEST(Kinematics, QuantizationNeverDriftsAgainstDatum) {
+  // Repeated tiny absolute moves must quantize against the origin, not
+  // accumulate rounding error.
+  const Config config;
+  MotionState st;
+  for (int i = 1; i <= 1000; ++i) {
+    const auto line = "G1 X" + std::to_string(i * 0.0101);
+    const auto cmd = gcode::parse_program(line)[0];
+    const auto mv = resolve_move(config, st, cmd, true);
+    commit_move(config, st, cmd, mv, true);
+  }
+  EXPECT_EQ(st.position_steps[0], std::llround(1000 * 0.0101 * 100.0));
+}
+
+TEST(Kinematics, ArcExpandsToChordsEndingOnTarget) {
+  const Config config;
+  MotionState st;
+  // Full circle of radius 10 around (10, 0) starting at the origin.
+  const auto arc =
+      expand_arc(config, st, cmd_of("G2 X0 Y0 I10 J0 F1200"), true);
+  ASSERT_FALSE(arc.degenerate);
+  EXPECT_NEAR(arc.radius_mm, 10.0, 1e-12);
+  EXPECT_NEAR(arc.arc_len_mm, 2.0 * 3.14159265358979 * 10.0, 1e-6);
+  ASSERT_GE(arc.chords.size(), 60u);  // ~63 chords at 1 mm/segment
+  // Execute every chord: the final position must be the arc's endpoint.
+  MotionState run = st;
+  for (const auto& chord : arc.chords) {
+    const auto mv = resolve_move(config, run, chord, true);
+    commit_move(config, run, chord, mv, true);
+  }
+  EXPECT_EQ(run.position_steps[0], 0);
+  EXPECT_EQ(run.position_steps[1], 0);
+}
+
+TEST(Kinematics, DegenerateArcIsFlagged) {
+  const Config config;
+  MotionState st;
+  EXPECT_TRUE(expand_arc(config, st, cmd_of("G2 X5 Y5"), true).degenerate);
+  EXPECT_TRUE(
+      expand_arc(config, st, cmd_of("G2 X5 Y5 I0 J0"), true).degenerate);
+}
+
+TEST(Kinematics, ApplyModalRejectsNonModal) {
+  MotionState st;
+  EXPECT_FALSE(apply_modal(st, cmd_of("G1 X5")));
+  EXPECT_FALSE(apply_modal(st, cmd_of("M104 S210")));
+  EXPECT_TRUE(apply_modal(st, cmd_of("M83")));
+  EXPECT_FALSE(st.absolute_e);
+}
+
+}  // namespace
+}  // namespace offramps::fw

@@ -87,7 +87,7 @@ TEST(Planner, ExtruderFollowsAsBresenhamMinor) {
 TEST(Planner, ZeroFeedThrows) {
   const Config c = cfg();
   Planner p(c);
-  EXPECT_THROW(p.plan({100, 0, 0, 0}, 0.0), offramps::Error);
+  EXPECT_THROW((void)p.plan({100, 0, 0, 0}, 0.0), offramps::Error);
 }
 
 TEST(Planner, EmptyMoveYieldsEmptySegment) {

@@ -1,0 +1,149 @@
+// Edge-case tests for the g-code parser: hostile and degenerate input a
+// compromised host or a noisy serial link can produce - overlong lines,
+// malformed checksum trailers, bare line numbers, comment-only lines,
+// stray words.  The parser must reject loudly, never mis-read silently.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gcode/parser.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::gcode {
+namespace {
+
+// --- Checksum trailer ------------------------------------------------------
+
+std::string with_checksum(const std::string& body) {
+  return body + "*" + std::to_string(reprap_checksum(body));
+}
+
+TEST(ParserEdge, ValidChecksumWithLineNumberParses) {
+  const auto cmd = parse_line(with_checksum("N3 G1 X5"));
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(cmd->is('G', 1));
+  EXPECT_DOUBLE_EQ(*cmd->get('X'), 5.0);
+}
+
+TEST(ParserEdge, ChecksumMismatchThrows) {
+  const std::string body = "N3 G1 X5";
+  const unsigned wrong = (reprap_checksum(body) + 1u) & 0xFFu;
+  EXPECT_THROW(parse_line(body + "*" + std::to_string(wrong)), Error);
+}
+
+TEST(ParserEdge, ChecksumTrailingJunkIsMalformed) {
+  // std::stoul-style parsing would silently accept "57abc" as 57; the
+  // parser must treat any trailing junk as a malformed trailer.
+  const std::string body = "N3 G1 X5";
+  const auto cs = std::to_string(reprap_checksum(body));
+  EXPECT_THROW(parse_line(body + "*" + cs + "abc"), Error);
+  EXPECT_THROW(parse_line(body + "*" + cs + "*7"), Error);
+  EXPECT_THROW(parse_line(body + "* " + cs + " 9"), Error);
+}
+
+TEST(ParserEdge, ChecksumToleratesSurroundingWhitespace) {
+  const std::string body = "N3 G1 X5";
+  const auto cs = std::to_string(reprap_checksum(body));
+  const auto cmd = parse_line(body + "* " + cs + " ");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(cmd->is('G', 1));
+}
+
+TEST(ParserEdge, EmptyChecksumTrailerThrows) {
+  EXPECT_THROW(parse_line("G1 X5*"), Error);
+  EXPECT_THROW(parse_line("G1 X5*  "), Error);
+}
+
+TEST(ParserEdge, NegativeOrOverrangeChecksumThrows) {
+  EXPECT_THROW(parse_line("G1 X5*-3"), Error);
+  EXPECT_THROW(parse_line("G1 X5*300"), Error);
+}
+
+// --- Line numbers ----------------------------------------------------------
+
+TEST(ParserEdge, BareLineNumberIsEmpty) {
+  EXPECT_FALSE(parse_line("N123").has_value());
+  EXPECT_FALSE(parse_line("  N123  ").has_value());
+}
+
+TEST(ParserEdge, BareLineNumberWithValidChecksumIsEmpty) {
+  EXPECT_FALSE(parse_line(with_checksum("N123")).has_value());
+}
+
+TEST(ParserEdge, LineNumberThenParameterStillThrows) {
+  // "N123 X5" has a parameter but no command - malformed, not empty.
+  EXPECT_THROW(parse_line("N123 X5"), Error);
+}
+
+TEST(ParserEdge, SecondNWordIsAParameter) {
+  // Only a leading N is a host line number; a later N belongs to the
+  // command (e.g. M110 N0 sets the line counter).
+  const auto cmd = parse_line("N1 M110 N0");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_TRUE(cmd->is('M', 110));
+  EXPECT_TRUE(cmd->has('N'));
+}
+
+// --- Comment-only and blank lines ------------------------------------------
+
+TEST(ParserEdge, CommentOnlyLinesAreEmpty) {
+  EXPECT_FALSE(parse_line("; pure comment").has_value());
+  EXPECT_FALSE(parse_line("   ;LAYER:3").has_value());
+  EXPECT_FALSE(parse_line("(inline only)").has_value());
+  EXPECT_FALSE(parse_line("").has_value());
+  EXPECT_FALSE(parse_line(" \t \r").has_value());
+}
+
+TEST(ParserEdge, UnterminatedParenCommentThrows) {
+  EXPECT_THROW(parse_line("G1 X5 (oops"), Error);
+}
+
+// --- Overlong lines --------------------------------------------------------
+
+TEST(ParserEdge, OverlongLineThrows) {
+  std::string line = "G1 X5 ;";
+  line.append(kMaxLineLength, 'a');
+  EXPECT_THROW(parse_line(line), Error);
+}
+
+TEST(ParserEdge, MaxLengthLineParses) {
+  std::string line = "G1 X5 ;";
+  line.append(kMaxLineLength - line.size(), 'a');
+  ASSERT_EQ(line.size(), kMaxLineLength);
+  EXPECT_TRUE(parse_line(line).has_value());
+}
+
+TEST(ParserEdge, OverlongLineInsideProgramThrows) {
+  std::string program = "G28\nG1 X5\n";
+  program += "G1 Y1 ;" + std::string(kMaxLineLength, 'b') + "\n";
+  EXPECT_THROW(parse_program(program), Error);
+}
+
+// --- Malformed words -------------------------------------------------------
+
+TEST(ParserEdge, BadNumericValueThrows) {
+  EXPECT_THROW(parse_line("G1 X1.2.3"), Error);
+  EXPECT_THROW(parse_line("G1 X--5"), Error);
+  EXPECT_THROW(parse_line("Gx"), Error);
+}
+
+TEST(ParserEdge, CommandWordWithoutNumberThrows) {
+  EXPECT_THROW(parse_line("G X5"), Error);
+  EXPECT_THROW(parse_line("M"), Error);
+}
+
+TEST(ParserEdge, NonCommandLeadingWordThrows) {
+  EXPECT_THROW(parse_line("X5 Y6"), Error);
+  EXPECT_THROW(parse_line("123"), Error);
+}
+
+TEST(ParserEdge, ProgramSkipsEmptyAndCommentLines) {
+  const auto program = parse_program(
+      "; header\nN1 G28\n\nN2\n;LAYER:0\nG1 X5 Y5\n");
+  ASSERT_EQ(program.size(), 2u);
+  EXPECT_TRUE(program[0].is('G', 28));
+  EXPECT_TRUE(program[1].is('G', 1));
+}
+
+}  // namespace
+}  // namespace offramps::gcode

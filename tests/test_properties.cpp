@@ -238,8 +238,12 @@ TEST_P(WobbleProbabilitySweep, ActivationsScaleWithProbability) {
   // 8 print layers plus the end-sequence Z lift = up to 9 layer events;
   // binomial expectation p * events with exact checks at the extremes.
   EXPECT_LE(t4->activations(), 9u);
-  if (p == 0.0) EXPECT_EQ(t4->activations(), 0u);
-  if (p == 1.0) EXPECT_GE(t4->activations(), 8u);
+  if (p == 0.0) {
+    EXPECT_EQ(t4->activations(), 0u);
+  }
+  if (p == 1.0) {
+    EXPECT_GE(t4->activations(), 8u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Probabilities, WobbleProbabilitySweep,

@@ -265,17 +265,21 @@ TEST(TimingFault, JitterDelaysEventsWithinBoundAndWindow) {
 TEST(TimingFault, SecondTimingFaultThrows) {
   Scheduler sched;
   FaultInjector inj(sched);
-  inj.inject_timing({.kind = FaultKind::kTimingJitter, .intensity = 10.0});
-  EXPECT_THROW(
-      inj.inject_timing({.kind = FaultKind::kTimingJitter, .intensity = 10.0}),
-      offramps::Error);
+  inj.inject_timing(
+      {.kind = FaultKind::kTimingJitter, .target = {}, .intensity = 10.0});
+  EXPECT_THROW(inj.inject_timing({.kind = FaultKind::kTimingJitter,
+                                  .target = {},
+                                  .intensity = 10.0}),
+               offramps::Error);
 }
 
 TEST(TimingFault, InjectorDestructionUnhooksTheWarp) {
   Scheduler sched;
   {
     FaultInjector inj(sched);
-    inj.inject_timing({.kind = FaultKind::kTimingJitter, .intensity = 100.0,
+    inj.inject_timing({.kind = FaultKind::kTimingJitter,
+                       .target = {},
+                       .intensity = 100.0,
                        .seed = 3});
   }
   // With the injector gone the scheduler must be jitter-free again.

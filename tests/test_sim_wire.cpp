@@ -193,7 +193,7 @@ TEST(DutyMeter, ResetsBetweenSamples) {
   DutyMeter meter(w);
   w.set(true);
   s.run_until(ms(10));
-  meter.sample();
+  (void)meter.sample();  // reset the window
   w.set(false);
   s.run_until(ms(20));
   EXPECT_NEAR(meter.sample(), 0.0, 0.01);
