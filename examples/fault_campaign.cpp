@@ -11,6 +11,10 @@
 // table.  The schema is documented in EXPERIMENTS.md, "Fault campaigns".
 // Cells run in parallel across N workers (--jobs, else OFFRAMPS_JOBS,
 // else hardware concurrency); the report is identical for any N.
+//
+// Exit codes (the tool-suite contract shared with offramps_lint and
+// offramps_fleetd): 0 = campaign ran and self-checks passed,
+// 1 = self-check findings or report write failure, 2 = usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,12 +24,29 @@
 #include "host/parallel_runner.hpp"
 #include "host/slicer.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fault_campaign [report.json] [--jobs N]\n"
+    "  report.json      output path (default: fault_campaign.json)\n"
+    "  --jobs N, -j N   worker threads (default: OFFRAMPS_JOBS or cores)\n"
+    "  --help, -h       this text\n"
+    "exit: 0 campaign clean, 1 self-check findings or write failure,\n"
+    "      2 usage error\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace offramps;
 
   const char* out_path = "fault_campaign.json";
   std::size_t jobs = host::ParallelRunner::default_workers();
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
     if ((std::strcmp(argv[i], "--jobs") == 0 ||
          std::strcmp(argv[i], "-j") == 0) &&
         i + 1 < argc) {
@@ -35,7 +56,8 @@ int main(int argc, char** argv) {
       const long v = std::strtol(argv[i] + 7, nullptr, 10);
       jobs = v >= 1 ? static_cast<std::size_t>(v) : 1;
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "usage: %s [report.json] [--jobs N]\n", argv[0]);
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      std::fputs(kUsage, stderr);
       return 2;
     } else {
       out_path = argv[i];

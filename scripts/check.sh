@@ -29,6 +29,11 @@ cmake --build --preset lint
 if [[ "${quick}" -eq 0 ]]; then
   echo "==> tests"
   ctest --preset default -j "${jobs}"
+else
+  # Quick mode still smoke-checks the fleet service end to end (unit
+  # tests, detector edge cases, and the three CLI exit-code contracts).
+  echo "==> fleet suite (ctest -L fleet)"
+  ctest --preset default -L fleet -j "${jobs}"
 fi
 
 echo "==> all checks passed"

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <fstream>
 
 #include "sim/error.hpp"
 
@@ -181,6 +182,152 @@ Capture Capture::from_csv(const std::string& text, std::string label) {
     cap.print_completed = true;
   }
   return cap;
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bounds-checked little-endian reader over the input buffer.
+struct BinReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (size - pos < n) {
+      throw Error("Capture::from_binary: truncated input (need " +
+                  std::to_string(n) + " bytes at offset " +
+                  std::to_string(pos) + ", have " +
+                  std::to_string(size - pos) + ")");
+    }
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data[pos] | (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+};
+
+constexpr std::uint8_t kBinMagic[4] = {'O', 'F', 'R', 'C'};
+
+}  // namespace
+
+std::vector<std::uint8_t> Capture::to_binary() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + label.size() + transactions.size() * 28 + 32);
+  for (const std::uint8_t b : kBinMagic) out.push_back(b);
+  put_u16(out, kBinaryVersion);
+  put_u16(out, print_completed ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(label.size()));
+  out.insert(out.end(), label.begin(), label.end());
+  put_u64(out, transactions.size());
+  for (const Transaction& t : transactions) {
+    put_u32(out, t.index);
+    for (const std::int32_t c : t.counts) {
+      put_u32(out, static_cast<std::uint32_t>(c));
+    }
+    put_u64(out, t.time_ns);
+  }
+  for (const std::int64_t c : final_counts) {
+    put_u64(out, static_cast<std::uint64_t>(c));
+  }
+  return out;
+}
+
+Capture Capture::from_binary(const std::uint8_t* data, std::size_t size) {
+  BinReader r{data, size};
+  r.need(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (data[i] != kBinMagic[i]) {
+      throw Error("Capture::from_binary: bad magic (not a capture file)");
+    }
+  }
+  r.pos = 4;
+  const std::uint16_t version = r.u16();
+  if (version != kBinaryVersion) {
+    throw Error("Capture::from_binary: unsupported format version " +
+                std::to_string(version));
+  }
+  Capture cap;
+  cap.print_completed = (r.u16() & 1) != 0;
+  const std::uint32_t label_len = r.u32();
+  r.need(label_len);
+  cap.label.assign(reinterpret_cast<const char*>(data + r.pos), label_len);
+  r.pos += label_len;
+  const std::uint64_t count = r.u64();
+  // Reject a count the remaining bytes cannot possibly hold before
+  // reserving storage for it (a corrupt prefix must not OOM the host).
+  if ((r.size - r.pos) / 28 < count) {
+    throw Error("Capture::from_binary: truncated input (transaction count "
+                "exceeds remaining bytes)");
+  }
+  cap.transactions.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Transaction t;
+    t.index = r.u32();
+    for (std::size_t a = 0; a < 4; ++a) {
+      t.counts[a] = static_cast<std::int32_t>(r.u32());
+    }
+    t.time_ns = r.u64();
+    cap.transactions.push_back(t);
+  }
+  for (std::size_t a = 0; a < 4; ++a) {
+    cap.final_counts[a] = static_cast<std::int64_t>(r.u64());
+  }
+  return cap;
+}
+
+void Capture::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("Capture::save_binary: cannot open " + path);
+  const std::vector<std::uint8_t> bytes = to_binary();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("Capture::save_binary: write failed for " + path);
+}
+
+Capture Capture::load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("Capture::load_binary: cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return from_binary(bytes.data(), bytes.size());
 }
 
 }  // namespace offramps::core

@@ -74,6 +74,27 @@ struct Capture {
   /// Parses a CSV produced by to_csv().  Throws offramps::Error on
   /// malformed input.
   static Capture from_csv(const std::string& text, std::string label = {});
+
+  /// Binary serialization, for fleet runs that persist/replay captures.
+  /// Layout (all little endian): "OFRC" magic, u16 format version, u16
+  /// flags (bit 0 = print_completed), u32 label length + label bytes,
+  /// u64 transaction count, then per transaction u32 index + 4 x i32
+  /// counts + u64 time_ns, then 4 x i64 final counts.  The two length
+  /// prefixes make truncation detectable without a trailing checksum.
+  static constexpr std::uint16_t kBinaryVersion = 1;
+  [[nodiscard]] std::vector<std::uint8_t> to_binary() const;
+  /// Decodes to_binary() output.  Throws offramps::Error on a bad magic,
+  /// an unknown version, or a buffer shorter than its length prefixes
+  /// promise (truncated file).
+  static Capture from_binary(const std::uint8_t* data, std::size_t size);
+  static Capture from_binary(const std::vector<std::uint8_t>& bytes) {
+    return from_binary(bytes.data(), bytes.size());
+  }
+
+  /// File round trip via to_binary()/from_binary().  Throws
+  /// offramps::Error on I/O failure.
+  void save_binary(const std::string& path) const;
+  static Capture load_binary(const std::string& path);
 };
 
 }  // namespace offramps::core

@@ -81,6 +81,7 @@ void UartReporter::finalize(bool print_completed) {
     capture_.final_counts[i] = trackers_[i]->count();
   }
   capture_.print_completed = print_completed;
+  for (const auto& cb : on_finalize_) cb(capture_);
 }
 
 }  // namespace offramps::core

@@ -52,6 +52,15 @@ class UartReporter {
   /// after any injected fault, so the wire carries the corrupted bytes.
   void on_frame(FrameCallback cb) { on_frame_.push_back(std::move(cb)); }
 
+  /// End-of-stream tap: fired once from finalize(), after the final
+  /// counter values are frozen into the capture.  This is how a streaming
+  /// consumer (the fleet service's online detector) learns the print
+  /// ended and runs its end-of-print checks without polling.
+  using FinalizeCallback = std::function<void(const Capture&)>;
+  void on_finalize(FinalizeCallback cb) {
+    on_finalize_.push_back(std::move(cb));
+  }
+
   /// Installs (or clears, with nullptr) a byte-stream fault between the
   /// counters and every consumer.  With no fault installed the reporter
   /// takes a fast path that skips the encode/decode round trip entirely.
@@ -91,6 +100,7 @@ class UartReporter {
   std::uint64_t crc_rejected_ = 0;
   std::vector<TransactionCallback> on_txn_;
   std::vector<FrameCallback> on_frame_;
+  std::vector<FinalizeCallback> on_finalize_;
   FrameFault frame_fault_;
 };
 

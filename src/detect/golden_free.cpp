@@ -59,6 +59,19 @@ const char* rule_name(Rule r) {
   return "unknown";
 }
 
+const char* rule_code(Rule r) {
+  switch (r) {
+    case Rule::kKinematics: return "kinematics";
+    case Rule::kBuildVolume: return "build-volume";
+    case Rule::kNegativeExtrusion: return "negative-extrusion";
+    case Rule::kDensityLow: return "density-low";
+    case Rule::kDensityHigh: return "density-high";
+    case Rule::kBlobDump: return "blob-dump";
+    case Rule::kLayerHeight: return "layer-height";
+  }
+  return "unknown";
+}
+
 std::size_t GoldenFreeReport::count(Rule r) const {
   return static_cast<std::size_t>(
       std::count_if(violations.begin(), violations.end(),
@@ -89,134 +102,169 @@ std::string GoldenFreeReport::to_string(std::size_t max_lines) const {
   return out;
 }
 
-GoldenFreeReport analyze_golden_free(const core::Capture& capture,
-                                     const MachineModel& machine,
-                                     std::size_t min_violations) {
-  GoldenFreeReport rep;
-  const auto& txns = capture.transactions;
-  if (txns.size() < 2) return rep;
-
-  double pending_z_rise_mm = 0.0;
-  bool printing_seen = false;
-  double retract_budget_mm = 0.0;  // filament owed back by un-retraction
-
-  // Rolling per-second (10-window) accumulation for the density rule.
-  double group_travel = 0.0;
-  double group_e = 0.0;
-  std::size_t group_n = 0;
-  std::uint32_t group_start_index = txns[0].index;
-
-  for (std::size_t i = 1; i < txns.size(); ++i) {
-    const WindowDelta d = window_delta(txns[i - 1], txns[i], machine);
-    ++rep.windows_checked;
-
-    // R1: kinematic limits.
-    for (std::size_t a = 0; a < 4; ++a) {
-      const double speed = std::abs(d.mm[a]) / d.period_s;
-      const double bound =
-          machine.max_feedrate_mm_s[a] * machine.speed_margin;
-      if (speed > bound) {
-        rep.violations.push_back({Rule::kKinematics, txns[i].index, speed,
-                                  bound,
-                                  std::string("axis ") +
-                                      column_name(a)});
-      }
+std::string GoldenFreeReport::to_json() const {
+  std::string out = "{\n  \"trojan_likely\": ";
+  out += trojan_likely ? "true" : "false";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"windows_checked\": %zu,\n"
+                "  \"printing_windows\": %zu",
+                windows_checked, printing_windows);
+  out += buf;
+  out += ",\n  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out += i == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"rule\": \"%s\", \"index\": %u, "
+                  "\"value\": %.6f, \"bound\": %.6f, \"detail\": \"",
+                  rule_code(v.rule), v.index, v.value, v.bound);
+    out += buf;
+    for (const char c : v.detail) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
     }
+    out += "\"}";
+  }
+  out += violations.empty() ? "]\n}" : "\n  ]\n}";
+  return out;
+}
 
-    // R2: build volume (positional axes; counts are relative to home).
-    for (std::size_t a = 0; a < 3; ++a) {
-      const double pos =
-          static_cast<double>(txns[i].counts[a]) / machine.steps_per_mm[a];
-      if (pos < -1.0 || pos > machine.axis_length_mm[a] + 1.0) {
-        rep.violations.push_back({Rule::kBuildVolume, txns[i].index, pos,
-                                  machine.axis_length_mm[a],
-                                  std::string("axis ") +
-                                      column_name(a)});
-      }
-    }
+StreamingGoldenFree::StreamingGoldenFree(MachineModel machine)
+    : machine_(machine) {}
 
-    // R3: net filament must not go meaningfully negative.
-    const double net_e =
-        static_cast<double>(txns[i].counts[3]) / machine.steps_per_mm[3];
-    if (net_e < -2.0) {
-      rep.violations.push_back(
-          {Rule::kNegativeExtrusion, txns[i].index, net_e, -2.0, ""});
-    }
+void StreamingGoldenFree::push(const core::Transaction& txn) {
+  if (!have_prev_) {
+    have_prev_ = true;
+    group_start_index_ = txn.index;
+    prev_ = txn;
+    return;
+  }
+  check_window(prev_, txn);
+  prev_ = txn;
+}
 
-    const double travel = d.xy_travel();
-    const double de = d.mm[3];
+GoldenFreeReport StreamingGoldenFree::report(
+    std::size_t min_violations) const {
+  GoldenFreeReport rep = report_;
+  rep.trojan_likely = rep.windows_checked > 0 &&
+                      rep.violations.size() >= min_violations;
+  return rep;
+}
 
-    // R5: stationary filament dump.  A stationary advance is legitimate
-    // while it repays earlier retraction (an un-retract); anything beyond
-    // that budget is material dumped in place.  Gated until printing has
-    // started so the start-of-print nozzle prime is not flagged.
-    if (de < 0.0) {
-      retract_budget_mm = std::min(retract_budget_mm - de, 10.0);
-    } else if (de > 0.0) {
-      const double excess = de - retract_budget_mm;
-      retract_budget_mm = std::max(retract_budget_mm - de, 0.0);
-      if (printing_seen && travel < 1.0 &&
-          excess > machine.blob_excess_mm) {
-        rep.violations.push_back(
-            {Rule::kBlobDump, txns[i].index, excess, machine.blob_excess_mm,
-             "filament advanced with the head parked"});
-      }
-    }
+void StreamingGoldenFree::check_window(const core::Transaction& prev,
+                                       const core::Transaction& cur) {
+  const MachineModel& machine = machine_;
+  GoldenFreeReport& rep = report_;
+  const WindowDelta d = window_delta(prev, cur, machine);
+  ++rep.windows_checked;
 
-    // R6: layer advances between printing phases must look like layers.
-    if (d.mm[2] > 0.0) pending_z_rise_mm += d.mm[2];
-    const bool printing_window = de > 0.0 && travel >= 0.5;
-    if (printing_window) {
-      ++rep.printing_windows;
-      if (printing_seen && pending_z_rise_mm > 0.0) {
-        if (pending_z_rise_mm > machine.max_layer_height_mm ||
-            pending_z_rise_mm < machine.min_layer_height_mm) {
-          rep.violations.push_back({Rule::kLayerHeight, txns[i].index,
-                                    pending_z_rise_mm,
-                                    machine.max_layer_height_mm,
-                                    "Z advance between printing phases"});
-        }
-      }
-      printing_seen = true;
-      pending_z_rise_mm = 0.0;
-    }
-
-    // R4 accumulation: density judged over batches of PRINTING windows
-    // only.  Retraction windows (negative advance) and stationary
-    // unretracts are excluded symmetrically, so layer changes cannot
-    // skew a batch; window quantization averages out across the batch.
-    if (printing_window) {
-      group_travel += travel;
-      group_e += de;
-      ++group_n;
-    }
-    if (group_n == 10) {
-      if (group_travel >= machine.min_window_travel_mm * 5.0 &&
-          group_e > 0.0) {
-        const double width = implied_width(machine, group_e, group_travel);
-        const double lo =
-            machine.nominal_line_width_mm * machine.min_width_factor;
-        const double hi =
-            machine.nominal_line_width_mm * machine.max_width_factor;
-        if (width < lo) {
-          rep.violations.push_back({Rule::kDensityLow, group_start_index,
-                                    width, lo,
-                                    "implied extrusion width over 1 s"});
-        } else if (width > hi) {
-          rep.violations.push_back({Rule::kDensityHigh, group_start_index,
-                                    width, hi,
-                                    "implied extrusion width over 1 s"});
-        }
-      }
-      group_travel = 0.0;
-      group_e = 0.0;
-      group_n = 0;
-      group_start_index = txns[i].index;
+  // R1: kinematic limits.
+  for (std::size_t a = 0; a < 4; ++a) {
+    const double speed = std::abs(d.mm[a]) / d.period_s;
+    const double bound = machine.max_feedrate_mm_s[a] * machine.speed_margin;
+    if (speed > bound) {
+      rep.violations.push_back({Rule::kKinematics, cur.index, speed, bound,
+                                std::string("axis ") + column_name(a)});
     }
   }
 
-  rep.trojan_likely = rep.violations.size() >= min_violations;
-  return rep;
+  // R2: build volume (positional axes; counts are relative to home).
+  for (std::size_t a = 0; a < 3; ++a) {
+    const double pos =
+        static_cast<double>(cur.counts[a]) / machine.steps_per_mm[a];
+    if (pos < -1.0 || pos > machine.axis_length_mm[a] + 1.0) {
+      rep.violations.push_back({Rule::kBuildVolume, cur.index, pos,
+                                machine.axis_length_mm[a],
+                                std::string("axis ") + column_name(a)});
+    }
+  }
+
+  // R3: net filament must not go meaningfully negative.
+  const double net_e =
+      static_cast<double>(cur.counts[3]) / machine.steps_per_mm[3];
+  if (net_e < -2.0) {
+    rep.violations.push_back(
+        {Rule::kNegativeExtrusion, cur.index, net_e, -2.0, ""});
+  }
+
+  const double travel = d.xy_travel();
+  const double de = d.mm[3];
+
+  // R5: stationary filament dump.  A stationary advance is legitimate
+  // while it repays earlier retraction (an un-retract); anything beyond
+  // that budget is material dumped in place.  Gated until printing has
+  // started so the start-of-print nozzle prime is not flagged.
+  if (de < 0.0) {
+    retract_budget_mm_ = std::min(retract_budget_mm_ - de, 10.0);
+  } else if (de > 0.0) {
+    const double excess = de - retract_budget_mm_;
+    retract_budget_mm_ = std::max(retract_budget_mm_ - de, 0.0);
+    if (printing_seen_ && travel < 1.0 && excess > machine.blob_excess_mm) {
+      rep.violations.push_back(
+          {Rule::kBlobDump, cur.index, excess, machine.blob_excess_mm,
+           "filament advanced with the head parked"});
+    }
+  }
+
+  // R6: layer advances between printing phases must look like layers.
+  if (d.mm[2] > 0.0) pending_z_rise_mm_ += d.mm[2];
+  const bool printing_window = de > 0.0 && travel >= 0.5;
+  if (printing_window) {
+    ++rep.printing_windows;
+    if (printing_seen_ && pending_z_rise_mm_ > 0.0) {
+      if (pending_z_rise_mm_ > machine.max_layer_height_mm ||
+          pending_z_rise_mm_ < machine.min_layer_height_mm) {
+        rep.violations.push_back({Rule::kLayerHeight, cur.index,
+                                  pending_z_rise_mm_,
+                                  machine.max_layer_height_mm,
+                                  "Z advance between printing phases"});
+      }
+    }
+    printing_seen_ = true;
+    pending_z_rise_mm_ = 0.0;
+  }
+
+  // R4 accumulation: density judged over batches of PRINTING windows
+  // only.  Retraction windows (negative advance) and stationary
+  // unretracts are excluded symmetrically, so layer changes cannot
+  // skew a batch; window quantization averages out across the batch.
+  if (printing_window) {
+    group_travel_ += travel;
+    group_e_ += de;
+    ++group_n_;
+  }
+  if (group_n_ == 10) {
+    if (group_travel_ >= machine.min_window_travel_mm * 5.0 &&
+        group_e_ > 0.0) {
+      const double width = implied_width(machine, group_e_, group_travel_);
+      const double lo =
+          machine.nominal_line_width_mm * machine.min_width_factor;
+      const double hi =
+          machine.nominal_line_width_mm * machine.max_width_factor;
+      if (width < lo) {
+        rep.violations.push_back({Rule::kDensityLow, group_start_index_,
+                                  width, lo,
+                                  "implied extrusion width over 1 s"});
+      } else if (width > hi) {
+        rep.violations.push_back({Rule::kDensityHigh, group_start_index_,
+                                  width, hi,
+                                  "implied extrusion width over 1 s"});
+      }
+    }
+    group_travel_ = 0.0;
+    group_e_ = 0.0;
+    group_n_ = 0;
+    group_start_index_ = cur.index;
+  }
+}
+
+GoldenFreeReport analyze_golden_free(const core::Capture& capture,
+                                     const MachineModel& machine,
+                                     std::size_t min_violations) {
+  StreamingGoldenFree checker(machine);
+  for (const auto& txn : capture.transactions) checker.push(txn);
+  return checker.report(min_violations);
 }
 
 }  // namespace offramps::detect

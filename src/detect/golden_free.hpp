@@ -72,6 +72,8 @@ enum class Rule : std::uint8_t {
 };
 
 const char* rule_name(Rule r);
+/// Stable machine-readable rule code ("blob-dump", ...) for JSON output.
+const char* rule_code(Rule r);
 
 /// One violated invariant.
 struct Violation {
@@ -91,6 +93,52 @@ struct GoldenFreeReport {
 
   [[nodiscard]] std::size_t count(Rule r) const;
   [[nodiscard]] std::string to_string(std::size_t max_lines = 8) const;
+  /// Machine-readable rendering, in the static analyzer's JSON
+  /// conventions (snake_case keys, stable rule codes), so the fleet
+  /// report can embed this channel next to the others.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Incremental golden-free checker: feed transactions as they arrive and
+/// read the violation tally at any point.  This is the engine behind
+/// analyze_golden_free() and the golden-free channel of the fleet
+/// service's online detector - all rule state (retraction debt, pending
+/// Z rise, density batches) advances one window at a time, so cost per
+/// transaction is O(1) and no capture history is retained.
+class StreamingGoldenFree {
+ public:
+  explicit StreamingGoldenFree(MachineModel machine = {});
+
+  /// Feeds the next transaction (windows form between consecutive ones).
+  void push(const core::Transaction& txn);
+
+  [[nodiscard]] std::size_t violation_count() const {
+    return report_.violations.size();
+  }
+  [[nodiscard]] std::size_t windows_checked() const {
+    return report_.windows_checked;
+  }
+
+  /// Snapshot of the analysis so far.  `min_violations` debounces
+  /// isolated sampling artifacts, exactly as analyze_golden_free().
+  [[nodiscard]] GoldenFreeReport report(std::size_t min_violations = 2) const;
+
+ private:
+  void check_window(const core::Transaction& prev,
+                    const core::Transaction& cur);
+
+  MachineModel machine_;
+  GoldenFreeReport report_;
+  bool have_prev_ = false;
+  core::Transaction prev_{};
+  double pending_z_rise_mm_ = 0.0;
+  bool printing_seen_ = false;
+  double retract_budget_mm_ = 0.0;  // filament owed back by un-retraction
+  // Rolling per-second (10-window) accumulation for the density rule.
+  double group_travel_ = 0.0;
+  double group_e_ = 0.0;
+  std::size_t group_n_ = 0;
+  std::uint32_t group_start_index_ = 0;
 };
 
 /// Analyzes a finished capture against the machine model.

@@ -84,4 +84,27 @@ std::string PowerReport::to_string(std::size_t max_lines) const {
   return out;
 }
 
+std::string PowerReport::to_json() const {
+  std::string out = "{\n  \"sabotage_likely\": ";
+  out += sabotage_likely ? "true" : "false";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"windows_compared\": %zu,\n"
+                "  \"largest_delta_w\": %.6f",
+                windows_compared, largest_delta_w);
+  out += buf;
+  out += ",\n  \"mismatches\": [";
+  for (std::size_t i = 0; i < mismatches.size(); ++i) {
+    const PowerMismatch& m = mismatches[i];
+    out += i == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"window\": %zu, \"golden_w\": %.6f, "
+                  "\"observed_w\": %.6f}",
+                  m.window, m.golden_w, m.observed_w);
+    out += buf;
+  }
+  out += mismatches.empty() ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
 }  // namespace offramps::detect

@@ -42,6 +42,10 @@ struct PowerReport {
   bool sabotage_likely = false;
 
   [[nodiscard]] std::string to_string(std::size_t max_lines = 6) const;
+  /// Machine-readable rendering, in the static analyzer's JSON
+  /// conventions, so the fleet report can embed this channel next to the
+  /// step-count ones.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Reduces a trace to per-window mean power.

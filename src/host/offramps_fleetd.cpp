@@ -1,0 +1,219 @@
+// offramps_fleetd: fleet orchestration daemon (one-shot batch mode).
+//
+// Runs a fleet of simulated printer rigs - each behind its own OFFRAMPS
+// board - with per-rig online streaming detection (svc::Fleet), and
+// emits a deterministic fleet report.  The report is byte-identical at
+// any --jobs value, so CI can diff it.
+//
+//   offramps_fleetd --demo 16 --sabotage 4      built-in demo fleet
+//   offramps_fleetd fleet.json                  fleet spec file
+//   offramps_fleetd --json --demo 8             JSON report on stdout
+//   offramps_fleetd --out report.json ...       JSON report to a file
+//
+// Exit codes: 0 = all rigs clean, 1 = any detector alarmed,
+// 2 = usage or spec error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/fleet.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: offramps_fleetd [options] [SPEC.json]\n"
+    "  SPEC.json        fleet spec file ('-' = stdin); see --spec-help\n"
+    "  --demo N         built-in demo fleet of N rigs (no spec needed)\n"
+    "  --sabotage K     implant Flaw3D Trojans in K of the demo rigs\n"
+    "  --jobs N, -j N   worker threads (default: OFFRAMPS_JOBS or cores;\n"
+    "                   the report is byte-identical at any value)\n"
+    "  --json           print the JSON fleet report on stdout\n"
+    "  --out FILE       also write the JSON fleet report to FILE\n"
+    "  --captures DIR   persist golden + observed captures as .bin in DIR\n"
+    "  --no-safe-stop   observe alarms without halting the rig\n"
+    "  --help, -h       this text\n"
+    "exit: 0 all rigs clean, 1 any alarm, 2 usage/spec error\n";
+
+constexpr const char* kSpecHelp =
+    "fleet spec (JSON object):\n"
+    "  {\n"
+    "    \"workers\": 4,            worker threads (--jobs overrides)\n"
+    "    \"safe_stop\": true,       halt a rig on mid-print alarm\n"
+    "    \"use_oracle\": true,      static-oracle channel\n"
+    "    \"use_power\": true,       power-signature channel\n"
+    "    \"reference_seed\": 42,    jitter seed of the golden prints\n"
+    "    \"ring_capacity\": 64,     detector ring-buffer depth\n"
+    "    \"save_captures_dir\": \"\",\n"
+    "    \"rigs\": [\n"
+    "      {\"name\": \"a\", \"seed\": 7, \"cube_mm\": 8,\n"
+    "       \"height_mm\": 3, \"sabotage\": \"reduce:0.85\"},\n"
+    "      {\"seed\": 8, \"sabotage\": \"relocate:10\"},\n"
+    "      {\"seed\": 9}\n"
+    "    ]\n"
+    "  }\n"
+    "sabotage: \"clean\" | \"reduce:<factor>\" | \"relocate:<n>\"\n";
+
+long parse_count(const char* text, long min_value) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v < min_value) return -1;
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  bool json_stdout = false;
+  long demo_n = -1;
+  long sabotage_k = 0;
+  long jobs = 0;
+
+  offramps::svc::FleetOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--spec-help") {
+      std::fputs(kSpecHelp, stdout);
+      return 0;
+    }
+    if (arg == "--json") {
+      json_stdout = true;
+    } else if (arg == "--no-safe-stop") {
+      options.safe_stop = false;
+    } else if (arg == "--demo" || arg == "--sabotage" || arg == "--jobs" ||
+               arg == "-j" || arg == "--out" || arg == "--captures") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "%s wants a value\n", arg.c_str());
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      if (arg == "--demo") {
+        demo_n = parse_count(argv[i], 1);
+        if (demo_n < 0) {
+          std::fprintf(stderr, "bad --demo count '%s'\n", argv[i]);
+          return 2;
+        }
+      } else if (arg == "--sabotage") {
+        sabotage_k = parse_count(argv[i], 0);
+        if (sabotage_k < 0) {
+          std::fprintf(stderr, "bad --sabotage count '%s'\n", argv[i]);
+          return 2;
+        }
+      } else if (arg == "--out") {
+        out_path = argv[i];
+      } else if (arg == "--captures") {
+        options.save_captures_dir = argv[i];
+      } else {
+        jobs = parse_count(argv[i], 1);
+        if (jobs < 0) {
+          std::fprintf(stderr, "bad %s value '%s'\n", arg.c_str(), argv[i]);
+          return 2;
+        }
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = parse_count(arg.c_str() + 7, 1);
+      if (jobs < 0) {
+        std::fprintf(stderr, "bad --jobs value '%s'\n", arg.c_str());
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      std::fputs(kUsage, stderr);
+      return 2;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+
+  if ((demo_n >= 0) == !spec_path.empty()) {
+    std::fputs("give exactly one of --demo N or a SPEC.json file\n", stderr);
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (sabotage_k > 0 && demo_n < 0) {
+    std::fputs("--sabotage only applies to --demo fleets\n", stderr);
+    return 2;
+  }
+
+  std::vector<offramps::svc::RigSpec> specs;
+  try {
+    if (demo_n >= 0) {
+      specs = offramps::svc::Fleet::demo_specs(
+          static_cast<std::size_t>(demo_n),
+          static_cast<std::size_t>(sabotage_k));
+    } else {
+      std::string text;
+      if (spec_path == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+      } else {
+        std::ifstream in(spec_path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "cannot open '%s'\n", spec_path.c_str());
+          return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+      }
+      specs = offramps::svc::Fleet::specs_from_json(text, options);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet spec error: %s\n", e.what());
+    return 2;
+  }
+
+  if (jobs > 0) options.workers = static_cast<std::size_t>(jobs);
+  if (!options.save_captures_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.save_captures_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create captures dir '%s': %s\n",
+                   options.save_captures_dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+  }
+
+  offramps::svc::FleetReport report;
+  try {
+    offramps::svc::Fleet fleet(options);
+    report = fleet.run(specs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet run failed: %s\n", e.what());
+    return 2;
+  }
+
+  if (json_stdout) {
+    std::fputs(report.to_json().c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(report.to_string().c_str(), stdout);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << report.to_json() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    std::fprintf(stdout, "[fleetd] wrote %s\n", out_path.c_str());
+  }
+  return report.alarmed() > 0 ? 1 : 0;
+}

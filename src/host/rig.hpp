@@ -116,6 +116,13 @@ class Rig {
   [[nodiscard]] core::Board& board() { return board_; }
   [[nodiscard]] fw::Firmware& firmware() { return firmware_; }
   [[nodiscard]] plant::Printer& printer() { return printer_; }
+  /// Attached power probe, or nullptr when options.power_probe is unset.
+  /// Live access (the trace grows during the run) lets a streaming
+  /// consumer - the fleet service's detector pump - follow the side
+  /// channel mid-print instead of waiting for RunResult::power_trace.
+  [[nodiscard]] plant::PowerTraceProbe* power_probe() {
+    return power_probe_.get();
+  }
 
   /// Runs one complete print.  Call once per Rig (the physical analogue:
   /// one part per power cycle).

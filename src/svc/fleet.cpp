@@ -1,0 +1,432 @@
+#include "svc/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "analyze/analyzer.hpp"
+#include "gcode/flaw3d.hpp"
+#include "host/parallel_runner.hpp"
+#include "host/rig.hpp"
+#include "sim/error.hpp"
+#include "svc/json.hpp"
+
+namespace offramps::svc {
+
+std::string Sabotage::to_string() const {
+  char buf[48];
+  switch (kind) {
+    case Kind::kNone: return "clean";
+    case Kind::kReduction:
+      std::snprintf(buf, sizeof(buf), "reduce:%.2f", factor);
+      return buf;
+    case Kind::kRelocation:
+      std::snprintf(buf, sizeof(buf), "relocate:%u", every_n);
+      return buf;
+  }
+  return "?";
+}
+
+Sabotage parse_sabotage(const std::string& text) {
+  Sabotage s;
+  if (text.empty() || text == "clean" || text == "none") return s;
+  const auto colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : text.substr(colon + 1);
+  if (head == "reduce") {
+    char* end = nullptr;
+    const double f = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || f <= 0.0 ||
+        f >= 1.0) {
+      throw Error("sabotage: reduce wants a factor in (0, 1): \"" + text +
+                  "\"");
+    }
+    s.kind = Sabotage::Kind::kReduction;
+    s.factor = f;
+    return s;
+  }
+  if (head == "relocate") {
+    char* end = nullptr;
+    const long n = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || end == nullptr || *end != '\0' || n < 1) {
+      throw Error("sabotage: relocate wants a positive move count: \"" +
+                  text + "\"");
+    }
+    s.kind = Sabotage::Kind::kRelocation;
+    s.every_n = static_cast<std::uint32_t>(n);
+    return s;
+  }
+  throw Error(
+      "sabotage: expected \"clean\", \"reduce:<factor>\" or "
+      "\"relocate:<n>\", got \"" +
+      text + "\"");
+}
+
+std::size_t FleetReport::alarmed() const {
+  std::size_t n = 0;
+  for (const auto& r : rigs) n += r.detector.alarmed ? 1 : 0;
+  return n;
+}
+
+std::size_t FleetReport::mid_print_alarms() const {
+  std::size_t n = 0;
+  for (const auto& r : rigs) n += r.detector.alarmed_mid_print ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+void append_kv(std::string& out, const char* key, bool v) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += v ? "true" : "false";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// A file-name-safe rendition of a rig name.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "rig" : out;
+}
+
+}  // namespace
+
+std::string FleetReport::to_json() const {
+  std::size_t sabotaged = 0;
+  std::size_t true_alarms = 0;
+  std::size_t false_alarms = 0;
+  for (const auto& r : rigs) {
+    const bool dirty = r.spec.sabotage.kind != Sabotage::Kind::kNone;
+    sabotaged += dirty ? 1 : 0;
+    if (r.detector.alarmed) {
+      (dirty ? true_alarms : false_alarms) += 1;
+    }
+  }
+
+  char buf[512];
+  std::string out = "{\n  \"fleet\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"rigs\": %zu,\n    \"sabotaged\": %zu,\n"
+                "    \"alarmed\": %zu,\n    \"mid_print_alarms\": %zu,\n"
+                "    \"true_alarms\": %zu,\n    \"false_alarms\": %zu\n",
+                rigs.size(), sabotaged, alarmed(), mid_print_alarms(),
+                true_alarms, false_alarms);
+  out += buf;
+  out += "  },\n  \"rigs\": [";
+  for (std::size_t i = 0; i < rigs.size(); ++i) {
+    const RigOutcome& r = rigs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"name\": \"%s\",\n      \"seed\": %llu,\n"
+                  "      \"cube_mm\": %.6f,\n      \"height_mm\": %.6f,\n"
+                  "      \"sabotage\": \"%s\",\n",
+                  json_escape(r.spec.name).c_str(),
+                  static_cast<unsigned long long>(r.spec.seed),
+                  r.spec.cube_mm, r.spec.height_mm,
+                  r.spec.sabotage.to_string().c_str());
+    out += buf;
+    out += "      ";
+    append_kv(out, "alarmed", r.detector.alarmed);
+    out += ",\n      ";
+    append_kv(out, "alarm_mid_print", r.detector.alarmed_mid_print);
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"alarm_channel\": \"%s\",\n"
+                  "      \"alarm_window\": %u,\n"
+                  "      \"alarm_time_s\": %.6f,\n"
+                  "      \"alarm_gcode_line\": %zu,\n"
+                  "      \"windows_processed\": %zu,\n"
+                  "      \"ring_high_water\": %zu,\n"
+                  "      \"backpressure_stalls\": %llu,\n"
+                  "      \"compare_mismatches\": %zu,\n"
+                  "      \"golden_free_violations\": %zu,\n"
+                  "      \"power_windows_compared\": %zu,\n"
+                  "      \"power_mismatches\": %zu,\n",
+                  channel_name(r.detector.first_channel),
+                  r.detector.alarm_window,
+                  static_cast<double>(r.detector.alarm_tick_ns) / 1e9,
+                  r.detector.alarm_gcode_line, r.detector.windows_processed,
+                  r.detector.ring_high_water,
+                  static_cast<unsigned long long>(
+                      r.detector.backpressure_stalls),
+                  r.detector.compare_mismatches,
+                  r.detector.golden_free.violations.size(),
+                  r.detector.power.windows_compared,
+                  r.detector.power.mismatches.size());
+    out += buf;
+    out += "      ";
+    append_kv(out, "final_counts_match", r.detector.final_counts_match);
+    out += ",\n      ";
+    append_kv(out, "static_trojan_suspected",
+              r.detector.static_final.trojan_suspected);
+    out += ",\n      ";
+    append_kv(out, "print_finished", r.print_finished);
+    out += ",\n      ";
+    append_kv(out, "safe_stopped", r.safe_stopped);
+    std::snprintf(buf, sizeof(buf),
+                  ",\n      \"sim_seconds\": %.6f,\n"
+                  "      \"final_counts\": [%lld, %lld, %lld, %lld]\n",
+                  r.sim_seconds,
+                  static_cast<long long>(r.final_counts[0]),
+                  static_cast<long long>(r.final_counts[1]),
+                  static_cast<long long>(r.final_counts[2]),
+                  static_cast<long long>(r.final_counts[3]));
+    out += buf;
+    out += "    }";
+  }
+  out += rigs.empty() ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
+std::string FleetReport::to_string() const {
+  std::string out;
+  char buf[256];
+  for (const auto& r : rigs) {
+    std::snprintf(buf, sizeof(buf), "%-10s seed=%-6llu %-14s %s%s\n",
+                  r.spec.name.c_str(),
+                  static_cast<unsigned long long>(r.spec.seed),
+                  r.spec.sabotage.to_string().c_str(),
+                  r.detector.to_string().c_str(),
+                  r.safe_stopped ? " [safe-stopped]" : "");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "fleet: %zu rigs, %zu alarmed (%zu mid-print)\n",
+                rigs.size(), alarmed(), mid_print_alarms());
+  out += buf;
+  return out;
+}
+
+Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {}
+
+namespace {
+
+/// Per-object reference data shared by every rig printing that object.
+struct Reference {
+  gcode::Program program;       // clean sliced program
+  analyze::Oracle oracle;
+  core::Capture golden;
+  plant::PowerTrace golden_power;
+};
+
+gcode::Program sabotaged_program(const gcode::Program& clean,
+                                 const Sabotage& s) {
+  switch (s.kind) {
+    case Sabotage::Kind::kNone: return clean;
+    case Sabotage::Kind::kReduction:
+      return gcode::flaw3d::apply_reduction(clean, {.factor = s.factor});
+    case Sabotage::Kind::kRelocation:
+      return gcode::flaw3d::apply_relocation(clean,
+                                             {.every_n_moves = s.every_n});
+  }
+  return clean;
+}
+
+}  // namespace
+
+FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
+  host::ParallelRunner pool(options_.workers);
+
+  // Distinct objects, in first-seen order (deterministic grouping).
+  std::vector<std::pair<double, double>> objects;
+  std::vector<std::size_t> object_of(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::pair<double, double> key{specs[i].cube_mm,
+                                        specs[i].height_mm};
+    const auto it = std::find(objects.begin(), objects.end(), key);
+    object_of[i] = static_cast<std::size_t>(it - objects.begin());
+    if (it == objects.end()) objects.push_back(key);
+  }
+
+  // Reference phase: slice + oracle + one golden print per object.
+  std::vector<Reference> refs = pool.map<Reference>(
+      objects.size(), [&](std::size_t i) {
+        Reference ref;
+        const host::CubeSpec cube{.size_x_mm = objects[i].first,
+                                  .size_y_mm = objects[i].first,
+                                  .height_mm = objects[i].second,
+                                  .center_x_mm = 110.0,
+                                  .center_y_mm = 100.0};
+        ref.program = host::slice_cube(cube, options_.profile);
+        ref.oracle =
+            analyze::analyze_program(ref.program, fw::Config{}).oracle;
+
+        host::RigOptions ro;
+        ro.firmware.jitter_seed = options_.reference_seed;
+        if (options_.use_power) ro.power_probe = plant::PowerProbeOptions{};
+        host::Rig rig(ro);
+        host::RunResult res = rig.run(ref.program);
+        if (!res.finished) {
+          throw Error("fleet: reference print did not finish");
+        }
+        ref.golden = std::move(res.capture);
+        ref.golden_power = std::move(res.power_trace);
+        if (!options_.save_captures_dir.empty()) {
+          ref.golden.save_binary(options_.save_captures_dir + "/golden-" +
+                                 std::to_string(i) + ".bin");
+        }
+        return ref;
+      });
+
+  // Fleet phase: every rig prints under its own online detector.
+  FleetReport report;
+  report.rigs = pool.map<RigOutcome>(specs.size(), [&](std::size_t i) {
+    RigSpec spec = specs[i];
+    if (spec.name.empty()) spec.name = "rig-" + std::to_string(i);
+    const Reference& ref = refs[object_of[i]];
+
+    OnlineDetector detector(options_.detector);
+    detector.set_golden(&ref.golden);
+    if (options_.use_oracle && ref.oracle.counters_armed) {
+      detector.set_oracle(&ref.oracle);
+    }
+    if (options_.use_power && !ref.golden_power.empty()) {
+      detector.set_golden_power(&ref.golden_power);
+    }
+
+    host::RigOptions ro;
+    ro.firmware.jitter_seed = spec.seed;
+    if (options_.use_power) ro.power_probe = plant::PowerProbeOptions{};
+    // Safe-stopped rigs need no long post-kill physics observation.
+    ro.post_kill_observation_s = 5.0;
+    host::Rig rig(ro);
+
+    if (options_.safe_stop) {
+      detector.on_alarm([&rig](const OnlineReport& r) {
+        if (rig.firmware().state() == fw::FwState::kRunning) {
+          rig.firmware().kill(std::string("fleet safe-stop: ") +
+                              channel_name(r.first_channel) + " alarm");
+        }
+      });
+    }
+
+    // Producer: the board's UART tap feeds the detector's ring.
+    rig.board().fpga().uart().on_transaction(
+        [&detector](const core::Transaction& txn) { detector.submit(txn); });
+
+    // Consumer: clock-slaved pump, plus live power-sample streaming.
+    Pump pump(rig.scheduler(), detector, options_.pump);
+    std::size_t power_consumed = 0;
+    pump.on_slot([&rig, &detector, &power_consumed] {
+      plant::PowerTraceProbe* probe = rig.power_probe();
+      if (probe == nullptr) return;
+      const plant::PowerTrace& trace = probe->trace();
+      for (; power_consumed < trace.size(); ++power_consumed) {
+        detector.submit_power(trace[power_consumed].t_s,
+                              trace[power_consumed].watts);
+      }
+    });
+
+    // End of stream: the UART's finalize tap hands the frozen capture to
+    // the detector for the end-of-print checks.
+    rig.board().fpga().uart().on_finalize(
+        [&detector](const core::Capture& capture) {
+          detector.finish(capture);
+        });
+
+    const gcode::Program program =
+        sabotaged_program(ref.program, spec.sabotage);
+    host::RunResult res = rig.run(program);
+
+    RigOutcome out;
+    out.spec = std::move(spec);
+    out.print_finished = res.finished;
+    out.kill_reason = res.kill_reason;
+    out.safe_stopped =
+        res.killed && res.kill_reason.rfind("fleet safe-stop", 0) == 0;
+    out.sim_seconds = res.sim_seconds;
+    out.final_counts = res.capture.final_counts;
+    out.detector = detector.report();
+    if (!options_.save_captures_dir.empty()) {
+      res.capture.save_binary(options_.save_captures_dir + "/" +
+                              sanitize(out.spec.name) + ".bin");
+    }
+    return out;
+  });
+  return report;
+}
+
+std::vector<RigSpec> Fleet::demo_specs(std::size_t n,
+                                       std::size_t sabotaged) {
+  if (sabotaged > n) {
+    throw Error("fleet: cannot sabotage more rigs than the fleet has");
+  }
+  // The strongly windowed-detectable half of Table II: these diverge from
+  // the golden stream fast enough to catch mid-print (the 2% reduction
+  // is a post-print-only catch; see EXPERIMENTS.md E10).
+  const std::array<Sabotage, 4> variants{
+      Sabotage{Sabotage::Kind::kReduction, 0.5, 0},
+      Sabotage{Sabotage::Kind::kRelocation, 0.0, 5},
+      Sabotage{Sabotage::Kind::kReduction, 0.85, 0},
+      Sabotage{Sabotage::Kind::kRelocation, 0.0, 10},
+  };
+  std::vector<RigSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].name = "rig-" + std::to_string(i);
+    specs[i].seed = 1000 + i;
+  }
+  // Spread the sabotaged rigs evenly through the fleet.
+  for (std::size_t j = 0; j < sabotaged; ++j) {
+    specs[j * n / sabotaged].sabotage = variants[j % variants.size()];
+  }
+  return specs;
+}
+
+std::vector<RigSpec> Fleet::specs_from_json(const std::string& text,
+                                            FleetOptions& options) {
+  const json::Value doc = json::parse(text);
+  if (!doc.is_object()) throw Error("fleet spec: root must be an object");
+
+  options.workers = static_cast<std::size_t>(
+      doc.number_or("workers", static_cast<double>(options.workers)));
+  options.safe_stop = doc.bool_or("safe_stop", options.safe_stop);
+  options.use_oracle = doc.bool_or("use_oracle", options.use_oracle);
+  options.use_power = doc.bool_or("use_power", options.use_power);
+  options.reference_seed = static_cast<std::uint64_t>(doc.number_or(
+      "reference_seed", static_cast<double>(options.reference_seed)));
+  options.save_captures_dir =
+      doc.string_or("save_captures_dir", options.save_captures_dir);
+  options.detector.ring_capacity = static_cast<std::size_t>(doc.number_or(
+      "ring_capacity",
+      static_cast<double>(options.detector.ring_capacity)));
+
+  const json::Value* rigs = doc.find("rigs");
+  if (rigs == nullptr || !rigs->is_array()) {
+    throw Error("fleet spec: wants a \"rigs\" array");
+  }
+  std::vector<RigSpec> specs;
+  specs.reserve(rigs->items.size());
+  for (const json::Value& r : rigs->items) {
+    if (!r.is_object()) {
+      throw Error("fleet spec: every rig entry must be an object");
+    }
+    RigSpec spec;
+    spec.name = r.string_or("name", "");
+    spec.seed =
+        static_cast<std::uint64_t>(r.number_or("seed", 1000.0 + specs.size()));
+    spec.cube_mm = r.number_or("cube_mm", spec.cube_mm);
+    spec.height_mm = r.number_or("height_mm", spec.height_mm);
+    spec.sabotage = parse_sabotage(r.string_or("sabotage", ""));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace offramps::svc

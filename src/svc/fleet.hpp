@@ -1,0 +1,143 @@
+// Fleet service: multi-rig orchestration with online streaming detection.
+//
+// One OFFRAMPS board defends one printer; a print farm needs a fleet of
+// them reporting to a single host.  This orchestrator runs N independent
+// rigs - each with its own seed, object, and (optionally) implanted
+// Flaw3D Trojan - over the host::ParallelRunner pool, with one
+// svc::OnlineDetector per rig consuming that rig's capture stream live
+// through its ring buffer via a clock-slaved svc::Pump.
+//
+// Run shape:
+//
+//   1. Reference phase: for each distinct object in the fleet, slice the
+//      clean program, compute its static oracle, and print one reference
+//      part (fixed reference seed) to obtain the golden capture and
+//      golden power trace.  References are shared by every rig printing
+//      that object and are computed on the same pool.
+//   2. Fleet phase: every rig prints under its detector.  A mid-print
+//      alarm safe-stops that rig's firmware (the paper's real-time
+//      halt, here driven by the fused multi-channel verdict); the other
+//      rigs are unaffected.
+//
+// Determinism: each rig is a self-contained single-threaded simulation,
+// outcomes are stored by rig index, and the report renders no wall-clock
+// or worker-count data - so the fleet report is BYTE-IDENTICAL at any
+// `--jobs` value.  Detector memory is bounded per rig by the ring
+// capacity; the backpressure policy (producer stall, lossless) is
+// documented in online_detector.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/slicer.hpp"
+#include "svc/online_detector.hpp"
+#include "svc/pump.hpp"
+
+namespace offramps::svc {
+
+/// Sabotage implanted in one rig's g-code path (the Flaw3D families of
+/// paper Table II).  Parsed from "reduce:<factor>" / "relocate:<n>".
+struct Sabotage {
+  enum class Kind : std::uint8_t { kNone, kReduction, kRelocation };
+  Kind kind = Kind::kNone;
+  double factor = 0.5;         // reduction: E multiplier
+  std::uint32_t every_n = 20;  // relocation: moves between blob dumps
+
+  [[nodiscard]] std::string to_string() const;  // "clean", "reduce:0.50", ...
+};
+
+/// Parses "" / "clean" / "none" / "reduce:0.85" / "relocate:10".
+/// Throws offramps::Error on anything else.
+Sabotage parse_sabotage(const std::string& text);
+
+/// One rig's slot in the fleet.
+struct RigSpec {
+  std::string name;         // defaults to "rig-<index>" when empty
+  std::uint64_t seed = 1;   // firmware jitter seed (per-print drift)
+  double cube_mm = 8.0;     // printed object: cube footprint
+  double height_mm = 3.0;   // ...and height
+  Sabotage sabotage{};
+};
+
+/// Fleet-wide configuration.
+struct FleetOptions {
+  /// Worker threads; 0 = host::ParallelRunner::default_workers().
+  std::size_t workers = 0;
+  /// Per-rig detector tuning (channels, margins, ring capacity).
+  OnlineDetectorOptions detector{};
+  /// Per-rig consumer pump (service period, windows per slot).
+  PumpOptions pump{};
+  /// Kill a rig's firmware the moment its detector alarms mid-print.
+  bool safe_stop = true;
+  /// Arm the static-oracle channel (end-of-print tight-margin check and
+  /// g-code line attribution for alarms).
+  bool use_oracle = true;
+  /// Attach power probes and arm the power-signature channel.
+  bool use_power = true;
+  /// Fixed jitter seed of the reference prints.
+  std::uint64_t reference_seed = 42;
+  /// Slicer profile shared by every object in the fleet.
+  host::SliceProfile profile{};
+  /// When set, persist each object's golden capture and each rig's
+  /// observed capture as .bin files (core::Capture::save_binary) there.
+  std::string save_captures_dir;
+};
+
+/// One rig's outcome: spec, print result summary, detector verdict.
+struct RigOutcome {
+  RigSpec spec;
+  OnlineReport detector;
+  bool print_finished = false;
+  bool safe_stopped = false;   // killed by the fleet's alarm hook
+  std::string kill_reason;
+  double sim_seconds = 0.0;
+  std::array<std::int64_t, 4> final_counts{};
+};
+
+/// Whole-fleet result.
+struct FleetReport {
+  std::vector<RigOutcome> rigs;
+
+  [[nodiscard]] std::size_t alarmed() const;
+  [[nodiscard]] std::size_t mid_print_alarms() const;
+
+  /// Deterministic machine-readable report (analyzer JSON conventions).
+  /// Contains no wall-clock or worker-count data: byte-identical for a
+  /// given fleet spec at any worker count.
+  [[nodiscard]] std::string to_json() const;
+  /// One line per rig, for the console.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The orchestrator.
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options = {});
+
+  /// Runs the whole fleet; outcomes are indexed like `specs`.
+  FleetReport run(const std::vector<RigSpec>& specs);
+
+  /// Built-in demo fleet: `n` rigs, the first `sabotaged` of which get
+  /// Flaw3D variants (cycling reduce:0.5, relocate:5, reduce:0.85,
+  /// relocate:10 - the strongly windowed-detectable half of Table II),
+  /// interleaved evenly among clean rigs.
+  static std::vector<RigSpec> demo_specs(std::size_t n,
+                                         std::size_t sabotaged);
+
+  /// Parses a fleet spec document:
+  ///   { "workers": 4, "safe_stop": true, "rigs": [
+  ///       {"name": "a", "seed": 7, "cube_mm": 8, "height_mm": 3,
+  ///        "sabotage": "reduce:0.85"}, ... ] }
+  /// Unknown keys are ignored; rig defaults are RigSpec's.  Throws
+  /// offramps::Error on malformed JSON or a malformed sabotage string.
+  static std::vector<RigSpec> specs_from_json(const std::string& text,
+                                              FleetOptions& options);
+
+ private:
+  FleetOptions options_;
+};
+
+}  // namespace offramps::svc

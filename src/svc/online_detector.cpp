@@ -1,0 +1,270 @@
+#include "svc/online_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace offramps::svc {
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kNone: return "none";
+    case Channel::kGoldenCompare: return "golden-compare";
+    case Channel::kStreamLength: return "stream-length";
+    case Channel::kGoldenFree: return "golden-free";
+    case Channel::kPower: return "power";
+    case Channel::kFinalCounts: return "final-counts";
+    case Channel::kStaticOracle: return "static-oracle";
+  }
+  return "?";
+}
+
+std::string OnlineReport::to_string() const {
+  char buf[256];
+  if (!alarmed) {
+    std::snprintf(buf, sizeof(buf),
+                  "clean (%zu windows, ring high-water %zu, %llu stalls)",
+                  windows_processed, ring_high_water,
+                  static_cast<unsigned long long>(backpressure_stalls));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "ALARM %s at window %u (t=%.3f s%s%s)%s",
+                channel_name(first_channel), alarm_window,
+                static_cast<double>(alarm_tick_ns) / 1e9,
+                alarm_gcode_line != 0 ? ", line " : "",
+                alarm_gcode_line != 0
+                    ? std::to_string(alarm_gcode_line).c_str()
+                    : "",
+                alarmed_mid_print ? " [mid-print]" : " [post-print]");
+  return buf;
+}
+
+std::size_t estimate_gcode_line(const analyze::Oracle& oracle,
+                                const std::array<std::int32_t, 4>& counts) {
+  if (!oracle.counters_armed) return 0;
+  // Progress axis: cumulative E + Z steps.  Both are near-monotone over a
+  // legitimate print (E net-advances, Z only rises), so the observed sum
+  // picks out a unique position along the program even when X/Y wander
+  // back and forth.
+  const std::int64_t progress =
+      static_cast<std::int64_t>(counts[2]) +
+      static_cast<std::int64_t>(counts[3]);
+  std::int64_t acc = 0;
+  std::size_t line = 0;
+  for (const auto& seg : oracle.segments) {
+    if (!seg.counted) continue;
+    line = seg.command_index + 1;  // 1-based program line
+    acc += seg.delta_steps[2] + seg.delta_steps[3];
+    if (acc >= progress) return line;
+  }
+  return line;
+}
+
+OnlineDetector::OnlineDetector(OnlineDetectorOptions options)
+    : options_(options),
+      ring_(options.ring_capacity),
+      golden_free_(options.machine) {}
+
+void OnlineDetector::set_golden_power(const plant::PowerTrace* trace) {
+  golden_power_windows_ =
+      trace != nullptr ? detect::window_means(*trace, options_.power.window_s)
+                       : std::vector<double>{};
+}
+
+void OnlineDetector::submit(const core::Transaction& txn) {
+  if (ring_.try_push(txn)) return;
+  // Backpressure: the producer stalls while the backlog is consumed
+  // inline.  Nothing is dropped; the stall is visible in the report.
+  ++backpressure_stalls_;
+  drain();
+  if (!ring_.try_push(txn)) {
+    // Only reachable when an alarm callback produced a window while the
+    // ring was already draining: consume it inline rather than lose it.
+    process(txn);
+  }
+}
+
+std::size_t OnlineDetector::poll(std::size_t max_windows) {
+  std::size_t done = 0;
+  core::Transaction txn;
+  while (done < max_windows && ring_.try_pop(txn)) {
+    process(txn);
+    ++done;
+  }
+  return done;
+}
+
+std::size_t OnlineDetector::drain() {
+  // Re-entrancy guard: an alarm callback raised from process() may stall
+  // its own producer, which would call back into drain().
+  if (draining_) return 0;
+  draining_ = true;
+  std::size_t done = 0;
+  core::Transaction txn;
+  while (ring_.try_pop(txn)) {
+    process(txn);
+    ++done;
+  }
+  draining_ = false;
+  return done;
+}
+
+void OnlineDetector::process(const core::Transaction& txn) {
+  ++report_.windows_processed;
+  last_counts_ = txn.counts;
+  last_tick_ns_ = txn.time_ns;
+
+  // Golden-compare channel (windowed step counts + stream overrun).
+  if (golden_ != nullptr) {
+    const std::size_t golden_len = golden_->transactions.size();
+    if (txn.index >= golden_len) {
+      // Stream overrun: the observed print has outlived the golden one.
+      // Tolerate the compare length tolerance plus a fixed slack (time
+      // noise stretches prints slightly); a sustained overrun means a
+      // print-lengthening Trojan.
+      const double allowed =
+          static_cast<double>(golden_len) * options_.compare.length_tolerance +
+          static_cast<double>(options_.length_slack_windows);
+      const auto over = static_cast<double>(txn.index - golden_len + 1);
+      if (over > allowed) {
+        raise(Channel::kStreamLength, txn.index, txn.time_ns, txn.counts);
+      }
+    } else {
+      const bool bad = detect::compare_transaction(
+          golden_->transactions[txn.index], txn, options_.compare,
+          mismatches_);
+      consecutive_ = bad ? consecutive_ + 1 : 0;
+      if (consecutive_ >= options_.consecutive_to_alarm) {
+        raise(Channel::kGoldenCompare, txn.index, txn.time_ns, txn.counts);
+      }
+    }
+    report_.compare_mismatches = mismatches_.size();
+  }
+
+  // Golden-free channel (physical plausibility, no reference needed).
+  if (options_.golden_free) {
+    golden_free_.push(txn);
+    if (golden_free_.violation_count() >=
+        options_.golden_free_min_violations) {
+      raise(Channel::kGoldenFree, txn.index, txn.time_ns, txn.counts);
+    }
+  }
+}
+
+void OnlineDetector::submit_power(double t_s, double watts) {
+  if (golden_power_windows_.empty()) return;
+  if (!power_have_t0_) {
+    power_have_t0_ = true;
+    power_t0_ = t_s;
+  }
+  const double window_s = options_.power.window_s;
+  if (window_s <= 0.0) return;
+  const auto w = static_cast<std::size_t>((t_s - power_t0_) / window_s);
+  while (power_window_ < w) close_power_window();
+  power_sum_ += watts;
+  ++power_n_;
+}
+
+void OnlineDetector::close_power_window() {
+  // Empty windows (sampling gaps) repeat the previous mean, mirroring
+  // detect::window_means so the online channel sees the same series the
+  // offline compare_power would.
+  const double mean =
+      power_n_ > 0 ? power_sum_ / static_cast<double>(power_n_)
+                   : power_last_mean_;
+  power_last_mean_ = mean;
+  const std::size_t idx = power_window_;
+  ++power_window_;
+  power_sum_ = 0.0;
+  power_n_ = 0;
+
+  if (idx >= golden_power_windows_.size()) return;
+  ++report_.power.windows_compared;
+  // Leading edge windows (heat-up / homing transients) are skipped just
+  // like the offline comparison; the trailing edge skip falls out of
+  // finish() never closing the last partial windows.
+  if (idx < options_.power.skip_edge_windows) return;
+  const double golden_w = golden_power_windows_[idx];
+  const double delta = std::abs(golden_w - mean);
+  report_.power.largest_delta_w =
+      std::max(report_.power.largest_delta_w, delta);
+  if (delta > options_.power.tolerance_w) {
+    report_.power.mismatches.push_back({idx, golden_w, mean});
+    ++power_consecutive_;
+    if (power_consecutive_ >= options_.power.consecutive_to_flag) {
+      report_.power.sabotage_likely = true;
+      raise(Channel::kPower, static_cast<std::uint32_t>(
+                report_.windows_processed == 0 ? 0
+                                               : report_.windows_processed - 1),
+            last_tick_ns_, last_counts_);
+    }
+  } else {
+    power_consecutive_ = 0;
+  }
+}
+
+void OnlineDetector::finish(const core::Capture& capture) {
+  drain();
+  finished_ = true;
+  report_.stream_finished = true;
+
+  if (!options_.final_checks) return;
+
+  // The paper's exact (0% margin) end-of-print totals check.  Only
+  // meaningful when both prints ran to completion - a capture cut short
+  // by our own safe-stop has nothing comparable to freeze.
+  if (golden_ != nullptr && capture.print_completed &&
+      golden_->print_completed) {
+    report_.final_counts_match = capture.final_counts == golden_->final_counts;
+    if (!report_.final_counts_match) {
+      raise(Channel::kFinalCounts,
+            capture.transactions.empty()
+                ? 0
+                : capture.transactions.back().index,
+            last_tick_ns_, last_counts_);
+    }
+  }
+
+  // Static-oracle cross-check (tight margin, no golden print needed).
+  if (oracle_ != nullptr) {
+    report_.static_final =
+        detect::static_check(*oracle_, capture, options_.static_check);
+    if (report_.static_final.trojan_suspected &&
+        report_.static_final.print_completed &&
+        report_.static_final.oracle_armed) {
+      raise(Channel::kStaticOracle,
+            capture.transactions.empty()
+                ? 0
+                : capture.transactions.back().index,
+            last_tick_ns_, last_counts_);
+    }
+  }
+}
+
+void OnlineDetector::raise(Channel ch, std::uint32_t window,
+                           std::uint64_t tick_ns,
+                           const std::array<std::int32_t, 4>& counts) {
+  if (report_.alarmed) return;
+  report_.alarmed = true;
+  report_.alarmed_mid_print = !finished_;
+  report_.first_channel = ch;
+  report_.alarm_window = window;
+  report_.alarm_tick_ns = tick_ns;
+  report_.alarm_gcode_line =
+      oracle_ != nullptr ? estimate_gcode_line(*oracle_, counts) : 0;
+  if (on_alarm_) on_alarm_(report());
+}
+
+OnlineReport OnlineDetector::report() const {
+  OnlineReport r = report_;
+  r.ring_high_water = ring_.high_water();
+  r.backpressure_stalls = backpressure_stalls_;
+  r.compare_mismatches = mismatches_.size();
+  if (options_.golden_free) {
+    r.golden_free = golden_free_.report(options_.golden_free_min_violations);
+  }
+  return r;
+}
+
+}  // namespace offramps::svc

@@ -1,0 +1,218 @@
+// Online streaming Trojan detection (the fleet service's per-rig brain).
+//
+// The paper's detection is one-shot: capture the whole print, then
+// compare.  Its Discussion notes the board "cannot currently support
+// [detection]" without a host in the loop - this class is that host-side
+// loop, made streaming: capture transactions are consumed incrementally
+// through a bounded SPSC ring buffer as the rig emits them, and every
+// window is judged the moment it is drained, so sabotage is flagged
+// *while the print is running* instead of after the material is wasted.
+//
+// Detection channels, fused into one per-window verdict (first channel
+// to trip wins and is recorded with its latency):
+//
+//   * golden compare  - windowed step-count compare against a golden
+//                       capture (the paper's section V-C method, via
+//                       detect::compare_transaction), plus a sustained
+//                       stream-overrun check for print-lengthening
+//                       Trojans;
+//   * golden-free     - the physical-plausibility rules of
+//                       detect::StreamingGoldenFree (no reference
+//                       needed);
+//   * power signature - per-window mean-power compare against a golden
+//                       power trace (the side-channel baseline class);
+//   * final checks    - at end of stream, the paper's exact 0%-margin
+//                       final-count check and the static-oracle
+//                       cross-check (detect::static_check).  These are
+//                       post-print by nature and are reported as such.
+//
+// Backpressure: the ring has fixed capacity.  When a push finds it full
+// the producer STALLS - the backlog is drained inline (consumer
+// catch-up) until a slot frees, and the stall is counted.  Transactions
+// are never dropped or duplicated; memory per rig stays bounded at the
+// ring capacity.  The occupancy high-water mark and stall counter
+// surface in the report so a fleet operator can see which detectors run
+// hot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyze/oracle.hpp"
+#include "core/capture.hpp"
+#include "detect/compare.hpp"
+#include "detect/golden_free.hpp"
+#include "detect/side_channel.hpp"
+#include "detect/static_check.hpp"
+#include "plant/side_channel.hpp"
+#include "sim/ring_buffer.hpp"
+
+namespace offramps::svc {
+
+/// Which detection channel raised the (first) alarm.
+enum class Channel : std::uint8_t {
+  kNone,
+  kGoldenCompare,  // windowed step-count mismatch vs golden capture
+  kStreamLength,   // stream ran measurably longer than golden
+  kGoldenFree,     // physical-plausibility rule violations
+  kPower,          // power-signature window mismatch
+  kFinalCounts,    // end-of-print 0%-margin golden check
+  kStaticOracle,   // end-of-print static-oracle cross-check
+};
+
+const char* channel_name(Channel c);
+
+/// Detector tuning.
+struct OnlineDetectorOptions {
+  /// Windowed golden comparison (paper defaults: 5% margin).
+  detect::CompareOptions compare{};
+  /// Consecutive suspicious windows before the golden-compare channel
+  /// alarms (debounces isolated drift spikes).
+  std::uint32_t consecutive_to_alarm = 2;
+  /// Windows past the golden length (beyond the compare length
+  /// tolerance) before the overrun channel alarms.
+  std::uint32_t length_slack_windows = 8;
+
+  /// Golden-free channel (set false to disable).
+  bool golden_free = true;
+  detect::MachineModel machine{};
+  /// Violations before the golden-free channel alarms.
+  std::size_t golden_free_min_violations = 3;
+
+  /// Power channel tuning (armed only when a golden trace is provided).
+  detect::PowerSignatureOptions power{};
+
+  /// End-of-print checks (exact golden finals, static oracle).
+  bool final_checks = true;
+  detect::StaticCheckOptions static_check{};
+
+  /// Transactions the ring buffer holds before backpressure engages.
+  std::size_t ring_capacity = 64;
+};
+
+/// Detector health/verdict snapshot - the per-rig record the fleet
+/// report aggregates.
+struct OnlineReport {
+  bool alarmed = false;
+  /// True when the first alarm fired while the stream was live (before
+  /// finish()): the operator could have stopped the print.
+  bool alarmed_mid_print = false;
+  Channel first_channel = Channel::kNone;
+  std::uint32_t alarm_window = 0;    // transaction index of the alarm
+  std::uint64_t alarm_tick_ns = 0;   // sim time of the alarming window
+  /// 1-based g-code program line the machine was executing at the alarm
+  /// (estimated from the static oracle's segment trace; 0 = unknown).
+  std::size_t alarm_gcode_line = 0;
+
+  std::size_t windows_processed = 0;
+  std::size_t ring_high_water = 0;
+  std::uint64_t backpressure_stalls = 0;
+  bool stream_finished = false;
+
+  /// Channel detail, embeddable via the reports' to_json().
+  std::size_t compare_mismatches = 0;
+  detect::GoldenFreeReport golden_free;
+  detect::PowerReport power;
+  bool final_counts_match = true;
+  detect::StaticCheckReport static_final;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Estimates the 1-based g-code line being executed when the armed
+/// counters read `counts`, by walking the oracle's counted segments on
+/// the near-monotone E+Z progress axes.  0 when the oracle never armed.
+std::size_t estimate_gcode_line(const analyze::Oracle& oracle,
+                                const std::array<std::int32_t, 4>& counts);
+
+/// Streaming multi-channel detector over one rig's capture feed.
+class OnlineDetector {
+ public:
+  using AlarmCallback = std::function<void(const OnlineReport&)>;
+
+  explicit OnlineDetector(OnlineDetectorOptions options = {});
+
+  OnlineDetector(const OnlineDetector&) = delete;
+  OnlineDetector& operator=(const OnlineDetector&) = delete;
+
+  /// Arms the golden-compare (and final-counts) channel.  The capture
+  /// must outlive the detector.
+  void set_golden(const core::Capture* golden) { golden_ = golden; }
+  /// Arms the static-oracle final check and g-code line attribution.
+  void set_oracle(const analyze::Oracle* oracle) { oracle_ = oracle; }
+  /// Arms the power channel.  The trace must outlive the detector.
+  void set_golden_power(const plant::PowerTrace* trace);
+
+  /// Alarm hook, fired once on the first alarm (any channel).  The fleet
+  /// orchestrator uses this for mid-print safe-stop.
+  void on_alarm(AlarmCallback cb) { on_alarm_ = std::move(cb); }
+
+  /// Producer side: queues one transaction.  Stalls (drains inline) when
+  /// the ring is full - see the backpressure contract above.
+  void submit(const core::Transaction& txn);
+
+  /// Producer side: one power sample (seconds, watts).
+  void submit_power(double t_s, double watts);
+
+  /// Consumer side: processes up to `max_windows` queued transactions.
+  /// Returns the number processed.
+  std::size_t poll(std::size_t max_windows);
+
+  /// Consumer side: drains the whole backlog.
+  std::size_t drain();
+
+  /// End of stream: drains, then runs the end-of-print checks against
+  /// the finalized capture (exact golden finals, static oracle).
+  void finish(const core::Capture& capture);
+
+  [[nodiscard]] bool alarmed() const { return report_.alarmed; }
+  [[nodiscard]] std::size_t queued() const { return ring_.size(); }
+  [[nodiscard]] std::size_t windows_processed() const {
+    return report_.windows_processed;
+  }
+
+  /// Current snapshot (valid at any point in the stream).
+  [[nodiscard]] OnlineReport report() const;
+
+ private:
+  void process(const core::Transaction& txn);
+  void close_power_window();
+  void raise(Channel ch, std::uint32_t window, std::uint64_t tick_ns,
+             const std::array<std::int32_t, 4>& counts);
+
+  OnlineDetectorOptions options_;
+  sim::RingBuffer<core::Transaction> ring_;
+  const core::Capture* golden_ = nullptr;
+  const analyze::Oracle* oracle_ = nullptr;
+  AlarmCallback on_alarm_;
+
+  OnlineReport report_;
+  std::uint64_t backpressure_stalls_ = 0;
+  bool finished_ = false;
+  bool draining_ = false;
+
+  // Golden-compare channel state.
+  std::uint32_t consecutive_ = 0;
+  std::vector<detect::Mismatch> mismatches_;
+  std::array<std::int32_t, 4> last_counts_{};
+  std::uint64_t last_tick_ns_ = 0;
+
+  // Golden-free channel state.
+  detect::StreamingGoldenFree golden_free_;
+  bool golden_free_alarmed_ = false;
+
+  // Power channel state.
+  std::vector<double> golden_power_windows_;
+  std::size_t power_window_ = 0;   // index of the window being filled
+  double power_t0_ = 0.0;
+  bool power_have_t0_ = false;
+  double power_sum_ = 0.0;
+  std::size_t power_n_ = 0;
+  double power_last_mean_ = 0.0;
+  std::uint32_t power_consecutive_ = 0;
+};
+
+}  // namespace offramps::svc

@@ -1,0 +1,72 @@
+// Clock-slaved detector pump.
+//
+// The OnlineDetector's ring buffer models the host-side boundary between
+// the capture wire (producer) and the analysis loop (consumer).  In a
+// real deployment the consumer runs at some finite service rate; this
+// pump reproduces that inside the discrete-event simulation by draining
+// a bounded number of windows per service period, on the same scheduler
+// the rig runs on.  Slowing the pump (small budget, long period) is how
+// the tests provoke genuine ring-buffer backpressure without threads.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "svc/online_detector.hpp"
+
+namespace offramps::svc {
+
+/// Pump tuning.
+struct PumpOptions {
+  /// Service period: how often the consumer side gets scheduled.
+  sim::Tick period = sim::ms(100);
+  /// Windows processed per service slot (the consumer's throughput).
+  std::size_t windows_per_slot = 4;
+};
+
+/// Periodically polls an OnlineDetector from the simulation clock.
+class Pump {
+ public:
+  Pump(sim::Scheduler& sched, OnlineDetector& detector,
+       PumpOptions options = {})
+      : sched_(sched), detector_(detector), options_(options) {
+    if (options_.windows_per_slot == 0) {
+      throw Error("Pump: windows_per_slot must be > 0");
+    }
+    schedule();
+  }
+
+  Pump(const Pump&) = delete;
+  Pump& operator=(const Pump&) = delete;
+
+  /// Stops rescheduling (the in-flight slot still runs).  Used at end of
+  /// print so the scheduler can drain.
+  void stop() { stopped_ = true; }
+
+  /// Extra work per service slot, before the poll - the fleet streams
+  /// freshly captured power samples into the detector here.
+  void on_slot(std::function<void()> hook) { on_slot_ = std::move(hook); }
+
+  [[nodiscard]] std::size_t slots_run() const { return slots_run_; }
+
+ private:
+  void schedule() {
+    sched_.schedule_in(options_.period, [this] {
+      if (stopped_) return;
+      ++slots_run_;
+      if (on_slot_) on_slot_();
+      detector_.poll(options_.windows_per_slot);
+      schedule();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  OnlineDetector& detector_;
+  PumpOptions options_;
+  std::function<void()> on_slot_;
+  std::size_t slots_run_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace offramps::svc

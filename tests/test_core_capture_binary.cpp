@@ -1,0 +1,106 @@
+// core::Capture binary serialization: the versioned, length-prefixed
+// format fleet runs use to persist and replay captures.  Round-trip
+// identity, tamper rejection (magic/version), and truncation detection
+// at every structurally interesting cut point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "sim/error.hpp"
+
+namespace {
+
+using offramps::core::Capture;
+using offramps::core::Transaction;
+
+Capture sample_capture() {
+  Capture cap;
+  cap.label = "cube-8x8x3 seed 1000";
+  cap.print_completed = true;
+  cap.final_counts = {123456, -7890, 4200, 998877};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    Transaction txn;
+    txn.index = i;
+    txn.counts = {static_cast<std::int32_t>(100 * i),
+                  static_cast<std::int32_t>(-50 * i),
+                  static_cast<std::int32_t>(7 * i),
+                  static_cast<std::int32_t>(1000 + i)};
+    txn.time_ns = 100'000'000ull * (i + 1);
+    cap.transactions.push_back(txn);
+  }
+  return cap;
+}
+
+void expect_equal(const Capture& a, const Capture& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.print_completed, b.print_completed);
+  EXPECT_EQ(a.final_counts, b.final_counts);
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  for (std::size_t i = 0; i < a.transactions.size(); ++i) {
+    EXPECT_EQ(a.transactions[i].index, b.transactions[i].index);
+    EXPECT_EQ(a.transactions[i].counts, b.transactions[i].counts);
+    EXPECT_EQ(a.transactions[i].time_ns, b.transactions[i].time_ns);
+  }
+}
+
+TEST(CaptureBinary, RoundTripIdentity) {
+  const Capture cap = sample_capture();
+  const std::vector<std::uint8_t> bytes = cap.to_binary();
+  expect_equal(cap, Capture::from_binary(bytes));
+  // Serialization itself is deterministic.
+  EXPECT_EQ(bytes, Capture::from_binary(bytes).to_binary());
+}
+
+TEST(CaptureBinary, RoundTripEmptyAndAborted) {
+  Capture cap;
+  cap.label = "";
+  cap.print_completed = false;  // killed print: flag bit must survive
+  const Capture back = Capture::from_binary(cap.to_binary());
+  expect_equal(cap, back);
+  EXPECT_FALSE(back.print_completed);
+}
+
+TEST(CaptureBinary, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = sample_capture().to_binary();
+  bytes[0] = 'X';
+  EXPECT_THROW(Capture::from_binary(bytes), offramps::Error);
+}
+
+TEST(CaptureBinary, RejectsUnknownVersion) {
+  std::vector<std::uint8_t> bytes = sample_capture().to_binary();
+  bytes[4] = 0xFF;  // version u16 LE lives right after the 4-byte magic
+  EXPECT_THROW(Capture::from_binary(bytes), offramps::Error);
+}
+
+TEST(CaptureBinary, RejectsTruncationEverywhere) {
+  const std::vector<std::uint8_t> bytes = sample_capture().to_binary();
+  // Cut inside every region: header, label, count, a transaction body,
+  // and the trailing finals.  All must throw, none may mis-decode.
+  const std::size_t cuts[] = {0,  2,  7,  10, bytes.size() / 3,
+                              bytes.size() / 2, bytes.size() - 33,
+                              bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    EXPECT_THROW(Capture::from_binary(bytes.data(), cut), offramps::Error)
+        << "cut at " << cut << " of " << bytes.size();
+  }
+}
+
+TEST(CaptureBinary, FileRoundTrip) {
+  const Capture cap = sample_capture();
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "capture_rt.bin";
+  cap.save_binary(path.string());
+  expect_equal(cap, Capture::load_binary(path.string()));
+  std::filesystem::remove(path);
+}
+
+TEST(CaptureBinary, MissingFileThrows) {
+  EXPECT_THROW(Capture::load_binary("/nonexistent/dir/capture.bin"),
+               offramps::Error);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// svc::Fleet: spec parsing, the demo matrix, detection + safe-stop on a
+// small mixed fleet, and the determinism contract - the fleet JSON
+// report must be byte-identical at any worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "svc/fleet.hpp"
+
+namespace {
+
+using offramps::svc::Fleet;
+using offramps::svc::FleetOptions;
+using offramps::svc::FleetReport;
+using offramps::svc::parse_sabotage;
+using offramps::svc::RigSpec;
+using offramps::svc::Sabotage;
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// A fleet small enough for repeated runs but with real sabotage in it:
+// two clean rigs and one Flaw3D reduction rig sharing one small object.
+std::vector<RigSpec> small_fleet() {
+  std::vector<RigSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "t-" + std::to_string(i);
+    specs[i].seed = 500 + i;
+    specs[i].cube_mm = 6.0;
+    specs[i].height_mm = 1.5;
+  }
+  specs[1].sabotage = parse_sabotage("reduce:0.5");
+  return specs;
+}
+
+TEST(Sabotage, ParseAndRoundTrip) {
+  EXPECT_EQ(parse_sabotage("").kind, Sabotage::Kind::kNone);
+  EXPECT_EQ(parse_sabotage("clean").kind, Sabotage::Kind::kNone);
+  EXPECT_EQ(parse_sabotage("none").to_string(), "clean");
+
+  const Sabotage red = parse_sabotage("reduce:0.85");
+  EXPECT_EQ(red.kind, Sabotage::Kind::kReduction);
+  EXPECT_DOUBLE_EQ(red.factor, 0.85);
+  EXPECT_EQ(red.to_string(), "reduce:0.85");
+
+  const Sabotage rel = parse_sabotage("relocate:10");
+  EXPECT_EQ(rel.kind, Sabotage::Kind::kRelocation);
+  EXPECT_EQ(rel.every_n, 10u);
+  EXPECT_EQ(rel.to_string(), "relocate:10");
+}
+
+TEST(Sabotage, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_sabotage("bogus"), offramps::Error);
+  EXPECT_THROW(parse_sabotage("reduce:"), offramps::Error);
+  EXPECT_THROW(parse_sabotage("reduce:0"), offramps::Error);    // no-op
+  EXPECT_THROW(parse_sabotage("reduce:1.0"), offramps::Error);  // no-op
+  EXPECT_THROW(parse_sabotage("reduce:-0.5"), offramps::Error);
+  EXPECT_THROW(parse_sabotage("relocate:0"), offramps::Error);
+  EXPECT_THROW(parse_sabotage("relocate:abc"), offramps::Error);
+}
+
+TEST(Fleet, DemoSpecs) {
+  const auto specs = Fleet::demo_specs(8, 3);
+  ASSERT_EQ(specs.size(), 8u);
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, "rig-" + std::to_string(i));
+    EXPECT_EQ(specs[i].seed, 1000 + i);
+    dirty += specs[i].sabotage.kind != Sabotage::Kind::kNone ? 1 : 0;
+  }
+  EXPECT_EQ(dirty, 3u);
+  EXPECT_THROW(Fleet::demo_specs(2, 3), offramps::Error);
+}
+
+TEST(Fleet, SpecsFromJson) {
+  FleetOptions options;
+  const auto specs = Fleet::specs_from_json(
+      "{ \"workers\": 2, \"safe_stop\": false, \"rigs\": [\n"
+      "    {\"name\": \"alpha\", \"seed\": 7, \"cube_mm\": 6,\n"
+      "     \"height_mm\": 1.5, \"sabotage\": \"reduce:0.85\"},\n"
+      "    {} ] }",
+      options);
+  EXPECT_EQ(options.workers, 2u);
+  EXPECT_FALSE(options.safe_stop);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "alpha");
+  EXPECT_EQ(specs[0].seed, 7u);
+  EXPECT_DOUBLE_EQ(specs[0].cube_mm, 6.0);
+  EXPECT_EQ(specs[0].sabotage.kind, Sabotage::Kind::kReduction);
+  // Defaulted rig: name filled at run time, indexed default seed, clean.
+  EXPECT_TRUE(specs[1].name.empty());
+  EXPECT_EQ(specs[1].seed, 1001u);
+  EXPECT_DOUBLE_EQ(specs[1].cube_mm, 8.0);
+  EXPECT_EQ(specs[1].sabotage.kind, Sabotage::Kind::kNone);
+}
+
+TEST(Fleet, SpecsFromJsonRejectsMalformed) {
+  FleetOptions options;
+  EXPECT_THROW(Fleet::specs_from_json("{ \"rigs\": \"nope\" }", options),
+               offramps::Error);
+  EXPECT_THROW(Fleet::specs_from_json("not json", options), offramps::Error);
+  EXPECT_THROW(Fleet::specs_from_json(
+                   "{ \"rigs\": [{\"sabotage\": \"bogus\"}] }", options),
+               offramps::Error);
+}
+
+TEST(Fleet, DetectsSabotageAndSafeStops) {
+  FleetOptions options;
+  options.workers = 2;
+  options.safe_stop = true;
+  Fleet fleet(options);
+  const FleetReport report = fleet.run(small_fleet());
+
+  ASSERT_EQ(report.rigs.size(), 3u);
+  EXPECT_EQ(report.alarmed(), 1u);
+  EXPECT_EQ(report.mid_print_alarms(), 1u);
+
+  const auto& dirty = report.rigs[1];
+  EXPECT_TRUE(dirty.detector.alarmed);
+  EXPECT_TRUE(dirty.detector.alarmed_mid_print);
+  EXPECT_TRUE(dirty.safe_stopped);
+  EXPECT_FALSE(dirty.print_finished);  // the plug was pulled mid-print
+  EXPECT_FALSE(dirty.kill_reason.empty());
+
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_FALSE(report.rigs[i].detector.alarmed) << "rig " << i;
+    EXPECT_TRUE(report.rigs[i].print_finished) << "rig " << i;
+    EXPECT_FALSE(report.rigs[i].safe_stopped) << "rig " << i;
+  }
+
+  // The JSON rendering carries the per-rig verdicts.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"true_alarms\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"false_alarms\": 0"), std::string::npos);
+}
+
+TEST(Fleet, ReportDeterministicAcrossWorkerCounts) {
+  const auto specs = small_fleet();
+  std::vector<std::uint64_t> digests;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    FleetOptions options;
+    options.workers = workers;
+    Fleet fleet(options);
+    digests.push_back(fnv1a(fleet.run(specs).to_json()));
+  }
+  // Byte-identical report at 1, 2, and 8 workers.
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+}  // namespace
