@@ -1,0 +1,194 @@
+// bench_obs: prices the observability layer and enforces its contract.
+//
+//   1. Disabled overhead (< 2%, exit-code enforced): instrumentation
+//      compiled in but not enabled must cost the event loop less than 2%.
+//      Each disabled site is one relaxed load + untaken branch; we measure
+//      that gate directly, measure the real scheduler event loop, and
+//      bound overhead = gate_ns / event_ns.  The bound is conservative:
+//      it charges the whole gate on top of an event that already paid it.
+//   2. Enabled overhead (informational): the same event loop with
+//      obs::set_enabled(true), i.e. counter + gauge + timed histogram per
+//      event - the price an operator pays while actually collecting.
+//   3. Fleet byte identity (enforced): the fleet report must be
+//      byte-identical with metrics off and on, at 1 and at N workers.
+//
+//   ./bench_obs [--jobs N]
+//
+// Writes BENCH_obs.json; exits 0 when every enforced gate holds, 1
+// otherwise (2 = usage error).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "svc/fleet.hpp"
+
+namespace {
+
+using namespace offramps;
+
+/// Events per timing pass: enough that steady-clock granularity and the
+/// heap warm-up vanish into the noise, small enough to stay quick.
+constexpr std::size_t kEvents = 2'000'000;
+
+/// One scheduler pass: a self-rescheduling event chain whose callback
+/// performs `kExtraChecks` additional obs::enabled() gates, so the
+/// measurement is dominated by the dispatch loop itself (heap pop, time
+/// advance, SmallFn call) - the path the real obs gate sits on.  The asm
+/// operand forces each check's value to materialize so the loop cannot
+/// fold the gates away.
+template <int kExtraChecks>
+double event_loop_ns_per_event() {
+  sim::Scheduler sched;
+  std::size_t remaining = kEvents;
+  std::size_t hits = 0;
+  struct Chain {
+    sim::Scheduler& sched;
+    std::size_t& remaining;
+    std::size_t& hits;
+    void operator()() const {
+      for (int k = 0; k < kExtraChecks; ++k) {
+        bool on = obs::enabled();
+        asm volatile("" : "+r"(on));
+        if (on) ++hits;
+      }
+      if (--remaining == 0) return;
+      sched.schedule_in(1, Chain{sched, remaining, hits});
+    }
+  };
+  sched.schedule_in(1, Chain{sched, remaining, hits});
+  const bench::Stopwatch watch;
+  sched.run_all();
+  asm volatile("" : "+r"(hits));
+  return watch.seconds() * 1e9 / static_cast<double>(kEvents);
+}
+
+/// Best-of-3: the minimum is the least-perturbed observation of a
+/// deterministic quantity (same convention as bench_fault_overhead).
+template <typename F>
+double best_of_3(F&& f) {
+  double best = f();
+  for (int i = 0; i < 2; ++i) best = std::min(best, f());
+  return best;
+}
+
+std::vector<svc::RigSpec> small_fleet() {
+  std::vector<svc::RigSpec> specs = svc::Fleet::demo_specs(4, 1);
+  for (auto& s : specs) {
+    s.cube_mm = 6.0;
+    s.height_mm = 2.0;
+  }
+  return specs;
+}
+
+svc::FleetOptions fleet_options(std::size_t workers) {
+  svc::FleetOptions options;
+  options.workers = workers;
+  options.use_power = false;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
+  bench::BenchJson json("obs");
+  int rc = 0;
+
+  bench::heading("obs disabled overhead (enforced < 2%)");
+  obs::set_enabled(false);
+  // Differential measurement: the same event loop with 0 and with 8
+  // extra disabled gates per event; the slope prices one gate in situ
+  // (real instruction mix, real heap traffic around the load).  The
+  // plain loop already contains the scheduler's own gate, so event_ns is
+  // exactly what a disabled build pays today.
+  double event_ns = best_of_3(event_loop_ns_per_event<0>);
+  double loaded_ns = best_of_3(event_loop_ns_per_event<8>);
+  double gate_ns = 0.0;
+  double disabled_pct = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    gate_ns = std::max(0.0, (loaded_ns - event_ns) / 8.0);
+    disabled_pct = 100.0 * gate_ns / event_ns;
+    if (disabled_pct < 2.0 || attempt == 2) break;
+    // A loaded host (CI co-tenant, cgroup throttling) can inflate one
+    // loop more than the other and fake a fat gate.  Re-measuring and
+    // keeping the minima rescues a noisy run but not a real regression:
+    // minima only converge downward, to the unperturbed cost.
+    std::fprintf(stderr,
+                 "note: %.3f%% over budget, re-measuring (attempt %d)\n",
+                 disabled_pct, attempt + 2);
+    event_ns = std::min(event_ns, best_of_3(event_loop_ns_per_event<0>));
+    loaded_ns = std::min(loaded_ns, best_of_3(event_loop_ns_per_event<8>));
+  }
+  std::printf("event loop           : %8.2f ns/event (%zu events)\n",
+              event_ns, kEvents);
+  std::printf("  +8 gates/event     : %8.2f ns/event\n", loaded_ns);
+  std::printf("obs::enabled() gate  : %8.4f ns/check (slope)\n", gate_ns);
+  std::printf("disabled overhead    : %8.3f %% (bound: gate/event)\n",
+              disabled_pct);
+  json.add("event_loop_ns", event_ns);
+  json.add("gate_ns", gate_ns);
+  json.add("disabled_overhead_pct", disabled_pct);
+  if (disabled_pct >= 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled obs overhead %.3f%% >= 2%% budget\n",
+                 disabled_pct);
+    rc = 1;
+  }
+
+  bench::heading("obs enabled overhead (informational)");
+  obs::Registry::instance().reset();
+  obs::set_enabled(true);
+  const double enabled_ns = best_of_3(event_loop_ns_per_event<0>);
+  obs::set_enabled(false);
+  const double enabled_pct = 100.0 * (enabled_ns - event_ns) / event_ns;
+  std::printf("instrumented loop    : %8.2f ns/event (+%.1f%%)\n",
+              enabled_ns, enabled_pct);
+  json.add("enabled_ns", enabled_ns);
+  json.add("enabled_overhead_pct", enabled_pct);
+
+  bench::heading("fleet report byte identity (enforced)");
+  const std::vector<svc::RigSpec> specs = small_fleet();
+  obs::Registry::instance().reset();
+  svc::Fleet plain(fleet_options(1));
+  bench::Stopwatch fleet_watch;
+  const std::string baseline = plain.run(specs).to_json();
+  const double fleet_plain_s = fleet_watch.seconds();
+  obs::set_enabled(true);
+  svc::Fleet seq(fleet_options(1));
+  fleet_watch.restart();
+  const std::string with_metrics_1 = seq.run(specs).to_json();
+  const double fleet_enabled_s = fleet_watch.seconds();
+  svc::Fleet par(fleet_options(jobs));
+  const std::string with_metrics_n = par.run(specs).to_json();
+  obs::set_enabled(false);
+  // Realistic enabled cost: a whole fleet run (full sims, not the no-op
+  // event floor above) with metrics collected vs without.
+  const double fleet_pct =
+      100.0 * (fleet_enabled_s - fleet_plain_s) / fleet_plain_s;
+  std::printf("fleet w1 run         : %.3f s plain, %.3f s with metrics "
+              "(%+.1f%%)\n",
+              fleet_plain_s, fleet_enabled_s, fleet_pct);
+  json.add("fleet_plain_s", fleet_plain_s);
+  json.add("fleet_enabled_s", fleet_enabled_s);
+  json.add("fleet_enabled_overhead_pct", fleet_pct);
+  const bool identical =
+      with_metrics_1 == baseline && with_metrics_n == baseline;
+  std::printf("disabled w1 vs enabled w1 vs enabled w%zu: %s\n", jobs,
+              identical ? "byte-identical" : "DIVERGED");
+  json.add("fleet_byte_identical", identical);
+  json.add("jobs", static_cast<std::uint64_t>(jobs));
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: fleet report changed under --metrics/workers\n");
+    rc = 1;
+  }
+
+  json.add("pass", rc == 0);
+  json.write();
+  std::printf("\nbench_obs: %s\n", rc == 0 ? "PASS" : "FAIL");
+  return rc;
+}

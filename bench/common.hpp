@@ -6,12 +6,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/strict_parse.hpp"
 #include "detect/compare.hpp"
 #include "gcode/stats.hpp"
 #include "host/parallel_runner.hpp"
@@ -73,17 +73,25 @@ class Stopwatch {
 /// Worker count for a harness run: `--jobs N` / `-j N` on the command
 /// line wins, else OFFRAMPS_JOBS / hardware concurrency via
 /// ParallelRunner::default_workers().  Unrelated argv entries are left
-/// for the caller.
+/// for the caller.  Values must be whole positive integers ("8x" used to
+/// silently run as 8); a malformed value warns and falls through to the
+/// default, matching the OFFRAMPS_JOBS contract.
 inline std::size_t parse_jobs(int argc, char** argv) {
+  const auto strict = [](const char* text) -> std::size_t {
+    const auto v = core::parse_long(text);
+    if (v && *v >= 1) return static_cast<std::size_t>(*v);
+    std::fprintf(stderr,
+                 "--jobs '%s' is not a positive integer; using default\n",
+                 text);
+    return host::ParallelRunner::default_workers();
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if ((a == "--jobs" || a == "-j") && i + 1 < argc) {
-      const long v = std::strtol(argv[i + 1], nullptr, 10);
-      return v >= 1 ? static_cast<std::size_t>(v) : 1;
+      return strict(argv[i + 1]);
     }
     if (a.rfind("--jobs=", 0) == 0) {
-      const long v = std::strtol(a.c_str() + 7, nullptr, 10);
-      return v >= 1 ? static_cast<std::size_t>(v) : 1;
+      return strict(a.c_str() + 7);
     }
   }
   return host::ParallelRunner::default_workers();

@@ -4,7 +4,8 @@
 // small part per cell, and classify every run as clean / fail-safe /
 // silent-corruption / false-alarm against a clean reference.
 //
-//   ./fault_campaign [report.json] [--jobs N]
+//   ./fault_campaign [report.json] [--jobs N] [--metrics]
+//                    [--trace-out FILE]
 //
 // Writes the machine-readable JSON report to the given path (default
 // fault_campaign.json in the working directory) and prints a summary
@@ -16,23 +17,39 @@
 // offramps_fleetd): 0 = campaign ran and self-checks passed,
 // 1 = self-check findings or report write failure, 2 = usage error.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
 
+#include "core/strict_parse.hpp"
 #include "host/fault_campaign.hpp"
 #include "host/parallel_runner.hpp"
 #include "host/slicer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: fault_campaign [report.json] [--jobs N]\n"
+    "usage: fault_campaign [report.json] [--jobs N] [--metrics]\n"
+    "                      [--trace-out FILE]\n"
     "  report.json      output path (default: fault_campaign.json)\n"
     "  --jobs N, -j N   worker threads (default: OFFRAMPS_JOBS or cores)\n"
+    "  --metrics        print the obs:: metrics registry after the run\n"
+    "  --trace-out FILE write a chrome://tracing trace of the sweep\n"
     "  --help, -h       this text\n"
     "exit: 0 campaign clean, 1 self-check findings or write failure,\n"
     "      2 usage error\n";
+
+std::size_t parse_jobs_or_die(const char* text) {
+  const auto v = offramps::core::parse_long(text);
+  if (!v || *v < 1) {
+    std::fprintf(stderr, "bad --jobs value '%s'\n", text);
+    std::fputs(kUsage, stderr);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(*v);
+}
 
 }  // namespace
 
@@ -41,20 +58,24 @@ int main(int argc, char** argv) {
 
   const char* out_path = "fault_campaign.json";
   std::size_t jobs = host::ParallelRunner::default_workers();
+  bool metrics = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
     }
-    if ((std::strcmp(argv[i], "--jobs") == 0 ||
-         std::strcmp(argv[i], "-j") == 0) &&
-        i + 1 < argc) {
-      const long v = std::strtol(argv[++i], nullptr, 10);
-      jobs = v >= 1 ? static_cast<std::size_t>(v) : 1;
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if ((std::strcmp(argv[i], "--jobs") == 0 ||
+                std::strcmp(argv[i], "-j") == 0) &&
+               i + 1 < argc) {
+      jobs = parse_jobs_or_die(argv[++i]);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      const long v = std::strtol(argv[i] + 7, nullptr, 10);
-      jobs = v >= 1 ? static_cast<std::size_t>(v) : 1;
+      jobs = parse_jobs_or_die(argv[i] + 7);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
       std::fputs(kUsage, stderr);
@@ -63,6 +84,9 @@ int main(int argc, char** argv) {
       out_path = argv[i];
     }
   }
+
+  if (metrics) obs::set_enabled(true);
+  if (!trace_path.empty()) obs::TraceSession::start();
 
   // A small sliced cube keeps each of the sweep's full prints quick while
   // still exercising homing, heating, and multi-layer motion.
@@ -82,6 +106,20 @@ int main(int argc, char** argv) {
               sweep.size(), pool.workers());
 
   const host::CampaignReport report = campaign.run(sweep, pool);
+
+  if (!trace_path.empty()) {
+    obs::TraceSession::stop();
+    if (!obs::TraceSession::save(trace_path)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                obs::TraceSession::event_count());
+  }
+  if (metrics) {
+    std::fputs(obs::Registry::instance().to_json().c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
 
   std::printf("\n%-15s %-18s %9s %-18s %6s %6s %5s\n", "fault", "target",
               "intensity", "outcome", "dev%", "txns", "crc-");

@@ -34,6 +34,10 @@ else
   # tests, detector edge cases, and the three CLI exit-code contracts).
   echo "==> fleet suite (ctest -L fleet)"
   ctest --preset default -L fleet -j "${jobs}"
+  # ...and the observability layer: obs unit tests, strict-parse CLI
+  # contracts, and the bench_obs < 2% disabled-overhead gate.
+  echo "==> obs suite (ctest -L obs)"
+  ctest --preset default -L obs -j "${jobs}"
 fi
 
 echo "==> all checks passed"

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "sim/error.hpp"
 
 namespace offramps::host {
@@ -108,6 +109,7 @@ FaultCampaign::FaultCampaign(gcode::Program program, std::string label,
 void FaultCampaign::run_reference() {
   if (have_reference_) return;
   have_reference_ = true;
+  const obs::Span span("reference/" + label_, "campaign");
   Rig rig(options_.rig);
   reference_ = rig.run(program_);
   if (!reference_.finished) {
@@ -143,6 +145,9 @@ CellResult FaultCampaign::run_cell(const sim::FaultSpec& spec) {
 }
 
 CellResult FaultCampaign::evaluate_cell(const sim::FaultSpec& spec) const {
+  // One trace span per sweep cell: with --trace-out, the campaign's
+  // per-worker timeline shows each cell's full print as one block.
+  const obs::Span span("cell/" + spec.describe(), "campaign");
   RigOptions opts = options_.rig;
   opts.faults.push_back(spec);
   Rig rig(opts);

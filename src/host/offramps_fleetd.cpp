@@ -13,8 +13,6 @@
 // Exit codes: 0 = all rigs clean, 1 = any detector alarmed,
 // 2 = usage or spec error.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -22,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "core/strict_parse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/fleet.hpp"
 
 namespace {
@@ -37,6 +38,11 @@ constexpr const char* kUsage =
     "  --out FILE       also write the JSON fleet report to FILE\n"
     "  --captures DIR   persist golden + observed captures as .bin in DIR\n"
     "  --no-safe-stop   observe alarms without halting the rig\n"
+    "  --metrics        collect obs:: metrics and append a \"metrics\"\n"
+    "                   section to the JSON report (the deterministic\n"
+    "                   part of the report stays byte-identical)\n"
+    "  --trace-out FILE write a chrome://tracing / Perfetto trace of the\n"
+    "                   run (Trace Event Format JSON) to FILE\n"
     "  --help, -h       this text\n"
     "exit: 0 all rigs clean, 1 any alarm, 2 usage/spec error\n";
 
@@ -60,10 +66,9 @@ constexpr const char* kSpecHelp =
     "sabotage: \"clean\" | \"reduce:<factor>\" | \"relocate:<n>\"\n";
 
 long parse_count(const char* text, long min_value) {
-  char* end = nullptr;
-  const long v = std::strtol(text, &end, 10);
-  if (end == nullptr || *end != '\0' || v < min_value) return -1;
-  return v;
+  const auto v = offramps::core::parse_long(text);
+  if (!v || *v < min_value || *v > 1'000'000) return -1;
+  return static_cast<long>(*v);
 }
 
 }  // namespace
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
   long demo_n = -1;
   long sabotage_k = 0;
   long jobs = 0;
+  bool metrics = false;
+  std::string trace_path;
 
   offramps::svc::FleetOptions options;
 
@@ -92,8 +99,11 @@ int main(int argc, char** argv) {
       json_stdout = true;
     } else if (arg == "--no-safe-stop") {
       options.safe_stop = false;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--demo" || arg == "--sabotage" || arg == "--jobs" ||
-               arg == "-j" || arg == "--out" || arg == "--captures") {
+               arg == "-j" || arg == "--out" || arg == "--captures" ||
+               arg == "--trace-out") {
       if (++i >= argc) {
         std::fprintf(stderr, "%s wants a value\n", arg.c_str());
         std::fputs(kUsage, stderr);
@@ -113,6 +123,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--out") {
         out_path = argv[i];
+      } else if (arg == "--trace-out") {
+        trace_path = argv[i];
       } else if (arg == "--captures") {
         options.save_captures_dir = argv[i];
       } else {
@@ -191,6 +203,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (metrics) offramps::obs::set_enabled(true);
+  if (!trace_path.empty()) offramps::obs::TraceSession::start();
+
   offramps::svc::FleetReport report;
   try {
     offramps::svc::Fleet fleet(options);
@@ -200,15 +215,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!trace_path.empty()) {
+    offramps::obs::TraceSession::stop();
+    if (!offramps::obs::TraceSession::save(trace_path)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", trace_path.c_str());
+      return 2;
+    }
+    // stderr: --json promises a pure JSON document on stdout.
+    std::fprintf(stderr, "[fleetd] wrote trace %s (%zu events)\n",
+                 trace_path.c_str(),
+                 offramps::obs::TraceSession::event_count());
+  }
+
+  // The metrics section rides in a separate top-level member; the
+  // deterministic report body stays byte-identical with or without it.
+  const std::string report_json =
+      metrics ? report.to_json_with_metrics(report.metrics_json())
+              : report.to_json();
   if (json_stdout) {
-    std::fputs(report.to_json().c_str(), stdout);
+    std::fputs(report_json.c_str(), stdout);
     std::fputc('\n', stdout);
   } else {
     std::fputs(report.to_string().c_str(), stdout);
+    if (metrics) {
+      std::fputs(report.metrics_json().c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
   }
   if (!out_path.empty()) {
     std::ofstream out(out_path, std::ios::binary);
-    out << report.to_json() << '\n';
+    out << report_json << '\n';
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
       return 2;

@@ -31,6 +31,8 @@
 #include "gcode/flaw3d.hpp"
 #include "gcode/parser.hpp"
 #include "host/slicer.hpp"
+#include "sim/error.hpp"
+#include "svc/fleet.hpp"
 
 namespace {
 
@@ -125,34 +127,33 @@ int main(int argc, char** argv) {
   std::optional<offramps::gcode::Program> baseline;
 
   if (!demo_spec.empty()) {
-    const offramps::gcode::Program clean = demo_program();
-    if (demo_spec == "clean") {
-      program = clean;
-    } else if (demo_spec.rfind("reduce:", 0) == 0) {
-      offramps::gcode::flaw3d::ReductionOptions opt;
-      opt.factor = std::atof(demo_spec.c_str() + 7);
-      if (opt.factor <= 0.0 || opt.factor >= 1.0) {
-        std::fprintf(stderr, "bad reduction factor in '%s'\n",
-                     demo_spec.c_str());
-        return 2;
-      }
-      program = offramps::gcode::flaw3d::apply_reduction(clean, opt);
-      baseline = clean;
-    } else if (demo_spec.rfind("relocate:", 0) == 0) {
-      offramps::gcode::flaw3d::RelocationOptions opt;
-      opt.every_n_moves =
-          static_cast<std::uint32_t>(std::atoi(demo_spec.c_str() + 9));
-      if (opt.every_n_moves == 0) {
-        std::fprintf(stderr, "bad relocation period in '%s'\n",
-                     demo_spec.c_str());
-        return 2;
-      }
-      program = offramps::gcode::flaw3d::apply_relocation(clean, opt);
-      baseline = clean;
-    } else {
-      std::fprintf(stderr, "unknown demo spec '%s'\n", demo_spec.c_str());
+    // One grammar for sabotage specs everywhere: svc::parse_sabotage is
+    // strict (whole-string, locale-independent numbers), so
+    // "reduce:0.5junk" is a usage error here instead of silently linting
+    // as 0.5 the way std::atof used to.
+    offramps::svc::Sabotage sabotage;
+    try {
+      sabotage = offramps::svc::parse_sabotage(demo_spec);
+    } catch (const offramps::Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
       std::fputs(kUsage, stderr);
       return 2;
+    }
+    const offramps::gcode::Program clean = demo_program();
+    switch (sabotage.kind) {
+      case offramps::svc::Sabotage::Kind::kNone:
+        program = clean;
+        break;
+      case offramps::svc::Sabotage::Kind::kReduction:
+        program = offramps::gcode::flaw3d::apply_reduction(
+            clean, {.factor = sabotage.factor});
+        baseline = clean;
+        break;
+      case offramps::svc::Sabotage::Kind::kRelocation:
+        program = offramps::gcode::flaw3d::apply_relocation(
+            clean, {.every_n_moves = sabotage.every_n});
+        baseline = clean;
+        break;
     }
   } else {
     std::string error;

@@ -1,7 +1,11 @@
 #include "host/parallel_runner.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "core/strict_parse.hpp"
 
 namespace offramps::host {
 
@@ -13,6 +17,18 @@ ParallelRunner::ParallelRunner(std::size_t workers)
   for (std::size_t i = 0; i < workers_; ++i) {
     queues_.push_back(std::make_unique<Queue>());
   }
+#if OFFRAMPS_OBS_ENABLED
+  // Handles are registered up front (one registry lock per pool, off the
+  // job path) so per-worker balance shows up keyed deterministically:
+  // host.pool.worker.<i>.{executed,stolen}.
+  stats_.resize(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    const std::string prefix = "host.pool.worker." + std::to_string(i);
+    stats_[i].executed =
+        &obs::Registry::instance().counter(prefix + ".executed");
+    stats_[i].stolen = &obs::Registry::instance().counter(prefix + ".stolen");
+  }
+#endif
   threads_.reserve(workers_);
   for (std::size_t i = 0; i < workers_; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -30,14 +46,23 @@ ParallelRunner::~ParallelRunner() {
 }
 
 std::size_t ParallelRunner::default_workers() {
-  if (const char* env = std::getenv("OFFRAMPS_JOBS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
-    return 1;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const std::size_t cores = hw == 0 ? 1 : hw;
+  if (const char* env = std::getenv("OFFRAMPS_JOBS")) {
+    const auto v = core::parse_long(env);
+    if (v && *v >= 1) return static_cast<std::size_t>(*v);
+    // Malformed ("8x", "", "0", "-3"): warn once per process, then fall
+    // back to the documented default rather than silently degrading to
+    // one worker.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "OFFRAMPS_JOBS='%s' is not a positive integer; "
+                   "using hardware concurrency (%zu)\n",
+                   env, cores);
+    }
+  }
+  return cores;
 }
 
 void ParallelRunner::run(std::size_t jobs,
@@ -97,13 +122,14 @@ void ParallelRunner::run(std::size_t jobs,
 }
 
 bool ParallelRunner::try_pop(std::size_t self, std::uint64_t batch,
-                             std::size_t& out) {
+                             std::size_t& out, bool& stole) {
   {  // Own queue: take the oldest local job.
     Queue& q = *queues_[self];
     std::lock_guard<std::mutex> lk(q.mu);
     if (!q.items.empty() && q.items.front().first == batch) {
       out = q.items.front().second;
       q.items.pop_front();
+      stole = false;
       return true;
     }
   }
@@ -115,6 +141,7 @@ bool ParallelRunner::try_pop(std::size_t self, std::uint64_t batch,
     if (!q.items.empty() && q.items.back().first == batch) {
       out = q.items.back().second;
       q.items.pop_back();
+      stole = true;
       return true;
     }
   }
@@ -127,7 +154,26 @@ void ParallelRunner::worker_loop(std::size_t self) {
     const std::function<void(std::size_t)>* body = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return shutdown_ || batch_ > seen_batch; });
+      const auto ready = [&] { return shutdown_ || batch_ > seen_batch; };
+#if OFFRAMPS_OBS_ENABLED
+      if (obs::enabled() && !ready()) {
+        // A park is a worker actually going to sleep on the condition
+        // variable (the predicate was false on arrival); the matching
+        // unpark is its wake-up.  Registry access never takes mu_, so
+        // registering here under the pool lock cannot deadlock.
+        static obs::Counter& parks =
+            obs::Registry::instance().counter("host.pool.parks");
+        static obs::Counter& unparks =
+            obs::Registry::instance().counter("host.pool.unparks");
+        parks.add(1);
+        work_cv_.wait(lk, ready);
+        unparks.add(1);
+      } else {
+        work_cv_.wait(lk, ready);
+      }
+#else
+      work_cv_.wait(lk, ready);
+#endif
       if (shutdown_) return;
       seen_batch = batch_;
       body = &body_;
@@ -137,7 +183,14 @@ void ParallelRunner::worker_loop(std::size_t self) {
     // popped, so a straggler can never run a later batch's index
     // against an earlier batch's body.
     std::size_t idx = 0;
-    while (try_pop(self, seen_batch, idx)) {
+    bool stole = false;
+    while (try_pop(self, seen_batch, idx, stole)) {
+#if OFFRAMPS_OBS_ENABLED
+      if (obs::enabled()) {
+        stats_[self].executed->add(1);
+        if (stole) stats_[self].stolen->add(1);
+      }
+#endif
       std::exception_ptr err;
       try {
         (*body)(idx);

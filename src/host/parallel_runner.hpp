@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace offramps::host {
 
 class ParallelRunner {
@@ -63,8 +65,11 @@ class ParallelRunner {
     return out;
   }
 
-  /// Worker count from the environment: `OFFRAMPS_JOBS` if set (clamped
-  /// to >= 1), else std::thread::hardware_concurrency().
+  /// Worker count from the environment.  `OFFRAMPS_JOBS` must be a
+  /// whole positive base-10 integer ("8"); anything else - trailing
+  /// garbage ("8x"), zero, negatives, empty - is rejected with a
+  /// one-time stderr warning and the documented default applies:
+  /// std::thread::hardware_concurrency() (1 when unknown).
   [[nodiscard]] static std::size_t default_workers();
 
  private:
@@ -76,12 +81,21 @@ class ParallelRunner {
     std::deque<std::pair<std::uint64_t, std::size_t>> items;
   };
 
+  /// Per-worker observability handles (obs:: registry counters), fixed
+  /// at construction; increments are gated on obs::enabled().
+  struct WorkerStats {
+    obs::Counter* executed = nullptr;  // jobs this worker ran
+    obs::Counter* stolen = nullptr;    // ...of which it stole
+  };
+
   void worker_loop(std::size_t self);
-  bool try_pop(std::size_t self, std::uint64_t batch, std::size_t& out);
+  bool try_pop(std::size_t self, std::uint64_t batch, std::size_t& out,
+               bool& stole);
 
   std::size_t workers_;
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
+  std::vector<WorkerStats> stats_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

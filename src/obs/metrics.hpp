@@ -1,0 +1,168 @@
+// Process-wide metrics registry: counters, gauges, fixed-bucket
+// histograms.
+//
+// The paper evaluates OFFRAMPS as a logic analyzer and quantifies its
+// overhead on live signals; this layer is the software analogue for the
+// reproduction itself - per-subsystem telemetry (scheduler event rates,
+// worker-pool balance, detector window timings) that the fleet tools can
+// export without perturbing the thing they measure.
+//
+// Cost model, in order of increasing spend:
+//
+//   * compiled out          - OFFRAMPS_OBS_ENABLED=0 removes every
+//                             instrumentation site at preprocessing time
+//                             (the CMake option OFFRAMPS_OBS=OFF sets it
+//                             project-wide);
+//   * compiled in, disabled - the everyday path.  Each site is one
+//                             relaxed atomic load and an untaken branch;
+//                             bench_obs enforces < 2% on the event loop;
+//   * enabled               - obs::set_enabled(true).  Hot-path updates
+//                             are lock-free atomic ops on pre-registered
+//                             handles: no allocation, no registry lock.
+//
+// Handles returned by Registry are valid for the process lifetime, so
+// call sites register once (function-local static or constructor) and
+// update through the pointer afterwards.  Instrumentation never feeds
+// back into simulation state: enabling metrics cannot change a single
+// simulated byte, only record wall-clock facts about producing them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef OFFRAMPS_OBS_ENABLED
+#define OFFRAMPS_OBS_ENABLED 1
+#endif
+
+namespace offramps::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when instrumentation sites should record.  One relaxed load -
+/// this is the only cost the disabled path pays.
+inline bool enabled() {
+#if OFFRAMPS_OBS_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Turns recording on/off process-wide.  A no-op (always off) when the
+/// layer is compiled out.
+void set_enabled(bool on);
+
+/// Microseconds elapsed since `t0` (histogram convenience).
+inline double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value plus a running maximum (e.g. queue depth: the
+/// current level and the high-water mark since the last reset).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram.  Bucket upper bounds are set at registration
+/// and never change; observe() is a binary search plus two atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; one more entry than bounds() (the overflow
+  /// bucket).
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;               // ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket ladder for latency histograms, in microseconds.
+const std::vector<double>& latency_buckets_us();
+
+/// Process-wide name -> instrument map.  Registration (the only locking
+/// path) returns a stable reference; the same name always yields the
+/// same instrument.  JSON export iterates names in sorted order, so the
+/// document layout is deterministic for a given set of registrations.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first registration only; later calls return the
+  /// existing histogram unchanged.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// sorted by name.  Valid JSON (svc::json can re-read it); values are
+  /// snapshots, not atomic across the whole document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zeroes every registered instrument (handles stay valid).  For
+  /// benches and tests that want a clean slate per phase.
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace offramps::obs

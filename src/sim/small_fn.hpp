@@ -46,6 +46,15 @@ class SmallFn<R(Args...), Capacity> {
     }
   }
 
+  // The fixed-size copy reads past the stored callable into the buffer's
+  // intentionally-uninitialized tail (defined behavior for unsigned
+  // char), which GCC's -Wmaybe-uninitialized flags in some inlining
+  // contexts; copying sizeof(Fn) instead would need a per-type vtable hop
+  // on the hottest move in the program.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
   SmallFn(SmallFn&& other) noexcept
       : vt_(other.vt_) {
     // Inline payloads are trivially copyable and heap payloads are a raw
@@ -63,6 +72,9 @@ class SmallFn<R(Args...), Capacity> {
     }
     return *this;
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   SmallFn& operator=(std::nullptr_t) noexcept {
     reset();

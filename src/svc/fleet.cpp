@@ -1,14 +1,17 @@
 #include "svc/fleet.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <utility>
 
 #include "analyze/analyzer.hpp"
+#include "core/strict_parse.hpp"
 #include "gcode/flaw3d.hpp"
 #include "host/parallel_runner.hpp"
 #include "host/rig.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/error.hpp"
 #include "svc/json.hpp"
 
@@ -36,26 +39,26 @@ Sabotage parse_sabotage(const std::string& text) {
   const std::string arg =
       colon == std::string::npos ? "" : text.substr(colon + 1);
   if (head == "reduce") {
-    char* end = nullptr;
-    const double f = std::strtod(arg.c_str(), &end);
-    if (arg.empty() || end == nullptr || *end != '\0' || f <= 0.0 ||
-        f >= 1.0) {
+    // core::parse_double is strict (whole string, locale-independent) -
+    // std::strtod would accept "0.5junk" and, under a de_DE LC_NUMERIC,
+    // read "0,5" styles differently than the spec files intend.
+    const auto f = core::parse_double(arg);
+    if (!f || *f <= 0.0 || *f >= 1.0) {
       throw Error("sabotage: reduce wants a factor in (0, 1): \"" + text +
                   "\"");
     }
     s.kind = Sabotage::Kind::kReduction;
-    s.factor = f;
+    s.factor = *f;
     return s;
   }
   if (head == "relocate") {
-    char* end = nullptr;
-    const long n = std::strtol(arg.c_str(), &end, 10);
-    if (arg.empty() || end == nullptr || *end != '\0' || n < 1) {
+    const auto n = core::parse_long(arg);
+    if (!n || *n < 1 || *n > 0xFFFFFFFFll) {
       throw Error("sabotage: relocate wants a positive move count: \"" +
                   text + "\"");
     }
     s.kind = Sabotage::Kind::kRelocation;
-    s.every_n = static_cast<std::uint32_t>(n);
+    s.every_n = static_cast<std::uint32_t>(*n);
     return s;
   }
   throw Error(
@@ -195,6 +198,36 @@ std::string FleetReport::to_json() const {
   return out;
 }
 
+std::string FleetReport::to_json_with_metrics(
+    const std::string& metrics_json) const {
+  std::string out = to_json();
+  if (metrics_json.empty()) return out;
+  // Splice ",\n  \"metrics\": <value>" before the closing "\n}" so the
+  // deterministic part of the document stays byte for byte to_json().
+  out.resize(out.size() - 2);  // drop "\n}"
+  out += ",\n  \"metrics\": ";
+  out += metrics_json;
+  out += "\n}";
+  return out;
+}
+
+std::string FleetReport::metrics_json() const {
+  char buf[64];
+  std::string out = "{\n    \"phases\": {";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "      \"";
+    out += json_escape(timings[i].name);
+    std::snprintf(buf, sizeof(buf), "\": %.6f", timings[i].seconds);
+    out += buf;
+  }
+  out += timings.empty() ? "}" : "\n    }";
+  out += ",\n    \"registry\": ";
+  out += obs::Registry::instance().to_json();
+  out += "\n  }";
+  return out;
+}
+
 std::string FleetReport::to_string() const {
   std::string out;
   char buf[256];
@@ -255,9 +288,23 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
     if (it == objects.end()) objects.push_back(key);
   }
 
+  // Per-job wall-clock, written by worker threads into index-addressed
+  // slots (no sharing) and merged in index order afterwards, so the
+  // timings list is deterministic even though the values are wall-clock.
+  std::vector<double> ref_seconds(objects.size(), 0.0);
+  std::vector<double> rig_seconds(specs.size(), 0.0);
+  const auto seconds_since =
+      [](std::chrono::steady_clock::time_point t0) {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+      };
+
   // Reference phase: slice + oracle + one golden print per object.
   std::vector<Reference> refs = pool.map<Reference>(
       objects.size(), [&](std::size_t i) {
+        const obs::Span span("reference/" + std::to_string(i), "fleet");
+        const auto job_t0 = std::chrono::steady_clock::now();
         Reference ref;
         const host::CubeSpec cube{.size_x_mm = objects[i].first,
                                   .size_y_mm = objects[i].first,
@@ -282,6 +329,7 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
           ref.golden.save_binary(options_.save_captures_dir + "/golden-" +
                                  std::to_string(i) + ".bin");
         }
+        ref_seconds[i] = seconds_since(job_t0);
         return ref;
       });
 
@@ -290,6 +338,8 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
   report.rigs = pool.map<RigOutcome>(specs.size(), [&](std::size_t i) {
     RigSpec spec = specs[i];
     if (spec.name.empty()) spec.name = "rig-" + std::to_string(i);
+    const obs::Span span("rig/" + spec.name, "fleet");
+    const auto job_t0 = std::chrono::steady_clock::now();
     const Reference& ref = refs[object_of[i]];
 
     OnlineDetector detector(options_.detector);
@@ -358,8 +408,22 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
       res.capture.save_binary(options_.save_captures_dir + "/" +
                               sanitize(out.spec.name) + ".bin");
     }
+    rig_seconds[i] = seconds_since(job_t0);
     return out;
   });
+
+  // Deterministic order: references by object index, then rigs by spec
+  // index.  Values are wall-clock but the key set never depends on the
+  // worker count.
+  report.timings.reserve(objects.size() + specs.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    report.timings.push_back(
+        {"reference/" + std::to_string(i), ref_seconds[i]});
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    report.timings.push_back({"rig/" + report.rigs[i].spec.name,
+                              rig_seconds[i]});
+  }
   return report;
 }
 

@@ -97,9 +97,22 @@ struct RigOutcome {
   std::array<std::int64_t, 4> final_counts{};
 };
 
+/// One orchestration phase's wall-clock cost ("reference/0" per object,
+/// "rig/<name>" per rig).
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
 /// Whole-fleet result.
 struct FleetReport {
   std::vector<RigOutcome> rigs;
+  /// Wall-clock phase timings in deterministic order (references by
+  /// object index, then rigs by spec index).  Collected on every run but
+  /// NEVER rendered by to_json() - only the CLI's --metrics flag
+  /// surfaces them, in a separate "metrics" section, so the results stay
+  /// byte-identical whether or not instrumentation is on.
+  std::vector<PhaseTiming> timings;
 
   [[nodiscard]] std::size_t alarmed() const;
   [[nodiscard]] std::size_t mid_print_alarms() const;
@@ -108,6 +121,16 @@ struct FleetReport {
   /// Contains no wall-clock or worker-count data: byte-identical for a
   /// given fleet spec at any worker count.
   [[nodiscard]] std::string to_json() const;
+  /// Same document with one extra top-level "metrics" member holding the
+  /// pre-rendered JSON value `metrics_json` (see metrics_json()).  With
+  /// an empty argument this is to_json() byte for byte.
+  [[nodiscard]] std::string to_json_with_metrics(
+      const std::string& metrics_json) const;
+  /// The "metrics" section value: {"phases": {...}, "registry": {...}} -
+  /// the phase timings above plus a snapshot of the process-wide obs::
+  /// registry (scheduler/runner/detector counters).  Keys are emitted in
+  /// deterministic order; values are wall-clock measurements.
+  [[nodiscard]] std::string metrics_json() const;
   /// One line per rig, for the console.
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,8 +1,11 @@
 #include "svc/online_detector.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+
+#include "obs/metrics.hpp"
 
 namespace offramps::svc {
 
@@ -111,6 +114,23 @@ std::size_t OnlineDetector::drain() {
 }
 
 void OnlineDetector::process(const core::Transaction& txn) {
+#if OFFRAMPS_OBS_ENABLED
+  if (obs::enabled()) {
+    static obs::Counter& windows =
+        obs::Registry::instance().counter("svc.detector.windows");
+    static obs::Histogram& window_us = obs::Registry::instance().histogram(
+        "svc.detector.window_us", obs::latency_buckets_us());
+    const auto t0 = std::chrono::steady_clock::now();
+    process_impl(txn);
+    window_us.observe(obs::us_since(t0));
+    windows.add(1);
+    return;
+  }
+#endif
+  process_impl(txn);
+}
+
+void OnlineDetector::process_impl(const core::Transaction& txn) {
   ++report_.windows_processed;
   last_counts_ = txn.counts;
   last_tick_ns_ = txn.time_ns;
@@ -208,6 +228,20 @@ void OnlineDetector::finish(const core::Capture& capture) {
   drain();
   finished_ = true;
   report_.stream_finished = true;
+
+#if OFFRAMPS_OBS_ENABLED
+  // Export the ring-buffer health this detector already tracks: the
+  // gauge's max is the worst occupancy across every detector in the
+  // process, the counter the fleet-wide stall total.
+  if (obs::enabled()) {
+    static obs::Gauge& high_water =
+        obs::Registry::instance().gauge("svc.detector.ring_high_water");
+    static obs::Counter& stalls = obs::Registry::instance().counter(
+        "svc.detector.backpressure_stalls");
+    high_water.set(static_cast<std::int64_t>(ring_.high_water()));
+    stalls.add(backpressure_stalls_);
+  }
+#endif
 
   if (!options_.final_checks) return;
 

@@ -178,7 +178,11 @@ class OnlineDetector {
   [[nodiscard]] OnlineReport report() const;
 
  private:
+  /// Dispatches to process_impl(), wrapped in the obs:: window timer
+  /// when metrics are enabled (never touches detection state itself, so
+  /// instrumentation cannot change a verdict).
   void process(const core::Transaction& txn);
+  void process_impl(const core::Transaction& txn);
   void close_power_window();
   void raise(Channel ch, std::uint32_t window, std::uint64_t tick_ns,
              const std::array<std::int32_t, 4>& counts);

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "svc/online_detector.hpp"
 
@@ -55,6 +56,13 @@ class Pump {
     sched_.schedule_in(options_.period, [this] {
       if (stopped_) return;
       ++slots_run_;
+#if OFFRAMPS_OBS_ENABLED
+      if (obs::enabled()) {
+        static obs::Counter& slots =
+            obs::Registry::instance().counter("svc.pump.slots");
+        slots.add(1);
+      }
+#endif
       if (on_slot_) on_slot_();
       detector_.poll(options_.windows_per_slot);
       schedule();

@@ -134,12 +134,17 @@ TEST(ParallelRunner, ExceptionPropagatesAndBatchDrains) {
 }
 
 TEST(ParallelRunner, DefaultWorkersHonorsEnvironment) {
+  // Malformed values must fall back to the documented default (cores),
+  // not silently degrade to one worker; test_strict_parse covers the
+  // full edge-case matrix.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : hw;
   ::setenv("OFFRAMPS_JOBS", "5", 1);
   EXPECT_EQ(host::ParallelRunner::default_workers(), 5u);
   ::setenv("OFFRAMPS_JOBS", "0", 1);
-  EXPECT_EQ(host::ParallelRunner::default_workers(), 1u);
+  EXPECT_EQ(host::ParallelRunner::default_workers(), cores);
   ::setenv("OFFRAMPS_JOBS", "garbage", 1);
-  EXPECT_EQ(host::ParallelRunner::default_workers(), 1u);
+  EXPECT_EQ(host::ParallelRunner::default_workers(), cores);
   ::unsetenv("OFFRAMPS_JOBS");
   EXPECT_GE(host::ParallelRunner::default_workers(), 1u);
 }

@@ -1,0 +1,126 @@
+// core::strict_parse and every surface that now routes through it: the
+// sabotage-spec grammar, the OFFRAMPS_JOBS contract, and the
+// locale-independence regression (std::strtod honored LC_NUMERIC, so a
+// de_DE process read "0.5" as 0 and stopped at the period).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/strict_parse.hpp"
+#include "host/parallel_runner.hpp"
+#include "sim/error.hpp"
+#include "svc/fleet.hpp"
+
+namespace offramps {
+namespace {
+
+TEST(StrictParse, DoubleAcceptsPlainNumbers) {
+  EXPECT_EQ(core::parse_double("0.5"), 0.5);
+  EXPECT_EQ(core::parse_double("1"), 1.0);
+  EXPECT_EQ(core::parse_double("-2.25"), -2.25);
+  EXPECT_EQ(core::parse_double("1e-3"), 1e-3);
+  EXPECT_EQ(core::parse_double("2.5E2"), 250.0);
+}
+
+TEST(StrictParse, DoubleRejectsGarbageWhitespaceAndNonFinite) {
+  EXPECT_FALSE(core::parse_double(""));
+  EXPECT_FALSE(core::parse_double("0.5junk"));   // the old atof bug
+  EXPECT_FALSE(core::parse_double("0.5 "));
+  EXPECT_FALSE(core::parse_double(" 0.5"));
+  EXPECT_FALSE(core::parse_double("0,5"));       // locale-styled comma
+  EXPECT_FALSE(core::parse_double("0x1p3"));
+  EXPECT_FALSE(core::parse_double("nan"));       // passes any range check
+  EXPECT_FALSE(core::parse_double("inf"));
+  EXPECT_FALSE(core::parse_double("1e999"));     // overflows to infinity
+}
+
+TEST(StrictParse, LongAcceptsWholeIntegers) {
+  EXPECT_EQ(core::parse_long("8"), 8);
+  EXPECT_EQ(core::parse_long("-3"), -3);
+  EXPECT_EQ(core::parse_long("007"), 7);
+}
+
+TEST(StrictParse, LongRejectsGarbage) {
+  EXPECT_FALSE(core::parse_long(""));
+  EXPECT_FALSE(core::parse_long("8x"));          // the old strtol bug
+  EXPECT_FALSE(core::parse_long("8 "));
+  EXPECT_FALSE(core::parse_long(" 8"));
+  EXPECT_FALSE(core::parse_long("2.5"));
+  EXPECT_FALSE(core::parse_long("0b101"));
+  EXPECT_FALSE(core::parse_long("99999999999999999999"));  // out of range
+}
+
+TEST(StrictParse, SabotageGrammarAcceptsTheDocumentedForms) {
+  EXPECT_EQ(svc::parse_sabotage("").kind, svc::Sabotage::Kind::kNone);
+  EXPECT_EQ(svc::parse_sabotage("clean").kind, svc::Sabotage::Kind::kNone);
+  EXPECT_EQ(svc::parse_sabotage("none").kind, svc::Sabotage::Kind::kNone);
+
+  const svc::Sabotage reduce = svc::parse_sabotage("reduce:0.85");
+  EXPECT_EQ(reduce.kind, svc::Sabotage::Kind::kReduction);
+  EXPECT_DOUBLE_EQ(reduce.factor, 0.85);
+
+  const svc::Sabotage relocate = svc::parse_sabotage("relocate:10");
+  EXPECT_EQ(relocate.kind, svc::Sabotage::Kind::kRelocation);
+  EXPECT_EQ(relocate.every_n, 10u);
+}
+
+TEST(StrictParse, SabotageGrammarRejectsMalformedSpecs) {
+  EXPECT_THROW(svc::parse_sabotage("bogus"), Error);
+  EXPECT_THROW(svc::parse_sabotage("reduce:"), Error);
+  EXPECT_THROW(svc::parse_sabotage("reduce:0.5junk"), Error);
+  EXPECT_THROW(svc::parse_sabotage("reduce:nan"), Error);
+  EXPECT_THROW(svc::parse_sabotage("reduce:0"), Error);
+  EXPECT_THROW(svc::parse_sabotage("reduce:1"), Error);
+  EXPECT_THROW(svc::parse_sabotage("reduce:1.5"), Error);
+  EXPECT_THROW(svc::parse_sabotage("relocate:"), Error);
+  EXPECT_THROW(svc::parse_sabotage("relocate:0"), Error);
+  EXPECT_THROW(svc::parse_sabotage("relocate:-5"), Error);
+  EXPECT_THROW(svc::parse_sabotage("relocate:8x"), Error);
+  EXPECT_THROW(svc::parse_sabotage("relocate:2.5"), Error);
+}
+
+TEST(StrictParse, JobsEnvContractFallsBackToCores) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : hw;
+
+  ::setenv("OFFRAMPS_JOBS", "3", 1);
+  EXPECT_EQ(host::ParallelRunner::default_workers(), 3u);
+  // Malformed or non-positive values must not silently degrade to one
+  // worker (the old behavior); they warn once and use the cores default.
+  for (const char* bad : {"8x", "0", "-2", "", " 4", "4 ", "2.5", "junk"}) {
+    ::setenv("OFFRAMPS_JOBS", bad, 1);
+    EXPECT_EQ(host::ParallelRunner::default_workers(), cores)
+        << "OFFRAMPS_JOBS='" << bad << "'";
+  }
+  ::unsetenv("OFFRAMPS_JOBS");
+  EXPECT_EQ(host::ParallelRunner::default_workers(), cores);
+}
+
+/// The regression that motivated from_chars: under an LC_NUMERIC whose
+/// decimal separator is ',', strtod("0.5") stops at the period.  Skipped
+/// (not failed) when the container has no such locale installed.
+TEST(StrictParse, LocaleIndependentUnderCommaDecimalLocale) {
+  const char* names[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR",
+                         "nl_NL.UTF-8"};
+  const char* previous = nullptr;
+  for (const char* name : names) {
+    previous = std::setlocale(LC_NUMERIC, name);
+    if (previous != nullptr) break;
+  }
+  if (previous == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  EXPECT_EQ(core::parse_double("0.5"), 0.5);
+  EXPECT_FALSE(core::parse_double("0,5"));
+  const svc::Sabotage s = svc::parse_sabotage("reduce:0.5");
+  EXPECT_DOUBLE_EQ(s.factor, 0.5);
+
+  std::setlocale(LC_NUMERIC, "C");
+}
+
+}  // namespace
+}  // namespace offramps
