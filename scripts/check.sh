@@ -38,6 +38,10 @@ else
   # contracts, and the bench_obs < 2% disabled-overhead gate.
   echo "==> obs suite (ctest -L obs)"
   ctest --preset default -L obs -j "${jobs}"
+  # ...and the fault-tolerance layer: supervisor/backoff/watchdog units,
+  # checkpoint format, and the chaos-campaign + stop/resume CLI drills.
+  echo "==> chaos suite (ctest -L chaos)"
+  ctest --preset default -L chaos -j "${jobs}"
 fi
 
 echo "==> all checks passed"

@@ -246,11 +246,16 @@ struct BinReader {
 
 constexpr std::uint8_t kBinMagic[4] = {'O', 'F', 'R', 'C'};
 
+/// Serialized size of one transaction record: u32 index + 4 x i32
+/// counts + u64 time_ns.  The count-prefix bound below divides by this,
+/// so it must track the writer loop in to_binary().
+constexpr std::size_t kBinRecordBytes = 28;
+
 }  // namespace
 
 std::vector<std::uint8_t> Capture::to_binary() const {
   std::vector<std::uint8_t> out;
-  out.reserve(24 + label.size() + transactions.size() * 28 + 32);
+  out.reserve(24 + label.size() + transactions.size() * kBinRecordBytes + 32);
   for (const std::uint8_t b : kBinMagic) out.push_back(b);
   put_u16(out, kBinaryVersion);
   put_u16(out, print_completed ? 1 : 0);
@@ -293,7 +298,7 @@ Capture Capture::from_binary(const std::uint8_t* data, std::size_t size) {
   const std::uint64_t count = r.u64();
   // Reject a count the remaining bytes cannot possibly hold before
   // reserving storage for it (a corrupt prefix must not OOM the host).
-  if ((r.size - r.pos) / 28 < count) {
+  if ((r.size - r.pos) / kBinRecordBytes < count) {
     throw Error("Capture::from_binary: truncated input (transaction count "
                 "exceeds remaining bytes)");
   }

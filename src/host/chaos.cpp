@@ -1,0 +1,137 @@
+#include "host/chaos.hpp"
+
+#include <limits>
+
+#include "core/strict_parse.hpp"
+#include "host/rig.hpp"
+#include "obs/metrics.hpp"
+#include "sim/error.hpp"
+
+namespace offramps::host {
+
+namespace {
+
+constexpr std::uint32_t kEveryAttempt =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+const char* chaos_kind_name(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kNone: return "none";
+    case ChaosKind::kCrash: return "crash";
+    case ChaosKind::kStall: return "stall";
+    case ChaosKind::kCorrupt: return "corrupt";
+    case ChaosKind::kTruncate: return "truncate";
+    case ChaosKind::kPowerJam: return "powerjam";
+    case ChaosKind::kRingWedge: return "ringwedge";
+  }
+  return "?";
+}
+
+std::string ChaosSpec::to_string() const {
+  if (kind == ChaosKind::kNone) return "none";
+  std::string out = chaos_kind_name(kind);
+  if (fires_for != kEveryAttempt) {
+    out += ':';
+    out += std::to_string(fires_for);
+  }
+  return out;
+}
+
+ChaosSpec parse_chaos(const std::string& text) {
+  ChaosSpec spec;
+  if (text.empty() || text == "none" || text == "clean") return spec;
+  const auto colon = text.find(':');
+  const std::string head = text.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : text.substr(colon + 1);
+
+  if (head == "crash") {
+    spec.kind = ChaosKind::kCrash;
+  } else if (head == "stall") {
+    spec.kind = ChaosKind::kStall;
+  } else if (head == "corrupt") {
+    spec.kind = ChaosKind::kCorrupt;
+  } else if (head == "truncate") {
+    spec.kind = ChaosKind::kTruncate;
+  } else if (head == "powerjam") {
+    spec.kind = ChaosKind::kPowerJam;
+    spec.fires_for = kEveryAttempt;
+  } else if (head == "ringwedge") {
+    spec.kind = ChaosKind::kRingWedge;
+    spec.fires_for = kEveryAttempt;
+  } else {
+    throw Error(
+        "chaos: expected none|crash|stall|corrupt|truncate|powerjam|"
+        "ringwedge[:attempts], got \"" +
+        text + "\"");
+  }
+  if (colon != std::string::npos) {
+    const auto n = core::parse_long(arg);
+    if (!n || *n < 1 || *n > 0xFFFFFFFFll) {
+      throw Error("chaos: attempt count wants a positive integer: \"" +
+                  text + "\"");
+    }
+    spec.fires_for = static_cast<std::uint32_t>(*n);
+  }
+  return spec;
+}
+
+ChaosInjector::ChaosInjector(const ChaosSpec& spec, std::uint32_t attempt)
+    : spec_(spec), active_(spec.enabled() && attempt < spec.fires_for) {
+#if OFFRAMPS_OBS_ENABLED
+  if (active_ && obs::enabled()) {
+    static obs::Counter& injected =
+        obs::Registry::instance().counter("host.chaos.injected");
+    injected.add(1);
+  }
+#endif
+}
+
+void ChaosInjector::arm(Rig& rig) const {
+  if (!active_ || spec_.kind != ChaosKind::kCrash) return;
+  rig.scheduler().schedule_in(sim::from_seconds(spec_.crash_at_s), [] {
+    throw Error("chaos: injected rig crash");
+  });
+}
+
+bool ChaosInjector::pass_transaction() {
+  if (!active_ || spec_.kind != ChaosKind::kStall) return true;
+  if (seen_++ < spec_.after) return true;
+  ++suppressed_;
+  return false;
+}
+
+bool ChaosInjector::wedge_pump(std::size_t slots_run) const {
+  return active_ && spec_.kind == ChaosKind::kRingWedge &&
+         slots_run >= spec_.after;
+}
+
+bool ChaosInjector::jam_power() const {
+  return active_ && spec_.kind == ChaosKind::kPowerJam;
+}
+
+void ChaosInjector::mangle_capture(std::vector<std::uint8_t>& bytes) const {
+  if (!active_) return;
+  if (spec_.kind == ChaosKind::kTruncate) {
+    bytes.resize(bytes.size() / 2);
+    return;
+  }
+  if (spec_.kind != ChaosKind::kCorrupt) return;
+  // Capture binary layout: magic(4) version(2) flags(2) label_len(4)
+  // label, then the u64 transaction count.  Overwrite that count with
+  // an impossible multi-GB value: the bounded from_binary() must reject
+  // it *before* allocating (the satellite hardening this PR tests).
+  if (bytes.size() < 12) return;
+  std::uint32_t label_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    label_len |= static_cast<std::uint32_t>(bytes[8 + i]) << (8 * i);
+  }
+  const std::size_t count_at = 12 + static_cast<std::size_t>(label_len);
+  for (std::size_t i = count_at; i < count_at + 8 && i < bytes.size(); ++i) {
+    bytes[i] = 0xFF;
+  }
+}
+
+}  // namespace offramps::host

@@ -9,16 +9,23 @@
 //   offramps_fleetd fleet.json                  fleet spec file
 //   offramps_fleetd --json --demo 8             JSON report on stdout
 //   offramps_fleetd --out report.json ...       JSON report to a file
+//   offramps_fleetd --chaos 3=crash:1 ...       chaos-campaign faults
+//   offramps_fleetd --checkpoint ck.bin ...     checkpoint the campaign
+//   offramps_fleetd --resume ck.bin ...         continue a killed campaign
 //
-// Exit codes: 0 = all rigs clean, 1 = any detector alarmed,
-// 2 = usage or spec error.
+// Exit codes: 0 = all rigs clean, 1 = any detector alarmed or any rig
+// lost (quarantined), 2 = usage or spec error, 75 = campaign stopped
+// early (--stop-after; resume from the checkpoint to finish).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "host/chaos.hpp"
 
 #include "core/strict_parse.hpp"
 #include "obs/metrics.hpp"
@@ -37,14 +44,31 @@ constexpr const char* kUsage =
     "  --json           print the JSON fleet report on stdout\n"
     "  --out FILE       also write the JSON fleet report to FILE\n"
     "  --captures DIR   persist golden + observed captures as .bin in DIR\n"
+    "                   (the dir must exist or be creatable, and be\n"
+    "                   writable - checked up front, exit 2 otherwise)\n"
     "  --no-safe-stop   observe alarms without halting the rig\n"
+    "  --chaos I=SPEC   inject a service-layer fault into rig I, where\n"
+    "                   SPEC is crash|stall|corrupt|truncate|powerjam|\n"
+    "                   ringwedge[:attempts] (repeatable)\n"
+    "  --max-attempts N supervised attempts per rig before quarantine\n"
+    "                   (default 3; 1 = no retry)\n"
+    "  --backoff-ms N   base retry backoff (deterministic jitter; 0 =\n"
+    "                   no sleeping, the default)\n"
+    "  --checkpoint F   write a resumable campaign checkpoint to F after\n"
+    "                   the reference phase and then per completed rig\n"
+    "  --checkpoint-every N\n"
+    "                   rigs between checkpoint writes (default 1)\n"
+    "  --resume F       load checkpoint F and skip its completed rigs\n"
+    "  --stop-after N   stop after N rigs complete this process (exit 75;\n"
+    "                   kill-drill for checkpoint/resume testing)\n"
     "  --metrics        collect obs:: metrics and append a \"metrics\"\n"
     "                   section to the JSON report (the deterministic\n"
     "                   part of the report stays byte-identical)\n"
     "  --trace-out FILE write a chrome://tracing / Perfetto trace of the\n"
     "                   run (Trace Event Format JSON) to FILE\n"
     "  --help, -h       this text\n"
-    "exit: 0 all rigs clean, 1 any alarm, 2 usage/spec error\n";
+    "exit: 0 all rigs clean, 1 any alarm or lost rig, 2 usage/spec\n"
+    "error, 75 stopped early (resume from the checkpoint)\n";
 
 constexpr const char* kSpecHelp =
     "fleet spec (JSON object):\n"
@@ -55,15 +79,22 @@ constexpr const char* kSpecHelp =
     "    \"use_power\": true,       power-signature channel\n"
     "    \"reference_seed\": 42,    jitter seed of the golden prints\n"
     "    \"ring_capacity\": 64,     detector ring-buffer depth\n"
+    "    \"max_attempts\": 3,       supervised attempts per rig\n"
+    "    \"backoff_ms\": 0,         base retry backoff\n"
+    "    \"stall_timeout_s\": 10,   watchdog no-progress limit (sim s)\n"
+    "    \"checkpoint\": \"\",        campaign checkpoint file\n"
+    "    \"checkpoint_every\": 1,\n"
     "    \"save_captures_dir\": \"\",\n"
     "    \"rigs\": [\n"
     "      {\"name\": \"a\", \"seed\": 7, \"cube_mm\": 8,\n"
     "       \"height_mm\": 3, \"sabotage\": \"reduce:0.85\"},\n"
-    "      {\"seed\": 8, \"sabotage\": \"relocate:10\"},\n"
+    "      {\"seed\": 8, \"sabotage\": \"relocate:10\", \"chaos\": \"crash:1\"},\n"
     "      {\"seed\": 9}\n"
     "    ]\n"
     "  }\n"
-    "sabotage: \"clean\" | \"reduce:<factor>\" | \"relocate:<n>\"\n";
+    "sabotage: \"clean\" | \"reduce:<factor>\" | \"relocate:<n>\"\n"
+    "chaos: \"none\" | \"crash\" | \"stall\" | \"corrupt\" | \"truncate\"\n"
+    "       | \"powerjam\" | \"ringwedge\", optionally \":<attempts>\"\n";
 
 long parse_count(const char* text, long min_value) {
   const auto v = offramps::core::parse_long(text);
@@ -82,6 +113,8 @@ int main(int argc, char** argv) {
   long jobs = 0;
   bool metrics = false;
   std::string trace_path;
+  // (rig index, chaos text) pairs, applied after the specs are built.
+  std::vector<std::pair<std::size_t, std::string>> chaos_args;
 
   offramps::svc::FleetOptions options;
 
@@ -103,7 +136,10 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (arg == "--demo" || arg == "--sabotage" || arg == "--jobs" ||
                arg == "-j" || arg == "--out" || arg == "--captures" ||
-               arg == "--trace-out") {
+               arg == "--trace-out" || arg == "--chaos" ||
+               arg == "--max-attempts" || arg == "--backoff-ms" ||
+               arg == "--checkpoint" || arg == "--checkpoint-every" ||
+               arg == "--resume" || arg == "--stop-after") {
       if (++i >= argc) {
         std::fprintf(stderr, "%s wants a value\n", arg.c_str());
         std::fputs(kUsage, stderr);
@@ -127,6 +163,51 @@ int main(int argc, char** argv) {
         trace_path = argv[i];
       } else if (arg == "--captures") {
         options.save_captures_dir = argv[i];
+      } else if (arg == "--chaos") {
+        const std::string v = argv[i];
+        const auto eq = v.find('=');
+        const long idx =
+            eq == std::string::npos
+                ? -1
+                : parse_count(v.substr(0, eq).c_str(), 0);
+        if (idx < 0) {
+          std::fprintf(stderr, "bad --chaos '%s' (want I=SPEC)\n", v.c_str());
+          return 2;
+        }
+        chaos_args.emplace_back(static_cast<std::size_t>(idx),
+                                v.substr(eq + 1));
+      } else if (arg == "--max-attempts") {
+        const long n = parse_count(argv[i], 1);
+        if (n < 0) {
+          std::fprintf(stderr, "bad --max-attempts '%s'\n", argv[i]);
+          return 2;
+        }
+        options.supervisor.max_attempts = static_cast<std::uint32_t>(n);
+      } else if (arg == "--backoff-ms") {
+        const long n = parse_count(argv[i], 0);
+        if (n < 0) {
+          std::fprintf(stderr, "bad --backoff-ms '%s'\n", argv[i]);
+          return 2;
+        }
+        options.supervisor.backoff_base_ms = static_cast<std::uint64_t>(n);
+      } else if (arg == "--checkpoint") {
+        options.checkpoint_path = argv[i];
+      } else if (arg == "--checkpoint-every") {
+        const long n = parse_count(argv[i], 1);
+        if (n < 0) {
+          std::fprintf(stderr, "bad --checkpoint-every '%s'\n", argv[i]);
+          return 2;
+        }
+        options.checkpoint_every = static_cast<std::size_t>(n);
+      } else if (arg == "--resume") {
+        options.resume_path = argv[i];
+      } else if (arg == "--stop-after") {
+        const long n = parse_count(argv[i], 1);
+        if (n < 0) {
+          std::fprintf(stderr, "bad --stop-after '%s'\n", argv[i]);
+          return 2;
+        }
+        options.stop_after = static_cast<std::size_t>(n);
       } else {
         jobs = parse_count(argv[i], 1);
         if (jobs < 0) {
@@ -186,6 +267,14 @@ int main(int argc, char** argv) {
       }
       specs = offramps::svc::Fleet::specs_from_json(text, options);
     }
+    for (const auto& [index, text] : chaos_args) {
+      if (index >= specs.size()) {
+        std::fprintf(stderr, "--chaos rig index %zu out of range (%zu rigs)\n",
+                     index, specs.size());
+        return 2;
+      }
+      specs[index].chaos = offramps::host::parse_chaos(text);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet spec error: %s\n", e.what());
     return 2;
@@ -193,14 +282,28 @@ int main(int argc, char** argv) {
 
   if (jobs > 0) options.workers = static_cast<std::size_t>(jobs);
   if (!options.save_captures_dir.empty()) {
+    // Fail fast, before hours of simulation: the captures dir must exist
+    // (or be creatable) AND be writable right now.
     std::error_code ec;
     std::filesystem::create_directories(options.save_captures_dir, ec);
-    if (ec) {
-      std::fprintf(stderr, "cannot create captures dir '%s': %s\n",
+    if (ec || !std::filesystem::is_directory(options.save_captures_dir)) {
+      std::fprintf(stderr, "captures dir '%s' does not exist: %s\n",
                    options.save_captures_dir.c_str(),
-                   ec.message().c_str());
+                   ec ? ec.message().c_str() : "not a directory");
       return 2;
     }
+    const std::string probe =
+        options.save_captures_dir + "/.fleetd-write-probe";
+    {
+      std::ofstream touch(probe, std::ios::binary | std::ios::trunc);
+      touch << "probe";
+      if (!touch) {
+        std::fprintf(stderr, "captures dir '%s' is not writable\n",
+                     options.save_captures_dir.c_str());
+        return 2;
+      }
+    }
+    std::filesystem::remove(probe, ec);
   }
 
   if (metrics) offramps::obs::set_enabled(true);
@@ -251,5 +354,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stdout, "[fleetd] wrote %s\n", out_path.c_str());
   }
-  return report.alarmed() > 0 ? 1 : 0;
+  if (!report.complete) return 75;  // partial campaign: resume to finish
+  if (report.alarmed() > 0 ||
+      report.count(offramps::svc::RigStatus::kLost) > 0) {
+    return 1;
+  }
+  return 0;
 }

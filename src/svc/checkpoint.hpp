@@ -1,0 +1,82 @@
+// Campaign checkpoint/resume.
+//
+// A fleet campaign is hours of simulation on a real farm; losing it to a
+// host crash at rig 47/48 is exactly the kind of fragility the
+// supervisor exists to remove.  The checkpoint persists everything a
+// resumed process needs to finish the campaign *byte-identically*:
+//
+//   - a digest of the fleet spec + behavior-relevant options, so a
+//     checkpoint is only ever replayed against the campaign that wrote
+//     it (resuming with edited specs is a hard error, not silent skew);
+//   - every per-object golden reference (capture + power trace), so
+//     resumed rigs never re-print references;
+//   - every completed rig's flattened RigOutcome, so resumed campaigns
+//     skip those rigs entirely and still render the same report bytes.
+//
+// Binary format v1 (all little endian):
+//   "OFCK" magic, u16 version, u16 reserved,
+//   u64 spec digest, u32 total rigs,
+//   u32 reference count, then per reference:
+//     u64 blob length + core::Capture::to_binary() bytes,
+//     u64 sample count + per sample 2 x f64-as-u64-bits (t_s, watts),
+//   u32 completed count, then per completed rig a flattened outcome
+//   record (rig index, spec, supervision verdict, detector summary).
+// Length prefixes are validated against the remaining input before any
+// allocation - the same bounded-read discipline as Capture::from_binary.
+//
+// Writes go to "<path>.tmp" then std::filesystem::rename, which POSIX
+// makes atomic within a filesystem: a reader (or a resumed process)
+// never observes a half-written checkpoint, only the old or the new one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/fleet.hpp"
+
+namespace offramps::svc {
+
+/// One object's golden reference, as persisted (the sliced program and
+/// oracle are recomputed deterministically from the spec on resume).
+struct ReferenceSnapshot {
+  core::Capture golden;
+  plant::PowerTrace golden_power;
+};
+
+/// The persistent campaign state.
+struct Checkpoint {
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint64_t spec_digest = 0;
+  /// Rig count of the whole campaign (so a resume can tell "done" from
+  /// "everything").
+  std::uint32_t total_rigs = 0;
+  /// Per-object references, indexed like the fleet's first-seen object
+  /// order.
+  std::vector<ReferenceSnapshot> references;
+  /// Completed rigs: (spec index, outcome), sorted by spec index.
+  std::vector<std::pair<std::uint32_t, RigOutcome>> done;
+
+  [[nodiscard]] std::vector<std::uint8_t> to_binary() const;
+  /// Throws offramps::Error on bad magic, unknown version, or any length
+  /// prefix that exceeds the remaining input (truncated / corrupt file).
+  static Checkpoint from_binary(const std::uint8_t* data, std::size_t size);
+  static Checkpoint from_binary(const std::vector<std::uint8_t>& bytes) {
+    return from_binary(bytes.data(), bytes.size());
+  }
+
+  /// Atomic persist: write "<path>.tmp", fsync-free rename over `path`.
+  void save(const std::string& path) const;
+  static Checkpoint load(const std::string& path);
+};
+
+/// FNV-1a over a normalized rendition of the specs and the options that
+/// change campaign *behavior* (channels, seeds, ring capacity, retry
+/// budget, slicer profile).  Worker count and checkpoint paths are
+/// deliberately excluded: they do not change results.
+[[nodiscard]] std::uint64_t campaign_digest(const std::vector<RigSpec>& specs,
+                                            const FleetOptions& options);
+
+}  // namespace offramps::svc

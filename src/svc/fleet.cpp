@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 
 #include "analyze/analyzer.hpp"
@@ -13,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/error.hpp"
+#include "svc/checkpoint.hpp"
 #include "svc/json.hpp"
 
 namespace offramps::svc {
@@ -79,6 +81,20 @@ std::size_t FleetReport::mid_print_alarms() const {
   return n;
 }
 
+std::size_t FleetReport::count(RigStatus s) const {
+  std::size_t n = 0;
+  for (const auto& r : rigs) n += r.status == s ? 1 : 0;
+  return n;
+}
+
+std::string FleetReport::campaign() const {
+  if (!complete || count(RigStatus::kPending) > 0) return "partial";
+  if (count(RigStatus::kLost) > 0) return "lost";
+  if (count(RigStatus::kDegraded) > 0) return "degraded";
+  if (count(RigStatus::kRecovered) > 0) return "recovered";
+  return "clean";
+}
+
 namespace {
 
 void append_kv(std::string& out, const char* key, bool v) {
@@ -128,11 +144,21 @@ std::string FleetReport::to_json() const {
   std::snprintf(buf, sizeof(buf),
                 "    \"rigs\": %zu,\n    \"sabotaged\": %zu,\n"
                 "    \"alarmed\": %zu,\n    \"mid_print_alarms\": %zu,\n"
-                "    \"true_alarms\": %zu,\n    \"false_alarms\": %zu\n",
+                "    \"true_alarms\": %zu,\n    \"false_alarms\": %zu,\n",
                 rigs.size(), sabotaged, alarmed(), mid_print_alarms(),
                 true_alarms, false_alarms);
   out += buf;
-  out += "  },\n  \"rigs\": [";
+  std::snprintf(buf, sizeof(buf),
+                "    \"recovered\": %zu,\n    \"degraded\": %zu,\n"
+                "    \"lost\": %zu,\n    \"pending\": %zu,\n",
+                count(RigStatus::kRecovered), count(RigStatus::kDegraded),
+                count(RigStatus::kLost), count(RigStatus::kPending));
+  out += buf;
+  out += "    \"campaign\": \"";
+  out += campaign();
+  out += "\",\n    ";
+  append_kv(out, "complete", complete);
+  out += "\n  },\n  \"rigs\": [";
   for (std::size_t i = 0; i < rigs.size(); ++i) {
     const RigOutcome& r = rigs[i];
     out += i == 0 ? "\n" : ",\n";
@@ -146,6 +172,18 @@ std::string FleetReport::to_json() const {
                   r.spec.cube_mm, r.spec.height_mm,
                   r.spec.sabotage.to_string().c_str());
     out += buf;
+    out += "      \"chaos\": \"";
+    out += r.spec.chaos.to_string();
+    out += "\",\n      \"status\": \"";
+    out += rig_status_name(r.status);
+    std::snprintf(buf, sizeof(buf), "\",\n      \"attempts\": %u,\n",
+                  r.attempts);
+    out += buf;
+    // failure_cause carries arbitrary exception text - append it through
+    // the escaper, never through a fixed snprintf buffer.
+    out += "      \"failure_cause\": \"";
+    out += json_escape(r.failure_cause);
+    out += "\",\n";
     out += "      ";
     append_kv(out, "alarmed", r.detector.alarmed);
     out += ",\n      ";
@@ -232,17 +270,25 @@ std::string FleetReport::to_string() const {
   std::string out;
   char buf[256];
   for (const auto& r : rigs) {
-    std::snprintf(buf, sizeof(buf), "%-10s seed=%-6llu %-14s %s%s\n",
+    std::string status;
+    if (r.status != RigStatus::kOk) {
+      status = " [";
+      status += rig_status_name(r.status);
+      if (r.attempts > 1) status += " x" + std::to_string(r.attempts);
+      status += "]";
+    }
+    std::snprintf(buf, sizeof(buf), "%-10s seed=%-6llu %-14s %s%s%s\n",
                   r.spec.name.c_str(),
                   static_cast<unsigned long long>(r.spec.seed),
                   r.spec.sabotage.to_string().c_str(),
                   r.detector.to_string().c_str(),
-                  r.safe_stopped ? " [safe-stopped]" : "");
+                  r.safe_stopped ? " [safe-stopped]" : "", status.c_str());
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "fleet: %zu rigs, %zu alarmed (%zu mid-print)\n",
-                rigs.size(), alarmed(), mid_print_alarms());
+                "fleet: %zu rigs, %zu alarmed (%zu mid-print), campaign %s\n",
+                rigs.size(), alarmed(), mid_print_alarms(),
+                campaign().c_str());
   out += buf;
   return out;
 }
@@ -276,23 +322,64 @@ gcode::Program sabotaged_program(const gcode::Program& clean,
 
 FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
   host::ParallelRunner pool(options_.workers);
+  const Supervisor supervisor(options_.supervisor);
+
+  // Normalized specs: default names resolved up front so the campaign
+  // digest, the checkpoint records, and the report all agree.
+  std::vector<RigSpec> fleet(specs);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (fleet[i].name.empty()) fleet[i].name = "rig-" + std::to_string(i);
+  }
 
   // Distinct objects, in first-seen order (deterministic grouping).
   std::vector<std::pair<double, double>> objects;
-  std::vector<std::size_t> object_of(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const std::pair<double, double> key{specs[i].cube_mm,
-                                        specs[i].height_mm};
+  std::vector<std::size_t> object_of(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const std::pair<double, double> key{fleet[i].cube_mm,
+                                        fleet[i].height_mm};
     const auto it = std::find(objects.begin(), objects.end(), key);
     object_of[i] = static_cast<std::size_t>(it - objects.begin());
     if (it == objects.end()) objects.push_back(key);
+  }
+
+  const std::uint64_t digest = campaign_digest(fleet, options_);
+
+  // Resume: pull prior outcomes and golden references out of the
+  // checkpoint.  A digest mismatch is a hard error - resuming with
+  // edited specs or options would silently skew results.
+  std::vector<char> already_done(fleet.size(), 0);
+  std::vector<RigOutcome> prior(fleet.size());
+  std::vector<ReferenceSnapshot> ref_snapshots(objects.size());
+  std::vector<char> have_snapshot(objects.size(), 0);
+  if (!options_.resume_path.empty()) {
+    Checkpoint ck = Checkpoint::load(options_.resume_path);
+    if (ck.spec_digest != digest) {
+      throw Error(
+          "checkpoint: spec digest mismatch - this checkpoint was written "
+          "by a different campaign (specs or options changed)");
+    }
+    if (ck.total_rigs != fleet.size()) {
+      throw Error("checkpoint: rig count mismatch with the fleet spec");
+    }
+    if (ck.references.size() > objects.size()) {
+      throw Error("checkpoint: more references than the fleet has objects");
+    }
+    for (std::size_t j = 0; j < ck.references.size(); ++j) {
+      if (ck.references[j].golden.empty()) continue;  // degraded/lost ref
+      ref_snapshots[j] = std::move(ck.references[j]);
+      have_snapshot[j] = 1;
+    }
+    for (auto& [index, outcome] : ck.done) {
+      already_done[index] = 1;
+      prior[index] = std::move(outcome);
+    }
   }
 
   // Per-job wall-clock, written by worker threads into index-addressed
   // slots (no sharing) and merged in index order afterwards, so the
   // timings list is deterministic even though the values are wall-clock.
   std::vector<double> ref_seconds(objects.size(), 0.0);
-  std::vector<double> rig_seconds(specs.size(), 0.0);
+  std::vector<double> rig_seconds(fleet.size(), 0.0);
   const auto seconds_since =
       [](std::chrono::steady_clock::time_point t0) {
         return std::chrono::duration<double>(
@@ -300,7 +387,11 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
             .count();
       };
 
-  // Reference phase: slice + oracle + one golden print per object.
+  // Reference phase: slice + oracle + one golden print per object, each
+  // print supervised (retry on throw, sim-clocked stall watchdog).  On
+  // resume the golden capture/power come from the checkpoint and only
+  // the cheap deterministic slice + oracle are recomputed.
+  std::vector<GuardOutcome> ref_guards(objects.size());
   std::vector<Reference> refs = pool.map<Reference>(
       objects.size(), [&](std::size_t i) {
         const obs::Span span("reference/" + std::to_string(i), "fleet");
@@ -315,17 +406,45 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         ref.oracle =
             analyze::analyze_program(ref.program, fw::Config{}).oracle;
 
-        host::RigOptions ro;
-        ro.firmware.jitter_seed = options_.reference_seed;
-        if (options_.use_power) ro.power_probe = plant::PowerProbeOptions{};
-        host::Rig rig(ro);
-        host::RunResult res = rig.run(ref.program);
-        if (!res.finished) {
-          throw Error("fleet: reference print did not finish");
+        if (have_snapshot[i]) {
+          ref.golden = std::move(ref_snapshots[i].golden);
+          ref.golden_power = std::move(ref_snapshots[i].golden_power);
+          ref_guards[i] = GuardOutcome{RigStatus::kOk, 0, {}};
+          ref_seconds[i] = seconds_since(job_t0);
+          return ref;
         }
-        ref.golden = std::move(res.capture);
-        ref.golden_power = std::move(res.power_trace);
-        if (!options_.save_captures_dir.empty()) {
+
+        // Key space: references live above the rig indices so backoff
+        // jitter never correlates a reference with a same-index rig.
+        ref_guards[i] = supervisor.run_guarded(
+            (1ull << 32) + i, [&](const AttemptContext& ctx) {
+              host::RigOptions ro;
+              ro.firmware.jitter_seed = options_.reference_seed;
+              if (options_.use_power && !ctx.degraded) {
+                ro.power_probe = plant::PowerProbeOptions{};
+              }
+              host::Rig rig(ro);
+              std::uint64_t txns = 0;
+              rig.board().fpga().uart().on_transaction(
+                  [&txns](const core::Transaction&) { ++txns; });
+              StallWatchdog dog(
+                  rig.scheduler(), options_.supervisor,
+                  [&txns] { return txns; },
+                  [&rig] {
+                    return rig.firmware().state() == fw::FwState::kRunning;
+                  },
+                  "reference/" + std::to_string(i));
+              host::RunResult res = rig.run(ref.program);
+              if (!res.finished) {
+                throw Error("fleet: reference print did not finish");
+              }
+              ref.golden = std::move(res.capture);
+              ref.golden_power = std::move(res.power_trace);
+            });
+        if (ref_guards[i].status == RigStatus::kLost) {
+          ref.golden = core::Capture{};
+          ref.golden_power.clear();
+        } else if (!options_.save_captures_dir.empty()) {
           ref.golden.save_binary(options_.save_captures_dir + "/golden-" +
                                  std::to_string(i) + ".bin");
         }
@@ -333,96 +452,249 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         return ref;
       });
 
-  // Fleet phase: every rig prints under its own online detector.
-  FleetReport report;
-  report.rigs = pool.map<RigOutcome>(specs.size(), [&](std::size_t i) {
-    RigSpec spec = specs[i];
-    if (spec.name.empty()) spec.name = "rig-" + std::to_string(i);
+  // Checkpoint writer.  One Checkpoint object is reused across saves
+  // (references are filled once); rig completions append under the lock.
+  Checkpoint ck_out;
+  std::mutex ck_mu;
+  std::size_t completed_since_save = 0;
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  if (checkpointing) {
+    ck_out.spec_digest = digest;
+    ck_out.total_rigs = static_cast<std::uint32_t>(fleet.size());
+    ck_out.references.resize(objects.size());
+    for (std::size_t j = 0; j < objects.size(); ++j) {
+      if (ref_guards[j].status == RigStatus::kLost) continue;
+      ck_out.references[j] = ReferenceSnapshot{refs[j].golden,
+                                               refs[j].golden_power};
+    }
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (already_done[i]) {
+        ck_out.done.emplace_back(static_cast<std::uint32_t>(i), prior[i]);
+      }
+    }
+    // Persist the reference work immediately: a kill during the rig
+    // phase must not cost the golden prints.
+    ck_out.save(options_.checkpoint_path);
+  }
+
+  // Rigs still owed a verdict, in spec order.  stop_after truncates the
+  // list deterministically (a checkpoint-kill drill for tests: the first
+  // N pending rigs complete, the rest report kPending).
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (!already_done[i]) pending.push_back(i);
+  }
+  bool stopped_early = false;
+  if (options_.stop_after > 0 && options_.stop_after < pending.size()) {
+    pending.resize(options_.stop_after);
+    stopped_early = true;
+  }
+
+  // Fleet phase: every pending rig prints under its own online detector,
+  // inside the supervisor's retry/quarantine loop, with its chaos order
+  // (if any) applied per attempt.
+  std::vector<RigOutcome> fresh = pool.map<RigOutcome>(
+      pending.size(), [&](std::size_t k) {
+    const std::size_t i = pending[k];
+    const RigSpec& spec = fleet[i];
     const obs::Span span("rig/" + spec.name, "fleet");
     const auto job_t0 = std::chrono::steady_clock::now();
-    const Reference& ref = refs[object_of[i]];
-
-    OnlineDetector detector(options_.detector);
-    detector.set_golden(&ref.golden);
-    if (options_.use_oracle && ref.oracle.counters_armed) {
-      detector.set_oracle(&ref.oracle);
-    }
-    if (options_.use_power && !ref.golden_power.empty()) {
-      detector.set_golden_power(&ref.golden_power);
-    }
-
-    host::RigOptions ro;
-    ro.firmware.jitter_seed = spec.seed;
-    if (options_.use_power) ro.power_probe = plant::PowerProbeOptions{};
-    // Safe-stopped rigs need no long post-kill physics observation.
-    ro.post_kill_observation_s = 5.0;
-    host::Rig rig(ro);
-
-    if (options_.safe_stop) {
-      detector.on_alarm([&rig](const OnlineReport& r) {
-        if (rig.firmware().state() == fw::FwState::kRunning) {
-          rig.firmware().kill(std::string("fleet safe-stop: ") +
-                              channel_name(r.first_channel) + " alarm");
-        }
-      });
-    }
-
-    // Producer: the board's UART tap feeds the detector's ring.
-    rig.board().fpga().uart().on_transaction(
-        [&detector](const core::Transaction& txn) { detector.submit(txn); });
-
-    // Consumer: clock-slaved pump, plus live power-sample streaming.
-    Pump pump(rig.scheduler(), detector, options_.pump);
-    std::size_t power_consumed = 0;
-    pump.on_slot([&rig, &detector, &power_consumed] {
-      plant::PowerTraceProbe* probe = rig.power_probe();
-      if (probe == nullptr) return;
-      const plant::PowerTrace& trace = probe->trace();
-      for (; power_consumed < trace.size(); ++power_consumed) {
-        detector.submit_power(trace[power_consumed].t_s,
-                              trace[power_consumed].watts);
-      }
-    });
-
-    // End of stream: the UART's finalize tap hands the frozen capture to
-    // the detector for the end-of-print checks.
-    rig.board().fpga().uart().on_finalize(
-        [&detector](const core::Capture& capture) {
-          detector.finish(capture);
-        });
-
-    const gcode::Program program =
-        sabotaged_program(ref.program, spec.sabotage);
-    host::RunResult res = rig.run(program);
+    const std::size_t obj = object_of[i];
+    const Reference& ref = refs[obj];
 
     RigOutcome out;
-    out.spec = std::move(spec);
-    out.print_finished = res.finished;
-    out.kill_reason = res.kill_reason;
-    out.safe_stopped =
-        res.killed && res.kill_reason.rfind("fleet safe-stop", 0) == 0;
-    out.sim_seconds = res.sim_seconds;
-    out.final_counts = res.capture.final_counts;
-    out.detector = detector.report();
-    if (!options_.save_captures_dir.empty()) {
-      res.capture.save_binary(options_.save_captures_dir + "/" +
-                              sanitize(out.spec.name) + ".bin");
+    out.spec = spec;
+    if (ref_guards[obj].status == RigStatus::kLost) {
+      // No golden reference to compare against: quarantine without
+      // simulating.
+      out.status = RigStatus::kLost;
+      out.attempts = 0;
+      out.failure_cause =
+          "reference lost: " + ref_guards[obj].failure_cause;
+    } else {
+      const GuardOutcome guard = supervisor.run_guarded(i, [&](
+          const AttemptContext& ctx) {
+        host::ChaosInjector injector(spec.chaos, ctx.attempt);
+        RigOutcome attempt_out;
+        attempt_out.spec = spec;
+
+        // Degrade ladder: the final attempt drops the power channel.
+        const bool power = options_.use_power && !ctx.degraded;
+
+        OnlineDetector detector(options_.detector);
+        detector.set_golden(&ref.golden);
+        if (options_.use_oracle && ref.oracle.counters_armed) {
+          detector.set_oracle(&ref.oracle);
+        }
+        if (power && !ref.golden_power.empty()) {
+          detector.set_golden_power(&ref.golden_power);
+        }
+
+        host::RigOptions ro;
+        ro.firmware.jitter_seed = spec.seed;
+        if (power) ro.power_probe = plant::PowerProbeOptions{};
+        // Safe-stopped rigs need no long post-kill physics observation.
+        ro.post_kill_observation_s = 5.0;
+        host::Rig rig(ro);
+
+        if (options_.safe_stop) {
+          detector.on_alarm([&rig](const OnlineReport& r) {
+            if (rig.firmware().state() == fw::FwState::kRunning) {
+              rig.firmware().kill(std::string("fleet safe-stop: ") +
+                                  channel_name(r.first_channel) + " alarm");
+            }
+          });
+        }
+
+        // Producer: the board's UART tap feeds the detector's ring,
+        // through the chaos stall gate (a wedged producer tap).
+        rig.board().fpga().uart().on_transaction(
+            [&detector, &injector](const core::Transaction& txn) {
+              if (injector.pass_transaction()) detector.submit(txn);
+            });
+
+        // Consumer: clock-slaved pump, plus live power-sample streaming.
+        // The chaos ring-wedge gate stops the pump draining; the ring's
+        // lossless backpressure must absorb that, so it is NOT a fault.
+        Pump pump(rig.scheduler(), detector, options_.pump);
+        pump.set_gate([&injector, &pump] {
+          return !injector.wedge_pump(pump.slots_run());
+        });
+        std::size_t power_consumed = 0;
+        pump.on_slot([&rig, &detector, &power_consumed, &injector] {
+          plant::PowerTraceProbe* probe = rig.power_probe();
+          if (probe == nullptr) return;
+          if (injector.jam_power()) {
+            throw Error("chaos: power side-channel probe jammed");
+          }
+          const plant::PowerTrace& trace = probe->trace();
+          for (; power_consumed < trace.size(); ++power_consumed) {
+            detector.submit_power(trace[power_consumed].t_s,
+                                  trace[power_consumed].watts);
+          }
+        });
+
+        // End of stream: the UART's finalize tap hands the frozen
+        // capture to the detector for the end-of-print checks.
+        rig.board().fpga().uart().on_finalize(
+            [&detector](const core::Capture& capture) {
+              detector.finish(capture);
+            });
+
+        injector.arm(rig);  // kCrash: scheduled mid-print throw
+        StallWatchdog dog(
+            rig.scheduler(), options_.supervisor,
+            [&detector] {
+              return static_cast<std::uint64_t>(
+                  detector.windows_processed() + detector.queued());
+            },
+            [&rig] {
+              return rig.firmware().state() == fw::FwState::kRunning;
+            },
+            "rig/" + spec.name);
+
+        const gcode::Program program =
+            sabotaged_program(ref.program, spec.sabotage);
+        host::RunResult res = rig.run(program);
+
+        if (injector.active()) {
+          // Corrupt/truncate chaos mangles the serialized capture; the
+          // bounded from_binary() must reject it (attempt failure).  For
+          // other kinds this round trip is the identity.
+          std::vector<std::uint8_t> wire = res.capture.to_binary();
+          injector.mangle_capture(wire);
+          res.capture = core::Capture::from_binary(wire);
+        }
+        // Stream integrity: a finished print whose detector accepted
+        // fewer transactions than the capture carries means the tap
+        // wedged too late for the watchdog - still an attempt failure.
+        const std::size_t accepted =
+            detector.windows_processed() + detector.queued();
+        if (res.finished && accepted < res.capture.size()) {
+          throw Error("fleet: stream integrity: detector accepted " +
+                      std::to_string(accepted) + " of " +
+                      std::to_string(res.capture.size()) +
+                      " transactions (capture tap wedged)");
+        }
+
+        attempt_out.print_finished = res.finished;
+        attempt_out.kill_reason = res.kill_reason;
+        attempt_out.safe_stopped =
+            res.killed && res.kill_reason.rfind("fleet safe-stop", 0) == 0;
+        attempt_out.sim_seconds = res.sim_seconds;
+        attempt_out.final_counts = res.capture.final_counts;
+        attempt_out.detector = detector.report();
+        if (!options_.save_captures_dir.empty()) {
+          res.capture.save_binary(options_.save_captures_dir + "/" +
+                                  sanitize(spec.name) + ".bin");
+        }
+        out = std::move(attempt_out);
+      });
+      out.status = guard.status;
+      out.attempts = guard.attempts;
+      out.failure_cause = guard.failure_cause;
+      if (guard.status == RigStatus::kLost) {
+        // Quarantined: drop any partial attempt state so the record is
+        // a clean default + verdict.
+        RigOutcome lost;
+        lost.spec = spec;
+        lost.status = RigStatus::kLost;
+        lost.attempts = guard.attempts;
+        lost.failure_cause = guard.failure_cause;
+        out = std::move(lost);
+      }
     }
     rig_seconds[i] = seconds_since(job_t0);
+
+    if (checkpointing) {
+      const std::lock_guard<std::mutex> lock(ck_mu);
+      ck_out.done.emplace_back(static_cast<std::uint32_t>(i), out);
+      if (++completed_since_save >= options_.checkpoint_every) {
+        completed_since_save = 0;
+        ck_out.save(options_.checkpoint_path);
+      }
+    }
     return out;
   });
 
-  // Deterministic order: references by object index, then rigs by spec
-  // index.  Values are wall-clock but the key set never depends on the
-  // worker count.
-  report.timings.reserve(objects.size() + specs.size());
+  // Assemble: prior (resumed) outcomes, this process's outcomes, and
+  // kPending placeholders for rigs behind a stop_after cut.
+  FleetReport report;
+  report.rigs.resize(fleet.size());
+  std::vector<char> covered = already_done;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (already_done[i]) report.rigs[i] = std::move(prior[i]);
+  }
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    covered[pending[k]] = 1;
+    report.rigs[pending[k]] = std::move(fresh[k]);
+  }
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (covered[i]) continue;
+    RigOutcome p;
+    p.spec = fleet[i];
+    p.status = RigStatus::kPending;
+    p.attempts = 0;
+    report.rigs[i] = std::move(p);
+  }
+  report.complete = !stopped_early;
+
+  if (checkpointing && completed_since_save > 0) {
+    ck_out.save(options_.checkpoint_path);  // tail < checkpoint_every
+  }
+
+  // Deterministic order: references by object index, then the rigs
+  // actually simulated by THIS process, by spec index - resumed rigs
+  // deliberately never appear here, which is how tests assert they were
+  // skipped rather than re-printed.
+  report.timings.reserve(objects.size() + pending.size());
   for (std::size_t i = 0; i < objects.size(); ++i) {
     report.timings.push_back(
         {"reference/" + std::to_string(i), ref_seconds[i]});
   }
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    report.timings.push_back({"rig/" + report.rigs[i].spec.name,
-                              rig_seconds[i]});
+  for (const std::size_t i : pending) {
+    report.timings.push_back(
+        {"rig/" + report.rigs[i].spec.name, rig_seconds[i]});
   }
   return report;
 }
@@ -470,6 +742,19 @@ std::vector<RigSpec> Fleet::specs_from_json(const std::string& text,
   options.detector.ring_capacity = static_cast<std::size_t>(doc.number_or(
       "ring_capacity",
       static_cast<double>(options.detector.ring_capacity)));
+  options.supervisor.max_attempts = static_cast<std::uint32_t>(doc.number_or(
+      "max_attempts",
+      static_cast<double>(options.supervisor.max_attempts)));
+  options.supervisor.backoff_base_ms =
+      static_cast<std::uint64_t>(doc.number_or(
+          "backoff_ms",
+          static_cast<double>(options.supervisor.backoff_base_ms)));
+  options.supervisor.stall_timeout_s = doc.number_or(
+      "stall_timeout_s", options.supervisor.stall_timeout_s);
+  options.checkpoint_path =
+      doc.string_or("checkpoint", options.checkpoint_path);
+  options.checkpoint_every = static_cast<std::size_t>(doc.number_or(
+      "checkpoint_every", static_cast<double>(options.checkpoint_every)));
 
   const json::Value* rigs = doc.find("rigs");
   if (rigs == nullptr || !rigs->is_array()) {
@@ -488,6 +773,7 @@ std::vector<RigSpec> Fleet::specs_from_json(const std::string& text,
     spec.cube_mm = r.number_or("cube_mm", spec.cube_mm);
     spec.height_mm = r.number_or("height_mm", spec.height_mm);
     spec.sabotage = parse_sabotage(r.string_or("sabotage", ""));
+    spec.chaos = host::parse_chaos(r.string_or("chaos", ""));
     specs.push_back(std::move(spec));
   }
   return specs;

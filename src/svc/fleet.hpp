@@ -32,9 +32,11 @@
 #include <string>
 #include <vector>
 
+#include "host/chaos.hpp"
 #include "host/slicer.hpp"
 #include "svc/online_detector.hpp"
 #include "svc/pump.hpp"
+#include "svc/supervisor.hpp"
 
 namespace offramps::svc {
 
@@ -60,6 +62,9 @@ struct RigSpec {
   double cube_mm = 8.0;     // printed object: cube footprint
   double height_mm = 3.0;   // ...and height
   Sabotage sabotage{};
+  /// Service-layer fault injected into this rig's supervised attempts
+  /// (host::parse_chaos grammar; none by default).
+  host::ChaosSpec chaos{};
 };
 
 /// Fleet-wide configuration.
@@ -84,6 +89,20 @@ struct FleetOptions {
   /// When set, persist each object's golden capture and each rig's
   /// observed capture as .bin files (core::Capture::save_binary) there.
   std::string save_captures_dir;
+  /// Per-phase retry/watchdog/quarantine policy.
+  SupervisorOptions supervisor{};
+  /// When set, write a campaign checkpoint (completed rig verdicts plus
+  /// per-object golden references) there after every `checkpoint_every`
+  /// completed rigs, via write-to-temp + atomic rename.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
+  /// When set, load this checkpoint first and skip (not re-simulate) the
+  /// rigs it already covers.
+  std::string resume_path;
+  /// When > 0, stop the campaign after this many rigs have completed
+  /// this process (checkpoint-kill drill for tests; remaining rigs are
+  /// reported kPending and FleetReport::complete is false).
+  std::size_t stop_after = 0;
 };
 
 /// One rig's outcome: spec, print result summary, detector verdict.
@@ -95,6 +114,12 @@ struct RigOutcome {
   std::string kill_reason;
   double sim_seconds = 0.0;
   std::array<std::int64_t, 4> final_counts{};
+  /// Supervision verdict: ok / recovered / degraded / lost / pending.
+  RigStatus status = RigStatus::kOk;
+  std::uint32_t attempts = 1;
+  /// Last failure the supervisor saw ("" when the first attempt
+  /// succeeded; for kLost, why the rig was quarantined).
+  std::string failure_cause;
 };
 
 /// One orchestration phase's wall-clock cost ("reference/0" per object,
@@ -113,9 +138,17 @@ struct FleetReport {
   /// surfaces them, in a separate "metrics" section, so the results stay
   /// byte-identical whether or not instrumentation is on.
   std::vector<PhaseTiming> timings;
+  /// False when the campaign stopped early (stop_after): some rigs are
+  /// kPending and the report is a partial, resumable snapshot.
+  bool complete = true;
 
   [[nodiscard]] std::size_t alarmed() const;
   [[nodiscard]] std::size_t mid_print_alarms() const;
+  /// Supervision census over `rigs`.
+  [[nodiscard]] std::size_t count(RigStatus s) const;
+  /// Worst-of campaign classification: "partial" when incomplete, else
+  /// "lost" / "degraded" / "recovered" / "clean" by the worst rig status.
+  [[nodiscard]] std::string campaign() const;
 
   /// Deterministic machine-readable report (analyzer JSON conventions).
   /// Contains no wall-clock or worker-count data: byte-identical for a

@@ -83,7 +83,7 @@ class Parser {
     skip_ws();
     // Recursion depth is bounded to keep a hostile spec file from
     // overflowing the stack.
-    if (depth_ > 64) fail("nesting too deep");
+    if (depth_ > kMaxParseDepth) fail("nesting too deep");
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();

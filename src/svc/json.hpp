@@ -14,6 +14,13 @@
 
 namespace offramps::svc::json {
 
+/// Recursion-depth ceiling of the recursive-descent reader.  A hostile
+/// spec file of nothing but '[' characters costs one stack frame per
+/// nesting level; the parser rejects documents deeper than this with
+/// "nesting too deep" instead of overflowing the stack.  64 is far
+/// beyond any legitimate fleet spec (which nests 3 levels).
+inline constexpr int kMaxParseDepth = 64;
+
 /// One parsed JSON value (a tagged tree).
 struct Value {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };

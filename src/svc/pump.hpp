@@ -49,6 +49,12 @@ class Pump {
   /// freshly captured power samples into the detector here.
   void on_slot(std::function<void()> hook) { on_slot_ = std::move(hook); }
 
+  /// Consumer gate: when set and returning false, the slot still runs
+  /// its hook but skips the detector poll (a wedged consumer).  The
+  /// chaos harness uses this to force the producer into the ring's
+  /// lossless backpressure path.
+  void set_gate(std::function<bool()> gate) { gate_ = std::move(gate); }
+
   [[nodiscard]] std::size_t slots_run() const { return slots_run_; }
 
  private:
@@ -64,7 +70,7 @@ class Pump {
       }
 #endif
       if (on_slot_) on_slot_();
-      detector_.poll(options_.windows_per_slot);
+      if (!gate_ || gate_()) detector_.poll(options_.windows_per_slot);
       schedule();
     });
   }
@@ -73,6 +79,7 @@ class Pump {
   OnlineDetector& detector_;
   PumpOptions options_;
   std::function<void()> on_slot_;
+  std::function<bool()> gate_;
   std::size_t slots_run_ = 0;
   bool stopped_ = false;
 };

@@ -89,6 +89,36 @@ TEST(CaptureBinary, RejectsTruncationEverywhere) {
   }
 }
 
+// Offset of the u32 label length in the wire format: magic(4) +
+// version(2) + flags(2).
+constexpr std::size_t kLabelLenOffset = 8;
+
+TEST(CaptureBinary, RejectsLyingCountPrefixWithoutAllocating) {
+  const Capture cap = sample_capture();
+  std::vector<std::uint8_t> bytes = cap.to_binary();
+  const std::size_t count_offset = kLabelLenOffset + 4 + cap.label.size();
+  // Claim ~2^64 transactions in a tiny buffer.  The reader must bound
+  // the count against the remaining input and throw before reserving a
+  // single byte - this is the OOM-bomb path a corrupted or hostile
+  // capture file would hit.
+  for (std::size_t i = 0; i < 8; ++i) bytes[count_offset + i] = 0xFF;
+  EXPECT_THROW(Capture::from_binary(bytes), offramps::Error);
+
+  // An off-by-one lie (one more record than the buffer holds) is just as
+  // dead: the bound is exact, not order-of-magnitude.
+  bytes = cap.to_binary();
+  bytes[count_offset] = static_cast<std::uint8_t>(cap.size() + 1);
+  EXPECT_THROW(Capture::from_binary(bytes), offramps::Error);
+}
+
+TEST(CaptureBinary, RejectsLyingLabelLength) {
+  std::vector<std::uint8_t> bytes = sample_capture().to_binary();
+  // A label length pointing past the end of the buffer must be caught by
+  // the bounds check, not read out of bounds.
+  for (std::size_t i = 0; i < 4; ++i) bytes[kLabelLenOffset + i] = 0xFF;
+  EXPECT_THROW(Capture::from_binary(bytes), offramps::Error);
+}
+
 TEST(CaptureBinary, FileRoundTrip) {
   const Capture cap = sample_capture();
   const std::filesystem::path path =

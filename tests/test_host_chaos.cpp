@@ -1,0 +1,136 @@
+// host::ChaosInjector: the chaos grammar, the per-attempt activation
+// window, and the capture-mangling faults the bounded binary reader has
+// to reject.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "host/chaos.hpp"
+#include "sim/error.hpp"
+
+namespace {
+
+using offramps::Error;
+using offramps::core::Capture;
+using offramps::core::Transaction;
+using offramps::host::ChaosInjector;
+using offramps::host::ChaosKind;
+using offramps::host::ChaosSpec;
+using offramps::host::parse_chaos;
+
+Capture sample_capture(std::size_t n) {
+  Capture cap;
+  cap.label = "chaos-test";
+  cap.print_completed = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    Transaction t;
+    t.index = static_cast<std::uint32_t>(i);
+    t.counts = {static_cast<std::int32_t>(i * 3),
+                static_cast<std::int32_t>(i * 5), 0,
+                static_cast<std::int32_t>(i * 7)};
+    t.time_ns = i * 100'000'000ull;
+    cap.transactions.push_back(t);
+  }
+  cap.final_counts = {300, 500, 0, 700};
+  return cap;
+}
+
+TEST(ChaosSpec, ParseAndRoundTrip) {
+  EXPECT_EQ(parse_chaos("").kind, ChaosKind::kNone);
+  EXPECT_EQ(parse_chaos("none").kind, ChaosKind::kNone);
+  EXPECT_EQ(parse_chaos("clean").to_string(), "none");
+
+  const ChaosSpec crash = parse_chaos("crash:2");
+  EXPECT_EQ(crash.kind, ChaosKind::kCrash);
+  EXPECT_EQ(crash.fires_for, 2u);
+  EXPECT_EQ(crash.to_string(), "crash:2");
+
+  // One-shot default for the transient kinds...
+  EXPECT_EQ(parse_chaos("stall").fires_for, 1u);
+  EXPECT_EQ(parse_chaos("corrupt").fires_for, 1u);
+  EXPECT_EQ(parse_chaos("truncate").fires_for, 1u);
+  // ...every-attempt default for the standing kinds.
+  const ChaosSpec jam = parse_chaos("powerjam");
+  EXPECT_EQ(jam.kind, ChaosKind::kPowerJam);
+  EXPECT_EQ(jam.to_string(), "powerjam");
+  ChaosInjector late(jam, 1000);
+  EXPECT_TRUE(late.active());
+  EXPECT_EQ(parse_chaos("ringwedge").to_string(), "ringwedge");
+}
+
+TEST(ChaosSpec, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_chaos("bogus"), Error);
+  EXPECT_THROW(parse_chaos("crash:"), Error);
+  EXPECT_THROW(parse_chaos("crash:0"), Error);
+  EXPECT_THROW(parse_chaos("crash:2x"), Error);
+  EXPECT_THROW(parse_chaos("stall:-1"), Error);
+}
+
+TEST(ChaosInjector, ActiveOnlyWithinFiresFor) {
+  const ChaosSpec spec = parse_chaos("crash:2");
+  EXPECT_TRUE(ChaosInjector(spec, 0).active());
+  EXPECT_TRUE(ChaosInjector(spec, 1).active());
+  EXPECT_FALSE(ChaosInjector(spec, 2).active()) << "retry 3 runs clean";
+  EXPECT_FALSE(ChaosInjector(ChaosSpec{}, 0).active());
+}
+
+TEST(ChaosInjector, StallGateSuppressesAfterTrigger) {
+  ChaosSpec spec = parse_chaos("stall");
+  spec.after = 3;
+  ChaosInjector injector(spec, 0);
+  int passed = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.pass_transaction()) ++passed;
+  }
+  EXPECT_EQ(passed, 3);
+  EXPECT_EQ(injector.suppressed(), 7u);
+
+  // Inactive attempt: everything passes.
+  ChaosInjector clean(spec, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(clean.pass_transaction());
+  EXPECT_EQ(clean.suppressed(), 0u);
+}
+
+TEST(ChaosInjector, RingWedgeGate) {
+  ChaosSpec spec = parse_chaos("ringwedge");
+  spec.after = 4;
+  const ChaosInjector injector(spec, 0);
+  EXPECT_FALSE(injector.wedge_pump(0));
+  EXPECT_FALSE(injector.wedge_pump(3));
+  EXPECT_TRUE(injector.wedge_pump(4));
+  EXPECT_TRUE(injector.wedge_pump(1000));
+}
+
+TEST(ChaosInjector, CorruptedCountPrefixIsRejectedBounded) {
+  const Capture cap = sample_capture(10);
+  std::vector<std::uint8_t> wire = cap.to_binary();
+  const ChaosInjector injector(parse_chaos("corrupt"), 0);
+  injector.mangle_capture(wire);
+  // The mangled count prefix claims ~2^64 transactions; the bounded
+  // reader must reject it before allocating, not OOM.
+  EXPECT_THROW(Capture::from_binary(wire), Error);
+}
+
+TEST(ChaosInjector, TruncatedCaptureIsRejected) {
+  const Capture cap = sample_capture(10);
+  std::vector<std::uint8_t> wire = cap.to_binary();
+  const ChaosInjector injector(parse_chaos("truncate"), 0);
+  injector.mangle_capture(wire);
+  EXPECT_EQ(wire.size(), cap.to_binary().size() / 2);
+  EXPECT_THROW(Capture::from_binary(wire), Error);
+}
+
+TEST(ChaosInjector, InactiveMangleIsIdentity) {
+  const Capture cap = sample_capture(5);
+  std::vector<std::uint8_t> wire = cap.to_binary();
+  const std::vector<std::uint8_t> orig = wire;
+  const ChaosInjector injector(parse_chaos("corrupt"), 3);  // past fires_for
+  injector.mangle_capture(wire);
+  EXPECT_EQ(wire, orig);
+  const Capture back = Capture::from_binary(wire);
+  EXPECT_EQ(back.size(), 5u);
+}
+
+}  // namespace

@@ -1,22 +1,29 @@
 // svc::Fleet: spec parsing, the demo matrix, detection + safe-stop on a
-// small mixed fleet, and the determinism contract - the fleet JSON
-// report must be byte-identical at any worker count.
+// small mixed fleet, the determinism contract - the fleet JSON report
+// must be byte-identical at any worker count - and the supervision
+// layer: chaos campaigns classify as recovered/degraded/lost with zero
+// false alarms, and checkpoint/resume reproduces the full report byte
+// for byte without re-simulating completed rigs.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "host/chaos.hpp"
 #include "sim/error.hpp"
 #include "svc/fleet.hpp"
 
 namespace {
 
+using offramps::host::parse_chaos;
 using offramps::svc::Fleet;
 using offramps::svc::FleetOptions;
 using offramps::svc::FleetReport;
 using offramps::svc::parse_sabotage;
 using offramps::svc::RigSpec;
+using offramps::svc::RigStatus;
 using offramps::svc::Sabotage;
 
 std::uint64_t fnv1a(const std::string& text) {
@@ -156,6 +163,175 @@ TEST(Fleet, ReportDeterministicAcrossWorkerCounts) {
   // Byte-identical report at 1, 2, and 8 workers.
   EXPECT_EQ(digests[0], digests[1]);
   EXPECT_EQ(digests[0], digests[2]);
+}
+
+// A chaos fleet: one sabotaged rig (must alarm), one crash-once rig
+// (must recover on retry), one permanently stalled rig (must be
+// quarantined), one clean rig (control).
+std::vector<RigSpec> chaos_fleet() {
+  std::vector<RigSpec> specs(4);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "c-" + std::to_string(i);
+    specs[i].seed = 700 + i;
+    specs[i].cube_mm = 6.0;
+    specs[i].height_mm = 1.5;
+  }
+  specs[1].sabotage = parse_sabotage("reduce:0.5");
+  specs[2].chaos = parse_chaos("crash:1");
+  specs[3].chaos = parse_chaos("stall:99");
+  return specs;
+}
+
+TEST(FleetChaos, ClassifiesRecoveredAndLostWithoutFalseAlarms) {
+  FleetOptions options;
+  options.workers = 2;
+  const FleetReport report = Fleet(options).run(chaos_fleet());
+
+  ASSERT_EQ(report.rigs.size(), 4u);
+  EXPECT_EQ(report.rigs[0].status, RigStatus::kOk);
+  EXPECT_EQ(report.rigs[0].attempts, 1u);
+
+  // The sabotaged rig still alarms under supervision.
+  EXPECT_EQ(report.rigs[1].status, RigStatus::kOk);
+  EXPECT_TRUE(report.rigs[1].detector.alarmed);
+
+  // crash:1 fails the first attempt, succeeds clean on the retry.
+  EXPECT_EQ(report.rigs[2].status, RigStatus::kRecovered);
+  EXPECT_EQ(report.rigs[2].attempts, 2u);
+  EXPECT_NE(report.rigs[2].failure_cause.find("injected rig crash"),
+            std::string::npos);
+  EXPECT_FALSE(report.rigs[2].detector.alarmed) << "recovered, not alarmed";
+
+  // stall:99 wedges the capture tap on every attempt: quarantined.
+  EXPECT_EQ(report.rigs[3].status, RigStatus::kLost);
+  EXPECT_EQ(report.rigs[3].attempts, 3u);
+  EXPECT_FALSE(report.rigs[3].failure_cause.empty());
+  EXPECT_FALSE(report.rigs[3].detector.alarmed)
+      << "a quarantined rig is not a detection";
+
+  // Zero false alarms: only the sabotaged rig alarmed.
+  EXPECT_EQ(report.alarmed(), 1u);
+  EXPECT_EQ(report.count(RigStatus::kRecovered), 1u);
+  EXPECT_EQ(report.count(RigStatus::kLost), 1u);
+  EXPECT_EQ(report.campaign(), "lost");
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"false_alarms\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"recovered\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"lost\""), std::string::npos);
+  EXPECT_NE(json.find("\"campaign\": \"lost\""), std::string::npos);
+}
+
+TEST(FleetChaos, PowerJamDegradesRingWedgeIsAbsorbed) {
+  std::vector<RigSpec> specs(2);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "p-" + std::to_string(i);
+    specs[i].seed = 800 + i;
+    specs[i].cube_mm = 6.0;
+    specs[i].height_mm = 1.5;
+  }
+  specs[0].chaos = parse_chaos("powerjam");   // every attempt
+  specs[1].chaos = parse_chaos("ringwedge");  // every attempt
+
+  FleetOptions options;
+  options.workers = 2;
+  const FleetReport report = Fleet(options).run(specs);
+
+  // powerjam throws every full-fidelity attempt; the degrade ladder's
+  // final attempt runs without the power channel and succeeds.
+  EXPECT_EQ(report.rigs[0].status, RigStatus::kDegraded);
+  EXPECT_EQ(report.rigs[0].attempts, 3u);
+  EXPECT_EQ(report.rigs[0].detector.power.windows_compared, 0u);
+  EXPECT_TRUE(report.rigs[0].print_finished);
+
+  // ringwedge stops the pump draining; the ring's lossless backpressure
+  // absorbs it - first-attempt success, with stalls on the books.
+  EXPECT_EQ(report.rigs[1].status, RigStatus::kOk);
+  EXPECT_EQ(report.rigs[1].attempts, 1u);
+  EXPECT_GT(report.rigs[1].detector.backpressure_stalls, 0u);
+  EXPECT_FALSE(report.rigs[1].detector.alarmed);
+
+  EXPECT_EQ(report.alarmed(), 0u);
+  EXPECT_EQ(report.campaign(), "degraded");
+}
+
+TEST(FleetChaos, ReportDeterministicAcrossWorkerCounts) {
+  const auto specs = chaos_fleet();
+  std::vector<std::uint64_t> digests;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    FleetOptions options;
+    options.workers = workers;
+    digests.push_back(fnv1a(Fleet(options).run(specs).to_json()));
+  }
+  // Retries, quarantines and failure causes are keyed on (rig, attempt),
+  // never on wall-clock or worker interleaving.
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(FleetCheckpoint, StopResumeReproducesFullReportByteForByte) {
+  const auto specs = chaos_fleet();
+  const std::string ck =
+      ::testing::TempDir() + "/fleet-resume-test-ck.bin";
+  std::filesystem::remove(ck);
+
+  // The uninterrupted campaign is the reference output.
+  FleetOptions plain;
+  plain.workers = 2;
+  const std::string full_json = Fleet(plain).run(specs).to_json();
+
+  // Kill drill: complete 2 rigs, checkpoint, stop.
+  FleetOptions first = plain;
+  first.checkpoint_path = ck;
+  first.stop_after = 2;
+  const FleetReport partial = Fleet(first).run(specs);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.campaign(), "partial");
+  EXPECT_EQ(partial.count(RigStatus::kPending), 2u);
+  EXPECT_NE(partial.to_json(), full_json);
+  ASSERT_TRUE(std::filesystem::exists(ck));
+
+  // Resume: the remaining rigs run; the final report is byte-identical
+  // to the never-interrupted run.
+  FleetOptions second = plain;
+  second.resume_path = ck;
+  const FleetReport resumed = Fleet(second).run(specs);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.to_json(), full_json);
+
+  // Completed rigs were skipped, not re-simulated: the resumed process
+  // only ever timed the rigs it actually ran.
+  for (const auto& t : resumed.timings) {
+    EXPECT_EQ(t.name.find("rig/c-0"), std::string::npos) << t.name;
+    EXPECT_EQ(t.name.find("rig/c-1"), std::string::npos) << t.name;
+  }
+  bool timed_c3 = false;
+  for (const auto& t : resumed.timings) {
+    timed_c3 = timed_c3 || t.name == "rig/c-3";
+  }
+  EXPECT_TRUE(timed_c3);
+  std::filesystem::remove(ck);
+}
+
+TEST(FleetCheckpoint, ResumeRejectsEditedSpecs) {
+  auto specs = small_fleet();
+  const std::string ck =
+      ::testing::TempDir() + "/fleet-digest-test-ck.bin";
+  std::filesystem::remove(ck);
+
+  FleetOptions options;
+  options.workers = 2;
+  options.checkpoint_path = ck;
+  options.stop_after = 1;
+  (void)Fleet(options).run(specs);
+  ASSERT_TRUE(std::filesystem::exists(ck));
+
+  // Resuming with a different fleet must be a hard error, not skew.
+  specs[2].seed += 1;
+  FleetOptions resume;
+  resume.workers = 2;
+  resume.resume_path = ck;
+  EXPECT_THROW(Fleet(resume).run(specs), offramps::Error);
+  std::filesystem::remove(ck);
 }
 
 }  // namespace

@@ -66,6 +66,28 @@ TEST(SvcJson, RejectsMalformedInput) {
   EXPECT_THROW(json::parse("\"\\u0041\""), offramps::Error);  // rejected
 }
 
+TEST(SvcJson, DepthCapAcceptsLimitRejectsBeyond) {
+  const auto nested = [](int levels) {
+    return std::string(levels, '[') + "1" + std::string(levels, ']');
+  };
+  // A scalar wrapped in exactly kMaxParseDepth containers is the deepest
+  // legal document; one more level must fail with a parse error, not a
+  // stack overflow.
+  EXPECT_NO_THROW(json::parse(nested(json::kMaxParseDepth)));
+  try {
+    json::parse(nested(json::kMaxParseDepth + 1));
+    FAIL() << "expected offramps::Error";
+  } catch (const offramps::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  // Objects count against the same budget.
+  std::string objects;
+  for (int i = 0; i < json::kMaxParseDepth + 1; ++i) objects += "{\"k\":";
+  objects += "0";
+  for (int i = 0; i < json::kMaxParseDepth + 1; ++i) objects += "}";
+  EXPECT_THROW(json::parse(objects), offramps::Error);
+}
+
 TEST(SvcJson, ErrorCarriesByteOffset) {
   try {
     json::parse("{\"a\": 1, !}");

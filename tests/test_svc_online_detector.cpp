@@ -120,6 +120,42 @@ TEST(OnlineDetector, BackpressureStallsLoseNothing) {
   EXPECT_EQ(report.ring_high_water, options.ring_capacity);
 }
 
+TEST(OnlineDetector, ProducerStallAtExactRingCapacityBoundary) {
+  OnlineDetectorOptions options = quiet_options();
+  options.ring_capacity = 8;
+
+  // Stream length exactly == capacity: the ring fills to the brim but the
+  // producer never has to stall.
+  {
+    const Capture golden = make_golden(options.ring_capacity);
+    OnlineDetector det(options);
+    det.set_golden(&golden);
+    for (const Transaction& txn : golden.transactions) det.submit(txn);
+    EXPECT_EQ(det.queued(), options.ring_capacity);
+    EXPECT_EQ(det.report().backpressure_stalls, 0u);
+    det.drain();
+    const OnlineReport report = det.report();
+    EXPECT_EQ(report.windows_processed, options.ring_capacity);
+    EXPECT_EQ(report.ring_high_water, options.ring_capacity);
+    EXPECT_EQ(report.compare_mismatches, 0u);
+  }
+
+  // One past capacity: the first submit that finds the ring full is the
+  // first stall, and the overflow window is drained, not dropped.
+  {
+    const Capture golden = make_golden(options.ring_capacity + 1);
+    OnlineDetector det(options);
+    det.set_golden(&golden);
+    for (const Transaction& txn : golden.transactions) det.submit(txn);
+    det.drain();
+    const OnlineReport report = det.report();
+    EXPECT_EQ(report.backpressure_stalls, 1u);
+    EXPECT_EQ(report.windows_processed, options.ring_capacity + 1);
+    EXPECT_EQ(report.compare_mismatches, 0u);
+    EXPECT_FALSE(report.alarmed);
+  }
+}
+
 TEST(OnlineDetector, PollInBatchesMatchesDrain) {
   const Capture golden = make_golden(30);
   OnlineDetector det(quiet_options());

@@ -1,0 +1,223 @@
+// svc::Supervisor: deterministic backoff, the retry/quarantine ladder,
+// and the sim-clocked stall watchdog.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sim/error.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "svc/supervisor.hpp"
+
+namespace {
+
+using offramps::Error;
+using offramps::svc::AttemptContext;
+using offramps::svc::backoff_delay_ms;
+using offramps::svc::GuardOutcome;
+using offramps::svc::rig_status_name;
+using offramps::svc::RigStatus;
+using offramps::svc::StallWatchdog;
+using offramps::svc::Supervisor;
+using offramps::svc::SupervisorOptions;
+
+TEST(Backoff, ZeroBaseDisablesSleeping) {
+  SupervisorOptions opt;
+  opt.backoff_base_ms = 0;
+  EXPECT_EQ(backoff_delay_ms(opt, 0, 0), 0u);
+  EXPECT_EQ(backoff_delay_ms(opt, 7, 3), 0u);
+}
+
+TEST(Backoff, DeterministicAndJittered) {
+  SupervisorOptions opt;
+  opt.backoff_base_ms = 100;
+  opt.backoff_cap_ms = 2000;
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    for (std::uint32_t attempt = 0; attempt < 5; ++attempt) {
+      const std::uint64_t a = backoff_delay_ms(opt, key, attempt);
+      const std::uint64_t b = backoff_delay_ms(opt, key, attempt);
+      EXPECT_EQ(a, b) << "pure function of (seed, key, attempt)";
+      // Exponential envelope with jitter in [delay/2, delay].
+      std::uint64_t ceiling = opt.backoff_base_ms;
+      for (std::uint32_t i = 0; i < attempt && ceiling < opt.backoff_cap_ms;
+           ++i) {
+        ceiling *= 2;
+      }
+      if (ceiling > opt.backoff_cap_ms) ceiling = opt.backoff_cap_ms;
+      EXPECT_GE(a, ceiling / 2);
+      EXPECT_LE(a, ceiling);
+    }
+  }
+}
+
+TEST(Backoff, DecorrelatedAcrossKeys) {
+  SupervisorOptions opt;
+  opt.backoff_base_ms = 1000;
+  opt.backoff_cap_ms = 1000;
+  // Same attempt, different keys: the jitter must not collapse to one
+  // value (thundering herd).  With a 500-wide window, 32 keys all equal
+  // would be astronomically unlikely.
+  bool any_different = false;
+  const std::uint64_t first = backoff_delay_ms(opt, 0, 0);
+  for (std::uint64_t key = 1; key < 32; ++key) {
+    if (backoff_delay_ms(opt, key, 0) != first) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Backoff, CapSaturates) {
+  SupervisorOptions opt;
+  opt.backoff_base_ms = 100;
+  opt.backoff_cap_ms = 400;
+  for (std::uint32_t attempt = 0; attempt < 40; ++attempt) {
+    EXPECT_LE(backoff_delay_ms(opt, 1, attempt), 400u);
+  }
+}
+
+SupervisorOptions fast_options(std::uint32_t attempts) {
+  SupervisorOptions opt;
+  opt.max_attempts = attempts;
+  opt.backoff_base_ms = 0;  // no sleeping in tests
+  return opt;
+}
+
+TEST(Supervisor, FirstTrySuccessIsOk) {
+  const Supervisor sup(fast_options(3));
+  int calls = 0;
+  const GuardOutcome out =
+      sup.run_guarded(1, [&](const AttemptContext&) { ++calls; });
+  EXPECT_EQ(out.status, RigStatus::kOk);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_TRUE(out.failure_cause.empty());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Supervisor, RetrySuccessIsRecovered) {
+  const Supervisor sup(fast_options(3));
+  int calls = 0;
+  const GuardOutcome out = sup.run_guarded(1, [&](const AttemptContext& ctx) {
+    ++calls;
+    if (ctx.attempt == 0) throw Error("transient");
+  });
+  EXPECT_EQ(out.status, RigStatus::kRecovered);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_EQ(out.failure_cause, "transient");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Supervisor, FinalAttemptRunsDegraded) {
+  const Supervisor sup(fast_options(3));
+  bool was_degraded = false;
+  const GuardOutcome out = sup.run_guarded(1, [&](const AttemptContext& ctx) {
+    if (ctx.attempt < 2) throw Error("still broken");
+    was_degraded = ctx.degraded;
+  });
+  EXPECT_EQ(out.status, RigStatus::kDegraded);
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_TRUE(was_degraded) << "final attempt must carry the degrade flag";
+}
+
+TEST(Supervisor, ExhaustedRetriesAreLost) {
+  const Supervisor sup(fast_options(3));
+  int calls = 0;
+  const GuardOutcome out = sup.run_guarded(1, [&](const AttemptContext&) {
+    ++calls;
+    throw Error("hard failure " + std::to_string(calls));
+  });
+  EXPECT_EQ(out.status, RigStatus::kLost);
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(out.failure_cause, "hard failure 3");
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Supervisor, SingleAttemptNeverDegrades) {
+  const Supervisor sup(fast_options(1));
+  bool degraded = false;
+  const GuardOutcome out = sup.run_guarded(1, [&](const AttemptContext& ctx) {
+    degraded = ctx.degraded;
+  });
+  EXPECT_EQ(out.status, RigStatus::kOk);
+  EXPECT_FALSE(degraded) << "1 attempt = no degrade ladder";
+}
+
+TEST(Supervisor, DegradeLadderCanBeDisabled) {
+  SupervisorOptions opt = fast_options(2);
+  opt.degrade_channels = false;
+  const Supervisor sup(opt);
+  bool degraded = false;
+  const GuardOutcome out = sup.run_guarded(1, [&](const AttemptContext& ctx) {
+    degraded = ctx.degraded;
+    if (ctx.attempt == 0) throw Error("transient");
+  });
+  EXPECT_EQ(out.status, RigStatus::kRecovered);
+  EXPECT_FALSE(degraded);
+}
+
+TEST(Supervisor, StatusNames) {
+  EXPECT_STREQ(rig_status_name(RigStatus::kOk), "ok");
+  EXPECT_STREQ(rig_status_name(RigStatus::kRecovered), "recovered");
+  EXPECT_STREQ(rig_status_name(RigStatus::kDegraded), "degraded");
+  EXPECT_STREQ(rig_status_name(RigStatus::kLost), "lost");
+  EXPECT_STREQ(rig_status_name(RigStatus::kPending), "pending");
+}
+
+TEST(StallWatchdog, ThrowsWhenProgressFreezes) {
+  offramps::sim::Scheduler sched;
+  SupervisorOptions opt;
+  opt.watchdog_period_s = 0.5;
+  opt.stall_timeout_s = 2.0;
+  opt.first_data_timeout_s = 100.0;
+
+  std::uint64_t progress = 0;
+  // Progress advances for 3 sim-seconds, then wedges.
+  for (int i = 1; i <= 6; ++i) {
+    sched.schedule_at(offramps::sim::from_seconds(0.5 * i),
+                      [&progress] { ++progress; });
+  }
+  StallWatchdog dog(
+      sched, opt, [&progress] { return progress; }, [] { return true; },
+      "test");
+  EXPECT_THROW(sched.run_until(offramps::sim::from_seconds(60.0)),
+               offramps::Error);
+  // The stream made progress until t=3s; the stall must be detected at
+  // roughly 3s + stall_timeout, far before the 60 s horizon.
+  const double t = offramps::sim::to_seconds(sched.now());
+  EXPECT_GE(t, 4.9);
+  EXPECT_LE(t, 6.1);
+}
+
+TEST(StallWatchdog, ThrowsWhenStreamNeverStarts) {
+  offramps::sim::Scheduler sched;
+  SupervisorOptions opt;
+  opt.watchdog_period_s = 0.5;
+  opt.stall_timeout_s = 100.0;
+  opt.first_data_timeout_s = 3.0;
+
+  StallWatchdog dog(
+      sched, opt, [] { return std::uint64_t{0}; }, [] { return true; },
+      "test");
+  EXPECT_THROW(sched.run_until(offramps::sim::from_seconds(60.0)),
+               offramps::Error);
+  EXPECT_LE(offramps::sim::to_seconds(sched.now()), 4.1);
+}
+
+TEST(StallWatchdog, RetiresWhenInactive) {
+  offramps::sim::Scheduler sched;
+  SupervisorOptions opt;
+  opt.watchdog_period_s = 0.5;
+  opt.stall_timeout_s = 1.0;
+  opt.first_data_timeout_s = 1.0;
+
+  bool active = true;
+  sched.schedule_at(offramps::sim::from_seconds(0.6),
+                    [&active] { active = false; });
+  StallWatchdog dog(
+      sched, opt, [] { return std::uint64_t{0}; },
+      [&active] { return active; }, "test");
+  // Once inactive the watchdog retires; no throw, and the scheduler
+  // drains instead of running to the horizon.
+  EXPECT_NO_THROW(sched.run_until(offramps::sim::from_seconds(60.0)));
+}
+
+}  // namespace
