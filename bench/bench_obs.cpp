@@ -6,16 +6,21 @@
 //      that gate directly, measure the real scheduler event loop, and
 //      bound overhead = gate_ns / event_ns.  The bound is conservative:
 //      it charges the whole gate on top of an event that already paid it.
-//   2. Enabled overhead (informational): the same event loop with
-//      obs::set_enabled(true), i.e. counter + gauge + timed histogram per
-//      event - the price an operator pays while actually collecting.
-//   3. Fleet byte identity (enforced): the fleet report must be
+//   2. Enabled overhead, event floor (informational): the same event
+//      loop with obs::set_enabled(true) - batched counter/gauge updates
+//      plus the 1-in-N sampled latency timer per event.
+//   3. Fleet enabled overhead (< 20%, exit-code enforced): a whole
+//      metrics-enabled fleet run vs the same run plain.  This is the
+//      price an operator pays for always-on collection; PR 7's sharded
+//      counters + batched scheduler flushes bought it down from ~217%.
+//   4. Fleet byte identity (enforced): the fleet report must be
 //      byte-identical with metrics off and on, at 1 and at N workers.
 //
 //   ./bench_obs [--jobs N]
 //
 // Writes BENCH_obs.json; exits 0 when every enforced gate holds, 1
-// otherwise (2 = usage error).
+// otherwise (2 = usage error).  Perf gates (1, 3) downgrade to
+// report-only under sanitizers; the byte-identity gate always enforces.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -133,10 +138,17 @@ int main(int argc, char** argv) {
   json.add("gate_ns", gate_ns);
   json.add("disabled_overhead_pct", disabled_pct);
   if (disabled_pct >= 2.0) {
-    std::fprintf(stderr,
-                 "FAIL: disabled obs overhead %.3f%% >= 2%% budget\n",
-                 disabled_pct);
-    rc = 1;
+    if (bench::built_with_sanitizers()) {
+      std::fprintf(stderr,
+                   "note: disabled overhead %.3f%% >= 2%% budget "
+                   "(not enforced: sanitized build)\n",
+                   disabled_pct);
+    } else {
+      std::fprintf(stderr,
+                   "FAIL: disabled obs overhead %.3f%% >= 2%% budget\n",
+                   disabled_pct);
+      rc = 1;
+    }
   }
 
   bench::heading("obs enabled overhead (informational)");
@@ -150,33 +162,75 @@ int main(int argc, char** argv) {
   json.add("enabled_ns", enabled_ns);
   json.add("enabled_overhead_pct", enabled_pct);
 
-  bench::heading("fleet report byte identity (enforced)");
+  bench::heading("fleet metrics-enabled overhead (enforced < 20%) "
+                 "and byte identity");
   const std::vector<svc::RigSpec> specs = small_fleet();
   obs::Registry::instance().reset();
-  svc::Fleet plain(fleet_options(1));
-  bench::Stopwatch fleet_watch;
-  const std::string baseline = plain.run(specs).to_json();
-  const double fleet_plain_s = fleet_watch.seconds();
+  // Realistic enabled cost: a whole fleet run (full sims, not the no-op
+  // event floor above) with metrics collected vs without.  Every timed
+  // run also yields its report so identity keeps being checked on the
+  // retries.
+  const auto run_plain = [&specs](std::string* report) {
+    svc::Fleet fleet(fleet_options(1));
+    const bench::Stopwatch watch;
+    *report = fleet.run(specs).to_json();
+    return watch.seconds();
+  };
+  const auto run_metered = [&specs](std::string* report) {
+    obs::set_enabled(true);
+    svc::Fleet fleet(fleet_options(1));
+    const bench::Stopwatch watch;
+    *report = fleet.run(specs).to_json();
+    const double secs = watch.seconds();
+    obs::set_enabled(false);
+    return secs;
+  };
+  std::string baseline;
+  std::string with_metrics_1;
+  double fleet_plain_s = run_plain(&baseline);
+  double fleet_enabled_s = run_metered(&with_metrics_1);
+  bool identical = with_metrics_1 == baseline;
+  double fleet_pct = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    fleet_pct = 100.0 * (fleet_enabled_s - fleet_plain_s) / fleet_plain_s;
+    if (fleet_pct < 20.0 || attempt == 2) break;
+    // Same rescue as the disabled gate: minima converge downward to the
+    // unperturbed cost, so retries save a noisy run, never a regression.
+    std::fprintf(stderr,
+                 "note: fleet overhead %.1f%% over budget, re-measuring "
+                 "(attempt %d)\n",
+                 fleet_pct, attempt + 2);
+    std::string plain_report;
+    std::string metered_report;
+    fleet_plain_s = std::min(fleet_plain_s, run_plain(&plain_report));
+    fleet_enabled_s = std::min(fleet_enabled_s, run_metered(&metered_report));
+    identical = identical && plain_report == baseline &&
+                metered_report == baseline;
+  }
   obs::set_enabled(true);
-  svc::Fleet seq(fleet_options(1));
-  fleet_watch.restart();
-  const std::string with_metrics_1 = seq.run(specs).to_json();
-  const double fleet_enabled_s = fleet_watch.seconds();
   svc::Fleet par(fleet_options(jobs));
   const std::string with_metrics_n = par.run(specs).to_json();
   obs::set_enabled(false);
-  // Realistic enabled cost: a whole fleet run (full sims, not the no-op
-  // event floor above) with metrics collected vs without.
-  const double fleet_pct =
-      100.0 * (fleet_enabled_s - fleet_plain_s) / fleet_plain_s;
+  identical = identical && with_metrics_n == baseline;
   std::printf("fleet w1 run         : %.3f s plain, %.3f s with metrics "
               "(%+.1f%%)\n",
               fleet_plain_s, fleet_enabled_s, fleet_pct);
   json.add("fleet_plain_s", fleet_plain_s);
   json.add("fleet_enabled_s", fleet_enabled_s);
   json.add("fleet_enabled_overhead_pct", fleet_pct);
-  const bool identical =
-      with_metrics_1 == baseline && with_metrics_n == baseline;
+  if (fleet_pct >= 20.0) {
+    if (bench::built_with_sanitizers()) {
+      std::fprintf(stderr,
+                   "note: fleet enabled overhead %.1f%% >= 20%% budget "
+                   "(not enforced: sanitized build)\n",
+                   fleet_pct);
+    } else {
+      std::fprintf(stderr,
+                   "FAIL: fleet enabled overhead %.1f%% >= 20%% budget\n",
+                   fleet_pct);
+      rc = 1;
+    }
+  }
   std::printf("disabled w1 vs enabled w1 vs enabled w%zu: %s\n", jobs,
               identical ? "byte-identical" : "DIVERGED");
   json.add("fleet_byte_identical", identical);

@@ -7,6 +7,13 @@
 // BENCH_parallel.json.  The JSON includes the host's hardware
 // concurrency: on a 1-core machine the honest speedup is ~1x and the
 // artifact says why.
+//
+// Also enforces an absolute single-worker throughput floor (ISSUE 7): a
+// scheduler or hot-path regression that halves events/s fails this bench
+// by exit code, not just in a dashboard.  The floor is deliberately
+// loose (~25% of the throughput measured on the reference dev host after
+// the timer-wheel scheduler landed) so slower CI machines pass while a
+// genuine algorithmic regression cannot.  Not enforced under sanitizers.
 #include <cstdio>
 #include <vector>
 
@@ -73,6 +80,9 @@ BatchOut run_batch(const gcode::Program& program, std::size_t sims,
 int main(int argc, char** argv) {
   const auto program = bench::standard_cube(2.0);
   constexpr std::size_t kSims = 8;
+  // Single-worker events/s floor; see header comment for how it is set
+  // (the reference host measured 1.36e7 events/s).
+  constexpr double kEventsPerSecFloor = 3.0e6;
   std::size_t jobs = bench::parse_jobs(argc, argv);
   if (jobs < 2) jobs = 4;  // measure scaling even when launched bare
 
@@ -81,13 +91,39 @@ int main(int argc, char** argv) {
               "(hardware concurrency: %u)\n",
               kSims, jobs, std::thread::hardware_concurrency());
 
-  const BatchOut seq = run_batch(program, kSims, 1);
+  BatchOut seq = run_batch(program, kSims, 1);
   const BatchOut par = run_batch(program, kSims, jobs);
+  double eps_1 = seq.wall_s > 0.0
+                     ? static_cast<double>(seq.events) / seq.wall_s
+                     : 0.0;
+  const bool floor_enforced = !bench::built_with_sanitizers();
+  for (int attempt = 0;
+       floor_enforced && eps_1 < kEventsPerSecFloor && attempt < 2;
+       ++attempt) {
+    // A descheduled first pass can fake a slow simulator; re-measuring
+    // and keeping the fastest pass rescues noise, not a real regression.
+    std::fprintf(stderr,
+                 "note: %.3g events/s under floor, re-measuring "
+                 "(attempt %d)\n",
+                 eps_1, attempt + 2);
+    const BatchOut retry = run_batch(program, kSims, 1);
+    const double eps = retry.wall_s > 0.0
+                           ? static_cast<double>(retry.events) / retry.wall_s
+                           : 0.0;
+    if (eps > eps_1) {
+      eps_1 = eps;
+      seq.wall_s = retry.wall_s;
+    }
+  }
 
   const bool identical = seq.digests == par.digests;
+  const bool fast_enough = eps_1 >= kEventsPerSecFloor;
   const double speedup = par.wall_s > 0.0 ? seq.wall_s / par.wall_s : 0.0;
-  std::printf("  1 worker : %.3f s  (%.3g events/s)\n", seq.wall_s,
-              static_cast<double>(seq.events) / seq.wall_s);
+  std::printf("  1 worker : %.3f s  (%.3g events/s; floor %.3g, %s)\n",
+              seq.wall_s, eps_1, kEventsPerSecFloor,
+              fast_enough      ? "ok"
+              : floor_enforced ? "FAIL"
+                               : "not enforced: sanitized build");
   std::printf("  %zu workers: %.3f s  (%.3g events/s)\n", jobs, par.wall_s,
               static_cast<double>(par.events) / par.wall_s);
   std::printf("  speedup: %.2fx; results bit-identical: %s\n", speedup,
@@ -104,13 +140,19 @@ int main(int argc, char** argv) {
   json.add("wall_seconds_1", seq.wall_s);
   json.add("wall_seconds_n", par.wall_s);
   json.add("speedup", speedup);
-  json.add("events_per_second_1",
-           seq.wall_s > 0.0 ? static_cast<double>(seq.events) / seq.wall_s
-                            : 0.0);
+  json.add("events_per_second_1", eps_1);
   json.add("events_per_second_n",
            par.wall_s > 0.0 ? static_cast<double>(par.events) / par.wall_s
                             : 0.0);
+  json.add("events_per_second_floor", kEventsPerSecFloor);
+  json.add("floor_enforced", floor_enforced);
   json.add("bit_identical", identical);
   json.write();
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+  if (floor_enforced && !fast_enough) {
+    std::fprintf(stderr, "FAIL: %.3g events/s < %.3g floor\n", eps_1,
+                 kEventsPerSecFloor);
+    return 1;
+  }
+  return 0;
 }

@@ -42,6 +42,15 @@ else
   # checkpoint format, and the chaos-campaign + stop/resume CLI drills.
   echo "==> chaos suite (ctest -L chaos)"
   ctest --preset default -L chaos -j "${jobs}"
+  # ...and the perf gates as smoke runs: timer-wheel vs heap ratio,
+  # events/s floor, metrics-enabled fleet overhead.  On plain builds the
+  # thresholds enforce by exit code; under sanitizers the benches
+  # downgrade themselves to report-only (bench::built_with_sanitizers),
+  # so this stays a correctness smoke there.
+  echo "==> perf smoke (bench_sched / bench_parallel / bench_obs)"
+  ./build/bench/bench_sched
+  ./build/bench/bench_parallel --jobs 2
+  ./build/bench/bench_obs --jobs 2
 fi
 
 echo "==> all checks passed"

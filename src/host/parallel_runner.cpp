@@ -28,6 +28,8 @@ ParallelRunner::ParallelRunner(std::size_t workers)
         &obs::Registry::instance().counter(prefix + ".executed");
     stats_[i].stolen = &obs::Registry::instance().counter(prefix + ".stolen");
   }
+  parks_ = &obs::Registry::instance().counter("host.pool.parks");
+  unparks_ = &obs::Registry::instance().counter("host.pool.unparks");
 #endif
   threads_.reserve(workers_);
   for (std::size_t i = 0; i < workers_; ++i) {
@@ -159,15 +161,11 @@ void ParallelRunner::worker_loop(std::size_t self) {
       if (obs::enabled() && !ready()) {
         // A park is a worker actually going to sleep on the condition
         // variable (the predicate was false on arrival); the matching
-        // unpark is its wake-up.  Registry access never takes mu_, so
-        // registering here under the pool lock cannot deadlock.
-        static obs::Counter& parks =
-            obs::Registry::instance().counter("host.pool.parks");
-        static obs::Counter& unparks =
-            obs::Registry::instance().counter("host.pool.unparks");
-        parks.add(1);
+        // unpark is its wake-up.  Handles were bound in the constructor,
+        // so this path is two striped relaxed adds.
+        parks_->add(1);
         work_cv_.wait(lk, ready);
-        unparks.add(1);
+        unparks_->add(1);
       } else {
         work_cv_.wait(lk, ready);
       }

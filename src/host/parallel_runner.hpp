@@ -96,6 +96,12 @@ class ParallelRunner {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
   std::vector<WorkerStats> stats_;
+#if OFFRAMPS_OBS_ENABLED
+  /// Pool-wide park/unpark counters, bound at construction like stats_
+  /// so the park path pays no magic-static guard per sleep.
+  obs::Counter* parks_ = nullptr;
+  obs::Counter* unparks_ = nullptr;
+#endif
 
   std::mutex mu_;
   std::condition_variable work_cv_;

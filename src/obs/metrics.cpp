@@ -10,7 +10,26 @@ namespace offramps::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return idx;
+}
 }  // namespace detail
+
+namespace {
+std::atomic<std::uint32_t> g_latency_sample_every{64};
+}  // namespace
+
+void set_latency_sample_every(std::uint32_t n) {
+  g_latency_sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+std::uint32_t latency_sample_every() {
+  return g_latency_sample_every.load(std::memory_order_relaxed);
+}
 
 void set_enabled(bool on) {
 #if OFFRAMPS_OBS_ENABLED

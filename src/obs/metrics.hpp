@@ -27,8 +27,10 @@
 // simulated byte, only record wall-clock facts about producing them.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,6 +43,16 @@ namespace offramps::obs {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+
+/// Counter stripe count.  Eight cache-line-sized cells absorb the worker
+/// pools this repo runs (typically <= hardware_concurrency workers per
+/// pool); threads beyond eight share stripes round-robin, which costs
+/// contention but never correctness.
+inline constexpr std::size_t kCounterShards = 8;
+
+/// Stable per-thread stripe index, assigned round-robin on a thread's
+/// first metered update.
+std::size_t shard_index();
 }  // namespace detail
 
 /// True when instrumentation sites should record.  One relaxed load -
@@ -64,19 +76,31 @@ inline double us_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count, striped across per-thread
+/// cache-line-aligned cells so concurrent workers never contend on one
+/// line.  add() is a relaxed fetch_add on the calling thread's stripe;
+/// value() aggregates all stripes at read time.  Totals are exact - the
+/// sum of relaxed per-stripe adds equals the sum of a single shared
+/// atomic, only the write traffic is spread out.
 class Counter {
  public:
   void add(std::uint64_t n = 1) {
-    v_.fetch_add(n, std::memory_order_relaxed);
+    cells_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const {
-    return v_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
   }
-  void reset() { v_.store(0, std::memory_order_relaxed); }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, detail::kCounterShards> cells_;
 };
 
 /// Last-written value plus a running maximum (e.g. queue depth: the
@@ -135,6 +159,15 @@ class Histogram {
 
 /// Default bucket ladder for latency histograms, in microseconds.
 const std::vector<double>& latency_buckets_us();
+
+/// Sampling interval for per-event wall-clock latency observations on
+/// the scheduler hot path: 1-in-N events pays the two steady_clock reads
+/// and the histogram update.  Default 64.  Set 1 to time every event
+/// (exact counts, old behavior); 0 is clamped to 1.  Counters and gauges
+/// are never sampled - only the wall-clock histogram, whose values are
+/// nondeterministic anyway.
+void set_latency_sample_every(std::uint32_t n);
+[[nodiscard]] std::uint32_t latency_sample_every();
 
 /// Process-wide name -> instrument map.  Registration (the only locking
 /// path) returns a stable reference; the same name always yields the

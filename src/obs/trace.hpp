@@ -47,6 +47,16 @@ class TraceSession {
   /// Called by ~Span; callable directly for spans that cannot be scoped.
   static void record(std::string name, std::string cat,
                      std::chrono::steady_clock::time_point t0);
+
+  /// Span sampling interval: 1-in-N spans record (process-wide modulo
+  /// over span constructions).  Default 1 = record every span; 0 is
+  /// clamped to 1.  For fleets whose span volume would otherwise swamp
+  /// the trace file.
+  static void set_sample_every(std::uint32_t n);
+  [[nodiscard]] static std::uint32_t sample_every();
+  /// True when the next span should record (applies the sampling
+  /// interval; advances the sample counter when the interval > 1).
+  [[nodiscard]] static bool sample_this_span();
 };
 
 /// RAII span: records a complete event covering its own lifetime, tagged
@@ -55,7 +65,7 @@ class TraceSession {
 class Span {
  public:
   explicit Span(std::string name, std::string cat = "offramps")
-      : armed_(TraceSession::active()) {
+      : armed_(TraceSession::active() && TraceSession::sample_this_span()) {
     if (!armed_) return;
     name_ = std::move(name);
     cat_ = std::move(cat);

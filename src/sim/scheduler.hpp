@@ -2,15 +2,18 @@
 //
 // Every component in the reproduction (firmware stepper engine, FPGA fabric
 // modules, printer plant integrators) advances time by scheduling callbacks
-// on a single shared `Scheduler`.  The queue is a min-heap ordered by
-// (time, insertion sequence) so simultaneous events run in FIFO order, which
-// makes runs fully deterministic for a fixed seed.
+// on a single shared `Scheduler`.  Events run in (time, insertion sequence)
+// order so simultaneous events run in FIFO order, which makes runs fully
+// deterministic for a fixed seed.
 //
-// Hot-path notes: the heap is a plain `std::vector` driven with
-// `std::push_heap`/`std::pop_heap` (no `std::priority_queue`, whose const
-// top() forces a const_cast to move the event out), and callbacks are
+// Hot-path notes: storage is a hierarchical `TimerWheel` (O(1) bucket
+// inserts, batched same-tick drains, recycled slot buffers - see
+// timer_wheel.hpp) instead of a binary heap, and callbacks are
 // small-buffer-optimized `SmallFn`s, so steady-state event traffic performs
-// no per-event heap allocation.
+// no per-event allocation and no O(log n) sift.  Metrics, when enabled, are
+// accumulated in plain members and flushed to the registry in batches so
+// the per-event cost is an increment and a compare, not atomic RMWs and
+// clock reads (see execute_instrumented).
 #pragma once
 
 #include <algorithm>
@@ -19,12 +22,12 @@
 #include <cstdint>
 #include <functional>
 #include <utility>
-#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/error.hpp"
 #include "sim/small_fn.hpp"
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace offramps::sim {
 
@@ -36,6 +39,12 @@ class Scheduler {
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+#if OFFRAMPS_OBS_ENABLED
+  ~Scheduler() {
+    if (obs_batch_events_ != 0) flush_obs();
+  }
+#endif
 
   /// Current simulation time.  Inside a callback this is the event's time.
   [[nodiscard]] Tick now() const { return now_; }
@@ -50,8 +59,7 @@ class Scheduler {
       t = std::max(now_, time_warp_(now_, t));
       ++warped_events_;
     }
-    heap_.push_back(Event{t, next_seq_++, std::move(cb)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    wheel_.insert(t, next_seq_++, std::move(cb));
   }
 
   /// Timing-fault hook (`sim::FaultInjector`): maps each requested event
@@ -71,24 +79,42 @@ class Scheduler {
   }
 
   /// Number of events currently pending.
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending() const { return wheel_.size(); }
 
   /// True when no events remain.
-  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  [[nodiscard]] bool idle() const { return wheel_.empty(); }
+
+  /// Events currently parked in the wheel's far-future spill heap
+  /// (beyond the TimerWheel::kHorizon delta from the drain cursor).
+  [[nodiscard]] std::size_t overflowed() const {
+    return wheel_.overflow_size();
+  }
 
   /// Runs the single earliest pending event.  Returns false when idle.
   bool step() {
-    if (heap_.empty()) return false;
-    execute(pop_earliest());
+    Tick t = 0;
+    if (!wheel_.peek(&t)) {
+#if OFFRAMPS_OBS_ENABLED
+      if (obs_batch_events_ != 0) flush_obs();
+#endif
+      return false;
+    }
+    execute(wheel_.pop());
     return true;
   }
 
-  /// Runs the earliest pending event if its time is <= `t` (one heap-top
-  /// inspection covers both the emptiness and the deadline check).
-  /// Returns false when idle or the next event lies beyond `t`.
+  /// Runs the earliest pending event if its time is <= `t` (one peek
+  /// covers both the emptiness and the deadline check).  Returns false
+  /// when idle or the next event lies beyond `t`.
   bool step_if_before(Tick t) {
-    if (heap_.empty() || heap_.front().time > t) return false;
-    execute(pop_earliest());
+    Tick next = 0;
+    if (!wheel_.peek(&next) || next > t) {
+#if OFFRAMPS_OBS_ENABLED
+      if (obs_batch_events_ != 0) flush_obs();
+#endif
+      return false;
+    }
+    execute(wheel_.pop());
     return true;
   }
 
@@ -98,6 +124,9 @@ class Scheduler {
     std::size_t n = 0;
     while (!stop_requested_ && step_if_before(t)) ++n;
     if (!stop_requested_ && now_ < t) now_ = t;
+#if OFFRAMPS_OBS_ENABLED
+    if (obs_batch_events_ != 0) flush_obs();
+#endif
     return n;
   }
 
@@ -106,13 +135,19 @@ class Scheduler {
   /// number of events executed.
   std::size_t run_all(std::size_t max_events = kDefaultEventLimit) {
     std::size_t n = 0;
-    while (!heap_.empty() && !stop_requested_) {
+    while (!wheel_.empty() && !stop_requested_) {
       if (n >= max_events) {
+#if OFFRAMPS_OBS_ENABLED
+        if (obs_batch_events_ != 0) flush_obs();
+#endif
         throw Error("Scheduler::run_all: event limit exceeded (runaway?)");
       }
       step();
       ++n;
     }
+#if OFFRAMPS_OBS_ENABLED
+    if (obs_batch_events_ != 0) flush_obs();
+#endif
     return n;
   }
 
@@ -131,29 +166,7 @@ class Scheduler {
   static constexpr std::size_t kDefaultEventLimit = 2'000'000'000;
 
  private:
-  struct Event {
-    Tick time = 0;
-    std::uint64_t seq = 0;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Moves the earliest event out of the heap.  The event must leave the
-  /// container before its callback runs: callbacks routinely schedule
-  /// further events, which would reallocate under top()'s feet.
-  Event pop_earliest() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    return ev;
-  }
-
-  void execute(Event ev) {
+  void execute(TimerWheel::Event ev) {
     now_ = ev.time;
     ++executed_;
 #if OFFRAMPS_OBS_ENABLED
@@ -165,36 +178,69 @@ class Scheduler {
       return;
     }
 #endif
-    ev.cb();
+    ev.cb.invoke_unchecked();
   }
 
 #if OFFRAMPS_OBS_ENABLED
   /// Metered dispatch, only reachable while obs::set_enabled(true):
-  /// process-wide event count, queue-depth gauge (current + high water),
-  /// and a wall-clock callback latency histogram.  Wall time never feeds
-  /// back into simulated time, so enabling metrics cannot change a run.
-  void execute_instrumented(Event ev) {
-    static obs::Counter& events =
-        obs::Registry::instance().counter("sim.scheduler.events");
-    static obs::Gauge& depth =
-        obs::Registry::instance().gauge("sim.scheduler.queue_depth");
-    static obs::Histogram& latency = obs::Registry::instance().histogram(
-        "sim.scheduler.callback_us", obs::latency_buckets_us());
-    events.add(1);
-    depth.set(static_cast<std::int64_t>(heap_.size()) + 1);
-    const auto t0 = std::chrono::steady_clock::now();
-    ev.cb();
-    latency.observe(obs::us_since(t0));
+  /// process-wide event count, queue-depth gauge (high-water semantics:
+  /// depth at dispatch, including the executing event), and a sampled
+  /// wall-clock callback latency histogram (1-in-N per
+  /// obs::latency_sample_every()).  Counts and depth accumulate in plain
+  /// members and flush to the registry per batch, so the per-event cost
+  /// is increments and compares rather than shared atomic RMWs.  Wall
+  /// time never feeds back into simulated time, so enabling metrics
+  /// cannot change a run.
+  void execute_instrumented(TimerWheel::Event ev) {
+    if (obs_events_ == nullptr) {
+      auto& reg = obs::Registry::instance();
+      obs_events_ = &reg.counter("sim.scheduler.events");
+      obs_depth_ = &reg.gauge("sim.scheduler.queue_depth");
+      obs_latency_ =
+          &reg.histogram("sim.scheduler.callback_us",
+                         obs::latency_buckets_us());
+    }
+    ++obs_batch_events_;
+    const auto depth = static_cast<std::int64_t>(wheel_.size()) + 1;
+    if (depth > obs_depth_high_) obs_depth_high_ = depth;
+    if (--obs_sample_countdown_ == 0) {
+      obs_sample_countdown_ = obs::latency_sample_every();
+      const auto t0 = std::chrono::steady_clock::now();
+      ev.cb.invoke_unchecked();
+      obs_latency_->observe(obs::us_since(t0));
+    } else {
+      ev.cb.invoke_unchecked();
+    }
+    if (obs_batch_events_ >= kObsFlushEvery) flush_obs();
   }
+
+  /// Publishes the accumulated batch to the registry.  Call sites ensure
+  /// obs_batch_events_ != 0, which implies the handles are bound.
+  void flush_obs() {
+    obs_events_->add(obs_batch_events_);
+    obs_depth_->set(obs_depth_high_);
+    obs_batch_events_ = 0;
+    obs_depth_high_ = 0;
+  }
+
+  static constexpr std::uint64_t kObsFlushEvery = 1024;
 #endif
 
-  std::vector<Event> heap_;
+  TimerWheel wheel_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t warped_events_ = 0;
   bool stop_requested_ = false;
   TimeWarp time_warp_;
+#if OFFRAMPS_OBS_ENABLED
+  obs::Counter* obs_events_ = nullptr;
+  obs::Gauge* obs_depth_ = nullptr;
+  obs::Histogram* obs_latency_ = nullptr;
+  std::uint64_t obs_batch_events_ = 0;
+  std::int64_t obs_depth_high_ = 0;
+  std::uint32_t obs_sample_countdown_ = 1;
+#endif
 };
 
 }  // namespace offramps::sim

@@ -48,12 +48,14 @@ class SmallFn<R(Args...), Capacity> {
 
   // The fixed-size copy reads past the stored callable into the buffer's
   // intentionally-uninitialized tail (defined behavior for unsigned
-  // char), which GCC's -Wmaybe-uninitialized flags in some inlining
-  // contexts; copying sizeof(Fn) instead would need a per-type vtable hop
-  // on the hottest move in the program.
+  // char), which GCC's -Wmaybe-uninitialized (and, when it can prove the
+  // tail untouched after inlining, -Wuninitialized) flags in some
+  // inlining contexts; copying sizeof(Fn) instead would need a per-type
+  // vtable hop on the hottest move in the program.
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
 #endif
   SmallFn(SmallFn&& other) noexcept
       : vt_(other.vt_) {
@@ -98,6 +100,15 @@ class SmallFn<R(Args...), Capacity> {
 
   R operator()(Args... args) {
     if (vt_ == nullptr) throw std::bad_function_call();
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Invokes without the empty-check/throw path.  For dispatch loops that
+  /// already guarantee non-emptiness structurally (the scheduler pops
+  /// only events it inserted with a callback; the wire delivery loop
+  /// tests each slot before firing) - there the branch is provably dead
+  /// and this keeps it out of the hottest call in the program.
+  R invoke_unchecked(Args... args) {
     return vt_->invoke(buf_, std::forward<Args>(args)...);
   }
 

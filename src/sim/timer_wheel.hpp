@@ -1,0 +1,358 @@
+// Hierarchical timer wheel: the event queue behind `sim::Scheduler`.
+//
+// The simulator's event horizons are short and dense (stepper pulse
+// trains on the nanosecond grid, FPGA clock edges every 10 ticks), which
+// makes the classic O(log n) binary heap pay a sift per push *and* per
+// pop on every event.  The wheel replaces that with O(1) bucket inserts:
+// four levels of 256 slots cover deltas up to just under 2^32 ticks
+// (~4.3 simulated seconds, see kHorizon and lap_safe); an event lands in
+// the level whose granularity matches its distance from the cursor and
+// cascades toward level 0 as time approaches.  Anything beyond the horizon spills into a small binary
+// heap and migrates into the wheel when it comes within range - far
+// timers (supervisor deadlines, end-of-print watchdogs) stay correct
+// without growing the wheel.
+//
+// Ordering contract (the determinism invariant every fleet/campaign/
+// checkpoint digest depends on): events drain in exactly (time, seq)
+// order, FIFO among same-tick events.  A drained level-0 slot holds the
+// full same-tick burst, which is sorted by seq once and dispatched as a
+// batch - one pass per burst instead of one heap pop per event.
+//
+// Allocation: slot buffers are recycled through a scratch buffer when
+// drained (the "epoch arena"), so steady-state traffic performs no
+// allocation once the touched slots are warm; the same Event storage is
+// reused across wheel laps.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/small_fn.hpp"
+#include "sim/time.hpp"
+
+namespace offramps::sim {
+
+/// Single-threaded (time, seq)-ordered event queue with O(1) inserts for
+/// near events and a heap spill for events beyond the wheel horizon.
+class TimerWheel {
+ public:
+  using Callback = SmallFn<void()>;
+
+  struct Event {
+    Tick time = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+
+  static constexpr int kLevelBits = 8;
+  static constexpr std::size_t kSlotsPerLevel = std::size_t{1} << kLevelBits;
+  static constexpr int kLevels = 4;
+  /// Deltas at or beyond this many ticks from the cursor overflow into
+  /// the spill heap (2^32 ticks = ~4.3 s of simulated time).  Deltas
+  /// just under it can overflow too when they would alias a wheel lap
+  /// (see lap_safe).
+  static constexpr Tick kHorizon = Tick{1} << (kLevelBits * kLevels);
+
+  TimerWheel() = default;
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Events currently parked in the spill heap (observability for the
+  /// horizon-overflow tests).
+  [[nodiscard]] std::size_t overflow_size() const { return overflow_.size(); }
+
+  /// Inserts an event.  `t` may be earlier than previously inserted
+  /// events (the cursor rewinds); the caller guarantees `t` is not in
+  /// its own past and that `seq` increases monotonically across inserts.
+  void insert(Tick t, std::uint64_t seq, Callback cb) {
+    ++size_;
+    if (ready_head_ < ready_.size()) {
+      if (t == ready_time_) {
+        // Same-tick event scheduled while its tick drains: `seq` is the
+        // largest yet, so appending keeps the ready run seq-sorted.
+        ready_.push_back(Event{t, seq, std::move(cb)});
+        return;
+      }
+      if (t < ready_time_) spill_ready();
+    }
+    if (size_ == 1) {
+      // Only pending event anywhere: it is by definition the next batch,
+      // so serve it straight from the ready run.  A lone timer
+      // rescheduling itself (a rig's UART byte clock between bursts, the
+      // detector pump on a drained queue) never touches the slot
+      // machinery at all.  The cursor may jump forward freely here -
+      // nothing else is placed relative to it.
+      cursor_ = t;
+      ready_time_ = t;
+      ready_.push_back(Event{t, seq, std::move(cb)});
+      return;
+    }
+    if (t < cursor_) cursor_ = t;
+    place(Event{t, seq, std::move(cb)});
+  }
+
+  /// True when an event is pending; `*next_time` is the earliest event's
+  /// time.  Idempotent; refills the ready batch when needed but never
+  /// loses or reorders events.
+  bool peek(Tick* next_time) {
+    if (ready_head_ >= ready_.size() && !refill()) return false;
+    *next_time = ready_time_;
+    return true;
+  }
+
+  /// Moves the earliest event out.  Call only after peek() returned
+  /// true; the event leaves the container before its callback runs.
+  Event pop() {
+    Event ev = std::move(ready_[ready_head_++]);
+    if (ready_head_ >= ready_.size()) {
+      ready_.clear();
+      ready_head_ = 0;
+    }
+    --size_;
+    return ev;
+  }
+
+ private:
+  static constexpr std::size_t kWords = kSlotsPerLevel / 64;
+
+  struct Level {
+    std::array<std::vector<Event>, kSlotsPerLevel> slot;
+    std::array<std::uint64_t, kWords> bits{};
+    std::size_t count = 0;  // events stored at this level
+  };
+
+  static void set_bit(Level& lv, std::size_t idx) {
+    lv.bits[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  static void clear_bit(Level& lv, std::size_t idx) {
+    lv.bits[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+  [[nodiscard]] static bool test_bit(const Level& lv, std::size_t idx) {
+    return (lv.bits[idx >> 6] >> (idx & 63)) & 1u;
+  }
+
+  /// Level whose granularity covers `delta`, or -1 for the spill heap.
+  /// The power-of-two thresholds guarantee cascade progress: an event in
+  /// the cursor's own window at level l has delta < 2^(8l) and therefore
+  /// re-places at a level strictly below l.
+  static int level_for(Tick delta) {
+    if (delta < (Tick{1} << kLevelBits)) return 0;
+    if (delta < (Tick{1} << (2 * kLevelBits))) return 1;
+    if (delta < (Tick{1} << (3 * kLevelBits))) return 2;
+    if (delta < kHorizon) return 3;
+    return -1;
+  }
+
+  /// True when `t`'s slot at `level` lies within one lap of the cursor.
+  /// A delta near the top of a level's range can land a full lap ahead -
+  /// worst case in the cursor's *own* slot, which the candidate scan
+  /// would read one lap early and the cascade would re-place in place
+  /// forever.  Such events park in the spill heap (place) and migrate
+  /// once the cursor advances (refill).  Forward cursor motion only
+  /// shrinks slot distances, so placed events stay lap-safe; a cursor
+  /// *rewind* (insert of an earlier event) can break the property
+  /// retroactively, which refill absorbs: a lap-early candidate is a
+  /// lower bound, its slot drains, and stragglers re-place through this
+  /// same check.
+  [[nodiscard]] bool lap_safe(Tick t, int level) const {
+    return (t >> (kLevelBits * level)) - (cursor_ >> (kLevelBits * level)) <
+           kSlotsPerLevel;
+  }
+
+  /// True when `t` can enter the wheel right now (within horizon and
+  /// lap-safe at its level); false sends it to the spill heap.
+  [[nodiscard]] bool admissible(Tick t) const {
+    const int level = level_for(t - cursor_);
+    return level >= 0 && lap_safe(t, level);
+  }
+
+  static std::size_t slot_index(Tick t, int level) {
+    return static_cast<std::size_t>(t >> (kLevelBits * level)) &
+           (kSlotsPerLevel - 1);
+  }
+
+  struct OverflowLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void place(Event ev) {
+    const int level = level_for(ev.time - cursor_);
+    if (level < 0 || !lap_safe(ev.time, level)) {
+      overflow_.push_back(std::move(ev));
+      std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+      return;
+    }
+    Level& lv = levels_[static_cast<std::size_t>(level)];
+    const std::size_t idx = slot_index(ev.time, level);
+    lv.slot[idx].push_back(std::move(ev));
+    set_bit(lv, idx);
+    ++lv.count;
+  }
+
+  /// Returns undrained ready events to the wheel (an earlier event was
+  /// inserted after a speculative peek; rare).
+  void spill_ready() {
+    for (std::size_t i = ready_head_; i < ready_.size(); ++i) {
+      place(std::move(ready_[i]));
+    }
+    ready_.clear();
+    ready_head_ = 0;
+  }
+
+  /// Moves slot (level, idx) into scratch_ and returns its event count.
+  /// The buffer swap recycles capacity between slots and scratch: the
+  /// epoch arena that keeps steady-state traffic allocation-free.
+  std::size_t take_slot(int level, std::size_t idx) {
+    Level& lv = levels_[static_cast<std::size_t>(level)];
+    scratch_.swap(lv.slot[idx]);
+    clear_bit(lv, idx);
+    lv.count -= scratch_.size();
+    return scratch_.size();
+  }
+
+  /// First occupied slot at or cyclically after `pos`; `*wrapped` is set
+  /// when the hit lies one higher-level window ahead.  -1 when empty.
+  static int scan_from(const Level& lv, int pos, bool* wrapped) {
+    *wrapped = false;
+    int w = pos >> 6;
+    std::uint64_t word = lv.bits[static_cast<std::size_t>(w)] &
+                         (~std::uint64_t{0} << (pos & 63));
+    for (;;) {
+      if (word != 0) return (w << 6) + std::countr_zero(word);
+      if (++w == static_cast<int>(kWords)) break;
+      word = lv.bits[static_cast<std::size_t>(w)];
+    }
+    *wrapped = true;
+    for (w = 0; w <= (pos >> 6); ++w) {
+      word = lv.bits[static_cast<std::size_t>(w)];
+      if (w == (pos >> 6)) word &= ~(~std::uint64_t{0} << (pos & 63));
+      if (word != 0) return (w << 6) + std::countr_zero(word);
+    }
+    return -1;
+  }
+
+  /// Refills the ready batch with the earliest tick's events, advancing
+  /// the cursor and cascading higher levels as needed.  False when no
+  /// events remain anywhere.
+  bool refill() {
+    ready_.clear();
+    ready_head_ = 0;
+    if (size_ == 0) return false;
+    for (;;) {
+      // Spill-heap events the wheel can hold cleanly from the current
+      // cursor drop in; the rest wait for the cursor to come closer.
+      while (!overflow_.empty() && admissible(overflow_.front().time)) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+        Event ev = std::move(overflow_.back());
+        overflow_.pop_back();
+        place(std::move(ev));
+      }
+      // Cascade any occupied slot covering the cursor's own window: its
+      // events belong at a lower level now.
+      bool cascaded = false;
+      for (int l = 1; l < kLevels; ++l) {
+        Level& lv = levels_[static_cast<std::size_t>(l)];
+        if (lv.count == 0) continue;
+        const std::size_t cur = slot_index(cursor_, l);
+        if (!test_bit(lv, cur)) continue;
+        const std::size_t n = take_slot(l, cur);
+        for (std::size_t i = 0; i < n; ++i) place(std::move(scratch_[i]));
+        scratch_.clear();
+        cascaded = true;
+        break;
+      }
+      if (cascaded) continue;
+      // Earliest candidate window across all levels.  A candidate is a
+      // lower bound on its slot's event times: exact in the steady
+      // state, an underestimate only after a cursor rewind crossed a
+      // window boundary, in which case the drain below re-places the
+      // stragglers and the loop converges.
+      int best_level = -1;
+      std::size_t best_idx = 0;
+      Tick best_time = 0;
+      for (int l = 0; l < kLevels; ++l) {
+        const Level& lv = levels_[static_cast<std::size_t>(l)];
+        if (lv.count == 0) continue;
+        bool wrapped = false;
+        const int s = scan_from(
+            lv, static_cast<int>(slot_index(cursor_, l)), &wrapped);
+        if (s < 0) continue;
+        const int shift = kLevelBits * (l + 1);
+        Tick base = (cursor_ >> shift) << shift;
+        if (wrapped) base += Tick{1} << shift;
+        const Tick t =
+            base + (static_cast<Tick>(s) << (kLevelBits * l));
+        if (best_level < 0 || t < best_time) {
+          best_level = l;
+          best_idx = static_cast<std::size_t>(s);
+          best_time = t;
+        }
+      }
+      if (best_level < 0) {
+        // Wheel empty; jump the cursor to the spill heap's top so the
+        // migration loop above pulls the next batch in.
+        if (overflow_.empty()) return false;
+        cursor_ = overflow_.front().time;
+        continue;
+      }
+      if (!overflow_.empty() && overflow_.front().time <= best_time) {
+        // A parked event (not yet admissible from the old cursor) comes
+        // first - or ties the candidate tick, where its seq must sort
+        // into the same batch.  Advance to it and let migration pull it
+        // in; a tied candidate is re-found next iteration.
+        cursor_ = overflow_.front().time;
+        continue;
+      }
+      cursor_ = best_time;
+      const std::size_t n = take_slot(best_level, best_idx);
+      if (best_level == 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (scratch_[i].time == best_time) {
+            ready_.push_back(std::move(scratch_[i]));
+          } else {
+            // Same residue, a later lap: back into the wheel (delta is
+            // now a multiple of 256, so it lands at level >= 1).
+            place(std::move(scratch_[i]));
+          }
+        }
+        scratch_.clear();
+        if (!ready_.empty()) {
+          if (ready_.size() > 1) {
+            std::sort(ready_.begin(), ready_.end(),
+                      [](const Event& a, const Event& b) {
+                        return a.seq < b.seq;
+                      });
+          }
+          ready_time_ = best_time;
+          return true;
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) place(std::move(scratch_[i]));
+        scratch_.clear();
+      }
+    }
+  }
+
+  std::array<Level, kLevels> levels_;
+  std::vector<Event> overflow_;  // min-heap by (time, seq)
+  std::vector<Event> ready_;     // current tick's batch, seq-sorted
+  std::size_t ready_head_ = 0;
+  Tick ready_time_ = 0;
+  /// Lower bound on every pending event's time; advances as events
+  /// drain, rewinds when an earlier event is inserted.
+  Tick cursor_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Event> scratch_;  // drain staging, capacity recycled
+};
+
+}  // namespace offramps::sim

@@ -7,6 +7,14 @@
 //
 // An `AnalogChannel` models one analog net (the thermistor divider
 // voltages, expressed as 10-bit ADC counts like the ATmega2560 sees them).
+//
+// Hot-path notes: listener lists live in `SmallVec` inline storage (most
+// nets have one forwarding connection plus at most one observer), so
+// wiring a board allocates nothing per net and edge delivery walks
+// memory inside the Wire itself.  Same-tick edge bursts are batched one
+// level up: the scheduler drains a whole tick's events as one sorted
+// run (see timer_wheel.hpp), so a burst of simultaneous edges is
+// delivered in a single pass without re-ordering listener interleaving.
 #pragma once
 
 #include <cstddef>
@@ -15,10 +23,10 @@
 #include <optional>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "sim/scheduler.hpp"
 #include "sim/small_fn.hpp"
+#include "sim/small_vec.hpp"
 #include "sim/time.hpp"
 
 namespace offramps::sim {
@@ -167,7 +175,9 @@ class Wire {
     } guard(*this);
     const std::size_t n = listeners_.size();
     for (std::size_t i = 0; i < n; ++i) {
-      if (listeners_[i].second != nullptr) listeners_[i].second(e, t);
+      if (listeners_[i].second != nullptr) {
+        listeners_[i].second.invoke_unchecked(e, t);
+      }
     }
   }
 
@@ -178,8 +188,8 @@ class Wire {
         dead_listeners_ == 0) {
       return;
     }
-    std::erase_if(listeners_,
-                  [](const auto& slot) { return slot.second == nullptr; });
+    listeners_.remove_if(
+        [](const auto& slot) { return slot.second == nullptr; });
     dead_listeners_ = 0;
   }
 
@@ -195,7 +205,7 @@ class Wire {
   ListenerId next_listener_id_ = 0;
   std::size_t dead_listeners_ = 0;
   int delivering_ = 0;
-  std::vector<std::pair<ListenerId, EdgeCallback>> listeners_;
+  SmallVec<std::pair<ListenerId, EdgeCallback>, 2> listeners_;
 };
 
 /// One analog net carrying a slowly varying value (ADC counts or volts).
@@ -243,7 +253,7 @@ class AnalogChannel {
     const Tick t = sched_.now();
     const std::size_t n = listeners_.size();
     for (std::size_t i = 0; i < n; ++i) {
-      if (listeners_[i] != nullptr) listeners_[i](value_, t);
+      if (listeners_[i] != nullptr) listeners_[i].invoke_unchecked(value_, t);
     }
   }
 
@@ -252,7 +262,7 @@ class AnalogChannel {
   double value_;
   double driven_value_ = 0.0;
   std::function<double(double)> fault_;
-  std::vector<ChangeCallback> listeners_;
+  SmallVec<ChangeCallback, 2> listeners_;
 };
 
 /// RAII handle for a wire-to-wire connection created by `connect()`.

@@ -116,14 +116,21 @@ std::size_t OnlineDetector::drain() {
 void OnlineDetector::process(const core::Transaction& txn) {
 #if OFFRAMPS_OBS_ENABLED
   if (obs::enabled()) {
-    static obs::Counter& windows =
-        obs::Registry::instance().counter("svc.detector.windows");
-    static obs::Histogram& window_us = obs::Registry::instance().histogram(
-        "svc.detector.window_us", obs::latency_buckets_us());
-    const auto t0 = std::chrono::steady_clock::now();
-    process_impl(txn);
-    window_us.observe(obs::us_since(t0));
-    windows.add(1);
+    if (obs_windows_ == nullptr) {
+      obs_windows_ = &obs::Registry::instance().counter(
+          "svc.detector.windows");
+      obs_window_us_ = &obs::Registry::instance().histogram(
+          "svc.detector.window_us", obs::latency_buckets_us());
+    }
+    obs_windows_->add(1);
+    if (--obs_sample_countdown_ == 0) {
+      obs_sample_countdown_ = obs::latency_sample_every();
+      const auto t0 = std::chrono::steady_clock::now();
+      process_impl(txn);
+      obs_window_us_->observe(obs::us_since(t0));
+    } else {
+      process_impl(txn);
+    }
     return;
   }
 #endif
@@ -234,12 +241,14 @@ void OnlineDetector::finish(const core::Capture& capture) {
   // gauge's max is the worst occupancy across every detector in the
   // process, the counter the fleet-wide stall total.
   if (obs::enabled()) {
-    static obs::Gauge& high_water =
-        obs::Registry::instance().gauge("svc.detector.ring_high_water");
-    static obs::Counter& stalls = obs::Registry::instance().counter(
-        "svc.detector.backpressure_stalls");
-    high_water.set(static_cast<std::int64_t>(ring_.high_water()));
-    stalls.add(backpressure_stalls_);
+    // Cold end-of-stream path: one registry lookup per finish() is
+    // noise, no cached handles needed.
+    obs::Registry::instance()
+        .gauge("svc.detector.ring_high_water")
+        .set(static_cast<std::int64_t>(ring_.high_water()));
+    obs::Registry::instance()
+        .counter("svc.detector.backpressure_stalls")
+        .add(backpressure_stalls_);
   }
 #endif
 

@@ -43,6 +43,7 @@
 
 #include "analyze/oracle.hpp"
 #include "core/capture.hpp"
+#include "obs/metrics.hpp"
 #include "detect/compare.hpp"
 #include "detect/golden_free.hpp"
 #include "detect/side_channel.hpp"
@@ -197,6 +198,17 @@ class OnlineDetector {
   std::uint64_t backpressure_stalls_ = 0;
   bool finished_ = false;
   bool draining_ = false;
+
+#if OFFRAMPS_OBS_ENABLED
+  // Registry handles, bound lazily on the first metered window so a
+  // detector that never runs with metrics enabled registers nothing
+  // (keeping the exported document identical to pre-instrumentation
+  // runs).  The countdown samples the wall-clock window timer 1-in-N
+  // per obs::latency_sample_every(); the window *counter* stays exact.
+  obs::Counter* obs_windows_ = nullptr;
+  obs::Histogram* obs_window_us_ = nullptr;
+  std::uint32_t obs_sample_countdown_ = 1;
+#endif
 
   // Golden-compare channel state.
   std::uint32_t consecutive_ = 0;

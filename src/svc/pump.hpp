@@ -64,9 +64,13 @@ class Pump {
       ++slots_run_;
 #if OFFRAMPS_OBS_ENABLED
       if (obs::enabled()) {
-        static obs::Counter& slots =
-            obs::Registry::instance().counter("svc.pump.slots");
-        slots.add(1);
+        // Lazily bound member handle (not a magic static): no guard
+        // load per slot, and registration still only happens on runs
+        // that actually meter.
+        if (obs_slots_ == nullptr) {
+          obs_slots_ = &obs::Registry::instance().counter("svc.pump.slots");
+        }
+        obs_slots_->add(1);
       }
 #endif
       if (on_slot_) on_slot_();
@@ -82,6 +86,9 @@ class Pump {
   std::function<bool()> gate_;
   std::size_t slots_run_ = 0;
   bool stopped_ = false;
+#if OFFRAMPS_OBS_ENABLED
+  obs::Counter* obs_slots_ = nullptr;
+#endif
 };
 
 }  // namespace offramps::svc

@@ -124,11 +124,16 @@ TEST_F(ObsTest, DisabledGateSuppressesSchedulerInstrumentation) {
 TEST_F(ObsTest, EnabledSchedulerRecordsEventsDepthAndLatency) {
   obs::set_enabled(true);
   ASSERT_TRUE(obs::enabled());
+  // Time every callback for this test (the production default samples
+  // the wall-clock histogram 1-in-64; counts and depth are always exact).
+  const auto prev_sample = obs::latency_sample_every();
+  obs::set_latency_sample_every(1);
   sim::Scheduler sched;
   for (int i = 0; i < 100; ++i) {
     sched.schedule_in(sim::Tick(i + 1), [] {});
   }
   sched.run_all();
+  obs::set_latency_sample_every(prev_sample);
   obs::set_enabled(false);
 
   EXPECT_EQ(obs::Registry::instance().counter("sim.scheduler.events").value(),
@@ -141,6 +146,29 @@ TEST_F(ObsTest, EnabledSchedulerRecordsEventsDepthAndLatency) {
                            obs::latency_buckets_us())
                 .count(),
             100u);
+}
+
+TEST_F(ObsTest, LatencySamplingThinsHistogramButNotCounters) {
+  obs::set_enabled(true);
+  const auto prev_sample = obs::latency_sample_every();
+  obs::set_latency_sample_every(10);
+  sim::Scheduler sched;
+  for (int i = 0; i < 100; ++i) {
+    sched.schedule_in(sim::Tick(i + 1), [] {});
+  }
+  sched.run_all();
+  obs::set_latency_sample_every(prev_sample);
+  obs::set_enabled(false);
+
+  // Counter stays exact under sampling; the wall-clock histogram takes
+  // 1-in-10 observations (the first event is always sampled).
+  EXPECT_EQ(obs::Registry::instance().counter("sim.scheduler.events").value(),
+            100u);
+  EXPECT_EQ(obs::Registry::instance()
+                .histogram("sim.scheduler.callback_us",
+                           obs::latency_buckets_us())
+                .count(),
+            10u);
 }
 
 TEST_F(ObsTest, SpansAreInertWithoutASession) {

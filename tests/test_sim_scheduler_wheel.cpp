@@ -1,0 +1,316 @@
+// Ordering-invariant property tests for the timer-wheel scheduler.
+//
+// The wheel replaced the binary heap (PR 7) under a hard contract: events
+// drain in exactly (time, seq) order, FIFO among same-tick events, no
+// matter how insertions interleave with drains or how far times spread
+// across wheel levels and the overflow spill heap.  Every fleet/campaign/
+// checkpoint digest depends on this, so the tests here compare the real
+// `sim::Scheduler` against a reference binary-heap scheduler (a faithful
+// copy of the pre-wheel implementation) running the same schedule script.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
+
+namespace {
+
+using offramps::sim::Scheduler;
+using offramps::sim::Tick;
+using offramps::sim::TimerWheel;
+
+/// The pre-wheel scheduler, verbatim in ordering behavior: a plain
+/// binary heap popped in (time, seq) order.  Kept here as the oracle.
+class RefHeapScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule_at(Tick t, Callback cb) {
+    heap_.push_back(Event{t, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  void schedule_in(Tick dt, Callback cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+  [[nodiscard]] Tick now() const { return now_; }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    Tick time = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::vector<Event> heap_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Execution log entry: which event ran, at what simulated time.
+struct LogEntry {
+  std::uint64_t id;
+  Tick time;
+  bool operator==(const LogEntry&) const = default;
+};
+
+/// Time distributions matching the workloads bench_sched measures.
+Tick draw_time(std::mt19937_64& rng, int dist) {
+  switch (dist) {
+    case 0:  // dense: stepper-burst spacing, heavy same-tick collisions
+      return rng() % 64;
+    case 1:  // sparse: thermal-tick spacing, exercises levels 1-2
+      return rng() % 10'000'000;
+    case 2:  // clustered: few distinct ticks, long FIFO runs
+      return (rng() % 8) * 1000;
+    default:  // far future: beyond the wheel horizon, spill-heap path
+      return TimerWheel::kHorizon + rng() % 1'000'000;
+  }
+}
+
+/// Runs the same generative schedule script on both schedulers and
+/// returns (wheel log, reference log).  Initial events may spawn
+/// children by a deterministic rule keyed on the event id, so insertion
+/// interleaves with draining on both sides identically as long as the
+/// drain order matches - any divergence shows up in the logs.
+std::pair<std::vector<LogEntry>, std::vector<LogEntry>> run_script(
+    std::uint64_t seed, std::size_t n_initial, bool spawn_children) {
+  std::vector<LogEntry> wheel_log;
+  std::vector<LogEntry> ref_log;
+
+  const auto drive = [&](auto& sched, std::vector<LogEntry>& log) {
+    std::mt19937_64 rng(seed);
+    std::uint64_t next_id = 0;
+    // Children reuse the parent's rng stream deterministically: a fresh
+    // engine seeded from the child id.
+    std::function<void(std::uint64_t, int)> schedule_event =
+        [&](std::uint64_t id, int depth) {
+          std::mt19937_64 crng(seed ^ (id * 0x9e3779b97f4a7c15ULL));
+          const Tick delta = draw_time(crng, static_cast<int>(id % 4));
+          sched.schedule_in(delta, [&, id, depth]() {
+            log.push_back(LogEntry{id, sched.now()});
+            if (spawn_children && depth < 3 && id % 3 == 0) {
+              for (int c = 0; c < 2; ++c) {
+                schedule_event(next_id++, depth + 1);
+              }
+            }
+          });
+        };
+    for (std::size_t i = 0; i < n_initial; ++i) {
+      schedule_event(next_id++, 0);
+    }
+    (void)rng;
+    sched.run_all();
+  };
+
+  Scheduler wheel;
+  drive(wheel, wheel_log);
+  RefHeapScheduler ref;
+  drive(ref, ref_log);
+  return {wheel_log, ref_log};
+}
+
+TEST(SchedulerWheelProperty, RandomizedInsertionsDrainLikeReferenceHeap) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234567ULL, 0xdeadbeefULL}) {
+    auto [wheel_log, ref_log] = run_script(seed, 500, /*spawn_children=*/false);
+    ASSERT_EQ(wheel_log.size(), 500u) << "seed " << seed;
+    EXPECT_EQ(wheel_log, ref_log) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerWheelProperty, InterleavedSpawningDrainsLikeReferenceHeap) {
+  for (std::uint64_t seed : {3ULL, 99ULL, 0xabcdefULL}) {
+    auto [wheel_log, ref_log] = run_script(seed, 200, /*spawn_children=*/true);
+    ASSERT_GT(wheel_log.size(), 200u) << "seed " << seed;
+    EXPECT_EQ(wheel_log, ref_log) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerWheelProperty, SameTickEventsRunInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_at(5000, [&order, i]() { order.push_back(i); });
+  }
+  s.run_all();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerWheelProperty, SameTickScheduledDuringDrainRunsThisTick) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(10, [&]() {
+    order.push_back(0);
+    // Scheduled while tick 10 is mid-drain: must still run at tick 10,
+    // after every event inserted before it.
+    s.schedule_at(10, [&]() { order.push_back(2); });
+  });
+  s.schedule_at(10, [&]() { order.push_back(1); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s.now(), 10u);
+}
+
+TEST(SchedulerWheelProperty, StepIfBeforeBoundaryIsInclusive) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(100, [&]() { ran = true; });
+  EXPECT_FALSE(s.step_if_before(99));
+  EXPECT_EQ(s.now(), 0u);         // refusal leaves time untouched
+  EXPECT_EQ(s.pending(), 1u);     // and the event pending
+  EXPECT_TRUE(s.step_if_before(100));  // boundary is inclusive
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(SchedulerWheelProperty, ScheduleEarlierAfterRefusedStepStillOrdersFirst) {
+  // step_if_before()'s internal peek pulls the earliest event into the
+  // wheel's ready batch; scheduling an even earlier event afterwards
+  // must spill that batch back and drain in (time, seq) order anyway.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(1000, [&]() { order.push_back(1); });
+  EXPECT_FALSE(s.step_if_before(500));
+  s.schedule_at(600, [&]() { order.push_back(0); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SchedulerWheelProperty, StopRequestedMidDrainPreservesRemainder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(static_cast<Tick>(i) * 10, [&, i]() {
+      order.push_back(i);
+      if (i == 4) s.request_stop();
+    });
+  }
+  s.run_all();
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(s.pending(), 5u);
+  s.clear_stop();
+  s.run_all();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerWheelProperty, FarFutureEventsSpillToOverflowAndStillOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  // A near event first (a lone first event is served from the ready run
+  // regardless of its time), then beyond-horizon ones (delta >= 2^32):
+  // those land in the spill heap.
+  s.schedule_at(50, [&]() { order.push_back(0); });
+  s.schedule_at(TimerWheel::kHorizon + 500, [&]() { order.push_back(2); });
+  s.schedule_at(2 * TimerWheel::kHorizon + 7, [&]() { order.push_back(3); });
+  s.schedule_at(TimerWheel::kHorizon - 1, [&]() { order.push_back(1); });
+  EXPECT_GE(s.overflowed(), 2u);
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.now(), 2 * TimerWheel::kHorizon + 7);
+  EXPECT_EQ(s.overflowed(), 0u);
+}
+
+TEST(SchedulerWheelProperty, SlotResidueCollisionsDrainInTimeOrder) {
+  // Times congruent mod 256 share a level-0 slot; times congruent mod
+  // 65536 share a level-1 slot.  Neither may leak a later lap early.
+  Scheduler s;
+  std::vector<Tick> times;
+  for (Tick base : {Tick{5}, Tick{5 + 256}, Tick{5 + 512},
+                    Tick{5 + 65536}, Tick{5 + 131072}}) {
+    s.schedule_at(base, [&times, &s]() { times.push_back(s.now()); });
+  }
+  s.run_all();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.front(), 5u);
+  EXPECT_EQ(times.back(), 5u + 131072u);
+}
+
+TEST(SchedulerWheelProperty, LongRunningChainsCrossLevelBoundaries) {
+  // A self-rescheduling chain whose period sweeps across level widths
+  // forces cascades at every level boundary.
+  Scheduler s;
+  std::uint64_t hops = 0;
+  Tick last = 0;
+  std::function<void(Tick)> hop = [&](Tick period) {
+    EXPECT_GE(s.now(), last);
+    last = s.now();
+    ++hops;
+    if (hops < 200) {
+      const Tick next_period = (period * 3) % 2'000'000 + 1;
+      s.schedule_in(next_period, [&hop, next_period]() { hop(next_period); });
+    }
+  };
+  s.schedule_in(1, [&hop]() { hop(1); });
+  s.run_all();
+  EXPECT_EQ(hops, 200u);
+}
+
+TEST(TimerWheelUnit, PeekIsIdempotentAndPopConsumes) {
+  TimerWheel w;
+  w.insert(30, 0, []() {});
+  w.insert(10, 1, []() {});
+  w.insert(10, 2, []() {});
+  EXPECT_EQ(w.size(), 3u);
+  Tick t = 0;
+  ASSERT_TRUE(w.peek(&t));
+  EXPECT_EQ(t, 10u);
+  ASSERT_TRUE(w.peek(&t));  // idempotent
+  EXPECT_EQ(t, 10u);
+  EXPECT_EQ(w.pop().seq, 1u);
+  EXPECT_EQ(w.pop().seq, 2u);
+  ASSERT_TRUE(w.peek(&t));
+  EXPECT_EQ(t, 30u);
+  EXPECT_EQ(w.pop().seq, 0u);
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.peek(&t));
+}
+
+TEST(TimerWheelUnit, OverflowMigratesAsCursorAdvances) {
+  TimerWheel w;
+  int dummy = 0;
+  w.insert(1, 0, [&dummy]() { ++dummy; });
+  w.insert(TimerWheel::kHorizon + 100, 1, [&dummy]() { ++dummy; });
+  EXPECT_EQ(w.overflow_size(), 1u);
+  Tick t = 0;
+  ASSERT_TRUE(w.peek(&t));
+  EXPECT_EQ(t, 1u);
+  (void)w.pop();
+  ASSERT_TRUE(w.peek(&t));
+  EXPECT_EQ(t, TimerWheel::kHorizon + 100);
+  EXPECT_EQ(w.overflow_size(), 0u);  // migrated into the wheel
+  (void)w.pop();
+  EXPECT_TRUE(w.empty());
+}
+
+}  // namespace
