@@ -1,0 +1,27 @@
+// Fuzz target: Capture::from_binary, the persisted-capture reader.
+//
+// Fleet runs persist captures to disk and replay them later; the reader
+// therefore consumes files an attacker (or bit rot) may have corrupted.
+// Truncation, hostile length prefixes and bad magic must all land on the
+// documented offramps::Error path, never on an out-of-bounds read or an
+// allocation bomb.
+#include <cstddef>
+#include <cstdint>
+
+#include "core/capture.hpp"
+#include "sim/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 1 << 20) return 0;
+  try {
+    const offramps::core::Capture capture =
+        offramps::core::Capture::from_binary(data, size);
+    // Exercise the accessors the fleet uses on a decoded capture.
+    (void)capture.size();
+    if (!capture.empty()) (void)capture.to_csv();
+  } catch (const offramps::Error&) {
+    // Corrupt input, rejected by contract.
+  }
+  return 0;
+}

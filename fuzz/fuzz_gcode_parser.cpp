@@ -1,0 +1,34 @@
+// Fuzz target: the g-code parser plus the static analyzer behind it.
+//
+// The parser is the repo's largest untrusted-input surface (the lint CLI
+// and the serial link both feed it attacker-controlled bytes), and the
+// analyzer consumes whatever the parser admits - so the target pushes
+// every successfully parsed program through a full analyze_program to
+// catch UB the parser lets through (non-finite values, hostile arcs).
+//
+// offramps::Error is the documented rejection path and is swallowed;
+// anything else (sanitizer report, other exception, crash) is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "analyze/analyzer.hpp"
+#include "gcode/parser.hpp"
+#include "sim/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bound the per-input work: a fuzz input is at most a few KiB of
+  // program, but an adversarial line count times arc expansion could
+  // still stall one iteration.
+  if (size > 1 << 16) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const offramps::gcode::Program program =
+        offramps::gcode::parse_program(text);
+    (void)offramps::analyze::analyze_program(program);
+  } catch (const offramps::Error&) {
+    // Malformed input, rejected by contract.
+  }
+  return 0;
+}

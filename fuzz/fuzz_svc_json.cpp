@@ -1,0 +1,30 @@
+// Fuzz target: the fleet-spec JSON reader.
+//
+// The fleet daemon parses operator-supplied spec files with this
+// recursive-descent reader; depth bombs, bad escapes, truncated
+// documents and trailing garbage must all be offramps::Error rejections
+// (with the depth ceiling keeping the stack bounded), never UB.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/error.hpp"
+#include "svc/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 1 << 18) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const offramps::svc::json::Value value =
+        offramps::svc::json::parse(text);
+    // Walk the accessor surface the fleet spec loader uses.
+    (void)value.find("rigs");
+    (void)value.number_or("workers", 0.0);
+    (void)value.bool_or("strict", false);
+    (void)value.string_or("label", "");
+  } catch (const offramps::Error&) {
+    // Malformed document, rejected by contract.
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Standalone driver for the LLVMFuzzerTestOneInput targets.
+//
+// The harnesses use the libFuzzer entry-point ABI, but this repo must
+// also fuzz where only GCC is installed (no libFuzzer runtime).  This
+// driver fills that gap: linked against one target, it
+//
+//   * replays every corpus file/directory named on the command line
+//     (the CI regression mode - a crash is an immediate nonzero exit),
+//   * and with --time S additionally runs a deterministic mutation loop
+//     for S seconds, seeded from the corpus: splitmix64-driven byte
+//     flips, splices, truncations and insertions.  The PRNG seed is
+//     fixed (override with --seed N), so a given (corpus, seed, time)
+//     budget explores a reproducible prefix of the same input stream.
+//
+// Any input that makes the target crash is first written to
+// "<progname>-last-input.bin" before execution, so the offending bytes
+// survive an abort and can be minimized into tests/fuzz_corpus/.
+//
+// Under clang the same harness sources link against -fsanitize=fuzzer
+// instead (see fuzz/CMakeLists.txt) and this file is not built.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <iterator>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using Input = std::vector<std::uint8_t>;
+
+/// splitmix64: tiny, seedable, good enough to drive mutations.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+};
+
+Input read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  Input bytes((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void collect(const fs::path& path, std::vector<Input>& corpus) {
+  if (fs::is_directory(path)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    // Directory iteration order is filesystem-dependent; sort for the
+    // deterministic replay/mutation stream the driver promises.
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) corpus.push_back(read_file(f));
+    return;
+  }
+  corpus.push_back(read_file(path));
+}
+
+std::string g_last_input_path;
+
+void run_one(const Input& input) {
+  // Persist before executing: if the target aborts, the bytes survive.
+  if (!g_last_input_path.empty()) {
+    std::ofstream out(g_last_input_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(input.data()),
+              static_cast<std::streamsize>(input.size()));
+  }
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+Input mutate(const Input& base, Rng& rng) {
+  Input out = base;
+  const std::uint64_t ops = 1 + rng.below(4);
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    switch (rng.below(5)) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[rng.below(out.size())] ^=
+              static_cast<std::uint8_t>(1U << rng.below(8));
+        }
+        break;
+      case 1:  // overwrite with an interesting byte
+        if (!out.empty()) {
+          static constexpr std::uint8_t kInteresting[] = {
+              0x00, 0xff, 0x7f, 0x80, '\n', ';', '*', '(', 'G', 'M',
+              'N',  'E',  '-',  '.',  'e',  '9', '{', '[', '"', '\\'};
+          out[rng.below(out.size())] =
+              kInteresting[rng.below(sizeof(kInteresting))];
+        }
+        break;
+      case 2:  // truncate
+        if (!out.empty()) out.resize(rng.below(out.size()));
+        break;
+      case 3: {  // insert a random run
+        const std::size_t pos = rng.below(out.size() + 1);
+        const std::size_t len = 1 + rng.below(8);
+        Input run(len);
+        for (auto& b : run) b = static_cast<std::uint8_t>(rng.next());
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   run.begin(), run.end());
+        break;
+      }
+      default: {  // duplicate a slice (length-prefix confusion food)
+        if (out.empty()) break;
+        const std::size_t pos = rng.below(out.size());
+        const std::size_t len = 1 + rng.below(out.size() - pos);
+        Input slice(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                    out.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        const std::size_t at = rng.below(out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   slice.begin(), slice.end());
+        break;
+      }
+    }
+  }
+  if (out.size() > (1 << 16)) out.resize(1 << 16);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double time_budget_s = 0.0;
+  std::uint64_t seed = 0x0ff7a3b5ULL;
+  std::vector<fs::path> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--time" && i + 1 < argc) {
+      time_budget_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--time SECONDS] [--seed N] CORPUS...\n"
+                   "replays corpus files/dirs; with --time also runs a\n"
+                   "deterministic mutation loop seeded from them\n",
+                   argv[0]);
+      return 0;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  g_last_input_path = std::string(argv[0]) + "-last-input.bin";
+
+  std::vector<Input> corpus;
+  for (const auto& p : paths) {
+    if (!fs::exists(p)) {
+      std::fprintf(stderr, "corpus path '%s' does not exist\n",
+                   p.string().c_str());
+      return 2;
+    }
+    collect(p, corpus);
+  }
+  if (corpus.empty()) corpus.push_back({});  // always have a seed
+
+  for (const auto& input : corpus) run_one(input);
+  std::fprintf(stderr, "replayed %zu corpus input(s)\n", corpus.size());
+
+  std::uint64_t executed = 0;
+  if (time_budget_s > 0.0) {
+    Rng rng{seed};
+    const std::clock_t start = std::clock();
+    const double budget_clocks = time_budget_s * CLOCKS_PER_SEC;
+    while (static_cast<double>(std::clock() - start) < budget_clocks) {
+      const Input& base = corpus[rng.below(corpus.size())];
+      run_one(mutate(base, rng));
+      ++executed;
+    }
+    std::fprintf(stderr, "executed %llu mutated input(s) in %.1fs\n",
+                 static_cast<unsigned long long>(executed), time_budget_s);
+  }
+
+  std::remove(g_last_input_path.c_str());
+  return 0;
+}

@@ -4,6 +4,11 @@
 #   scripts/check.sh          configure + build (warnings-as-errors) +
 #                             clang-tidy lint + full test suite
 #   scripts/check.sh --quick  skip the test suite (build + lint only)
+#   scripts/check.sh --fuzz   build the fuzz preset (ASan+UBSan) and run
+#                             each fuzz target for a short budget
+#                             (OFFRAMPS_FUZZ_SECONDS per target,
+#                             default 30) over its checked-in corpus;
+#                             any crash fails by exit code
 #
 # The lint step degrades to a skip message when clang-tidy is not
 # installed; everything else must pass.
@@ -11,11 +16,34 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
+fuzz=0
 if [[ "${1:-}" == "--quick" ]]; then
   quick=1
+elif [[ "${1:-}" == "--fuzz" ]]; then
+  fuzz=1
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${fuzz}" -eq 1 ]]; then
+  budget="${OFFRAMPS_FUZZ_SECONDS:-30}"
+  echo "==> configure (preset: fuzz, ASan+UBSan)"
+  cmake --preset fuzz
+  echo "==> build fuzz targets"
+  cmake --build --preset fuzz -j "${jobs}"
+  for target in fuzz_gcode_parser fuzz_capture_binary fuzz_svc_json; do
+    corpus="tests/fuzz_corpus/${target#fuzz_}"
+    case "${target}" in
+      fuzz_gcode_parser)   corpus=tests/fuzz_corpus/gcode ;;
+      fuzz_capture_binary) corpus=tests/fuzz_corpus/capture ;;
+      fuzz_svc_json)       corpus=tests/fuzz_corpus/json ;;
+    esac
+    echo "==> ${target}: corpus replay + ${budget}s mutation run"
+    "./build-fuzz/fuzz/${target}" --time "${budget}" "${corpus}"
+  done
+  echo "==> all fuzz checks passed"
+  exit 0
+fi
 
 echo "==> configure (preset: default, warnings are errors)"
 cmake --preset default

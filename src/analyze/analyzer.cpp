@@ -3,371 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+
+#include "analyze/pass.hpp"
 
 namespace offramps::analyze {
 namespace {
-
-constexpr double kTinyPath = 1e-9;
-
-/// The abstract machine: fw::kinematics state plus the thermal-setpoint
-/// and counter-arming model the static analysis needs on top.
-class Machine {
- public:
-  Machine(const fw::Config& config, const AnalyzeOptions& options,
-          AnalysisResult& out)
-      : config_(config), options_(options), out_(out) {}
-
-  void run(const gcode::Program& program) {
-    for (std::size_t i = 0; i < program.size(); ++i) {
-      if (halted_) {
-        note(FindingCode::kUnreachableCommands, i,
-             static_cast<double>(program.size() - i), 0.0,
-             "commands after M112 emergency stop never execute");
-        break;
-      }
-      execute(program[i], i);
-    }
-    finish();
-  }
-
- private:
-  void finding(FindingCode code, Severity sev, std::size_t index,
-               double value, double bound, std::string message) {
-    out_.findings.push_back(
-        {code, sev, index, value, bound, std::move(message)});
-  }
-  void note(FindingCode code, std::size_t index, double value, double bound,
-            std::string message) {
-    finding(code, Severity::kNote, index, value, bound, std::move(message));
-  }
-
-  void execute(const gcode::Command& cmd, std::size_t index) {
-    if (cmd.letter == 'G') {
-      switch (cmd.code) {
-        case 0:
-        case 1:
-          handle_move(cmd, index);
-          return;
-        case 2:
-        case 3:
-          handle_arc(cmd, index, /*clockwise=*/cmd.code == 2);
-          return;
-        case 4:
-        case 21:
-          return;
-        case 28:
-          handle_home(cmd, index);
-          return;
-        case 90:
-        case 91:
-          fw::apply_modal(state_, cmd);
-          return;
-        case 92:
-          fw::apply_set_position(config_, state_, cmd);
-          return;
-        default:
-          unknown(cmd, index);
-          return;
-      }
-    }
-    if (cmd.letter == 'M') {
-      switch (cmd.code) {
-        case 17:
-        case 84:
-        case 105:
-        case 106:
-        case 107:
-        case 114:
-          return;
-        case 82:
-        case 83:
-        case 220:
-        case 221:
-          fw::apply_modal(state_, cmd);
-          return;
-        case 104:
-          set_hotend(cmd.value_or('S', 0.0), index, /*waited=*/false);
-          return;
-        case 109:
-          set_hotend(cmd.has('R') ? cmd.value_or('R', 0.0)
-                                  : cmd.value_or('S', 0.0),
-                     index, /*waited=*/true);
-          return;
-        case 112:
-          halted_ = true;
-          return;
-        case 140:
-          set_bed(cmd.value_or('S', 0.0), index);
-          return;
-        case 190:
-          set_bed(cmd.has('R') ? cmd.value_or('R', 0.0)
-                               : cmd.value_or('S', 0.0),
-                  index);
-          return;
-        default:
-          unknown(cmd, index);
-          return;
-      }
-    }
-    unknown(cmd, index);
-  }
-
-  void unknown(const gcode::Command& cmd, std::size_t index) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf),
-                  "command %c%d is not understood by the firmware",
-                  cmd.letter, cmd.code);
-    finding(FindingCode::kUnknownCommand, Severity::kWarning, index,
-            static_cast<double>(cmd.code), 0.0, buf);
-  }
-
-  void set_hotend(double target, std::size_t index, bool waited) {
-    if (target > config_.hotend.max_temp_c) {
-      char buf[96];
-      std::snprintf(buf, sizeof(buf),
-                    "hotend setpoint %.0f C exceeds the %.0f C kill limit",
-                    target, config_.hotend.max_temp_c);
-      finding(FindingCode::kThermalOvertemp, Severity::kError, index,
-              target, config_.hotend.max_temp_c, buf);
-    }
-    // A live, never-used nonzero setpoint replaced by a different nonzero
-    // value is the M104-override Trojan signature.
-    if (hotend_set_ > 0.0 && target > 0.0 && !hotend_used_ &&
-        std::abs(target - hotend_set_) > 1e-9) {
-      char buf[112];
-      std::snprintf(buf, sizeof(buf),
-                    "hotend setpoint %.0f C overridden to %.0f C before "
-                    "any extrusion used it",
-                    hotend_set_, target);
-      finding(FindingCode::kTempOverride, Severity::kWarning, index, target,
-              hotend_set_, buf);
-    }
-    if (std::abs(target - hotend_set_) > 1e-9) {
-      hotend_used_ = false;
-      hotend_waited_ = waited;
-      cold_risk_reported_ = false;
-    } else {
-      hotend_waited_ = hotend_waited_ || waited;
-    }
-    hotend_set_ = target;
-  }
-
-  void set_bed(double target, std::size_t index) {
-    if (target > config_.bed.max_temp_c) {
-      char buf[96];
-      std::snprintf(buf, sizeof(buf),
-                    "bed setpoint %.0f C exceeds the %.0f C kill limit",
-                    target, config_.bed.max_temp_c);
-      finding(FindingCode::kThermalOvertemp, Severity::kError, index,
-              target, config_.bed.max_temp_c, buf);
-    }
-  }
-
-  void handle_home(const gcode::Command& cmd, std::size_t index) {
-    const bool all = !cmd.has('X') && !cmd.has('Y') && !cmd.has('Z');
-    const bool was_armed = armed_;
-    for (std::size_t i = 0; i < 3; ++i) {
-      if (!all && !cmd.has("XYZ"[i])) continue;
-      if (was_armed) {
-        // A re-home after the counters armed: the tracker accumulates the
-        // net travel back to the datum (plus trigger-edge noise the
-        // static model cannot see).
-        counts_[i] -= state_.position_steps[i];
-        pulses_[i] += static_cast<std::uint64_t>(
-            std::llabs(state_.position_steps[i]));
-      }
-      state_.homed[i] = true;
-      state_.position_steps[i] = 0;
-      state_.origin_steps[i] = 0;
-    }
-    if (was_armed) {
-      note(FindingCode::kRehomeUncertainty, index, 0.0, 0.0,
-           "program re-homes after the counters armed; expected counts "
-           "carry a few steps of trigger uncertainty");
-    } else if (state_.homed[0] && state_.homed[1] && state_.homed[2]) {
-      armed_ = true;
-      out_.oracle.counters_armed = true;
-      out_.oracle.armed_at_command = index;
-    }
-  }
-
-  void handle_arc(const gcode::Command& cmd, std::size_t index,
-                  bool clockwise) {
-    const fw::ArcExpansion arc =
-        fw::expand_arc(config_, state_, cmd, clockwise);
-    if (arc.degenerate) {
-      unknown(cmd, index);
-      return;
-    }
-    for (const auto& chord : arc.chords) handle_move(chord, index);
-  }
-
-  void handle_move(const gcode::Command& cmd, std::size_t index) {
-    const bool hot = hotend_set_ >= config_.min_extrude_temp_c;
-    const fw::ResolvedMove mv =
-        fw::resolve_move(config_, state_, cmd, hot);
-
-    if (mv.cold_extrusion_blocked) {
-      finding(FindingCode::kColdExtrusion, Severity::kError, index,
-              hotend_set_, config_.min_extrude_temp_c,
-              "filament advance while the hotend setpoint is below the "
-              "cold-extrusion threshold (heaters off?)");
-    } else if (mv.e_advance_mm > 0.0 && !hotend_waited_ &&
-               !cold_risk_reported_) {
-      cold_risk_reported_ = true;
-      note(FindingCode::kColdExtrusionRisk, index, hotend_set_,
-           config_.min_extrude_temp_c,
-           "extrusion before any M109/M190 wait; the first moves may be "
-           "cold-blocked at runtime");
-    }
-    if (mv.e_advance_mm > 0.0) hotend_used_ = true;
-
-    for (std::size_t i = 0; i < 3; ++i) {
-      if (!mv.clamped[i]) continue;
-      char buf[112];
-      std::snprintf(buf, sizeof(buf),
-                    "%c target outside [0, %.0f] mm; runtime clamps it and "
-                    "prints different geometry",
-                    "XYZ"[i], config_.axis_length_mm[i]);
-      finding(FindingCode::kAxisLimit, Severity::kError, index,
-              mv.target_mm[i], config_.axis_length_mm[i], buf);
-    }
-
-    check_feedrate(mv, index);
-    track_blobs(mv, index);
-    record_segment(mv, index);
-    fw::commit_move(config_, state_, cmd, mv, /*executed=*/true);
-  }
-
-  void check_feedrate(const fw::ResolvedMove& mv, std::size_t index) {
-    std::array<double, 4> delta_mm{};
-    for (std::size_t i = 0; i < 4; ++i) {
-      delta_mm[i] = static_cast<double>(mv.delta_steps[i]) /
-                    config_.steps_per_mm[i];
-    }
-    const double ref_mm =
-        mv.path_mm > kTinyPath ? mv.path_mm : std::abs(delta_mm[3]);
-    if (ref_mm <= kTinyPath) return;
-    for (std::size_t i = 0; i < 4; ++i) {
-      const double axis_speed =
-          mv.feed_mm_s * std::abs(delta_mm[i]) / ref_mm;
-      if (axis_speed <= config_.max_feedrate_mm_s[i] * (1.0 + 1e-9)) {
-        continue;
-      }
-      char buf[128];
-      std::snprintf(
-          buf, sizeof(buf),
-          "%c would run at %.1f mm/s (%.0f steps/s), above its %.1f mm/s "
-          "maximum; runtime scales the whole move down",
-          "XYZE"[i], axis_speed, axis_speed * config_.steps_per_mm[i],
-          config_.max_feedrate_mm_s[i]);
-      finding(FindingCode::kFeedrateLimit, Severity::kWarning, index,
-              axis_speed, config_.max_feedrate_mm_s[i], buf);
-      return;  // one finding per move: the worst offender is enough
-    }
-  }
-
-  void track_blobs(const fw::ResolvedMove& mv, std::size_t index) {
-    const double de = mv.e_advance_mm;
-    const bool stationary = mv.path_mm <= kTinyPath;
-    if (de < 0.0) {
-      retract_debt_ += -de;
-      return;
-    }
-    if (de <= 0.0) return;
-    if (!stationary) {
-      printing_started_ = true;
-      return;
-    }
-    // Stationary positive advance: legitimate only as un-retract (or the
-    // pre-print prime); anything beyond the debt is a blob dump.
-    if (printing_started_) {
-      const double excess = de - retract_debt_;
-      if (excess > options_.blob_excess_mm) {
-        char buf[128];
-        std::snprintf(buf, sizeof(buf),
-                      "in-place extrusion of %.2f mm filament, %.2f mm "
-                      "beyond the retraction debt (relocation blob dump?)",
-                      de, excess);
-        finding(FindingCode::kInplaceExtrusion, Severity::kError, index, de,
-                retract_debt_, buf);
-      } else {
-        out_.oracle.max_stationary_e_mm =
-            std::max(out_.oracle.max_stationary_e_mm, de);
-      }
-    } else {
-      out_.oracle.max_stationary_e_mm =
-          std::max(out_.oracle.max_stationary_e_mm, de);
-    }
-    retract_debt_ = std::max(0.0, retract_debt_ - de);
-  }
-
-  void record_segment(const fw::ResolvedMove& mv, std::size_t index) {
-    SegmentRecord seg;
-    seg.command_index = index;
-    seg.delta_steps = mv.delta_steps;
-    seg.path_mm = mv.path_mm;
-    seg.e_mm = mv.e_advance_mm;
-    seg.feed_mm_s = mv.feed_mm_s;
-    seg.counted = armed_;
-    if (mv.e_advance_mm > 0.0) {
-      seg.kind = mv.path_mm > kTinyPath ? SegmentKind::kExtrusion
-                                        : SegmentKind::kEOnly;
-    } else if (mv.e_advance_mm < 0.0) {
-      seg.kind = SegmentKind::kRetraction;
-    } else {
-      seg.kind = SegmentKind::kTravel;
-    }
-
-    auto& o = out_.oracle;
-    ++o.move_count;
-    if (seg.kind == SegmentKind::kExtrusion) {
-      ++o.extrusion_move_count;
-      o.extrusion_path_mm += mv.path_mm;
-    }
-    if (mv.e_advance_mm > 0.0) o.extruded_mm += mv.e_advance_mm;
-    if (mv.e_advance_mm < 0.0) o.retracted_mm += -mv.e_advance_mm;
-    if (armed_) {
-      for (std::size_t i = 0; i < 4; ++i) {
-        counts_[i] += mv.delta_steps[i];
-        pulses_[i] +=
-            static_cast<std::uint64_t>(std::llabs(mv.delta_steps[i]));
-      }
-    }
-    o.segments.push_back(seg);
-  }
-
-  void finish() {
-    auto& o = out_.oracle;
-    o.expected_counts = counts_;
-    o.total_pulses = pulses_;
-    o.final_state = state_;
-    if (!o.counters_armed) {
-      note(FindingCode::kCountersNotArmed, 0, 0.0, 0.0,
-           "program never homes all three axes; the OFFRAMPS step "
-           "counters would not arm");
-    }
-  }
-
-  const fw::Config& config_;
-  const AnalyzeOptions& options_;
-  AnalysisResult& out_;
-
-  fw::MotionState state_{};
-  std::array<std::int64_t, 4> counts_{};
-  std::array<std::uint64_t, 4> pulses_{};
-  bool armed_ = false;
-  bool halted_ = false;
-
-  double hotend_set_ = 0.0;
-  bool hotend_waited_ = false;
-  bool hotend_used_ = false;
-  bool cold_risk_reported_ = false;
-
-  double retract_debt_ = 0.0;
-  bool printing_started_ = false;
-};
 
 void json_escape(std::string& out, const std::string& s) {
   for (const char c : s) {
@@ -396,38 +36,6 @@ const char* segment_kind_name(SegmentKind k) {
     case SegmentKind::kExtrusion: return "extrusion";
     case SegmentKind::kRetraction: return "retraction";
     case SegmentKind::kEOnly: return "e-only";
-  }
-  return "unknown";
-}
-
-const char* severity_name(Severity s) {
-  switch (s) {
-    case Severity::kNote: return "note";
-    case Severity::kWarning: return "warning";
-    case Severity::kError: return "error";
-  }
-  return "unknown";
-}
-
-const char* finding_code_name(FindingCode c) {
-  switch (c) {
-    case FindingCode::kColdExtrusion: return "cold-extrusion";
-    case FindingCode::kColdExtrusionRisk: return "cold-extrusion-risk";
-    case FindingCode::kThermalOvertemp: return "thermal-overtemp";
-    case FindingCode::kAxisLimit: return "axis-limit";
-    case FindingCode::kFeedrateLimit: return "feedrate-limit";
-    case FindingCode::kTempOverride: return "temp-override";
-    case FindingCode::kInplaceExtrusion: return "inplace-extrusion";
-    case FindingCode::kUnknownCommand: return "unknown-command";
-    case FindingCode::kRehomeUncertainty: return "rehome-uncertainty";
-    case FindingCode::kCountersNotArmed: return "counters-not-armed";
-    case FindingCode::kUnreachableCommands: return "unreachable-commands";
-    case FindingCode::kMoveCountMismatch: return "move-count-mismatch";
-    case FindingCode::kSegmentMismatch: return "segment-mismatch";
-    case FindingCode::kStepCountMismatch: return "step-count-mismatch";
-    case FindingCode::kExtrusionTotalMismatch:
-      return "extrusion-total-mismatch";
-    case FindingCode::kRatioMismatch: return "ratio-mismatch";
   }
   return "unknown";
 }
@@ -509,11 +117,13 @@ std::string AnalysisResult::to_json() const {
     const Finding& f = findings[i];
     out += i == 0 ? "\n" : ",\n";
     std::snprintf(buf, sizeof(buf),
-                  "    {\"code\": \"%s\", \"severity\": \"%s\", "
+                  "    {\"code\": \"%s\", \"pass\": \"%s\", "
+                  "\"severity\": \"%s\", "
                   "\"command\": %zu, \"value\": %.6f, \"bound\": %.6f, "
                   "\"message\": \"",
-                  finding_code_name(f.code), severity_name(f.severity),
-                  f.command_index, f.value, f.bound);
+                  finding_code_name(f.code), f.pass.c_str(),
+                  severity_name(f.severity), f.command_index, f.value,
+                  f.bound);
     out += buf;
     json_escape(out, f.message);
     out += "\"}";
@@ -526,103 +136,20 @@ AnalysisResult analyze_program(const gcode::Program& program,
                                const fw::Config& config,
                                const AnalyzeOptions& options) {
   AnalysisResult result;
-  Machine machine(config, options, result);
-  machine.run(program);
+  PassManager manager(config, options);
+  manager.run(program, result);
   return result;
 }
 
 std::size_t compare_with_baseline(const AnalysisResult& baseline,
                                   AnalysisResult& suspect,
                                   const AnalyzeOptions& options) {
-  const Oracle& b = baseline.oracle;
-  const Oracle& s = suspect.oracle;
-  const std::size_t before = suspect.findings.size();
-  char buf[192];
-
-  if (b.segments.size() != s.segments.size()) {
-    std::snprintf(buf, sizeof(buf),
-                  "program resolves to %zu motion segments, baseline has "
-                  "%zu (commands inserted or removed)",
-                  s.segments.size(), b.segments.size());
-    suspect.findings.push_back({FindingCode::kMoveCountMismatch,
-                                Severity::kError, 0,
-                                static_cast<double>(s.segments.size()),
-                                static_cast<double>(b.segments.size()),
-                                buf});
-  }
-
-  const std::size_t n = std::min(b.segments.size(), s.segments.size());
-  std::size_t step_diverged = 0;
-  std::size_t ratio_diverged = 0;
-  std::size_t reported = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const SegmentRecord& sb = b.segments[i];
-    const SegmentRecord& ss = s.segments[i];
-    const bool steps_differ = sb.delta_steps != ss.delta_steps;
-    const bool ratio_differs =
-        std::abs(sb.e_mm - ss.e_mm) > options.ratio_tol;
-    if (steps_differ) ++step_diverged;
-    if (ratio_differs && !steps_differ) ++ratio_diverged;
-    if ((steps_differ || ratio_differs) &&
-        reported < options.max_segment_findings) {
-      ++reported;
-      std::snprintf(
-          buf, sizeof(buf),
-          "segment %zu diverges from baseline: steps X%+lld Y%+lld "
-          "Z%+lld E%+lld vs X%+lld Y%+lld Z%+lld E%+lld",
-          i, static_cast<long long>(ss.delta_steps[0]),
-          static_cast<long long>(ss.delta_steps[1]),
-          static_cast<long long>(ss.delta_steps[2]),
-          static_cast<long long>(ss.delta_steps[3]),
-          static_cast<long long>(sb.delta_steps[0]),
-          static_cast<long long>(sb.delta_steps[1]),
-          static_cast<long long>(sb.delta_steps[2]),
-          static_cast<long long>(sb.delta_steps[3]));
-      suspect.findings.push_back(
-          {steps_differ ? FindingCode::kSegmentMismatch
-                        : FindingCode::kRatioMismatch,
-           Severity::kError, ss.command_index,
-           static_cast<double>(ss.delta_steps[3]),
-           static_cast<double>(sb.delta_steps[3]), buf});
-    }
-  }
-  if (step_diverged + ratio_diverged > reported) {
-    std::snprintf(buf, sizeof(buf),
-                  "%zu of %zu compared segments diverge from baseline",
-                  step_diverged + ratio_diverged, n);
-    suspect.findings.push_back({FindingCode::kSegmentMismatch,
-                                Severity::kError, 0,
-                                static_cast<double>(step_diverged +
-                                                    ratio_diverged),
-                                static_cast<double>(n), buf});
-  }
-
-  for (std::size_t axis = 0; axis < 4; ++axis) {
-    if (b.expected_counts[axis] == s.expected_counts[axis]) continue;
-    std::snprintf(buf, sizeof(buf),
-                  "expected %c steps %lld differ from baseline %lld",
-                  "XYZE"[axis],
-                  static_cast<long long>(s.expected_counts[axis]),
-                  static_cast<long long>(b.expected_counts[axis]));
-    suspect.findings.push_back(
-        {FindingCode::kStepCountMismatch, Severity::kError, 0,
-         static_cast<double>(s.expected_counts[axis]),
-         static_cast<double>(b.expected_counts[axis]), buf});
-  }
-
-  const double denom = std::max(std::abs(b.extruded_mm), 1e-12);
-  if (std::abs(b.extruded_mm - s.extruded_mm) / denom >
-      options.extrusion_total_rel_tol) {
-    std::snprintf(buf, sizeof(buf),
-                  "total extrusion %.3f mm differs from baseline %.3f mm "
-                  "(%+.2f%%)",
-                  s.extruded_mm, b.extruded_mm,
-                  (s.extruded_mm - b.extruded_mm) / denom * 100.0);
-    suspect.findings.push_back({FindingCode::kExtrusionTotalMismatch,
-                                Severity::kError, 0, s.extruded_mm,
-                                b.extruded_mm, buf});
-  }
-  return suspect.findings.size() - before;
+  // The comparison phase never touches machine geometry, but the manager
+  // API threads a config through uniformly; the default-constructed one
+  // is fine (and building it once avoids re-parsing defaults per call).
+  static const fw::Config kConfig{};
+  PassManager manager(kConfig, options);
+  return manager.compare(baseline, suspect);
 }
 
 }  // namespace offramps::analyze

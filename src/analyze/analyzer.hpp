@@ -2,87 +2,53 @@
 // for the attack surface FLAW3D exploits (the g-code -> motion
 // translation), complementing the paper's runtime step-count comparison.
 //
-// One pass over the parsed program computes the static `Oracle` (expected
-// step counts and extrusion profile; see oracle.hpp) and a list of
-// `Finding`s - the Trojan signatures and machine-envelope violations that
-// can be decided without a reference:
+// The analysis is organized as a *pass manager* (see pass.hpp): one walk
+// over the parsed program computes the static `Oracle` (expected step
+// counts and extrusion profile; see oracle.hpp) while the registered
+// passes emit `Finding`s.  The builtin passes and the finding codes they
+// own:
 //
-//   * cold-extrusion       - filament advance while the hotend setpoint is
-//                            below the cold-extrusion threshold (heaters
-//                            off; the classic thermal-sabotage signature)
-//   * cold-extrusion-risk  - extrusion after M104 but before any M109 wait
-//   * thermal-overtemp     - setpoint above the heater's kill limit
-//   * axis-limit           - move commanded outside the machine volume
-//                            (runtime clamps it: printed geometry differs
-//                            from the program text)
-//   * feedrate-limit       - requested axis speed above the machine maxima
-//                            (runtime scales the whole move down)
-//   * temp-override        - a live hotend setpoint replaced by a different
-//                            nonzero value before it was ever used
-//   * inplace-extrusion    - stationary filament advance beyond the
-//                            accumulated retraction debt (a relocation
-//                            blob dump)
-//   * unknown-command      - command the firmware would ignore
-//   * rehome / not-armed   - notes about counter-alignment caveats
+//   thermal            - cold-extrusion, cold-extrusion-risk,
+//                        thermal-overtemp, temp-override
+//   kinematics-limits  - axis-limit, feedrate-limit
+//   extrusion          - inplace-extrusion (relocation blob dumps,
+//                        tracked against the retraction debt)
+//   structure          - unknown-command
+//   reachability       - unreachable-commands, post-abort-motion
+//                        (flow-sensitive: commands after an M112 abort,
+//                        and effectual motion/heater commands hiding in
+//                        the dead tail)
+//   taint              - feedrate-override-taint, flow-override-taint,
+//                        temp-override-taint (flow-sensitive: mid-print
+//                        M220/M221/M104 overrides that re-scale later
+//                        motion or extrusion without touching any G1
+//                        word - the modal way to smuggle a FLAW3D-style
+//                        reduction past a textual diff)
+//   oracle             - rehome-uncertainty, counters-not-armed, plus
+//                        the Oracle itself (segments, counts, totals)
+//   baseline-compare   - move-count/segment/step-count/extrusion-total/
+//                        ratio mismatches against a known-good program
 //
 // With a *baseline* (the known-good program), `compare_with_baseline`
-// additionally flags any divergence of the two oracles - segment step
-// deltas, extrusion totals, per-segment extrusion ratios, command counts.
-// Static-vs-static comparison is exact, so even the paper's stealthiest
-// 2% reduction Trojan is a guaranteed catch.
+// flags any divergence of the two oracles.  Static-vs-static comparison
+// is exact, so even the paper's stealthiest 2% reduction Trojan is a
+// guaranteed catch.
+//
+// Pass selection (`AnalyzeOptions::passes`) and per-pass severity
+// overrides (`AnalyzeOptions::pass_severity`) are honored by both entry
+// points; the CLI exposes them as --passes / --severity.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analyze/finding.hpp"
 #include "analyze/oracle.hpp"
 #include "gcode/command.hpp"
 
 namespace offramps::analyze {
-
-enum class Severity : std::uint8_t {
-  kNote,     // informational; does not fail the lint
-  kWarning,  // suspicious; fails the lint
-  kError,    // definite violation; fails the lint
-};
-
-const char* severity_name(Severity s);
-
-/// Stable machine-readable finding codes (the CLI's contract).
-enum class FindingCode : std::uint8_t {
-  kColdExtrusion,
-  kColdExtrusionRisk,
-  kThermalOvertemp,
-  kAxisLimit,
-  kFeedrateLimit,
-  kTempOverride,
-  kInplaceExtrusion,
-  kUnknownCommand,
-  kRehomeUncertainty,
-  kCountersNotArmed,
-  kUnreachableCommands,
-  // Baseline-comparison findings:
-  kMoveCountMismatch,
-  kSegmentMismatch,
-  kStepCountMismatch,
-  kExtrusionTotalMismatch,
-  kRatioMismatch,
-};
-
-const char* finding_code_name(FindingCode c);
-
-/// One diagnostic.
-struct Finding {
-  FindingCode code = FindingCode::kUnknownCommand;
-  Severity severity = Severity::kWarning;
-  /// Index of the offending command in the analyzed program (or the
-  /// first diverging segment's command index for baseline findings).
-  std::size_t command_index = 0;
-  double value = 0.0;  // measured quantity (mm, mm/s, deg C, steps...)
-  double bound = 0.0;  // the bound it broke, when meaningful
-  std::string message;
-};
 
 /// Analyzer tuning.
 struct AnalyzeOptions {
@@ -97,6 +63,13 @@ struct AnalyzeOptions {
   /// Cap on reported baseline segment mismatches (the first divergence
   /// is what matters; the rest is bulk).
   std::size_t max_segment_findings = 4;
+
+  /// Pass ids to enable; empty = every registered pass.  Unknown ids
+  /// throw offramps::Error from the entry points.
+  std::vector<std::string> passes;
+  /// Per-pass severity overrides: every finding of the named pass is
+  /// forced to the given severity (e.g. demote "thermal" to kNote).
+  std::vector<std::pair<std::string, Severity>> pass_severity;
 };
 
 /// Full analysis result.
@@ -112,7 +85,8 @@ struct AnalysisResult {
 
   /// Human-readable rendering (one line per finding + oracle summary).
   [[nodiscard]] std::string to_string(std::size_t max_findings = 16) const;
-  /// Machine-readable rendering (stable JSON object).
+  /// Machine-readable rendering (stable JSON object; each finding
+  /// carries its code, pass id and severity).
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -125,7 +99,8 @@ AnalysisResult analyze_program(const gcode::Program& program,
 /// appending divergence findings to `suspect.findings`.  Returns the
 /// number of findings appended.  Static-vs-static comparison is exact:
 /// zero appended findings means the two programs command identical
-/// motion.
+/// motion.  Honors the same pass selection/severity options (the check
+/// is the "baseline-compare" pass).
 std::size_t compare_with_baseline(const AnalysisResult& baseline,
                                   AnalysisResult& suspect,
                                   const AnalyzeOptions& options = {});

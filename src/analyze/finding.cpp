@@ -1,0 +1,55 @@
+#include "analyze/finding.hpp"
+
+namespace offramps::analyze {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool severity_from_name(const std::string& name, Severity& out) {
+  if (name == "note") {
+    out = Severity::kNote;
+  } else if (name == "warning") {
+    out = Severity::kWarning;
+  } else if (name == "error") {
+    out = Severity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* finding_code_name(FindingCode c) {
+  switch (c) {
+    case FindingCode::kColdExtrusion: return "cold-extrusion";
+    case FindingCode::kColdExtrusionRisk: return "cold-extrusion-risk";
+    case FindingCode::kThermalOvertemp: return "thermal-overtemp";
+    case FindingCode::kAxisLimit: return "axis-limit";
+    case FindingCode::kFeedrateLimit: return "feedrate-limit";
+    case FindingCode::kTempOverride: return "temp-override";
+    case FindingCode::kInplaceExtrusion: return "inplace-extrusion";
+    case FindingCode::kUnknownCommand: return "unknown-command";
+    case FindingCode::kRehomeUncertainty: return "rehome-uncertainty";
+    case FindingCode::kCountersNotArmed: return "counters-not-armed";
+    case FindingCode::kUnreachableCommands: return "unreachable-commands";
+    case FindingCode::kPostAbortMotion: return "post-abort-motion";
+    case FindingCode::kFeedrateOverrideTaint:
+      return "feedrate-override-taint";
+    case FindingCode::kFlowOverrideTaint: return "flow-override-taint";
+    case FindingCode::kTempOverrideTaint: return "temp-override-taint";
+    case FindingCode::kMoveCountMismatch: return "move-count-mismatch";
+    case FindingCode::kSegmentMismatch: return "segment-mismatch";
+    case FindingCode::kStepCountMismatch: return "step-count-mismatch";
+    case FindingCode::kExtrusionTotalMismatch:
+      return "extrusion-total-mismatch";
+    case FindingCode::kRatioMismatch: return "ratio-mismatch";
+  }
+  return "unknown";
+}
+
+}  // namespace offramps::analyze

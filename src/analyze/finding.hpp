@@ -1,0 +1,70 @@
+// Finding model of the static analyzer: severities, the stable
+// machine-readable finding codes (the CLI's contract), and the Finding
+// record every analysis pass emits.
+//
+// Split out of analyzer.hpp so the pass framework (pass.hpp) and the
+// public entry points (analyzer.hpp) can share the types without a
+// circular include.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace offramps::analyze {
+
+enum class Severity : std::uint8_t {
+  kNote,     // informational; does not fail the lint
+  kWarning,  // suspicious; fails the lint
+  kError,    // definite violation; fails the lint
+};
+
+const char* severity_name(Severity s);
+
+/// Parses "note" / "warning" / "error" (the CLI's --severity grammar).
+/// Returns false on anything else.
+bool severity_from_name(const std::string& name, Severity& out);
+
+/// Stable machine-readable finding codes (the CLI's contract).
+enum class FindingCode : std::uint8_t {
+  kColdExtrusion,
+  kColdExtrusionRisk,
+  kThermalOvertemp,
+  kAxisLimit,
+  kFeedrateLimit,
+  kTempOverride,
+  kInplaceExtrusion,
+  kUnknownCommand,
+  kRehomeUncertainty,
+  kCountersNotArmed,
+  kUnreachableCommands,
+  // Flow-sensitive checks new with the pass framework:
+  kPostAbortMotion,       // motion/heater command after an M112 abort
+  kFeedrateOverrideTaint, // mid-print M220 taints later feedrates
+  kFlowOverrideTaint,     // mid-print M221 taints later extrusion
+  kTempOverrideTaint,     // mid-print unwaited M104 taints later extrusion
+  // Baseline-comparison findings:
+  kMoveCountMismatch,
+  kSegmentMismatch,
+  kStepCountMismatch,
+  kExtrusionTotalMismatch,
+  kRatioMismatch,
+};
+
+const char* finding_code_name(FindingCode c);
+
+/// One diagnostic.
+struct Finding {
+  FindingCode code = FindingCode::kUnknownCommand;
+  Severity severity = Severity::kWarning;
+  /// Index of the offending command in the analyzed program (or the
+  /// first diverging segment's command index for baseline findings).
+  std::size_t command_index = 0;
+  double value = 0.0;  // measured quantity (mm, mm/s, deg C, steps...)
+  double bound = 0.0;  // the bound it broke, when meaningful
+  std::string message;
+  /// Id of the pass that emitted the finding (see pass.hpp).  Filled by
+  /// the pass manager; stable ids are part of the --json schema.
+  std::string pass;
+};
+
+}  // namespace offramps::analyze

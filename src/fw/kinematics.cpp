@@ -197,8 +197,15 @@ ArcExpansion expand_arc(const Config& config, const MotionState& state,
 
   const double arc_len = std::abs(sweep) * radius;
   out.arc_len_mm = arc_len;
-  const int segments =
-      std::max(2, static_cast<int>(std::ceil(arc_len / kMmPerArcSegment)));
+  // Cap the chord count: a hostile I/J offset (kilometer-scale radius)
+  // must not expand into tens of millions of chord commands.  Past the
+  // cap the chords just get proportionally longer - the endpoints and
+  // totals stay exact, only the interpolation coarsens (and any real
+  // print's arc is far below the cap).
+  constexpr double kMaxArcSegments = 4096.0;
+  const double wanted = std::ceil(arc_len / kMmPerArcSegment);
+  const int segments = static_cast<int>(
+      std::min(kMaxArcSegments, std::max(2.0, wanted)));
 
   out.chords.reserve(static_cast<std::size_t>(segments));
   for (int s = 1; s <= segments; ++s) {

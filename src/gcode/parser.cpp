@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
@@ -81,6 +82,14 @@ double parse_number(std::string_view text, std::string_view line) {
   if (ec != std::errc{} || ptr != end) {
     throw Error("gcode: bad numeric value '" + std::string(text) +
                 "' in line: " + std::string(line));
+  }
+  // from_chars happily parses "inf"/"nan" and astronomical exponents; no
+  // firmware quantity survives past a few meters or a few thousand deg C,
+  // and non-finite or huge values would hit undefined llround/int-cast
+  // behavior in the kinematics layer.  Reject them at the gate.
+  if (!std::isfinite(v) || std::abs(v) > kMaxParamMagnitude) {
+    throw Error("gcode: numeric value '" + std::string(text) +
+                "' out of range in line: " + std::string(line));
   }
   return v;
 }

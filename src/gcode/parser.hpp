@@ -19,6 +19,13 @@ namespace offramps::gcode {
 /// swallowed silently).
 inline constexpr std::size_t kMaxLineLength = 256;
 
+/// Largest accepted |value| for any numeric word.  Real programs top out
+/// around axis lengths (hundreds of mm), feedrates (tens of thousands of
+/// mm/min) and temperatures; anything beyond this is hostile or corrupt,
+/// and letting it through would reach undefined llround/int-cast behavior
+/// in the kinematics layer.
+inline constexpr double kMaxParamMagnitude = 1e7;
+
 /// Parses a single line.  Returns nullopt for blank, comment-only, or
 /// line-number-only lines.  Throws offramps::Error on malformed input
 /// (bad number, stray word, overlong line, or a malformed/mismatched

@@ -26,8 +26,10 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analyze/analyzer.hpp"
+#include "analyze/pass.hpp"
 #include "gcode/flaw3d.hpp"
 #include "gcode/parser.hpp"
 #include "host/slicer.hpp"
@@ -37,10 +39,16 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: offramps_lint [--json] [--baseline FILE] [FILE|--demo SPEC]\n"
+    "usage: offramps_lint [--json] [--baseline FILE] [--passes LIST]\n"
+    "                     [--severity PASS=LEVEL] [FILE|--demo SPEC]\n"
     "  FILE            g-code file to lint ('-' or absent = stdin)\n"
     "  --baseline FILE known-good program to diff against (exact)\n"
     "  --json          emit a JSON report instead of human diagnostics\n"
+    "  --passes LIST   comma-separated pass ids to run (default: all;\n"
+    "                  see --list-passes)\n"
+    "  --severity P=L  force every finding of pass P to severity L\n"
+    "                  (note|warning|error); repeatable\n"
+    "  --list-passes   print the registered passes and exit\n"
     "  --demo SPEC     self-generated input: clean | reduce:FACTOR |\n"
     "                  relocate:N (Trojan demos are diffed against the\n"
     "                  clean demo baseline automatically)\n"
@@ -80,6 +88,21 @@ std::optional<offramps::gcode::Program> load_program(const std::string& path,
   }
 }
 
+/// Splits a comma-separated pass list ("thermal,oracle").  Empty items
+/// ("a,,b", trailing comma) are usage errors.
+bool split_pass_list(const std::string& arg, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+    if (end == start) return false;
+    out.push_back(arg.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,11 +110,42 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string input_path;
   std::string demo_spec;
+  offramps::analyze::AnalyzeOptions options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--list-passes") {
+      for (const auto& info :
+           offramps::analyze::PassRegistry::global().list()) {
+        std::fprintf(stdout, "%-18s %s\n", info.id.c_str(),
+                     info.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--passes") {
+      if (++i >= argc || !split_pass_list(argv[i], options.passes)) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+    } else if (arg == "--severity") {
+      if (++i >= argc) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      const std::string spec = argv[i];
+      const std::size_t eq = spec.find('=');
+      offramps::analyze::Severity severity{};
+      if (eq == std::string::npos || eq == 0 ||
+          !offramps::analyze::severity_from_name(spec.substr(eq + 1),
+                                                 severity)) {
+        std::fprintf(stderr,
+                     "--severity wants PASS=note|warning|error, got '%s'\n",
+                     spec.c_str());
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      options.pass_severity.emplace_back(spec.substr(0, eq), severity);
     } else if (arg == "--baseline") {
       if (++i >= argc) {
         std::fputs(kUsage, stderr);
@@ -173,13 +227,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const offramps::analyze::AnalyzeOptions options;
-  offramps::analyze::AnalysisResult result =
-      offramps::analyze::analyze_program(program, {}, options);
-  if (baseline) {
-    const offramps::analyze::AnalysisResult base =
-        offramps::analyze::analyze_program(*baseline, {}, options);
-    offramps::analyze::compare_with_baseline(base, result, options);
+  offramps::analyze::AnalysisResult result;
+  try {
+    result = offramps::analyze::analyze_program(program, {}, options);
+    if (baseline) {
+      const offramps::analyze::AnalysisResult base =
+          offramps::analyze::analyze_program(*baseline, {}, options);
+      offramps::analyze::compare_with_baseline(base, result, options);
+    }
+  } catch (const offramps::Error& e) {
+    // Unknown pass id in --passes / --severity.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
 
   if (json) {

@@ -1,0 +1,3 @@
+G1 Einf
+G1 Xnan
+G1 E1e300

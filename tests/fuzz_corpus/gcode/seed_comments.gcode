@@ -1,0 +1,5 @@
+; full line comment
+G1 X1 (inline comment) Y2 ; trailing
+(leading) G92 E0
+M221 S95
+M220 S150

@@ -145,5 +145,42 @@ TEST(ParserEdge, ProgramSkipsEmptyAndCommentLines) {
   EXPECT_TRUE(program[1].is('G', 1));
 }
 
+// --- Hostile numeric values (fuzzer-surfaced) ------------------------------
+// Digit-form magnitudes ("G99999999999", "X99999999999999999999") reach
+// std::from_chars intact; before the magnitude gate they flowed into
+// llround/int casts in the kinematics layer (undefined behavior).
+// Minimized inputs live in tests/fuzz_corpus/gcode/.
+
+TEST(ParserEdge, HugeMagnitudesThrow) {
+  EXPECT_THROW(parse_line("G99999999999"), Error);
+  EXPECT_THROW(parse_line("G1 X99999999999999999999"), Error);
+  EXPECT_THROW(parse_line("G1 E-99999999999"), Error);
+  // The boundary itself is accepted.
+  const auto cmd = parse_line("G1 X10000000");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->value_or('X', 0.0), 1e7);
+}
+
+TEST(ParserEdge, AlphabeticRunsTokenizeAsSeparateWords) {
+  // "inf"/"nan"/exponent spellings never reach the number parser: the
+  // tokenizer breaks a value at the first letter, so "Einf" is four
+  // valueless parameter words.  Pinned so a tokenizer change cannot
+  // silently open that path without revisiting the magnitude gate.
+  const auto cmd = parse_line("G1 Einf");
+  ASSERT_TRUE(cmd.has_value());
+  ASSERT_EQ(cmd->params.size(), 4u);
+  EXPECT_EQ(cmd->params[0].letter, 'E');
+  EXPECT_EQ(cmd->params[1].letter, 'I');
+  const auto sci = parse_line("G1 X1e8");
+  ASSERT_TRUE(sci.has_value());
+  EXPECT_EQ(sci->value_or('X', 0.0), 1.0);  // "1e8" = X1 then word E8
+  EXPECT_EQ(sci->value_or('E', 0.0), 8.0);
+}
+
+TEST(ParserEdge, TinyValuesAreFine) {
+  const auto cmd = parse_line("G1 X0.0000001 Y-0.25");
+  ASSERT_TRUE(cmd.has_value());
+}
+
 }  // namespace
 }  // namespace offramps::gcode
