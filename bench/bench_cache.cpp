@@ -1,0 +1,153 @@
+// Reference-cache + replay perf gate.
+//
+// Runs one sabotaged campaign cold (empty cache), then warm (same cache
+// dir), and replays its recorded session corpus offline:
+//
+//   gate 1  the warm run's reference phase is at least 5x cheaper than
+//           the cold run's (a disk read vs a full golden simulation)
+//   gate 2  offline replay is at least 10x faster than the live
+//           campaign wall clock (no simulator in the loop)
+//
+// Byte-identity of all three reports is checked unconditionally - a
+// cache hit or a replay that changes one byte of a verdict is a
+// correctness bug, not a perf miss.  The timing thresholds enforce by
+// exit code on plain builds and downgrade to report-only under
+// sanitizers (bench::built_with_sanitizers).  Results land in
+// BENCH_cache.json.
+//
+//   ./bench_cache [--jobs N]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "svc/daemon.hpp"
+#include "svc/fleet.hpp"
+
+namespace {
+
+constexpr double kMinRefSpeedup = 5.0;
+constexpr double kMinReplaySpeedup = 10.0;
+
+std::vector<offramps::svc::RigSpec> campaign() {
+  using offramps::svc::parse_sabotage;
+  std::vector<offramps::svc::RigSpec> specs(6);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "bench-" + std::to_string(i);
+    specs[i].seed = 4000 + i;
+    specs[i].cube_mm = 8.0;
+    specs[i].height_mm = 2.0;
+  }
+  specs[1].sabotage = parse_sabotage("reduce:0.5");
+  specs[4].sabotage = parse_sabotage("relocate:12");
+  return specs;
+}
+
+double reference_seconds(const offramps::svc::FleetReport& report) {
+  double total = 0.0;
+  for (const auto& t : report.timings) {
+    if (t.name.rfind("reference/", 0) == 0) total += t.seconds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace offramps;
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
+
+  const std::string cache_dir = "bench_cache_refs";
+  const std::string captures_dir = "bench_cache_caps";
+  std::filesystem::remove_all(cache_dir);
+  std::filesystem::remove_all(captures_dir);
+  std::filesystem::create_directories(captures_dir);
+
+  svc::FleetOptions options;
+  options.workers = jobs;
+  options.cache_dir = cache_dir;
+  const std::vector<svc::RigSpec> specs = campaign();
+
+  bench::heading("reference cache: cold vs warm (" + std::to_string(jobs) +
+                 " workers)");
+  svc::FleetOptions cold_options = options;
+  cold_options.save_captures_dir = captures_dir;
+  bench::Stopwatch live_watch;
+  svc::Fleet cold(cold_options);
+  const svc::FleetReport cold_report = cold.run(specs);
+  const double live_s = live_watch.seconds();
+  const double cold_ref_s = reference_seconds(cold_report);
+
+  svc::Fleet warm(options);
+  const svc::FleetReport warm_report = warm.run(specs);
+  const double warm_ref_s = reference_seconds(warm_report);
+
+  const double ref_speedup =
+      warm_ref_s > 0.0 ? cold_ref_s / warm_ref_s : kMinRefSpeedup * 2.0;
+  std::printf("  reference phase: cold %.4fs  warm %.4fs  (%.1fx)\n",
+              cold_ref_s, warm_ref_s, ref_speedup);
+
+  bench::heading("offline replay vs live campaign");
+  svc::ReplayOptions replay_options;
+  replay_options.service.workers = jobs;
+  replay_options.service.cache_dir = cache_dir;
+  bench::Stopwatch replay_watch;
+  const svc::FleetReport replayed =
+      svc::replay_corpus(captures_dir, replay_options);
+  const double replay_s = replay_watch.seconds();
+  const double replay_speedup = replay_s > 0.0 ? live_s / replay_s : 0.0;
+  std::printf("  live %.4fs  replay %.4fs  (%.1fx)\n", live_s, replay_s,
+              replay_speedup);
+
+  const bool warm_identical =
+      warm_report.to_json() == cold_report.to_json();
+  const bool replay_identical = replayed.to_json() == cold_report.to_json();
+
+  bench::BenchJson out("cache");
+  out.add("jobs", static_cast<std::uint64_t>(jobs));
+  out.add("rigs", static_cast<std::uint64_t>(specs.size()));
+  out.add("cold_reference_s", cold_ref_s);
+  out.add("warm_reference_s", warm_ref_s);
+  out.add("reference_speedup", ref_speedup);
+  out.add("live_wall_s", live_s);
+  out.add("replay_wall_s", replay_s);
+  out.add("replay_speedup", replay_speedup);
+  out.add("warm_report_identical", warm_identical);
+  out.add("replay_report_identical", replay_identical);
+  out.add("sanitized", bench::built_with_sanitizers());
+  out.write();
+
+  int rc = 0;
+  if (!warm_identical) {
+    std::printf("FAIL: warm-cache report diverged from the cold run\n");
+    rc = 1;
+  }
+  if (!replay_identical) {
+    std::printf("FAIL: replayed report diverged from the live run\n");
+    rc = 1;
+  }
+  const bool ref_ok = ref_speedup >= kMinRefSpeedup;
+  const bool replay_ok = replay_speedup >= kMinReplaySpeedup;
+  if (bench::built_with_sanitizers()) {
+    std::printf("sanitized build: timing gates report-only (ref %.1fx "
+                "vs %.1fx, replay %.1fx vs %.1fx)\n",
+                ref_speedup, kMinRefSpeedup, replay_speedup,
+                kMinReplaySpeedup);
+  } else {
+    if (!ref_ok) {
+      std::printf("FAIL: warm reference phase only %.1fx faster "
+                  "(need >= %.1fx)\n",
+                  ref_speedup, kMinRefSpeedup);
+      rc = 1;
+    }
+    if (!replay_ok) {
+      std::printf("FAIL: replay only %.1fx faster than live "
+                  "(need >= %.1fx)\n",
+                  replay_speedup, kMinReplaySpeedup);
+      rc = 1;
+    }
+  }
+  std::printf("%s\n", rc == 0 ? "PASS" : "FAIL");
+  return rc;
+}

@@ -38,8 +38,10 @@ constexpr const char* kUsage =
     "  --metrics        print the obs:: metrics registry after the run\n"
     "  --trace-out FILE write a chrome://tracing trace of the sweep\n"
     "  --help, -h       this text\n"
-    "exit: 0 campaign clean, 1 self-check findings or write failure,\n"
-    "      2 usage error\n";
+    "exit: 0 clean, 1 any alarm/lost/finding (here: self-check findings\n"
+    "or write failure), 2 usage or spec error, 75 partial campaign\n"
+    "(never emitted here) - the same contract as offramps_fleetd and\n"
+    "offramps_lint\n";
 
 std::size_t parse_jobs_or_die(const char* text) {
   const auto v = offramps::core::parse_long(text);

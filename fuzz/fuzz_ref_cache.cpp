@@ -1,0 +1,32 @@
+// Fuzz target: svc::RefCache::decode_entry, the on-disk golden-reference
+// record reader.
+//
+// Cache entries are written atomically, but the directory may be shared
+// between machines, torn by crashes outside the temp+rename discipline
+// (the cachetear chaos drill), or version-skewed by older builds.  The
+// bounded reader must reject every malformed record with
+// offramps::Error - the cache then deletes it and recomputes - and must
+// never over-read, over-allocate, or accept trailing garbage.
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/error.hpp"
+#include "svc/ref_cache.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > 1 << 20) return 0;
+  // The key check runs against the digest a real lookup would use; an
+  // input that forges it still has to survive the blob validation.
+  const std::uint64_t key = offramps::svc::reference_digest(
+      8.0, 3.0, offramps::host::SliceProfile{}, 42, true);
+  try {
+    const offramps::svc::RefEntry entry =
+        offramps::svc::RefCache::decode_entry(data, size, key);
+    (void)entry.golden.size();
+    (void)entry.golden_power.size();
+  } catch (const offramps::Error&) {
+    // Malformed record, rejected by contract.
+  }
+  return 0;
+}

@@ -31,12 +31,15 @@ if [[ "${fuzz}" -eq 1 ]]; then
   cmake --preset fuzz
   echo "==> build fuzz targets"
   cmake --build --preset fuzz -j "${jobs}"
-  for target in fuzz_gcode_parser fuzz_capture_binary fuzz_svc_json; do
+  for target in fuzz_gcode_parser fuzz_capture_binary fuzz_svc_json \
+                fuzz_session_wire fuzz_ref_cache; do
     corpus="tests/fuzz_corpus/${target#fuzz_}"
     case "${target}" in
       fuzz_gcode_parser)   corpus=tests/fuzz_corpus/gcode ;;
       fuzz_capture_binary) corpus=tests/fuzz_corpus/capture ;;
       fuzz_svc_json)       corpus=tests/fuzz_corpus/json ;;
+      fuzz_session_wire)   corpus=tests/fuzz_corpus/session ;;
+      fuzz_ref_cache)      corpus=tests/fuzz_corpus/refcache ;;
     esac
     echo "==> ${target}: corpus replay + ${budget}s mutation run"
     "./build-fuzz/fuzz/${target}" --time "${budget}" "${corpus}"
@@ -70,15 +73,21 @@ else
   # checkpoint format, and the chaos-campaign + stop/resume CLI drills.
   echo "==> chaos suite (ctest -L chaos)"
   ctest --preset default -L chaos -j "${jobs}"
+  # ...and the service layer: wire/session/cache units, the daemon
+  # socket + stdin + replay smokes, and the session-chaos drills.
+  echo "==> daemon suite (ctest -L daemon)"
+  ctest --preset default -L daemon -j "${jobs}"
   # ...and the perf gates as smoke runs: timer-wheel vs heap ratio,
-  # events/s floor, metrics-enabled fleet overhead.  On plain builds the
-  # thresholds enforce by exit code; under sanitizers the benches
-  # downgrade themselves to report-only (bench::built_with_sanitizers),
-  # so this stays a correctness smoke there.
-  echo "==> perf smoke (bench_sched / bench_parallel / bench_obs)"
+  # events/s floor, metrics-enabled fleet overhead, cold-vs-warm
+  # reference-cache speedup.  On plain builds the thresholds enforce by
+  # exit code; under sanitizers the benches downgrade themselves to
+  # report-only (bench::built_with_sanitizers), so this stays a
+  # correctness smoke there.
+  echo "==> perf smoke (bench_sched / bench_parallel / bench_obs / bench_cache)"
   ./build/bench/bench_sched
   ./build/bench/bench_parallel --jobs 2
   ./build/bench/bench_obs --jobs 2
+  ./build/bench/bench_cache --jobs 2
 fi
 
 echo "==> all checks passed"

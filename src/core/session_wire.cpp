@@ -1,0 +1,416 @@
+#include "core/session_wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/error.hpp"
+
+namespace offramps::core::wire {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Emits the 7-byte frame header for a payload of known final size.
+void put_frame_header(std::vector<std::uint8_t>& out, FrameType type,
+                      std::size_t payload_len) {
+  put_u16(out, kFrameMagic);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload_len));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Bounded cursor over one frame payload.  Returns false instead of
+/// throwing: payload damage is a resync event, not a stream abort.
+struct PayloadReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool need(std::size_t n) const { return size - pos >= n; }
+  [[nodiscard]] bool exhausted() const { return pos == size; }
+
+  bool u8(std::uint8_t& out) {
+    if (!need(1)) return false;
+    out = data[pos++];
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (!need(4)) return false;
+    out = get_u32(data + pos);
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (!need(8)) return false;
+    out = get_u64(data + pos);
+    pos += 8;
+    return true;
+  }
+  bool f64(double& out) {
+    if (!need(8)) return false;
+    out = get_f64(data + pos);
+    pos += 8;
+    return true;
+  }
+  bool str(std::string& out, std::size_t cap) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (len > cap || !need(len)) return false;
+    out.assign(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return true;
+  }
+};
+
+constexpr std::size_t kMaxHelloString = 1024;
+
+bool decode_hello(const std::uint8_t* payload, std::size_t len,
+                  SessionHello& out) {
+  PayloadReader r{payload, len};
+  if (!r.u32(out.rig_index) || !r.u64(out.seed) || !r.f64(out.cube_mm) ||
+      !r.f64(out.height_mm) || !r.str(out.name, kMaxHelloString) ||
+      !r.str(out.sabotage, kMaxHelloString) ||
+      !r.str(out.chaos, kMaxHelloString)) {
+    return false;
+  }
+  return r.exhausted();
+}
+
+bool decode_end(const std::uint8_t* payload, std::size_t len,
+                SessionMeta& out) {
+  PayloadReader r{payload, len};
+  std::uint8_t finished = 0;
+  std::uint8_t stopped = 0;
+  if (!r.u8(finished) || !r.u8(stopped) || finished > 1 || stopped > 1) {
+    return false;
+  }
+  out.print_finished = finished != 0;
+  out.safe_stopped = stopped != 0;
+  if (!r.f64(out.sim_seconds)) return false;
+  for (auto& c : out.final_counts) {
+    std::uint64_t raw = 0;
+    if (!r.u64(raw)) return false;
+    c = static_cast<std::int64_t>(raw);
+  }
+  return r.exhausted();
+}
+
+/// Validates a candidate frame header's type and length bounds.  A header
+/// that fails here is treated as a coincidental magic inside garbage.
+bool plausible_frame(std::uint8_t type, std::uint32_t len) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+      return len <= kMaxHelloPayload;
+    case FrameType::kTxn:
+      return len == kTxnPayloadSize;
+    case FrameType::kPower:
+      return len == kPowerPayloadSize;
+    case FrameType::kSlot:
+      return len == 0;
+    case FrameType::kFinish:
+      return len <= kMaxFinishPayload;
+    case FrameType::kEnd:
+      return len == kEndPayloadSize;
+  }
+  return false;
+}
+
+}  // namespace
+
+void append_stream_header(std::vector<std::uint8_t>& out) {
+  out.insert(out.end(), kStreamMagic.begin(), kStreamMagic.end());
+  put_u16(out, kStreamVersion);
+  put_u16(out, 0);  // reserved
+}
+
+void append_hello(std::vector<std::uint8_t>& out, const SessionHello& hello) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, hello.rig_index);
+  put_u64(payload, hello.seed);
+  put_f64(payload, hello.cube_mm);
+  put_f64(payload, hello.height_mm);
+  put_str(payload, hello.name);
+  put_str(payload, hello.sabotage);
+  put_str(payload, hello.chaos);
+  if (payload.size() > kMaxHelloPayload) {
+    throw Error("session_wire: hello payload exceeds cap");
+  }
+  put_frame_header(out, FrameType::kHello, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_txn(std::vector<std::uint8_t>& out, const Transaction& txn) {
+  put_frame_header(out, FrameType::kTxn, kTxnPayloadSize);
+  const auto frame = txn.to_frame();
+  out.insert(out.end(), frame.begin(), frame.end());
+  put_u64(out, txn.time_ns);
+}
+
+void append_power(std::vector<std::uint8_t>& out, double t_s, double watts) {
+  put_frame_header(out, FrameType::kPower, kPowerPayloadSize);
+  put_f64(out, t_s);
+  put_f64(out, watts);
+}
+
+void append_slot(std::vector<std::uint8_t>& out) {
+  put_frame_header(out, FrameType::kSlot, 0);
+}
+
+void append_finish(std::vector<std::uint8_t>& out, const Capture& capture) {
+  const auto blob = capture.to_binary();
+  if (blob.size() > kMaxFinishPayload) {
+    throw Error("session_wire: capture blob exceeds cap");
+  }
+  put_frame_header(out, FrameType::kFinish, blob.size());
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+void append_end(std::vector<std::uint8_t>& out, const SessionMeta& meta) {
+  put_frame_header(out, FrameType::kEnd, kEndPayloadSize);
+  put_u8(out, meta.print_finished ? 1 : 0);
+  put_u8(out, meta.safe_stopped ? 1 : 0);
+  put_f64(out, meta.sim_seconds);
+  for (const auto c : meta.final_counts) {
+    put_u64(out, static_cast<std::uint64_t>(c));
+  }
+}
+
+void SessionRecorder::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("SessionRecorder::save: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes_.data()),
+              static_cast<std::streamsize>(bytes_.size()));
+    if (!out) throw Error("SessionRecorder::save: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw Error("SessionRecorder::save: rename to " + path + " failed: " +
+                ec.message());
+  }
+}
+
+void FrameReader::fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  buffer_.clear();
+}
+
+std::size_t FrameReader::drain_buffer(const Callback& cb) {
+  std::size_t pos = 0;
+  if (!header_seen_) {
+    if (buffer_.size() < kStreamHeaderSize) return 0;
+    if (!std::equal(kStreamMagic.begin(), kStreamMagic.end(),
+                    buffer_.begin())) {
+      fail("bad stream magic (not an OFSS session)");
+      return 0;
+    }
+    const std::uint16_t version = get_u16(buffer_.data() + 4);
+    if (version != kStreamVersion) {
+      fail("unsupported session version " + std::to_string(version));
+      return 0;
+    }
+    header_seen_ = true;
+    pos = kStreamHeaderSize;
+  }
+
+  const auto note_resync = [&] {
+    if (!in_resync_gap_) {
+      ++resyncs_;
+      in_resync_gap_ = true;
+    }
+  };
+
+  while (!ended_ && buffer_.size() - pos >= kFrameHeaderSize) {
+    if (get_u16(buffer_.data() + pos) != kFrameMagic) {
+      // Hunt for the next frame boundary, UART-receiver style.
+      note_resync();
+      const std::uint8_t lo = static_cast<std::uint8_t>(kFrameMagic & 0xFF);
+      std::size_t next = pos + 1;
+      while (next + 1 < buffer_.size() &&
+             !(buffer_[next] == lo &&
+               buffer_[next + 1] == (kFrameMagic >> 8))) {
+        ++next;
+      }
+      if (next + 1 >= buffer_.size()) {
+        // Keep the final byte: it may be the first half of a magic.
+        pos = buffer_.size() - 1;
+        break;
+      }
+      pos = next;
+      continue;
+    }
+    const std::uint8_t type = buffer_[pos + 2];
+    const std::uint32_t len = get_u32(buffer_.data() + pos + 3);
+    if (!plausible_frame(type, len)) {
+      // Coincidental magic inside a damaged region: step past it.
+      note_resync();
+      pos += 2;
+      continue;
+    }
+    if (buffer_.size() - pos - kFrameHeaderSize < len) break;  // wait
+
+    const std::uint8_t* payload = buffer_.data() + pos + kFrameHeaderSize;
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    bool emit = true;
+    switch (frame.type) {
+      case FrameType::kHello:
+        if (!decode_hello(payload, len, frame.hello)) {
+          note_resync();
+          emit = false;
+        }
+        break;
+      case FrameType::kTxn: {
+        std::array<std::uint8_t, Transaction::kFrameSize> inner{};
+        std::memcpy(inner.data(), payload, inner.size());
+        const std::uint64_t time_ns = get_u64(payload + inner.size());
+        const auto txn = Transaction::from_frame(inner, time_ns);
+        if (!txn) {
+          ++corrupt_txns_;
+          emit = false;
+        } else {
+          frame.txn = *txn;
+        }
+        break;
+      }
+      case FrameType::kPower:
+        frame.power_t_s = get_f64(payload);
+        frame.power_watts = get_f64(payload + 8);
+        break;
+      case FrameType::kSlot:
+        break;
+      case FrameType::kFinish:
+        frame.finish.assign(payload, payload + len);
+        break;
+      case FrameType::kEnd:
+        if (!decode_end(payload, len, frame.end)) {
+          note_resync();
+          emit = false;
+        } else {
+          ended_ = true;
+        }
+        break;
+    }
+    pos += kFrameHeaderSize + len;
+    if (emit) {
+      in_resync_gap_ = false;
+      cb(frame);
+    }
+  }
+  return pos;
+}
+
+std::size_t FrameReader::feed(const std::uint8_t* data, std::size_t n,
+                              const Callback& cb) {
+  if (ended_) return 0;
+  if (failed_) return n;  // discard: the session is already dead
+  buffer_.insert(buffer_.end(), data, data + n);
+  const std::size_t consumed = drain_buffer(cb);
+  if (failed_) return n;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed));
+  if (ended_) {
+    // Leftover bytes belong to the next concatenated stream; they all
+    // arrived in this chunk (earlier chunks ended inside the kEnd frame).
+    const std::size_t leftover = buffer_.size();
+    buffer_.clear();
+    return n - leftover;
+  }
+  return n;
+}
+
+void FrameReader::close() {
+  if (ended_ || failed_) return;
+  if (!header_seen_ && buffer_.empty()) {
+    fail("empty session stream");
+    return;
+  }
+  fail(buffer_.empty() ? "disconnected before session end"
+                       : "disconnected mid-frame before session end");
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir,
+                                           const std::string& extension) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw Error("list_corpus_files: not a directory: " + dir);
+  }
+  std::vector<std::string> files;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != extension) continue;
+    files.push_back(it->path().string());
+  }
+  if (ec) {
+    throw Error("list_corpus_files: cannot read " + dir + ": " +
+                ec.message());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const std::string& a, const std::string& b) {
+              return fs::path(a).filename().string() <
+                     fs::path(b).filename().string();
+            });
+  return files;
+}
+
+}  // namespace offramps::core::wire

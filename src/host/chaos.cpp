@@ -1,7 +1,10 @@
 #include "host/chaos.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <limits>
 
+#include "core/session_wire.hpp"
 #include "core/strict_parse.hpp"
 #include "host/rig.hpp"
 #include "obs/metrics.hpp"
@@ -25,6 +28,9 @@ const char* chaos_kind_name(ChaosKind k) {
     case ChaosKind::kTruncate: return "truncate";
     case ChaosKind::kPowerJam: return "powerjam";
     case ChaosKind::kRingWedge: return "ringwedge";
+    case ChaosKind::kDisconnect: return "disconnect";
+    case ChaosKind::kFrameCorrupt: return "framecorrupt";
+    case ChaosKind::kCacheTear: return "cachetear";
   }
   return "?";
 }
@@ -61,10 +67,16 @@ ChaosSpec parse_chaos(const std::string& text) {
   } else if (head == "ringwedge") {
     spec.kind = ChaosKind::kRingWedge;
     spec.fires_for = kEveryAttempt;
+  } else if (head == "disconnect") {
+    spec.kind = ChaosKind::kDisconnect;
+  } else if (head == "framecorrupt") {
+    spec.kind = ChaosKind::kFrameCorrupt;
+  } else if (head == "cachetear") {
+    spec.kind = ChaosKind::kCacheTear;
   } else {
     throw Error(
         "chaos: expected none|crash|stall|corrupt|truncate|powerjam|"
-        "ringwedge[:attempts], got \"" +
+        "ringwedge|disconnect|framecorrupt|cachetear[:attempts], got \"" +
         text + "\"");
   }
   if (colon != std::string::npos) {
@@ -131,6 +143,56 @@ void ChaosInjector::mangle_capture(std::vector<std::uint8_t>& bytes) const {
   const std::size_t count_at = 12 + static_cast<std::size_t>(label_len);
   for (std::size_t i = count_at; i < count_at + 8 && i < bytes.size(); ++i) {
     bytes[i] = 0xFF;
+  }
+}
+
+void ChaosInjector::mangle_session(std::vector<std::uint8_t>& bytes) const {
+  if (!active_) return;
+  if (spec_.kind == ChaosKind::kDisconnect) {
+    // Cut mid-stream, but never inside the stream header: the drill is
+    // "rig vanished during its print", not "garbage pipe".
+    const std::size_t keep =
+        std::max(core::wire::kStreamHeaderSize + 1, bytes.size() / 2);
+    if (keep < bytes.size()) bytes.resize(keep);
+    return;
+  }
+  if (spec_.kind != ChaosKind::kFrameCorrupt) return;
+  // Walk the frames to the `after`-th kTxn and flip a byte inside its
+  // embedded transaction frame (the counts region), so the outer framing
+  // stays intact and the inner CRC is what rejects it.
+  std::size_t pos = core::wire::kStreamHeaderSize;
+  std::uint32_t txns_seen = 0;
+  while (bytes.size() - pos >= core::wire::kFrameHeaderSize) {
+    if ((bytes[pos] | (bytes[pos + 1] << 8)) != core::wire::kFrameMagic) {
+      return;  // not a well-formed stream; nothing to drill
+    }
+    const std::uint8_t type = bytes[pos + 2];
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(bytes[pos + 3 + i]) << (8 * i);
+    }
+    if (bytes.size() - pos - core::wire::kFrameHeaderSize < len) return;
+    if (type == static_cast<std::uint8_t>(core::wire::FrameType::kTxn)) {
+      if (txns_seen++ >= spec_.after) {
+        bytes[pos + core::wire::kFrameHeaderSize + 8] ^= 0xFF;
+        return;
+      }
+    }
+    pos += core::wire::kFrameHeaderSize + len;
+  }
+}
+
+void ChaosInjector::tear_cache_entry(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw Error("chaos: tear_cache_entry: cannot stat " + path + ": " +
+                ec.message());
+  }
+  std::filesystem::resize_file(path, size / 2, ec);
+  if (ec) {
+    throw Error("chaos: tear_cache_entry: cannot truncate " + path + ": " +
+                ec.message());
   }
 }
 

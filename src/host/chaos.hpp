@@ -38,6 +38,16 @@ enum class ChaosKind : std::uint8_t {
   kPowerJam,  // power side-channel probe throws every service slot
   kRingWedge, // consumer pump stops draining after N slots (backpressure
               // must absorb it losslessly - not an attempt failure)
+  // Session-layer drills (the daemon/replay wire surfaces).  These are
+  // no-ops inside a live rig attempt; they mangle recorded session
+  // streams (mangle_session) or cache entries (tear_cache_entry), and
+  // must land on the supervisor's ladder as recovered (framecorrupt:
+  // the reader resyncs and drops the damaged transaction) or lost
+  // (disconnect: the stream dies before its end marker).  Appended at
+  // the enum tail so checkpointed ChaosSpecs keep their values.
+  kDisconnect,    // cut the session stream mid-frame
+  kFrameCorrupt,  // flip bytes inside one kTxn frame (inner CRC rejects)
+  kCacheTear,     // half-write a reference cache entry on disk
 };
 
 const char* chaos_kind_name(ChaosKind k);
@@ -59,10 +69,11 @@ struct ChaosSpec {
 };
 
 /// Parses "" / "none" / "clean" / "<kind>[:<fires_for>]" where kind is
-/// crash | stall | corrupt | truncate | powerjam | ringwedge.  Without a
-/// count, crash/stall/corrupt/truncate default to 1 (first attempt only)
-/// and powerjam/ringwedge to every attempt.  Throws offramps::Error on
-/// anything else.
+/// crash | stall | corrupt | truncate | powerjam | ringwedge |
+/// disconnect | framecorrupt | cachetear.  Without a count,
+/// crash/stall/corrupt/truncate and the session drills default to 1
+/// (first attempt only) and powerjam/ringwedge to every attempt.
+/// Throws offramps::Error on anything else.
 ChaosSpec parse_chaos(const std::string& text);
 
 /// Applies one rig's chaos order to one supervised attempt.  The fleet
@@ -91,6 +102,20 @@ class ChaosInjector {
   /// kCorrupt / kTruncate: mangles a serialized capture in place so the
   /// bounded from_binary() validation rejects it.
   void mangle_capture(std::vector<std::uint8_t>& bytes) const;
+
+  /// kDisconnect / kFrameCorrupt: mangles a recorded session stream
+  /// (core::wire format) in place.  Disconnect cuts the stream mid-frame
+  /// (the reader must classify the session lost); framecorrupt flips
+  /// bytes inside the `after`-th kTxn frame so the inner CRC rejects
+  /// that transaction (the reader must drop it and recover).
+  void mangle_session(std::vector<std::uint8_t>& bytes) const;
+
+  /// kCacheTear's drill, usable standalone: truncates an on-disk
+  /// reference cache entry to half its size, simulating a crash mid
+  /// write outside the temp+rename discipline.  The bounded cache reader
+  /// must reject the remnant and recompute.  Throws offramps::Error when
+  /// the file cannot be resized.
+  static void tear_cache_entry(const std::string& path);
 
   /// Transactions swallowed by the stall gate so far.
   [[nodiscard]] std::uint64_t suppressed() const { return suppressed_; }

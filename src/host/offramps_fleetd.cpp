@@ -1,9 +1,9 @@
-// offramps_fleetd: fleet orchestration daemon (one-shot batch mode).
+// offramps_fleetd: fleet orchestration daemon.
 //
-// Runs a fleet of simulated printer rigs - each behind its own OFFRAMPS
-// board - with per-rig online streaming detection (svc::Fleet), and
-// emits a deterministic fleet report.  The report is byte-identical at
-// any --jobs value, so CI can diff it.
+// Batch mode runs a fleet of simulated printer rigs - each behind its
+// own OFFRAMPS board - with per-rig online streaming detection
+// (svc::Fleet), and emits a deterministic fleet report.  The report is
+// byte-identical at any --jobs value, so CI can diff it.
 //
 //   offramps_fleetd --demo 16 --sabotage 4      built-in demo fleet
 //   offramps_fleetd fleet.json                  fleet spec file
@@ -12,10 +12,21 @@
 //   offramps_fleetd --chaos 3=crash:1 ...       chaos-campaign faults
 //   offramps_fleetd --checkpoint ck.bin ...     checkpoint the campaign
 //   offramps_fleetd --resume ck.bin ...         continue a killed campaign
+//   offramps_fleetd --cache refs/ ...           golden-reference cache
 //
-// Exit codes: 0 = all rigs clean, 1 = any detector alarmed or any rig
-// lost (quarantined), 2 = usage or spec error, 75 = campaign stopped
-// early (--stop-after; resume from the checkpoint to finish).
+// Service mode turns the process into a long-lived daemon: rigs are
+// clients that stream recorded core::wire sessions at it and join or
+// leave mid-campaign; SIGTERM drains in-flight rigs and emits the same
+// deterministic report.
+//
+//   offramps_fleetd --serve --listen fleet.sock daemon on a Unix socket
+//   offramps_fleetd --serve                     sessions from stdin
+//   offramps_fleetd --join fleet.sock *.ofs     stream sessions at it
+//   offramps_fleetd --replay captures/          offline verdict replay
+//
+// Exit codes (contract shared by offramps_lint and fault_campaign):
+// 0 = clean, 1 = any detector alarm / lost rig / finding, 2 = usage or
+// spec error, 75 = partial campaign (resume from the checkpoint).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +41,7 @@
 #include "core/strict_parse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "svc/daemon.hpp"
 #include "svc/fleet.hpp"
 
 namespace {
@@ -43,9 +55,23 @@ constexpr const char* kUsage =
     "                   the report is byte-identical at any value)\n"
     "  --json           print the JSON fleet report on stdout\n"
     "  --out FILE       also write the JSON fleet report to FILE\n"
-    "  --captures DIR   persist golden + observed captures as .bin in DIR\n"
-    "                   (the dir must exist or be creatable, and be\n"
-    "                   writable - checked up front, exit 2 otherwise)\n"
+    "  --captures DIR   persist golden + observed captures (.bin) and\n"
+    "                   replayable session streams (.ofs) in DIR (the dir\n"
+    "                   must exist or be creatable, and be writable -\n"
+    "                   checked up front, exit 2 otherwise)\n"
+    "  --cache DIR      content-addressed golden-reference cache: serve\n"
+    "                   references from DIR when present, else simulate\n"
+    "                   once and persist (atomic rename; safe to share)\n"
+    "  --cache-max-mb N LRU size bound for --cache in MiB (0 = unbounded)\n"
+    "  --serve          service mode: accept rig sessions and judge them\n"
+    "                   live; SIGTERM drains and prints the report\n"
+    "  --listen PATH    --serve on a Unix-domain socket at PATH instead\n"
+    "                   of reading concatenated streams from stdin\n"
+    "  --join SOCK      stream the positional .ofs session files into a\n"
+    "                   serving daemon at SOCK and print each verdict\n"
+    "  --replay DIR     re-run detector verdicts over the .ofs session\n"
+    "                   corpus in DIR, without the simulator (--chaos\n"
+    "                   I=SPEC here drills corpus file index I)\n"
     "  --no-safe-stop   observe alarms without halting the rig\n"
     "  --chaos I=SPEC   inject a service-layer fault into rig I, where\n"
     "                   SPEC is crash|stall|corrupt|truncate|powerjam|\n"
@@ -67,8 +93,9 @@ constexpr const char* kUsage =
     "  --trace-out FILE write a chrome://tracing / Perfetto trace of the\n"
     "                   run (Trace Event Format JSON) to FILE\n"
     "  --help, -h       this text\n"
-    "exit: 0 all rigs clean, 1 any alarm or lost rig, 2 usage/spec\n"
-    "error, 75 stopped early (resume from the checkpoint)\n";
+    "exit: 0 clean, 1 any alarm/lost/finding, 2 usage or spec error,\n"
+    "75 partial campaign (resume from the checkpoint) - the same\n"
+    "contract as offramps_lint and fault_campaign\n";
 
 constexpr const char* kSpecHelp =
     "fleet spec (JSON object):\n"
@@ -85,6 +112,8 @@ constexpr const char* kSpecHelp =
     "    \"checkpoint\": \"\",        campaign checkpoint file\n"
     "    \"checkpoint_every\": 1,\n"
     "    \"save_captures_dir\": \"\",\n"
+    "    \"cache\": \"\",             golden-reference cache dir\n"
+    "    \"cache_max_mb\": 0,       cache LRU bound (0 = unbounded)\n"
     "    \"rigs\": [\n"
     "      {\"name\": \"a\", \"seed\": 7, \"cube_mm\": 8,\n"
     "       \"height_mm\": 3, \"sabotage\": \"reduce:0.85\"},\n"
@@ -94,7 +123,8 @@ constexpr const char* kSpecHelp =
     "  }\n"
     "sabotage: \"clean\" | \"reduce:<factor>\" | \"relocate:<n>\"\n"
     "chaos: \"none\" | \"crash\" | \"stall\" | \"corrupt\" | \"truncate\"\n"
-    "       | \"powerjam\" | \"ringwedge\", optionally \":<attempts>\"\n";
+    "       | \"powerjam\" | \"ringwedge\" | \"disconnect\" |\n"
+    "       \"framecorrupt\" | \"cachetear\", optionally \":<attempts>\"\n";
 
 long parse_count(const char* text, long min_value) {
   const auto v = offramps::core::parse_long(text);
@@ -113,8 +143,15 @@ int main(int argc, char** argv) {
   long jobs = 0;
   bool metrics = false;
   std::string trace_path;
-  // (rig index, chaos text) pairs, applied after the specs are built.
+  // (rig index, chaos text) pairs, applied after the specs are built
+  // (batch mode) or to corpus file indices (--replay).
   std::vector<std::pair<std::size_t, std::string>> chaos_args;
+  bool serve = false;
+  std::string listen_path;
+  std::string join_sock;
+  std::string replay_dir;
+  // Positional args: the spec file in batch mode, .ofs files for --join.
+  std::vector<std::string> positional;
 
   offramps::svc::FleetOptions options;
 
@@ -134,8 +171,12 @@ int main(int argc, char** argv) {
       options.safe_stop = false;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--serve") {
+      serve = true;
     } else if (arg == "--demo" || arg == "--sabotage" || arg == "--jobs" ||
                arg == "-j" || arg == "--out" || arg == "--captures" ||
+               arg == "--cache" || arg == "--cache-max-mb" ||
+               arg == "--listen" || arg == "--join" || arg == "--replay" ||
                arg == "--trace-out" || arg == "--chaos" ||
                arg == "--max-attempts" || arg == "--backoff-ms" ||
                arg == "--checkpoint" || arg == "--checkpoint-every" ||
@@ -163,6 +204,22 @@ int main(int argc, char** argv) {
         trace_path = argv[i];
       } else if (arg == "--captures") {
         options.save_captures_dir = argv[i];
+      } else if (arg == "--cache") {
+        options.cache_dir = argv[i];
+      } else if (arg == "--cache-max-mb") {
+        const long n = parse_count(argv[i], 0);
+        if (n < 0) {
+          std::fprintf(stderr, "bad --cache-max-mb '%s'\n", argv[i]);
+          return 2;
+        }
+        options.cache_max_bytes =
+            static_cast<std::uint64_t>(n) * 1024 * 1024;
+      } else if (arg == "--listen") {
+        listen_path = argv[i];
+      } else if (arg == "--join") {
+        join_sock = argv[i];
+      } else if (arg == "--replay") {
+        replay_dir = argv[i];
       } else if (arg == "--chaos") {
         const std::string v = argv[i];
         const auto eq = v.find('=');
@@ -225,16 +282,51 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       std::fputs(kUsage, stderr);
       return 2;
-    } else if (spec_path.empty()) {
-      spec_path = arg;
     } else {
-      std::fputs(kUsage, stderr);
-      return 2;
+      positional.push_back(arg);
     }
   }
 
-  if ((demo_n >= 0) == !spec_path.empty()) {
-    std::fputs("give exactly one of --demo N or a SPEC.json file\n", stderr);
+  // Join client: stream each positional session file at the daemon.
+  if (!join_sock.empty()) {
+    if (serve || !replay_dir.empty() || demo_n >= 0 || positional.empty()) {
+      std::fputs("--join SOCK wants only .ofs session files\n", stderr);
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+    int rc = 0;
+    for (const std::string& file : positional) {
+      rc |= offramps::svc::Daemon::stream_file(join_sock, file);
+    }
+    return rc;
+  }
+
+  if (positional.size() > 1) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (!positional.empty()) spec_path = positional.front();
+
+  const bool service_mode = serve || !replay_dir.empty();
+  if (!listen_path.empty() && !serve) {
+    std::fputs("--listen only applies to --serve\n", stderr);
+    return 2;
+  }
+  if (serve && !replay_dir.empty()) {
+    std::fputs("give one of --serve or --replay DIR\n", stderr);
+    return 2;
+  }
+  if (service_mode) {
+    if (demo_n >= 0 || !spec_path.empty()) {
+      std::fputs("--serve/--replay take no fleet spec: detector and cache\n"
+                 "options come from flags, rigs from their sessions\n",
+                 stderr);
+      return 2;
+    }
+  } else if ((demo_n >= 0) == !spec_path.empty()) {
+    std::fputs("give exactly one of --demo N, a SPEC.json file, --serve,\n"
+               "--replay DIR, or --join SOCK FILES...\n",
+               stderr);
     std::fputs(kUsage, stderr);
     return 2;
   }
@@ -244,8 +336,20 @@ int main(int argc, char** argv) {
   }
 
   std::vector<offramps::svc::RigSpec> specs;
+  offramps::svc::ReplayOptions replay_options;
   try {
-    if (demo_n >= 0) {
+    if (!replay_dir.empty()) {
+      // --chaos indexes the sorted corpus files here, not rig specs.
+      for (const auto& [index, text] : chaos_args) {
+        replay_options.chaos.emplace_back(index,
+                                          offramps::host::parse_chaos(text));
+      }
+    } else if (serve) {
+      if (!chaos_args.empty()) {
+        std::fputs("--chaos does not apply to --serve\n", stderr);
+        return 2;
+      }
+    } else if (demo_n >= 0) {
       specs = offramps::svc::Fleet::demo_specs(
           static_cast<std::size_t>(demo_n),
           static_cast<std::size_t>(sabotage_k));
@@ -267,13 +371,16 @@ int main(int argc, char** argv) {
       }
       specs = offramps::svc::Fleet::specs_from_json(text, options);
     }
-    for (const auto& [index, text] : chaos_args) {
-      if (index >= specs.size()) {
-        std::fprintf(stderr, "--chaos rig index %zu out of range (%zu rigs)\n",
-                     index, specs.size());
-        return 2;
+    if (!service_mode) {
+      for (const auto& [index, text] : chaos_args) {
+        if (index >= specs.size()) {
+          std::fprintf(stderr,
+                       "--chaos rig index %zu out of range (%zu rigs)\n",
+                       index, specs.size());
+          return 2;
+        }
+        specs[index].chaos = offramps::host::parse_chaos(text);
       }
-      specs[index].chaos = offramps::host::parse_chaos(text);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet spec error: %s\n", e.what());
@@ -311,8 +418,28 @@ int main(int argc, char** argv) {
 
   offramps::svc::FleetReport report;
   try {
-    offramps::svc::Fleet fleet(options);
-    report = fleet.run(specs);
+    if (service_mode) {
+      offramps::svc::ServiceOptions service;
+      service.workers = options.workers;
+      service.detector = options.detector;
+      service.pump = options.pump;
+      service.use_oracle = options.use_oracle;
+      service.use_power = options.use_power;
+      service.reference_seed = options.reference_seed;
+      service.profile = options.profile;
+      service.cache_dir = options.cache_dir;
+      service.cache_max_bytes = options.cache_max_bytes;
+      if (!replay_dir.empty()) {
+        replay_options.service = service;
+        report = offramps::svc::replay_corpus(replay_dir, replay_options);
+      } else {
+        offramps::svc::Daemon daemon({service, listen_path});
+        report = daemon.serve();
+      }
+    } else {
+      offramps::svc::Fleet fleet(options);
+      report = fleet.run(specs);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet run failed: %s\n", e.what());
     return 2;

@@ -52,7 +52,9 @@ constexpr const char* kUsage =
     "  --demo SPEC     self-generated input: clean | reduce:FACTOR |\n"
     "                  relocate:N (Trojan demos are diffed against the\n"
     "                  clean demo baseline automatically)\n"
-    "exit: 0 clean, 1 findings, 2 usage/parse error\n";
+    "exit: 0 clean, 1 any alarm/lost/finding, 2 usage or spec error,\n"
+    "75 partial campaign (never emitted by lint) - the same contract\n"
+    "as offramps_fleetd and fault_campaign\n";
 
 offramps::gcode::Program demo_program() {
   offramps::host::SliceProfile profile;

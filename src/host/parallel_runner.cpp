@@ -123,6 +123,40 @@ void ParallelRunner::run(std::size_t jobs,
   }
 }
 
+void ParallelRunner::post(std::function<void()> job) {
+  if (workers_ <= 1) {
+    // Inline mode has no threads to hand the job to; run it now and let
+    // drain() surface the error, same contract as the pooled path.
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!service_first_error_) service_first_error_ = err;
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    service_jobs_.push_back(std::move(job));
+    ++service_unfinished_;
+  }
+  work_cv_.notify_one();
+}
+
+void ParallelRunner::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return service_unfinished_ == 0; });
+  if (service_first_error_) {
+    std::exception_ptr err = service_first_error_;
+    service_first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
 bool ParallelRunner::try_pop(std::size_t self, std::uint64_t batch,
                              std::size_t& out, bool& stole) {
   {  // Own queue: take the oldest local job.
@@ -153,10 +187,13 @@ bool ParallelRunner::try_pop(std::size_t self, std::uint64_t batch,
 void ParallelRunner::worker_loop(std::size_t self) {
   std::uint64_t seen_batch = 0;
   while (true) {
+    std::function<void()> service;
     const std::function<void(std::size_t)>* body = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      const auto ready = [&] { return shutdown_ || batch_ > seen_batch; };
+      const auto ready = [&] {
+        return shutdown_ || batch_ > seen_batch || !service_jobs_.empty();
+      };
 #if OFFRAMPS_OBS_ENABLED
       if (obs::enabled() && !ready()) {
         // A park is a worker actually going to sleep on the condition
@@ -172,9 +209,29 @@ void ParallelRunner::worker_loop(std::size_t self) {
 #else
       work_cv_.wait(lk, ready);
 #endif
-      if (shutdown_) return;
-      seen_batch = batch_;
-      body = &body_;
+      if (!service_jobs_.empty()) {
+        // Service jobs outrank shutdown so a destructor racing a posted
+        // session still lets the job finish instead of dropping it.
+        service = std::move(service_jobs_.front());
+        service_jobs_.pop_front();
+      } else if (shutdown_) {
+        return;
+      } else {
+        seen_batch = batch_;
+        body = &body_;
+      }
+    }
+    if (service) {
+      std::exception_ptr err;
+      try {
+        service();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !service_first_error_) service_first_error_ = err;
+      if (--service_unfinished_ == 0) done_cv_.notify_all();
+      continue;
     }
     // Drain this batch.  `body_` stays valid until run() observes
     // unfinished_ == 0, and only jobs tagged with `seen_batch` are

@@ -53,6 +53,18 @@ class ParallelRunner {
   /// from inside a job.
   void run(std::size_t jobs, const std::function<void(std::size_t)>& body);
 
+  /// Service API for long-lived callers (the fleet daemon): enqueues one
+  /// independent job on the pool and returns immediately.  Posted jobs
+  /// interleave freely with run() batches on the same workers.  With one
+  /// worker the job executes inline on the calling thread (there is no
+  /// pool to defer to); its exception, like a pooled job's, surfaces at
+  /// the next drain().
+  void post(std::function<void()> job);
+
+  /// Blocks until every post()ed job has finished, then rethrows the
+  /// first service-job exception (in completion order), if any.
+  void drain();
+
   /// Maps `fn` over [0, jobs) into a vector ordered by job index --
   /// identical to the sequential result whatever the worker count.
   template <typename T, typename Fn>
@@ -111,6 +123,14 @@ class ParallelRunner {
   std::size_t unfinished_ = 0;
   std::exception_ptr first_error_;
   bool shutdown_ = false;
+
+  /// Service lane (post()/drain()): one shared FIFO, drained by whichever
+  /// worker wakes first.  Kept separate from the batch deques so batch
+  /// accounting (unfinished_, first_error_) never mixes with service
+  /// jobs.
+  std::deque<std::function<void()>> service_jobs_;
+  std::size_t service_unfinished_ = 0;
+  std::exception_ptr service_first_error_;
 };
 
 }  // namespace offramps::host

@@ -192,7 +192,7 @@ RigOutcome read_outcome(Rd& r) {
   out.spec.sabotage.factor = r.f64("sabotage factor");
   out.spec.sabotage.every_n = r.u32("sabotage every_n");
   out.spec.chaos.kind =
-      checked_enum<host::ChaosKind>(r.u8("chaos kind"), 6, "chaos kind");
+      checked_enum<host::ChaosKind>(r.u8("chaos kind"), 9, "chaos kind");
   out.spec.chaos.fires_for = r.u32("chaos fires_for");
   out.spec.chaos.crash_at_s = r.f64("chaos crash_at_s");
   out.spec.chaos.after = r.u32("chaos after");

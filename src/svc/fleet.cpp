@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -14,8 +15,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/error.hpp"
+#include "core/session_wire.hpp"
 #include "svc/checkpoint.hpp"
 #include "svc/json.hpp"
+#include "svc/ref_cache.hpp"
 
 namespace offramps::svc {
 
@@ -324,6 +327,20 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
   host::ParallelRunner pool(options_.workers);
   const Supervisor supervisor(options_.supervisor);
 
+  // Reference cache: opened once per campaign; its counters (and the
+  // simulation counter it suppresses) register eagerly so a fully-warm
+  // run still exports "svc.ref.simulations": 0 for the acceptance grep.
+  std::unique_ptr<RefCache> ref_cache;
+  if (!options_.cache_dir.empty()) {
+    ref_cache = std::make_unique<RefCache>(
+        RefCacheOptions{options_.cache_dir, options_.cache_max_bytes});
+  }
+#if OFFRAMPS_OBS_ENABLED
+  if (obs::enabled()) {
+    obs::Registry::instance().counter("svc.ref.simulations");
+  }
+#endif
+
   // Normalized specs: default names resolved up front so the campaign
   // digest, the checkpoint records, and the report all agree.
   std::vector<RigSpec> fleet(specs);
@@ -414,6 +431,32 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
           return ref;
         }
 
+        // Content-addressed cache: a hit replaces the golden print
+        // entirely (the slice + oracle above are cheap and always
+        // recomputed; only the simulation is worth persisting).
+        const std::uint64_t ref_key = reference_digest(
+            objects[i].first, objects[i].second, options_.profile,
+            options_.reference_seed, options_.use_power);
+        if (ref_cache) {
+          if (auto hit = ref_cache->get(ref_key)) {
+            ref.golden = std::move(hit->golden);
+            ref.golden_power = std::move(hit->golden_power);
+            ref_guards[i] = GuardOutcome{RigStatus::kOk, 0, {}};
+            if (!options_.save_captures_dir.empty()) {
+              ref.golden.save_binary(options_.save_captures_dir +
+                                     "/golden-" + std::to_string(i) +
+                                     ".bin");
+            }
+            ref_seconds[i] = seconds_since(job_t0);
+            return ref;
+          }
+        }
+#if OFFRAMPS_OBS_ENABLED
+        if (obs::enabled()) {
+          obs::Registry::instance().counter("svc.ref.simulations").add(1);
+        }
+#endif
+
         // Key space: references live above the rig indices so backoff
         // jitter never correlates a reference with a same-index rig.
         ref_guards[i] = supervisor.run_guarded(
@@ -444,9 +487,19 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         if (ref_guards[i].status == RigStatus::kLost) {
           ref.golden = core::Capture{};
           ref.golden_power.clear();
-        } else if (!options_.save_captures_dir.empty()) {
-          ref.golden.save_binary(options_.save_captures_dir + "/golden-" +
-                                 std::to_string(i) + ".bin");
+        } else {
+          // Persist only full-fidelity references: a degraded attempt
+          // ran without its power probe, and caching an empty power
+          // trace would silently disarm the power channel for every
+          // future campaign that hits this key.
+          if (ref_cache && (ref_guards[i].status == RigStatus::kOk ||
+                            ref_guards[i].status == RigStatus::kRecovered)) {
+            ref_cache->put(ref_key, RefEntry{ref.golden, ref.golden_power});
+          }
+          if (!options_.save_captures_dir.empty()) {
+            ref.golden.save_binary(options_.save_captures_dir + "/golden-" +
+                                   std::to_string(i) + ".bin");
+          }
         }
         ref_seconds[i] = seconds_since(job_t0);
         return ref;
@@ -518,6 +571,25 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         RigOutcome attempt_out;
         attempt_out.spec = spec;
 
+        // Session recording: every detector call of this attempt, in
+        // exact call order (txn after the stall gate, power before the
+        // slot's poll, poll only when the wedge gate passes), so a
+        // daemon --replay of the stream reproduces the verdict byte for
+        // byte without the simulator.  Only the attempt that completes
+        // reaches save(); failed attempts throw out of run_guarded
+        // first.
+        const bool record = !options_.save_captures_dir.empty();
+        core::wire::SessionRecorder rec;
+        if (record) {
+          rec.hello({.rig_index = static_cast<std::uint32_t>(i),
+                     .seed = spec.seed,
+                     .cube_mm = spec.cube_mm,
+                     .height_mm = spec.height_mm,
+                     .name = spec.name,
+                     .sabotage = spec.sabotage.to_string(),
+                     .chaos = spec.chaos.to_string()});
+        }
+
         // Degrade ladder: the final attempt drops the power channel.
         const bool power = options_.use_power && !ctx.degraded;
 
@@ -549,19 +621,29 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         // Producer: the board's UART tap feeds the detector's ring,
         // through the chaos stall gate (a wedged producer tap).
         rig.board().fpga().uart().on_transaction(
-            [&detector, &injector](const core::Transaction& txn) {
-              if (injector.pass_transaction()) detector.submit(txn);
+            [&detector, &injector, &rec, record](
+                const core::Transaction& txn) {
+              if (injector.pass_transaction()) {
+                if (record) rec.txn(txn);
+                detector.submit(txn);
+              }
             });
 
         // Consumer: clock-slaved pump, plus live power-sample streaming.
         // The chaos ring-wedge gate stops the pump draining; the ring's
         // lossless backpressure must absorb that, so it is NOT a fault.
         Pump pump(rig.scheduler(), detector, options_.pump);
-        pump.set_gate([&injector, &pump] {
-          return !injector.wedge_pump(pump.slots_run());
+        // The kSlot marker is recorded from inside the gate - after the
+        // power hook ran, only when the poll actually happens - so the
+        // replayed submit-powers-then-poll order matches the live one.
+        pump.set_gate([&injector, &pump, &rec, record] {
+          const bool go = !injector.wedge_pump(pump.slots_run());
+          if (go && record) rec.slot();
+          return go;
         });
         std::size_t power_consumed = 0;
-        pump.on_slot([&rig, &detector, &power_consumed, &injector] {
+        pump.on_slot([&rig, &detector, &power_consumed, &injector, &rec,
+                      record] {
           plant::PowerTraceProbe* probe = rig.power_probe();
           if (probe == nullptr) return;
           if (injector.jam_power()) {
@@ -569,6 +651,10 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
           }
           const plant::PowerTrace& trace = probe->trace();
           for (; power_consumed < trace.size(); ++power_consumed) {
+            if (record) {
+              rec.power(trace[power_consumed].t_s,
+                        trace[power_consumed].watts);
+            }
             detector.submit_power(trace[power_consumed].t_s,
                                   trace[power_consumed].watts);
           }
@@ -577,7 +663,8 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         // End of stream: the UART's finalize tap hands the frozen
         // capture to the detector for the end-of-print checks.
         rig.board().fpga().uart().on_finalize(
-            [&detector](const core::Capture& capture) {
+            [&detector, &rec, record](const core::Capture& capture) {
+              if (record) rec.finish(capture);
               detector.finish(capture);
             });
 
@@ -624,9 +711,13 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         attempt_out.sim_seconds = res.sim_seconds;
         attempt_out.final_counts = res.capture.final_counts;
         attempt_out.detector = detector.report();
-        if (!options_.save_captures_dir.empty()) {
+        if (record) {
+          rec.end({attempt_out.print_finished, attempt_out.safe_stopped,
+                   attempt_out.sim_seconds, attempt_out.final_counts});
           res.capture.save_binary(options_.save_captures_dir + "/" +
                                   sanitize(spec.name) + ".bin");
+          rec.save(options_.save_captures_dir + "/" + sanitize(spec.name) +
+                   ".ofs");
         }
         out = std::move(attempt_out);
       });
@@ -739,6 +830,12 @@ std::vector<RigSpec> Fleet::specs_from_json(const std::string& text,
       "reference_seed", static_cast<double>(options.reference_seed)));
   options.save_captures_dir =
       doc.string_or("save_captures_dir", options.save_captures_dir);
+  options.cache_dir = doc.string_or("cache", options.cache_dir);
+  options.cache_max_bytes = static_cast<std::uint64_t>(
+      doc.number_or("cache_max_mb",
+                    static_cast<double>(options.cache_max_bytes) /
+                        (1024.0 * 1024.0)) *
+      1024.0 * 1024.0);
   options.detector.ring_capacity = static_cast<std::size_t>(doc.number_or(
       "ring_capacity",
       static_cast<double>(options.detector.ring_capacity)));

@@ -87,8 +87,19 @@ struct FleetOptions {
   /// Slicer profile shared by every object in the fleet.
   host::SliceProfile profile{};
   /// When set, persist each object's golden capture and each rig's
-  /// observed capture as .bin files (core::Capture::save_binary) there.
+  /// observed capture as .bin files (core::Capture::save_binary) there,
+  /// plus each rig's detector-feed session stream as a .ofs file
+  /// (core::wire) replayable by svc::replay_corpus.
   std::string save_captures_dir;
+  /// When set, golden references are served from / persisted to this
+  /// svc::RefCache directory (content-addressed by object + slicer
+  /// profile + reference seed), so repeated campaigns skip the
+  /// reference simulations entirely.  Like save_captures_dir, this is
+  /// orchestration plumbing: it does not enter the campaign digest and
+  /// cannot change report bytes.
+  std::string cache_dir;
+  /// RefCache LRU size bound in bytes (0 = unbounded).
+  std::uint64_t cache_max_bytes = 0;
   /// Per-phase retry/watchdog/quarantine policy.
   SupervisorOptions supervisor{};
   /// When set, write a campaign checkpoint (completed rig verdicts plus

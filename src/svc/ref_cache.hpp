@@ -1,0 +1,112 @@
+// Content-addressed golden-reference cache.
+//
+// The fleet's reference phase is its single most expensive fixed cost:
+// every campaign re-simulates one golden print per distinct object even
+// though the result is a pure function of (object geometry, slicer
+// profile, reference seed, power instrumentation).  This store memoizes
+// that function on disk, keyed by an FNV-1a digest of exactly those
+// inputs, so a farm daemon computes each reference once per content hash
+// and serves it from cache on every later campaign, replay, or session.
+//
+// On-disk record (<dir>/<16-hex-digest>.ref, little endian):
+//
+//   "OFRF" magic, u16 version, u16 reserved, u64 key,
+//   u64 capture-blob length + Capture::to_binary bytes,
+//   u64 power-sample count + per sample f64 t_s + f64 watts
+//
+// The reader is bounded (every length prefix checked against the
+// remaining input before allocation) and paranoid: trailing garbage, a
+// version skew, or a key that disagrees with the filename all reject the
+// entry, and a rejected or unreadable entry is deleted and treated as a
+// miss - the caller recomputes, the cache never crashes a campaign.
+// Writes go to a temp file and atomically rename into place, so a
+// half-written entry (crash, chaos kCacheTear) can never be read back as
+// truth.  An optional byte budget is enforced LRU by file mtime (get()
+// refreshes an entry's mtime), evicting oldest-first but never the entry
+// just written.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "host/slicer.hpp"
+#include "plant/side_channel.hpp"
+
+namespace offramps::svc {
+
+/// Digest of every input the reference print is a function of: object
+/// geometry, the full slicer profile, the reference jitter seed, and
+/// whether the power probe was attached (a no-power golden must never
+/// silently disarm the power channel of a power-enabled campaign).
+[[nodiscard]] std::uint64_t reference_digest(double cube_mm,
+                                             double height_mm,
+                                             const host::SliceProfile& profile,
+                                             std::uint64_t reference_seed,
+                                             bool use_power);
+
+struct RefCacheOptions {
+  std::string dir;
+  /// LRU byte budget; 0 = unbounded.
+  std::uint64_t max_bytes = 0;
+};
+
+/// One cached reference: the golden capture plus its power snapshot.
+struct RefEntry {
+  core::Capture golden;
+  plant::PowerTrace golden_power;
+};
+
+class RefCache {
+ public:
+  static constexpr std::uint16_t kVersion = 1;
+
+  /// Creates `options.dir` if needed.  Throws offramps::Error when the
+  /// directory cannot be created.
+  explicit RefCache(RefCacheOptions options);
+
+  RefCache(const RefCache&) = delete;
+  RefCache& operator=(const RefCache&) = delete;
+
+  /// Cache lookup.  nullopt on miss or on a rejected (truncated,
+  /// corrupt, version-skewed, mis-keyed) entry; rejected entries are
+  /// deleted so they cannot poison later campaigns.  Thread-safe.
+  [[nodiscard]] std::optional<RefEntry> get(std::uint64_t key);
+
+  /// Inserts (or overwrites) an entry via write-to-temp + atomic rename,
+  /// then enforces the LRU byte budget.  Thread-safe.
+  void put(std::uint64_t key, const RefEntry& entry);
+
+  /// Where `key` lives on disk.
+  [[nodiscard]] std::string path_for(std::uint64_t key) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /// Entries that existed but failed validation (subset of misses).
+    std::uint64_t rejected = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Record codec, exposed for tests and the fuzz harness.  encode never
+  /// fails; decode throws offramps::Error on any malformation, including
+  /// a key that differs from `expect_key`.
+  [[nodiscard]] static std::vector<std::uint8_t> encode_entry(
+      std::uint64_t key, const RefEntry& entry);
+  [[nodiscard]] static RefEntry decode_entry(const std::uint8_t* data,
+                                             std::size_t size,
+                                             std::uint64_t expect_key);
+
+ private:
+  void enforce_budget_locked();
+
+  RefCacheOptions options_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace offramps::svc

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/capture.hpp"
+#include "core/session_wire.hpp"
 #include "host/chaos.hpp"
 #include "sim/error.hpp"
 
@@ -120,6 +121,111 @@ TEST(ChaosInjector, TruncatedCaptureIsRejected) {
   injector.mangle_capture(wire);
   EXPECT_EQ(wire.size(), cap.to_binary().size() / 2);
   EXPECT_THROW(Capture::from_binary(wire), Error);
+}
+
+// --- Session-layer drills (daemon/replay wire surfaces) -------------------
+
+std::vector<std::uint8_t> sample_session(std::size_t txns) {
+  offramps::core::wire::SessionRecorder rec;
+  rec.hello({.rig_index = 0,
+             .seed = 5,
+             .cube_mm = 8.0,
+             .height_mm = 3.0,
+             .name = "chaos-sess",
+             .sabotage = "clean",
+             .chaos = "none"});
+  for (std::size_t i = 0; i < txns; ++i) {
+    Transaction t;
+    t.index = static_cast<std::uint32_t>(i);
+    t.counts = {static_cast<std::int32_t>(i), 0, 0, 0};
+    t.time_ns = 1'000'000ull * (i + 1);
+    rec.txn(t);
+  }
+  rec.end(offramps::core::wire::SessionMeta{});
+  return rec.bytes();
+}
+
+TEST(ChaosSpec, ParseSessionDrillKinds) {
+  EXPECT_EQ(parse_chaos("disconnect").kind, ChaosKind::kDisconnect);
+  EXPECT_EQ(parse_chaos("framecorrupt").kind, ChaosKind::kFrameCorrupt);
+  EXPECT_EQ(parse_chaos("cachetear").kind, ChaosKind::kCacheTear);
+  // One-shot by default, like the other transient kinds, and the
+  // to_string round trip the checkpoint depends on.
+  EXPECT_EQ(parse_chaos("disconnect").fires_for, 1u);
+  EXPECT_EQ(parse_chaos("disconnect").to_string(), "disconnect:1");
+  EXPECT_EQ(parse_chaos("framecorrupt:2").to_string(), "framecorrupt:2");
+  EXPECT_EQ(parse_chaos("cachetear").to_string(), "cachetear:1");
+}
+
+TEST(ChaosInjector, DisconnectCutsStreamAfterHeader) {
+  std::vector<std::uint8_t> bytes = sample_session(6);
+  const std::size_t full = bytes.size();
+  ChaosInjector(parse_chaos("disconnect"), 0).mangle_session(bytes);
+  EXPECT_EQ(bytes.size(), full / 2);
+  EXPECT_GT(bytes.size(), std::size_t{8}) << "never cut inside the header";
+
+  offramps::core::wire::FrameReader reader;
+  reader.feed(bytes.data(), bytes.size(),
+              [](const offramps::core::wire::Frame&) {});
+  reader.close();
+  EXPECT_TRUE(reader.failed()) << "a cut stream is a disconnect";
+}
+
+TEST(ChaosInjector, FrameCorruptFlipsOnlyTheTargetTransaction) {
+  ChaosSpec spec = parse_chaos("framecorrupt");
+  spec.after = 2;
+  std::vector<std::uint8_t> bytes = sample_session(6);
+  const std::size_t full = bytes.size();
+  ChaosInjector(spec, 0).mangle_session(bytes);
+  EXPECT_EQ(bytes.size(), full) << "outer framing must stay intact";
+
+  offramps::core::wire::FrameReader reader;
+  std::vector<std::uint32_t> indices;
+  reader.feed(bytes.data(), bytes.size(),
+              [&](const offramps::core::wire::Frame& f) {
+                if (f.type == offramps::core::wire::FrameType::kTxn) {
+                  indices.push_back(f.txn.index);
+                }
+              });
+  EXPECT_TRUE(reader.ended());
+  EXPECT_EQ(reader.corrupt_txns(), 1u);
+  EXPECT_EQ(reader.resyncs(), 0u);
+  EXPECT_EQ(indices, (std::vector<std::uint32_t>{0, 1, 3, 4, 5}))
+      << "exactly the after-th transaction is dropped";
+}
+
+TEST(ChaosInjector, SessionDrillsIgnoreMalformedStreams) {
+  // mangle_session walks real framing; a buffer that is not a session
+  // must be left alone rather than scribbled on.
+  std::vector<std::uint8_t> garbage(64, 0xAB);
+  const std::vector<std::uint8_t> orig = garbage;
+  ChaosInjector(parse_chaos("framecorrupt"), 0).mangle_session(garbage);
+  EXPECT_EQ(garbage, orig);
+}
+
+TEST(ChaosInjector, InactiveSessionMangleIsIdentity) {
+  std::vector<std::uint8_t> bytes = sample_session(4);
+  const std::vector<std::uint8_t> orig = bytes;
+  ChaosInjector(parse_chaos("disconnect"), 1).mangle_session(bytes);
+  EXPECT_EQ(bytes, orig);
+  ChaosInjector(parse_chaos("framecorrupt"), 1).mangle_session(bytes);
+  EXPECT_EQ(bytes, orig);
+}
+
+TEST(ChaosInjector, SessionDrillsAreLiveAttemptNoops) {
+  // Inside a live rig attempt the session kinds must not fire any of the
+  // attempt-level hooks (they act on recorded artifacts only).
+  for (const char* kind : {"disconnect", "framecorrupt", "cachetear"}) {
+    ChaosInjector injector(parse_chaos(kind), 0);
+    ASSERT_TRUE(injector.active()) << kind;
+    EXPECT_TRUE(injector.pass_transaction()) << kind;
+    EXPECT_FALSE(injector.wedge_pump(1000)) << kind;
+    EXPECT_FALSE(injector.jam_power()) << kind;
+    std::vector<std::uint8_t> wire = sample_capture(4).to_binary();
+    const std::vector<std::uint8_t> orig = wire;
+    injector.mangle_capture(wire);
+    EXPECT_EQ(wire, orig) << kind;
+  }
 }
 
 TEST(ChaosInjector, InactiveMangleIsIdentity) {

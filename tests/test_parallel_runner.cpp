@@ -149,6 +149,78 @@ TEST(ParallelRunner, DefaultWorkersHonorsEnvironment) {
   EXPECT_GE(host::ParallelRunner::default_workers(), 1u);
 }
 
+// --- Service lane (post/drain) --------------------------------------------
+//
+// The daemon's accept loop post()s one job per rig session and drain()s
+// at shutdown; these pin the lane's contract independently of sockets.
+
+TEST(ParallelRunnerService, PostedJobsAllRunByDrain) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    host::ParallelRunner pool(workers);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&ran] { ++ran; });
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), 100) << workers << " workers";
+  }
+}
+
+TEST(ParallelRunnerService, DrainWithoutPostsIsANoop) {
+  host::ParallelRunner pool(2);
+  pool.drain();
+  pool.drain();
+}
+
+TEST(ParallelRunnerService, DrainRethrowsAfterEveryJobFinished) {
+  host::ParallelRunner pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.post([&ran, i] {
+      ++ran;
+      if (i == 7) throw std::runtime_error("session 7 failed");
+    });
+  }
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20) << "a failed session must not abandon the rest";
+  // The lane survives the failure.
+  std::atomic<int> again{0};
+  pool.post([&again] { ++again; });
+  pool.drain();
+  EXPECT_EQ(again.load(), 1);
+}
+
+TEST(ParallelRunnerService, PostInterleavesWithRunBatches) {
+  // Sessions keep arriving while batch work flows through the same pool;
+  // both lanes must complete without losing a job.
+  host::ParallelRunner pool(3);
+  std::atomic<int> sessions{0};
+  std::atomic<int> batch{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.post([&sessions] { ++sessions; });
+    pool.run(5, [&batch](std::size_t) { ++batch; });
+    pool.post([&sessions] { ++sessions; });
+  }
+  pool.drain();
+  EXPECT_EQ(sessions.load(), 20);
+  EXPECT_EQ(batch.load(), 50);
+}
+
+TEST(ParallelRunnerService, PostFromWorkerThreadCompletes) {
+  // A session job may itself enqueue follow-up work (the daemon's
+  // accept loop posts from the poll thread while workers are busy).
+  host::ParallelRunner pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.post([&pool, &ran] {
+      pool.post([&ran] { ++ran; });
+      ++ran;
+    });
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), 16);
+}
+
 // --- Determinism suite ----------------------------------------------------
 //
 // The contract the whole PR rests on: distributing independent sims over

@@ -1,0 +1,260 @@
+// svc::RefCache: digest stability/sensitivity, the bounded on-disk
+// record codec, the paranoid rejection paths (truncated, corrupt,
+// version-skewed, mis-keyed, trailing-garbage entries are deleted and
+// treated as misses - never crashes), the LRU byte budget, and the
+// cachetear chaos drill.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "host/chaos.hpp"
+#include "host/slicer.hpp"
+#include "sim/error.hpp"
+#include "svc/ref_cache.hpp"
+
+namespace {
+
+using offramps::Error;
+using offramps::core::Capture;
+using offramps::core::Transaction;
+using offramps::host::ChaosInjector;
+using offramps::host::SliceProfile;
+using offramps::svc::RefCache;
+using offramps::svc::RefCacheOptions;
+using offramps::svc::RefEntry;
+using offramps::svc::reference_digest;
+
+RefEntry sample_entry(std::size_t txns, std::size_t power_samples) {
+  RefEntry entry;
+  entry.golden.label = "cache-test";
+  entry.golden.print_completed = true;
+  for (std::size_t i = 0; i < txns; ++i) {
+    Transaction t;
+    t.index = static_cast<std::uint32_t>(i);
+    t.counts = {static_cast<std::int32_t>(i), static_cast<std::int32_t>(2 * i),
+                0, static_cast<std::int32_t>(3 * i)};
+    t.time_ns = 500'000ull * (i + 1);
+    entry.golden.transactions.push_back(t);
+  }
+  entry.golden.final_counts = {100, 200, 0, 300};
+  for (std::size_t i = 0; i < power_samples; ++i) {
+    entry.golden_power.push_back(
+        {.t_s = 0.25 * static_cast<double>(i), .watts = 10.0 + i});
+  }
+  return entry;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(RefDigest, StableAndSensitiveToEveryInput) {
+  const SliceProfile profile;
+  const std::uint64_t base = reference_digest(8.0, 3.0, profile, 42, true);
+  EXPECT_EQ(reference_digest(8.0, 3.0, profile, 42, true), base)
+      << "same inputs must hash identically across calls";
+
+  std::set<std::uint64_t> digests{base};
+  digests.insert(reference_digest(8.5, 3.0, profile, 42, true));
+  digests.insert(reference_digest(8.0, 2.0, profile, 42, true));
+  digests.insert(reference_digest(8.0, 3.0, profile, 43, true));
+  // A no-power golden must never serve a power-enabled campaign.
+  digests.insert(reference_digest(8.0, 3.0, profile, 42, false));
+  SliceProfile fat = profile;
+  fat.layer_height_mm *= 2.0;
+  digests.insert(reference_digest(8.0, 3.0, fat, 42, true));
+  EXPECT_EQ(digests.size(), 6u) << "every input must perturb the digest";
+}
+
+TEST(RefCacheCodec, RoundTripPreservesEverything) {
+  const RefEntry entry = sample_entry(12, 5);
+  const std::uint64_t key = reference_digest(8.0, 3.0, SliceProfile{}, 42, true);
+  const std::vector<std::uint8_t> blob = RefCache::encode_entry(key, entry);
+
+  const RefEntry back = RefCache::decode_entry(blob.data(), blob.size(), key);
+  EXPECT_EQ(back.golden.to_binary(), entry.golden.to_binary());
+  ASSERT_EQ(back.golden_power.size(), entry.golden_power.size());
+  for (std::size_t i = 0; i < back.golden_power.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.golden_power[i].t_s, entry.golden_power[i].t_s);
+    EXPECT_DOUBLE_EQ(back.golden_power[i].watts, entry.golden_power[i].watts);
+  }
+}
+
+TEST(RefCacheCodec, EmptyPowerTraceRoundTrips) {
+  const RefEntry entry = sample_entry(3, 0);
+  const std::vector<std::uint8_t> blob = RefCache::encode_entry(7, entry);
+  const RefEntry back = RefCache::decode_entry(blob.data(), blob.size(), 7);
+  EXPECT_TRUE(back.golden_power.empty());
+  EXPECT_EQ(back.golden.size(), 3u);
+}
+
+TEST(RefCacheCodec, RejectsEveryMalformation) {
+  const RefEntry entry = sample_entry(8, 3);
+  const std::uint64_t key = 0xDEADBEEFCAFEF00Dull;
+  const std::vector<std::uint8_t> blob = RefCache::encode_entry(key, entry);
+
+  // Mis-keyed: the record is intact but belongs to another digest.
+  EXPECT_THROW(RefCache::decode_entry(blob.data(), blob.size(), key + 1),
+               Error);
+
+  // Truncation at every prefix length must throw, never read past the
+  // end or accept a partial record.
+  for (std::size_t n = 0; n < blob.size(); n += 7) {
+    EXPECT_THROW(RefCache::decode_entry(blob.data(), n, key), Error)
+        << "accepted a " << n << "-byte prefix of a " << blob.size()
+        << "-byte record";
+  }
+
+  // Trailing garbage.
+  std::vector<std::uint8_t> padded = blob;
+  padded.push_back(0x00);
+  EXPECT_THROW(RefCache::decode_entry(padded.data(), padded.size(), key),
+               Error);
+
+  // Bad magic and version skew.
+  std::vector<std::uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(RefCache::decode_entry(bad_magic.data(), bad_magic.size(), key),
+               Error);
+  std::vector<std::uint8_t> skewed = blob;
+  skewed[4] ^= 0x01;  // u16 version
+  EXPECT_THROW(RefCache::decode_entry(skewed.data(), skewed.size(), key),
+               Error);
+
+  // A corrupted capture-blob length prefix claiming gigabytes must be
+  // rejected by the bounded reader, not allocated.
+  std::vector<std::uint8_t> lying = blob;
+  lying[16] = 0xFF;
+  lying[17] = 0xFF;
+  lying[18] = 0xFF;
+  lying[19] = 0x7F;
+  EXPECT_THROW(RefCache::decode_entry(lying.data(), lying.size(), key), Error);
+}
+
+TEST(RefCache, MissThenPutThenHit) {
+  const auto dir = fresh_dir("refcache_basic");
+  RefCache cache({.dir = dir.string(), .max_bytes = 0});
+  const std::uint64_t key = reference_digest(6.0, 1.5, SliceProfile{}, 42, true);
+
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const RefEntry entry = sample_entry(10, 4);
+  cache.put(key, entry);
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(key)));
+
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->golden.to_binary(), entry.golden.to_binary());
+  EXPECT_EQ(hit->golden_power.size(), 4u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().rejected, 0u);
+
+  // A second cache over the same directory sees the entry (the store is
+  // the disk, not the process).
+  RefCache other({.dir = dir.string(), .max_bytes = 0});
+  EXPECT_TRUE(other.get(key).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RefCache, RejectedEntryIsDeletedAndRecomputable) {
+  const auto dir = fresh_dir("refcache_reject");
+  RefCache cache({.dir = dir.string(), .max_bytes = 0});
+  const std::uint64_t key = 99;
+  cache.put(key, sample_entry(6, 2));
+
+  // Corrupt the record in place, outside the temp+rename discipline.
+  {
+    std::fstream f(cache.path_for(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(12);
+    f.put('\xEE');
+  }
+  EXPECT_FALSE(cache.get(key).has_value())
+      << "a corrupt entry must read as a miss";
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for(key)))
+      << "the poisoned entry must be deleted";
+
+  // The caller recomputes and the cache heals.
+  cache.put(key, sample_entry(6, 2));
+  EXPECT_TRUE(cache.get(key).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RefCache, CacheTearDrillRejectsHalfWrittenEntry) {
+  const auto dir = fresh_dir("refcache_tear");
+  RefCache cache({.dir = dir.string(), .max_bytes = 0});
+  const std::uint64_t key = 1234;
+  cache.put(key, sample_entry(20, 8));
+  const std::string path = cache.path_for(key);
+  const auto full = std::filesystem::file_size(path);
+
+  ChaosInjector::tear_cache_entry(path);
+  EXPECT_EQ(std::filesystem::file_size(path), full / 2);
+  EXPECT_FALSE(cache.get(key).has_value());
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  EXPECT_THROW(ChaosInjector::tear_cache_entry(dir.string() + "/missing.ref"),
+               Error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RefCache, LruEvictsOldestButNeverTheEntryJustWritten) {
+  const auto dir = fresh_dir("refcache_lru");
+  // Budget sized from a real record: room for two entries, not three.
+  const std::vector<std::uint8_t> one =
+      RefCache::encode_entry(1, sample_entry(16, 4));
+  RefCache cache({.dir = dir.string(),
+                  .max_bytes = static_cast<std::uint64_t>(one.size()) * 2});
+
+  const auto put_spaced = [&](std::uint64_t key) {
+    // mtime is the LRU clock; space the writes so ordering is unambiguous
+    // even on coarse-grained filesystems.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cache.put(key, sample_entry(16, 4));
+  };
+  put_spaced(1);
+  put_spaced(2);
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(1)));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(2)));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  put_spaced(3);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for(1)))
+      << "oldest entry must be evicted";
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(3)))
+      << "the entry just written must never be evicted";
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // get() refreshes recency: touch 2, insert 4, and 2 survives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(cache.get(2).has_value());
+  put_spaced(4);
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(2)))
+      << "a freshly-read entry is recent, not stale";
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for(3)));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for(4)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RefCache, UnwritableDirectoryThrows) {
+  EXPECT_THROW(
+      RefCache({.dir = "/proc/definitely/not/writable", .max_bytes = 0}),
+      Error);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// svc::replay_corpus + the reference cache inside a real campaign: a
+// live fleet recorded with --captures semantics must replay to a
+// byte-identical report at any worker count and without the simulator;
+// a warm cache must reproduce the cold run's report byte for byte; and
+// the session-layer chaos drills must land on the supervisor's ladder.
+//
+// This is the integration tier above test_svc_session (synthetic
+// streams) and test_svc_ref_cache (codec units): everything here runs
+// through Fleet::run once and exercises the recorded artifacts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/session_wire.hpp"
+#include "host/chaos.hpp"
+#include "sim/error.hpp"
+#include "svc/daemon.hpp"
+#include "svc/fleet.hpp"
+#include "svc/ref_cache.hpp"
+
+namespace {
+
+using offramps::Error;
+using offramps::host::parse_chaos;
+using offramps::svc::Fleet;
+using offramps::svc::FleetOptions;
+using offramps::svc::FleetReport;
+using offramps::svc::parse_sabotage;
+using offramps::svc::ReplayOptions;
+using offramps::svc::RigSpec;
+using offramps::svc::RigStatus;
+using offramps::svc::ServiceOptions;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Three small rigs sharing one object, one of them sabotaged - enough
+/// to cover both verdicts in replay while keeping the one live
+/// simulation this suite pays for quick.
+std::vector<RigSpec> recorded_fleet() {
+  std::vector<RigSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "rp-" + std::to_string(i);
+    specs[i].seed = 700 + i;
+    specs[i].cube_mm = 6.0;
+    specs[i].height_mm = 1.5;
+  }
+  specs[1].sabotage = parse_sabotage("reduce:0.5");
+  return specs;
+}
+
+FleetOptions recorded_options() {
+  FleetOptions options;
+  options.workers = 2;
+  return options;
+}
+
+ServiceOptions service_options(const std::string& cache_dir = "") {
+  const FleetOptions fleet = recorded_options();
+  ServiceOptions service;
+  service.workers = 1;
+  service.detector = fleet.detector;
+  service.pump = fleet.pump;
+  service.use_oracle = fleet.use_oracle;
+  service.use_power = fleet.use_power;
+  service.reference_seed = fleet.reference_seed;
+  service.profile = fleet.profile;
+  service.cache_dir = cache_dir;
+  return service;
+}
+
+/// The one live simulation: recorded once, shared by every test below.
+struct Recording {
+  std::string captures_dir;
+  std::string cache_dir;
+  std::string live_json;
+};
+
+const Recording& recording() {
+  static const Recording rec = [] {
+    Recording r;
+    r.captures_dir = fresh_dir("replay_caps").string();
+    r.cache_dir = fresh_dir("replay_cache").string();
+    FleetOptions options = recorded_options();
+    options.save_captures_dir = r.captures_dir;
+    options.cache_dir = r.cache_dir;
+    Fleet fleet(options);
+    r.live_json = fleet.run(recorded_fleet()).to_json();
+    return r;
+  }();
+  return rec;
+}
+
+TEST(RefCacheCampaign, ColdRunPopulatesOneEntryPerObject) {
+  const Recording& rec = recording();
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(rec.cache_dir)) {
+    entries += e.path().extension() == ".ref" ? 1 : 0;
+  }
+  // All three rigs print the same object: one digest, one entry.
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(RefCacheCampaign, WarmRunIsByteIdentical) {
+  const Recording& rec = recording();
+  FleetOptions options = recorded_options();
+  options.cache_dir = rec.cache_dir;
+  Fleet fleet(options);
+  EXPECT_EQ(fleet.run(recorded_fleet()).to_json(), rec.live_json)
+      << "a cache hit must not change a byte of the report";
+}
+
+TEST(RefCacheCampaign, TornEntryHealsByRecompute) {
+  const Recording& rec = recording();
+  // Tear the entry (cachetear drill), run warm: the campaign must
+  // recompute, reproduce the report, and rewrite the entry.
+  offramps::svc::RefCache probe({.dir = rec.cache_dir, .max_bytes = 0});
+  const std::uint64_t key = offramps::svc::reference_digest(
+      6.0, 1.5, recorded_options().profile, recorded_options().reference_seed,
+      recorded_options().use_power);
+  const std::string path = probe.path_for(key);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  offramps::host::ChaosInjector::tear_cache_entry(path);
+
+  FleetOptions options = recorded_options();
+  options.cache_dir = rec.cache_dir;
+  Fleet fleet(options);
+  EXPECT_EQ(fleet.run(recorded_fleet()).to_json(), rec.live_json);
+  EXPECT_TRUE(std::filesystem::exists(path)) << "recompute must re-cache";
+}
+
+TEST(Replay, ReproducesLiveReportByteForByte) {
+  const Recording& rec = recording();
+  ReplayOptions options;
+  options.service = service_options(rec.cache_dir);
+  const FleetReport report = replay_corpus(rec.captures_dir, options);
+  EXPECT_EQ(report.to_json(), rec.live_json)
+      << "replay must reproduce every verdict without simulating";
+  EXPECT_EQ(report.alarmed(), 1u);
+  EXPECT_EQ(report.count(RigStatus::kOk), 3u);
+}
+
+TEST(Replay, ByteIdenticalAcrossWorkerCounts) {
+  const Recording& rec = recording();
+  ReplayOptions options;
+  options.service = service_options(rec.cache_dir);
+  options.service.workers = 8;
+  EXPECT_EQ(replay_corpus(rec.captures_dir, options).to_json(), rec.live_json);
+}
+
+TEST(Replay, WorksWithoutCacheBySimulatingReference) {
+  const Recording& rec = recording();
+  ReplayOptions options;
+  options.service = service_options();  // no cache: simulate the golden
+  EXPECT_EQ(replay_corpus(rec.captures_dir, options).to_json(), rec.live_json);
+}
+
+TEST(Replay, ChaosDrillsLandOnTheLadder) {
+  const Recording& rec = recording();
+  ReplayOptions options;
+  options.service = service_options(rec.cache_dir);
+  // Corpus files sort by name: rp-0, rp-1, rp-2.  Drop a transaction
+  // from rp-0's stream and cut rp-2's short.
+  auto corrupt = parse_chaos("framecorrupt");
+  corrupt.after = 3;
+  options.chaos.emplace_back(0, corrupt);
+  options.chaos.emplace_back(2, parse_chaos("disconnect"));
+
+  const FleetReport report = replay_corpus(rec.captures_dir, options);
+  ASSERT_EQ(report.rigs.size(), 3u);
+  EXPECT_EQ(report.rigs[0].status, RigStatus::kRecovered);
+  EXPECT_NE(report.rigs[0].failure_cause.find("corrupt transaction"),
+            std::string::npos)
+      << report.rigs[0].failure_cause;
+  EXPECT_EQ(report.rigs[1].status, RigStatus::kOk);
+  EXPECT_TRUE(report.rigs[1].detector.alarmed) << "sabotage verdict survives";
+  EXPECT_EQ(report.rigs[2].status, RigStatus::kLost);
+  EXPECT_EQ(report.campaign(), "lost");
+}
+
+TEST(Replay, EmptyOrMissingCorpusThrows) {
+  ReplayOptions options;
+  options.service = service_options();
+  const auto empty = fresh_dir("replay_empty");
+  EXPECT_THROW(replay_corpus(empty.string(), options), Error);
+  EXPECT_THROW(replay_corpus((empty / "nope").string(), options), Error);
+}
+
+}  // namespace
