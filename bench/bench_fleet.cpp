@@ -88,6 +88,20 @@ int main(int argc, char** argv) {
                 svc::channel_name(rig.detector.first_channel),
                 rig.detector.alarmed_mid_print ? "yes" : "no (final)",
                 rig.detector.alarm_window);
+    // Per-channel attribution (E16): every modality that tripped, with
+    // its own windows-to-alarm - the fused verdict above is their min.
+    std::string attribution;
+    for (const auto& v : rig.detector.channels) {
+      if (!v.tripped) continue;
+      attribution += attribution.empty() ? "" : ", ";
+      attribution += svc::channel_name(v.channel);
+      attribution += ":w" + std::to_string(v.trip_window);
+      json.add(variant_key(rig.spec.name) + "_trip_" +
+                   svc::channel_name(v.channel),
+               static_cast<std::uint64_t>(v.trip_window));
+    }
+    std::printf("               tripped: %s\n",
+                attribution.empty() ? "-" : attribution.c_str());
     const std::string key = variant_key(rig.spec.name);
     json.add(key + "_channel",
              svc::channel_name(rig.detector.first_channel));
@@ -148,6 +162,50 @@ int main(int argc, char** argv) {
               deterministic ? "byte-identical" : "DIVERGED");
   json.add("deterministic_across_workers", deterministic);
   ok = ok && deterministic && alarms == 4;
+
+  // ---- Phase 3: multi-modal overhead gate.  Turning on the acoustic
+  // and vibration channels must cost < 25% per capture window over the
+  // power-only configuration (enforced by exit code on plain builds;
+  // sanitized builds report without enforcing).
+  bench::heading("multi-modal channels: per-window cost vs power-only");
+  auto mm_specs = svc::Fleet::demo_specs(4, 1);
+  for (auto& s : mm_specs) {
+    s.cube_mm = 6.0;
+    s.height_mm = 2.0;
+  }
+  const auto timed_per_window = [&](const svc::ChannelSet& channels) {
+    svc::FleetOptions o;
+    o.workers = jobs;
+    o.channels = channels;
+    bench::Stopwatch watch;
+    svc::Fleet f(o);
+    const svc::FleetReport r = f.run(mm_specs);
+    const double s = watch.seconds();
+    std::uint64_t windows = 0;
+    for (const auto& rig : r.rigs) {
+      windows += rig.detector.windows_processed;
+    }
+    return windows == 0 ? 0.0 : s / static_cast<double>(windows);
+  };
+  const double power_only_us =
+      1e6 * timed_per_window(svc::ChannelSet{true, true, false, false});
+  const double all_channels_us = 1e6 * timed_per_window(svc::ChannelSet{});
+  const double mm_ratio =
+      power_only_us > 0.0 ? all_channels_us / power_only_us : 0.0;
+  const bool mm_enforced = !bench::built_with_sanitizers();
+  const bool mm_ok = mm_ratio < 1.25;
+  std::printf("power-only   : %.1f us/window\n", power_only_us);
+  std::printf("all channels : %.1f us/window  (%.2fx, gate < 1.25x%s)\n",
+              all_channels_us, mm_ratio,
+              mm_enforced ? "" : ", report-only under sanitizers");
+  json.add("per_window_us_power_only", power_only_us);
+  json.add("per_window_us_all_channels", all_channels_us);
+  json.add("multi_modal_ratio", mm_ratio);
+  json.add("multi_modal_gate_enforced", mm_enforced);
+  if (mm_enforced && !mm_ok) {
+    std::printf("FAIL: multi-modal per-window cost exceeds the 25%% budget\n");
+    ok = false;
+  }
 
   json.add("self_check", ok);
   json.write();

@@ -92,7 +92,7 @@ std::vector<svc::RigSpec> small_fleet() {
 svc::FleetOptions fleet_options(std::size_t workers) {
   svc::FleetOptions options;
   options.workers = workers;
-  options.use_power = false;
+  options.channels = svc::ChannelSet{}.counts_only();
   return options;
 }
 

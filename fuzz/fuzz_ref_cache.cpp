@@ -19,12 +19,15 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   // The key check runs against the digest a real lookup would use; an
   // input that forges it still has to survive the blob validation.
   const std::uint64_t key = offramps::svc::reference_digest(
-      8.0, 3.0, offramps::host::SliceProfile{}, 42, true);
+      8.0, 3.0, offramps::host::SliceProfile{}, 42,
+      offramps::svc::ChannelSet{});
   try {
     const offramps::svc::RefEntry entry =
         offramps::svc::RefCache::decode_entry(data, size, key);
     (void)entry.golden.size();
     (void)entry.golden_power.size();
+    (void)entry.golden_acoustic.size();
+    (void)entry.golden_vibration.size();
   } catch (const offramps::Error&) {
     // Malformed record, rejected by contract.
   }

@@ -77,6 +77,11 @@ else
   # socket + stdin + replay smokes, and the session-chaos drills.
   echo "==> daemon suite (ctest -L daemon)"
   ctest --preset default -L daemon -j "${jobs}"
+  # ...and the fusion layer: channel naming/registry units, the
+  # pick_first_trip verdict rule, per-channel attribution, and the
+  # multi-modal CLI acceptance drill.
+  echo "==> fusion suite (ctest -L fusion)"
+  ctest --preset default -L fusion -j "${jobs}"
   # ...and the perf gates as smoke runs: timer-wheel vs heap ratio,
   # events/s floor, metrics-enabled fleet overhead, cold-vs-warm
   # reference-cache speedup.  On plain builds the thresholds enforce by

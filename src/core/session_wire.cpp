@@ -160,6 +160,8 @@ bool plausible_frame(std::uint8_t type, std::uint32_t len) {
       return len == kTxnPayloadSize;
     case FrameType::kPower:
       return len == kPowerPayloadSize;
+    case FrameType::kSample:
+      return len == kSamplePayloadSize;
     case FrameType::kSlot:
       return len == 0;
     case FrameType::kFinish:
@@ -205,6 +207,14 @@ void append_power(std::vector<std::uint8_t>& out, double t_s, double watts) {
   put_frame_header(out, FrameType::kPower, kPowerPayloadSize);
   put_f64(out, t_s);
   put_f64(out, watts);
+}
+
+void append_sample(std::vector<std::uint8_t>& out, std::uint8_t kind,
+                   double t_s, double value) {
+  put_frame_header(out, FrameType::kSample, kSamplePayloadSize);
+  put_u8(out, kind);
+  put_f64(out, t_s);
+  put_f64(out, value);
 }
 
 void append_slot(std::vector<std::uint8_t>& out) {
@@ -334,6 +344,19 @@ std::size_t FrameReader::drain_buffer(const Callback& cb) {
       case FrameType::kPower:
         frame.power_t_s = get_f64(payload);
         frame.power_watts = get_f64(payload + 8);
+        break;
+      case FrameType::kSample:
+        frame.sample_kind = payload[0];
+        if (frame.sample_kind < kSampleKindMin ||
+            frame.sample_kind > kSampleKindMax) {
+          // An unknown kind is a future channel (or damage): skip the
+          // frame, keep the session.
+          note_resync();
+          emit = false;
+          break;
+        }
+        frame.sample_t_s = get_f64(payload + 1);
+        frame.sample_value = get_f64(payload + 9);
         break;
       case FrameType::kSlot:
         break;

@@ -11,6 +11,9 @@
 //   kTxn     one UART transaction (Transaction::to_frame + u64 time_ns);
 //            the embedded frame CRC makes wire corruption detectable
 //   kPower   one power-trace sample (t_s, watts)
+//   kSample  one generic side-channel sample (kind byte + t_s + value);
+//            power keeps its dedicated kPower frame so pre-multi-modal
+//            corpora stay replayable, new channels ride this one
 //   kSlot    one consumer service slot (the pump's poll budget); these
 //            markers let a replay reproduce ring occupancy - and thus
 //            `ring_high_water` / `backpressure_stalls` - byte for byte
@@ -52,12 +55,19 @@ enum class FrameType : std::uint8_t {
   kSlot = 4,
   kFinish = 5,
   kEnd = 6,
+  kSample = 7,
 };
+
+/// Side-channel sample taxonomy of kSample frames (matches
+/// svc::SampleKind - append only).
+inline constexpr std::uint8_t kSampleKindMin = 1;  // power
+inline constexpr std::uint8_t kSampleKindMax = 3;  // vibration
 
 /// Per-type payload bounds, enforced before any allocation.  kTxn, kPower,
 /// kSlot and kEnd are fixed-size; kHello and kFinish are capped.
 inline constexpr std::size_t kTxnPayloadSize = Transaction::kFrameSize + 8;
 inline constexpr std::size_t kPowerPayloadSize = 16;
+inline constexpr std::size_t kSamplePayloadSize = 17;  // kind + t_s + value
 inline constexpr std::size_t kEndPayloadSize = 1 + 1 + 8 + 4 * 8;
 inline constexpr std::size_t kMaxHelloPayload = 4096;
 inline constexpr std::size_t kMaxFinishPayload = 1u << 26;  // 64 MiB
@@ -89,6 +99,8 @@ void append_stream_header(std::vector<std::uint8_t>& out);
 void append_hello(std::vector<std::uint8_t>& out, const SessionHello& hello);
 void append_txn(std::vector<std::uint8_t>& out, const Transaction& txn);
 void append_power(std::vector<std::uint8_t>& out, double t_s, double watts);
+void append_sample(std::vector<std::uint8_t>& out, std::uint8_t kind,
+                   double t_s, double value);
 void append_slot(std::vector<std::uint8_t>& out);
 void append_finish(std::vector<std::uint8_t>& out, const Capture& capture);
 void append_end(std::vector<std::uint8_t>& out, const SessionMeta& meta);
@@ -103,6 +115,9 @@ class SessionRecorder {
   void hello(const SessionHello& h) { append_hello(bytes_, h); }
   void txn(const Transaction& t) { append_txn(bytes_, t); }
   void power(double t_s, double watts) { append_power(bytes_, t_s, watts); }
+  void sample(std::uint8_t kind, double t_s, double value) {
+    append_sample(bytes_, kind, t_s, value);
+  }
   void slot() { append_slot(bytes_); }
   void finish(const Capture& c) { append_finish(bytes_, c); }
   void end(const SessionMeta& m) { append_end(bytes_, m); }
@@ -125,6 +140,9 @@ struct Frame {
   Transaction txn;                    // kTxn
   double power_t_s = 0.0;             // kPower
   double power_watts = 0.0;           // kPower
+  std::uint8_t sample_kind = 0;       // kSample
+  double sample_t_s = 0.0;            // kSample
+  double sample_value = 0.0;          // kSample
   SessionHello hello;                 // kHello
   std::vector<std::uint8_t> finish;   // kFinish: Capture::to_binary blob
   SessionMeta end;                    // kEnd

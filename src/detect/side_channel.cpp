@@ -3,11 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace offramps::detect {
 
-std::vector<double> window_means(const plant::PowerTrace& trace,
-                                 double window_s) {
+namespace {
+
+/// Windowed-mean reduction shared by every scalar side channel.  `value`
+/// extracts the sample's measurement.
+template <typename Trace, typename Value>
+std::vector<double> window_means_impl(const Trace& trace, double window_s,
+                                      Value value) {
   std::vector<double> means;
   if (trace.empty() || window_s <= 0.0) return means;
   const double t0 = trace.front().t_s;
@@ -26,11 +32,51 @@ std::vector<double> window_means(const plant::PowerTrace& trace,
       sum = 0.0;
       n = 0;
     }
-    sum += s.watts;
+    sum += value(s);
     ++n;
   }
   if (n > 0) means.push_back(sum / static_cast<double>(n));
   return means;
+}
+
+/// Windowed compare shared by compare_side and verify_signature.
+SideReport compare_windows(const std::vector<double>& g,
+                           const std::vector<double>& o,
+                           const SideSignatureOptions& options) {
+  SideReport rep;
+  const std::size_t n = std::min(g.size(), o.size());
+  rep.windows_compared = n;
+
+  std::uint32_t consecutive = 0;
+  const std::size_t skip = options.skip_edge_windows;
+  for (std::size_t i = skip; i + skip < n; ++i) {
+    const double delta = std::abs(g[i] - o[i]);
+    rep.largest_delta = std::max(rep.largest_delta, delta);
+    if (delta > options.tolerance) {
+      rep.mismatches.push_back({i, g[i], o[i]});
+      ++consecutive;
+      if (consecutive >= options.consecutive_to_flag) {
+        rep.sabotage_likely = true;
+      }
+    } else {
+      consecutive = 0;
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+std::vector<double> window_means(const plant::PowerTrace& trace,
+                                 double window_s) {
+  return window_means_impl(trace, window_s,
+                           [](const plant::PowerSample& s) { return s.watts; });
+}
+
+std::vector<double> window_means(const plant::SideTrace& trace,
+                                 double window_s) {
+  return window_means_impl(trace, window_s,
+                           [](const plant::SideSample& s) { return s.value; });
 }
 
 PowerReport compare_power(const plant::PowerTrace& golden,
@@ -58,6 +104,51 @@ PowerReport compare_power(const plant::PowerTrace& golden,
     }
   }
   return rep;
+}
+
+SideReport compare_side(const plant::SideTrace& golden,
+                        const plant::SideTrace& observed,
+                        const SideSignatureOptions& options) {
+  return compare_windows(window_means(golden, options.window_s),
+                         window_means(observed, options.window_s), options);
+}
+
+std::uint64_t signature_digest(const std::vector<double>& levels,
+                               double window_s) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFFull;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_f64 = [&mix](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix_f64(window_s);
+  mix(levels.size());
+  for (const double level : levels) mix_f64(level);
+  return h;
+}
+
+MasterSignature make_master_signature(const plant::SideTrace& golden,
+                                      double window_s) {
+  MasterSignature sig;
+  sig.window_s = window_s;
+  sig.levels = window_means(golden, window_s);
+  sig.digest = signature_digest(sig.levels, window_s);
+  return sig;
+}
+
+SideReport verify_signature(const MasterSignature& signature,
+                            const plant::SideTrace& observed,
+                            const SideSignatureOptions& options) {
+  SideSignatureOptions opts = options;
+  opts.window_s = signature.window_s;  // the signature fixes the window
+  return compare_windows(signature.levels,
+                         window_means(observed, opts.window_s), opts);
 }
 
 std::string PowerReport::to_string(std::size_t max_lines) const {
@@ -101,6 +192,53 @@ std::string PowerReport::to_json() const {
                   "    {\"window\": %zu, \"golden_w\": %.6f, "
                   "\"observed_w\": %.6f}",
                   m.window, m.golden_w, m.observed_w);
+    out += buf;
+  }
+  out += mismatches.empty() ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
+std::string SideReport::to_string(std::size_t max_lines) const {
+  std::string out;
+  char buf[128];
+  std::size_t shown = 0;
+  for (const auto& m : mismatches) {
+    if (shown++ >= max_lines) {
+      out += "...\n";
+      break;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "Window %zu: golden %.1f, observed %.1f\n", m.window,
+                  m.golden, m.observed);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "Windows compared: %zu; mismatches: %zu; largest delta "
+                "%.1f\n",
+                windows_compared, mismatches.size(), largest_delta);
+  out += buf;
+  out += sabotage_likely ? "Sabotage likely (side channel)!\n"
+                         : "No sabotage suspected (side channel).\n";
+  return out;
+}
+
+std::string SideReport::to_json() const {
+  std::string out = "{\n  \"sabotage_likely\": ";
+  out += sabotage_likely ? "true" : "false";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"windows_compared\": %zu,\n"
+                "  \"largest_delta\": %.6f",
+                windows_compared, largest_delta);
+  out += buf;
+  out += ",\n  \"mismatches\": [";
+  for (std::size_t i = 0; i < mismatches.size(); ++i) {
+    const SideMismatch& m = mismatches[i];
+    out += i == 0 ? "\n" : ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"window\": %zu, \"golden\": %.6f, "
+                  "\"observed\": %.6f}",
+                  m.window, m.golden, m.observed);
     out += buf;
   }
   out += mismatches.empty() ? "]\n}" : "\n  ]\n}";

@@ -63,6 +63,10 @@ constexpr const char* kUsage =
     "                   references from DIR when present, else simulate\n"
     "                   once and persist (atomic rename; safe to share)\n"
     "  --cache-max-mb N LRU size bound for --cache in MiB (0 = unbounded)\n"
+    "  --channels LIST  detection channels to arm, a comma-separated\n"
+    "                   subset of steps,power,acoustic,vibration (or\n"
+    "                   'all', the default); probes are only simulated\n"
+    "                   for enabled channels\n"
     "  --serve          service mode: accept rig sessions and judge them\n"
     "                   live; SIGTERM drains and prints the report\n"
     "  --listen PATH    --serve on a Unix-domain socket at PATH instead\n"
@@ -103,7 +107,10 @@ constexpr const char* kSpecHelp =
     "    \"workers\": 4,            worker threads (--jobs overrides)\n"
     "    \"safe_stop\": true,       halt a rig on mid-print alarm\n"
     "    \"use_oracle\": true,      static-oracle channel\n"
-    "    \"use_power\": true,       power-signature channel\n"
+    "    \"use_power\": true,       power-signature channel (legacy;\n"
+    "                             \"channels\" wins when both are given)\n"
+    "    \"channels\": \"all\",       comma list of steps,power,acoustic,\n"
+    "                             vibration (or \"all\")\n"
     "    \"reference_seed\": 42,    jitter seed of the golden prints\n"
     "    \"ring_capacity\": 64,     detector ring-buffer depth\n"
     "    \"max_attempts\": 3,       supervised attempts per rig\n"
@@ -176,6 +183,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--demo" || arg == "--sabotage" || arg == "--jobs" ||
                arg == "-j" || arg == "--out" || arg == "--captures" ||
                arg == "--cache" || arg == "--cache-max-mb" ||
+               arg == "--channels" ||
                arg == "--listen" || arg == "--join" || arg == "--replay" ||
                arg == "--trace-out" || arg == "--chaos" ||
                arg == "--max-attempts" || arg == "--backoff-ms" ||
@@ -214,6 +222,14 @@ int main(int argc, char** argv) {
         }
         options.cache_max_bytes =
             static_cast<std::uint64_t>(n) * 1024 * 1024;
+      } else if (arg == "--channels") {
+        try {
+          options.channels = offramps::svc::ChannelSet::parse(argv[i]);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bad --channels '%s': %s\n", argv[i],
+                       e.what());
+          return 2;
+        }
       } else if (arg == "--listen") {
         listen_path = argv[i];
       } else if (arg == "--join") {
@@ -424,7 +440,7 @@ int main(int argc, char** argv) {
       service.detector = options.detector;
       service.pump = options.pump;
       service.use_oracle = options.use_oracle;
-      service.use_power = options.use_power;
+      service.channels = options.channels;
       service.reference_seed = options.reference_seed;
       service.profile = options.profile;
       service.cache_dir = options.cache_dir;

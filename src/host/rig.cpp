@@ -32,6 +32,14 @@ Rig::Rig(RigOptions options)
     power_probe_ = std::make_unique<plant::PowerTraceProbe>(
         sched_, printer_, board_.ramps_side(), *options_.power_probe);
   }
+  if (options_.acoustic_probe.has_value()) {
+    acoustic_probe_ = std::make_unique<plant::AcousticTraceProbe>(
+        sched_, printer_, board_.ramps_side(), *options_.acoustic_probe);
+  }
+  if (options_.vibration_probe.has_value()) {
+    vibration_probe_ = std::make_unique<plant::VibrationTraceProbe>(
+        sched_, printer_, *options_.vibration_probe);
+  }
   if (!options_.faults.empty()) bind_faults();
   if (options_.brownout.has_value()) {
     const BrownoutScenario& b = *options_.brownout;
@@ -190,6 +198,12 @@ RunResult Rig::collect(bool finished, bool killed, std::string kill_reason,
     r.undervolt_skips[i] = printer_.motor(axis).undervolt_skips();
   }
   if (power_probe_ != nullptr) r.power_trace = power_probe_->take_trace();
+  if (acoustic_probe_ != nullptr) {
+    r.acoustic_trace = acoustic_probe_->take_trace();
+  }
+  if (vibration_probe_ != nullptr) {
+    r.vibration_trace = vibration_probe_->take_trace();
+  }
   if (fault_injector_ != nullptr) {
     r.faults_armed = fault_injector_->armed();
     r.fault_stats = fault_injector_->stats();

@@ -48,6 +48,10 @@ struct RigOptions {
   std::optional<BrownoutScenario> brownout{};
   /// Attach a power side-channel probe (current clamp on the supply).
   std::optional<plant::PowerProbeOptions> power_probe{};
+  /// Attach an acoustic probe (microphone near the gantry).
+  std::optional<plant::AcousticProbeOptions> acoustic_probe{};
+  /// Attach a vibration probe (frame-mounted accelerometer).
+  std::optional<plant::VibrationProbeOptions> vibration_probe{};
   /// Hard wall on simulated print time (safety backstop).
   double max_sim_seconds = 4000.0;
   /// How long to keep simulating after a firmware kill, to observe
@@ -86,8 +90,10 @@ struct RunResult {
   std::uint64_t events_executed = 0;
   /// Steps skipped from motor-rail undervoltage, per axis.
   std::array<std::uint64_t, 4> undervolt_skips{};
-  /// Power side-channel trace (empty unless a probe was attached).
+  /// Side-channel traces (each empty unless its probe was attached).
   plant::PowerTrace power_trace;
+  plant::SideTrace acoustic_trace;
+  plant::SideTrace vibration_trace;
 
   // Fault-injection observability (all zero on a clean run).
   std::uint64_t faults_armed = 0;
@@ -123,6 +129,14 @@ class Rig {
   [[nodiscard]] plant::PowerTraceProbe* power_probe() {
     return power_probe_.get();
   }
+  /// Attached acoustic / vibration probes, nullptr when unset; live
+  /// access for the same streaming reason as power_probe().
+  [[nodiscard]] plant::AcousticTraceProbe* acoustic_probe() {
+    return acoustic_probe_.get();
+  }
+  [[nodiscard]] plant::VibrationTraceProbe* vibration_probe() {
+    return vibration_probe_.get();
+  }
 
   /// Runs one complete print.  Call once per Rig (the physical analogue:
   /// one part per power cycle).
@@ -148,6 +162,8 @@ class Rig {
   fw::Firmware firmware_;
   plant::Printer printer_;
   std::unique_ptr<plant::PowerTraceProbe> power_probe_;
+  std::unique_ptr<plant::AcousticTraceProbe> acoustic_probe_;
+  std::unique_ptr<plant::VibrationTraceProbe> vibration_probe_;
   // Declared after the stack it injects into: destroyed first, which
   // unhooks the scheduler time warp before the scheduler goes away.
   std::unique_ptr<sim::FaultInjector> fault_injector_;

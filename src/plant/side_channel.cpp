@@ -4,6 +4,40 @@
 
 namespace offramps::plant {
 
+namespace {
+
+// splitmix64: the usual strong 64-bit finalizer (same recipe as the
+// Supervisor's backoff jitter - duplicated here because plant:: sits
+// below svc:: and cannot reach up a layer).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Fraction of the full step rate axis `axis` moved at since the last
+/// sample.  Updates `last` even for disabled motors so a re-enable does
+/// not see a step burst that never happened.
+double step_rate_fraction(Printer& printer, sim::Axis axis, double dt_s,
+                          double full_rate_hz,
+                          std::array<std::uint64_t, 4>& last) {
+  const auto i = static_cast<std::size_t>(axis);
+  const StepperMotor& motor = printer.motor(axis);
+  const std::uint64_t steps = motor.accepted_steps();
+  const double rate = static_cast<double>(steps - last[i]) / dt_s;
+  last[i] = steps;
+  if (!motor.enabled()) return 0.0;
+  return std::min(rate / full_rate_hz, 1.0);
+}
+
+}  // namespace
+
+std::uint64_t probe_noise_seed(std::uint64_t rig_seed,
+                               std::uint64_t channel_tag) {
+  return mix64(rig_seed ^ mix64(channel_tag));
+}
+
 PowerTraceProbe::PowerTraceProbe(sim::Scheduler& sched, Printer& printer,
                                  sim::PinBank& ramps,
                                  PowerProbeOptions options)
@@ -44,6 +78,64 @@ void PowerTraceProbe::sample() {
   watts += noise_.normal(0.0, options_.noise_stddev_w);
 
   trace_.push_back({sim::to_seconds(sched_.now()), std::max(watts, 0.0)});
+  sched_.schedule_in(options_.sample_period, [this] { sample(); });
+}
+
+AcousticTraceProbe::AcousticTraceProbe(sim::Scheduler& sched,
+                                       Printer& printer, sim::PinBank& ramps,
+                                       AcousticProbeOptions options)
+    : sched_(sched),
+      printer_(printer),
+      options_(options),
+      noise_(options.noise_seed) {
+  fan_duty_ =
+      std::make_unique<sim::DutyMeter>(ramps.wire(sim::Pin::kFan));
+  sched_.schedule_in(options_.sample_period, [this] { sample(); });
+}
+
+void AcousticTraceProbe::sample() {
+  const double dt_s = sim::to_seconds(options_.sample_period);
+  double level = options_.ambient_level;
+  for (const auto axis : sim::kAllAxes) {
+    const auto i = static_cast<std::size_t>(axis);
+    const double fraction =
+        step_rate_fraction(printer_, axis, dt_s, options_.full_step_rate_hz,
+                           last_step_counts_);
+    if (printer_.motor(axis).enabled()) {
+      level += options_.idle_whine_per_motor;
+    }
+    level += options_.tone_level[i] * fraction;
+  }
+  level += fan_duty_->sample() * options_.fan_level;
+  level += noise_.normal(0.0, options_.noise_stddev);
+
+  trace_.push_back({sim::to_seconds(sched_.now()), std::max(level, 0.0)});
+  sched_.schedule_in(options_.sample_period, [this] { sample(); });
+}
+
+VibrationTraceProbe::VibrationTraceProbe(sim::Scheduler& sched,
+                                         Printer& printer,
+                                         VibrationProbeOptions options)
+    : sched_(sched),
+      printer_(printer),
+      options_(options),
+      noise_(options.noise_seed) {
+  sched_.schedule_in(options_.sample_period, [this] { sample(); });
+}
+
+void VibrationTraceProbe::sample() {
+  const double dt_s = sim::to_seconds(options_.sample_period);
+  double mg = options_.floor_mg;
+  for (const auto axis : sim::kAllAxes) {
+    const auto i = static_cast<std::size_t>(axis);
+    const double fraction =
+        step_rate_fraction(printer_, axis, dt_s, options_.full_step_rate_hz,
+                           last_step_counts_);
+    mg += options_.axis_level_mg[i] * fraction;
+  }
+  mg += noise_.normal(0.0, options_.noise_stddev_mg);
+
+  trace_.push_back({sim::to_seconds(sched_.now()), std::max(mg, 0.0)});
   sched_.schedule_in(options_.sample_period, [this] { sample(); });
 }
 

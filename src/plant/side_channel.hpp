@@ -1,22 +1,38 @@
-// Power side-channel probe (paper section II-B / VI "Related platforms").
+// Side-channel probes (paper section II-B / VI "Related platforms").
 //
 // The defenses OFFRAMPS is compared against are mostly side-channel
-// based - notably actuator power signatures (Gatlin et al., IEEE Access
-// 2019).  To quantify the paper's claim that direct signal access is
-// "uniquely able to ... analyze prints with no loss of data", this probe
-// produces what such a defense would see: the machine's aggregate
-// electrical power, sampled at a fixed rate, through measurement noise.
+// based - actuator power signatures (Gatlin et al., IEEE Access 2019),
+// multi-modal acoustic/vibration sensing (arXiv:2110.02259), and
+// master-recording audio verification (arXiv:1705.06454).  To quantify
+// the paper's claim that direct signal access is "uniquely able to ...
+// analyze prints with no loss of data", these probes produce what such
+// defenses would see: a physical emission of the machine, sampled at a
+// fixed rate, through measurement noise.
 //
-// Electrical model (A4988/24 V class):
+// Power model (A4988/24 V class):
 //   * each enabled stepper draws a hold current (~4 W) plus a
 //     rate-dependent switching term (up to ~4 W more near 10 kHz),
 //   * heaters draw gate-duty x element power (x rail derate),
 //   * the part fan and base electronics add small constant-ish terms,
 //   * the current clamp adds zero-mean gaussian noise - the "lossy"
 //     part of a side channel.
+//
+// Acoustic model (microphone near the frame, arbitrary level units):
+//   * an enabled stepper emits a small coil-whine floor plus a tone
+//     whose level tracks its step rate (motion axes ring the frame
+//     hardest, the extruder least),
+//   * the part fan contributes broadband noise at its duty,
+//   * room ambience and microphone noise round it out.
+//
+// Vibration model (frame-mounted accelerometer, milli-g):
+//   * only actual motion shakes the frame: per-axis level tracks step
+//     rate, with the gantry axes dominating,
+//   * a sensor floor plus gaussian noise.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "plant/printer.hpp"
@@ -48,6 +64,50 @@ struct PowerSample {
 /// A whole print's power trace.
 using PowerTrace = std::vector<PowerSample>;
 
+/// One generic side-channel measurement (acoustic level, vibration
+/// magnitude, ...).
+struct SideSample {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// A whole print's worth of one side channel.
+using SideTrace = std::vector<SideSample>;
+
+/// Acoustic probe configuration (microphone, arbitrary level units).
+struct AcousticProbeOptions {
+  sim::Tick sample_period = sim::ms(50);
+  double ambient_level = 30.0;          // room + electronics ambience
+  double idle_whine_per_motor = 0.5;    // enabled-but-still coil whine
+  /// Per-axis tone level at full step rate (X, Y, Z, E).
+  std::array<double, 4> tone_level{10.0, 10.0, 6.0, 4.0};
+  double fan_level = 4.0;               // at 100% duty
+  double full_step_rate_hz = 10'000.0;
+  double noise_stddev = 1.0;            // microphone noise
+  std::uint64_t noise_seed = 0xAC05;
+};
+
+/// Vibration probe configuration (frame accelerometer, milli-g).
+struct VibrationProbeOptions {
+  sim::Tick sample_period = sim::ms(50);
+  double floor_mg = 2.0;                // sensor/idle floor
+  /// Per-axis magnitude at full step rate (X, Y, Z, E).  The gantry
+  /// axes swing real mass; the extruder barely registers.
+  std::array<double, 4> axis_level_mg{25.0, 25.0, 10.0, 6.0};
+  double full_step_rate_hz = 10'000.0;
+  double noise_stddev_mg = 1.5;
+  std::uint64_t noise_seed = 0x51B8;
+};
+
+/// Derives a per-rig measurement-noise seed from the rig's seed and a
+/// per-channel tag (use the channel's default noise_seed as the tag).
+/// Every physical probe has its own sensor, so two rigs - and two
+/// channels on one rig - must never share a noise stream; mixing with
+/// splitmix64 (the Supervisor backoff recipe) guarantees that even for
+/// adjacent rig seeds.
+std::uint64_t probe_noise_seed(std::uint64_t rig_seed,
+                               std::uint64_t channel_tag);
+
 /// Samples the machine's aggregate power draw during a print.
 class PowerTraceProbe {
  public:
@@ -73,6 +133,53 @@ class PowerTraceProbe {
   std::array<std::uint64_t, 4> last_step_counts_{};
   std::array<std::unique_ptr<sim::DutyMeter>, 3> duty_;  // hotend, bed, fan
   PowerTrace trace_;
+};
+
+/// Samples the machine's acoustic emission during a print.
+class AcousticTraceProbe {
+ public:
+  AcousticTraceProbe(sim::Scheduler& sched, Printer& printer,
+                     sim::PinBank& ramps, AcousticProbeOptions options = {});
+
+  AcousticTraceProbe(const AcousticTraceProbe&) = delete;
+  AcousticTraceProbe& operator=(const AcousticTraceProbe&) = delete;
+
+  [[nodiscard]] const SideTrace& trace() const { return trace_; }
+  [[nodiscard]] SideTrace take_trace() { return std::move(trace_); }
+
+ private:
+  void sample();
+
+  sim::Scheduler& sched_;
+  Printer& printer_;
+  AcousticProbeOptions options_;
+  sim::Rng noise_;
+  std::array<std::uint64_t, 4> last_step_counts_{};
+  std::unique_ptr<sim::DutyMeter> fan_duty_;
+  SideTrace trace_;
+};
+
+/// Samples the frame vibration magnitude during a print.
+class VibrationTraceProbe {
+ public:
+  VibrationTraceProbe(sim::Scheduler& sched, Printer& printer,
+                      VibrationProbeOptions options = {});
+
+  VibrationTraceProbe(const VibrationTraceProbe&) = delete;
+  VibrationTraceProbe& operator=(const VibrationTraceProbe&) = delete;
+
+  [[nodiscard]] const SideTrace& trace() const { return trace_; }
+  [[nodiscard]] SideTrace take_trace() { return std::move(trace_); }
+
+ private:
+  void sample();
+
+  sim::Scheduler& sched_;
+  Printer& printer_;
+  VibrationProbeOptions options_;
+  sim::Rng noise_;
+  std::array<std::uint64_t, 4> last_step_counts_{};
+  SideTrace trace_;
 };
 
 }  // namespace offramps::plant

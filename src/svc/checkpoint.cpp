@@ -177,8 +177,24 @@ void put_outcome(std::vector<std::uint8_t>& out, const RigOutcome& r) {
   put_u64(out, d.golden_free.violations.size());
   put_u64(out, d.power.windows_compared);
   put_u64(out, d.power.mismatches.size());
+  put_u64(out, d.acoustic.windows_compared);
+  put_u64(out, d.acoustic.mismatches.size());
+  put_u64(out, d.vibration.windows_compared);
+  put_u64(out, d.vibration.mismatches.size());
   put_u8(out, d.final_counts_match ? 1 : 0);
   put_u8(out, d.static_final.trojan_suspected ? 1 : 0);
+
+  // Per-channel verdict rows: the report's attribution array renders
+  // every field, so they are persisted whole, not as counts.
+  put_u8(out, static_cast<std::uint8_t>(d.channels.size()));
+  for (const ChannelVerdict& v : d.channels) {
+    put_u8(out, static_cast<std::uint8_t>(v.channel));
+    put_u8(out, v.armed ? 1 : 0);
+    put_u8(out, v.tripped ? 1 : 0);
+    put_u32(out, v.trip_window);
+    put_u64(out, v.windows_compared);
+    put_u64(out, v.mismatches);
+  }
 }
 
 RigOutcome read_outcome(Rd& r) {
@@ -210,8 +226,8 @@ RigOutcome read_outcome(Rd& r) {
   OnlineReport& d = out.detector;
   d.alarmed = r.u8("alarmed") != 0;
   d.alarmed_mid_print = r.u8("alarmed_mid_print") != 0;
-  d.first_channel =
-      checked_enum<Channel>(r.u8("alarm channel"), 6, "alarm channel");
+  d.first_channel = checked_enum<Channel>(
+      r.u8("alarm channel"), kChannelCount - 1, "alarm channel");
   d.alarm_window = r.u32("alarm_window");
   d.alarm_tick_ns = r.u64("alarm_tick_ns");
   d.alarm_gcode_line = static_cast<std::size_t>(r.u64("alarm_gcode_line"));
@@ -227,14 +243,37 @@ RigOutcome read_outcome(Rd& r) {
   // count: a default-constructed violation costs tens of bytes, so cap
   // the claimed counts against the *entire* input size - a lying count
   // cannot out-allocate the file that carried it.
-  if (gf > r.size || pm > r.size) {
+  const std::uint64_t aw = r.u64("acoustic windows compared");
+  const std::uint64_t am = r.u64("acoustic mismatch count");
+  const std::uint64_t vw = r.u64("vibration windows compared");
+  const std::uint64_t vm = r.u64("vibration mismatch count");
+  if (gf > r.size || pm > r.size || am > r.size || vm > r.size) {
     throw Error("checkpoint: nested report count exceeds input size");
   }
   d.golden_free.violations.resize(static_cast<std::size_t>(gf));
   d.power.windows_compared = static_cast<std::size_t>(pw);
   d.power.mismatches.resize(static_cast<std::size_t>(pm));
+  d.acoustic.windows_compared = static_cast<std::size_t>(aw);
+  d.acoustic.mismatches.resize(static_cast<std::size_t>(am));
+  d.vibration.windows_compared = static_cast<std::size_t>(vw);
+  d.vibration.mismatches.resize(static_cast<std::size_t>(vm));
   d.final_counts_match = r.u8("final_counts_match") != 0;
   d.static_final.trojan_suspected = r.u8("static_trojan_suspected") != 0;
+
+  const std::uint8_t n_channels = r.u8("channel verdict count");
+  if (n_channels > kChannelCount) {
+    throw Error("checkpoint: channel verdict count exceeds channel space");
+  }
+  d.channels.resize(n_channels);
+  for (ChannelVerdict& v : d.channels) {
+    v.channel = checked_enum<Channel>(r.u8("verdict channel"),
+                                      kChannelCount - 1, "verdict channel");
+    v.armed = r.u8("verdict armed") != 0;
+    v.tripped = r.u8("verdict tripped") != 0;
+    v.trip_window = r.u32("verdict trip window");
+    v.windows_compared = r.u64("verdict windows compared");
+    v.mismatches = r.u64("verdict mismatches");
+  }
   return out;
 }
 
@@ -261,6 +300,14 @@ std::vector<std::uint8_t> Checkpoint::to_binary() const {
     for (const plant::PowerSample& s : ref.golden_power) {
       put_f64(out, s.t_s);
       put_f64(out, s.watts);
+    }
+    for (const plant::SideTrace* trace :
+         {&ref.golden_acoustic, &ref.golden_vibration}) {
+      put_u64(out, trace->size());
+      for (const plant::SideSample& s : *trace) {
+        put_f64(out, s.t_s);
+        put_f64(out, s.value);
+      }
     }
   }
 
@@ -312,6 +359,18 @@ Checkpoint Checkpoint::from_binary(const std::uint8_t* data,
     for (plant::PowerSample& s : ref.golden_power) {
       s.t_s = r.f64("power sample time");
       s.watts = r.f64("power sample watts");
+    }
+    for (plant::SideTrace* trace :
+         {&ref.golden_acoustic, &ref.golden_vibration}) {
+      const std::uint64_t n_side = r.u64("side sample count");
+      if (n_side > r.remaining() / 16) {
+        throw Error("checkpoint: side sample count exceeds remaining input");
+      }
+      trace->resize(static_cast<std::size_t>(n_side));
+      for (plant::SideSample& s : *trace) {
+        s.t_s = r.f64("side sample time");
+        s.value = r.f64("side sample value");
+      }
     }
   }
 
@@ -407,12 +466,15 @@ struct Fnv {
 std::uint64_t campaign_digest(const std::vector<RigSpec>& specs,
                               const FleetOptions& options) {
   Fnv f;
-  f.str("offramps-campaign-v1");
+  f.str("offramps-campaign-v2");
   // Behavior-relevant options.  Workers, checkpoint paths, stop_after and
   // save_captures_dir are excluded: they never change the report bytes.
   f.u64(options.safe_stop ? 1 : 0);
   f.u64(options.use_oracle ? 1 : 0);
-  f.u64(options.use_power ? 1 : 0);
+  f.u64(options.channels.steps ? 1 : 0);
+  f.u64(options.channels.power ? 1 : 0);
+  f.u64(options.channels.acoustic ? 1 : 0);
+  f.u64(options.channels.vibration ? 1 : 0);
   f.u64(options.reference_seed);
   f.u64(options.detector.ring_capacity);
   f.u64(static_cast<std::uint64_t>(options.pump.period));

@@ -13,14 +13,17 @@
 //   - every completed rig's flattened RigOutcome, so resumed campaigns
 //     skip those rigs entirely and still render the same report bytes.
 //
-// Binary format v1 (all little endian):
+// Binary format v2 (all little endian):
 //   "OFCK" magic, u16 version, u16 reserved,
 //   u64 spec digest, u32 total rigs,
 //   u32 reference count, then per reference:
 //     u64 blob length + core::Capture::to_binary() bytes,
-//     u64 sample count + per sample 2 x f64-as-u64-bits (t_s, watts),
+//     u64 power sample count + per sample 2 x f64-as-u64-bits (t_s, watts),
+//     u64 acoustic sample count + samples, u64 vibration count + samples,
 //   u32 completed count, then per completed rig a flattened outcome
-//   record (rig index, spec, supervision verdict, detector summary).
+//   record (rig index, spec, supervision verdict, detector summary
+//   including the per-channel verdict rows the report's attribution
+//   array renders).
 // Length prefixes are validated against the remaining input before any
 // allocation - the same bounded-read discipline as Capture::from_binary.
 //
@@ -43,11 +46,13 @@ namespace offramps::svc {
 struct ReferenceSnapshot {
   core::Capture golden;
   plant::PowerTrace golden_power;
+  plant::SideTrace golden_acoustic;
+  plant::SideTrace golden_vibration;
 };
 
 /// The persistent campaign state.
 struct Checkpoint {
-  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::uint16_t kVersion = 2;
 
   std::uint64_t spec_digest = 0;
   /// Rig count of the whole campaign (so a resume can tell "done" from

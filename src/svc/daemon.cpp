@@ -43,6 +43,8 @@ struct Resolved {
   analyze::Oracle oracle;
   core::Capture golden;
   plant::PowerTrace golden_power;
+  plant::SideTrace golden_acoustic;
+  plant::SideTrace golden_vibration;
 };
 
 class ReferenceResolver {
@@ -61,7 +63,7 @@ class ReferenceResolver {
   const Resolved& resolve(double cube_mm, double height_mm) {
     const std::uint64_t key =
         reference_digest(cube_mm, height_mm, options_.profile,
-                         options_.reference_seed, options_.use_power);
+                         options_.reference_seed, options_.channels);
     Slot* slot = nullptr;
     bool owner = false;
     {
@@ -116,6 +118,8 @@ class ReferenceResolver {
       if (auto hit = cache_->get(key)) {
         r.golden = std::move(hit->golden);
         r.golden_power = std::move(hit->golden_power);
+        r.golden_acoustic = std::move(hit->golden_acoustic);
+        r.golden_vibration = std::move(hit->golden_vibration);
         return r;
       }
     }
@@ -126,13 +130,18 @@ class ReferenceResolver {
 #endif
     host::RigOptions ro;
     ro.firmware.jitter_seed = options_.reference_seed;
-    if (options_.use_power) ro.power_probe = plant::PowerProbeOptions{};
+    attach_probes(ro, options_.channels, options_.reference_seed);
     host::Rig rig(ro);
     host::RunResult res = rig.run(r.program);
     if (!res.finished) throw Error("reference print did not finish");
     r.golden = std::move(res.capture);
     r.golden_power = std::move(res.power_trace);
-    if (cache_) cache_->put(key, RefEntry{r.golden, r.golden_power});
+    r.golden_acoustic = std::move(res.acoustic_trace);
+    r.golden_vibration = std::move(res.vibration_trace);
+    if (cache_) {
+      cache_->put(key, RefEntry{r.golden, r.golden_power, r.golden_acoustic,
+                                r.golden_vibration});
+    }
     return r;
   }
 
@@ -149,15 +158,21 @@ class ReferenceResolver {
 RigSession::ResolveRefs make_refs_fn(ReferenceResolver& resolver,
                                      const ServiceOptions& options) {
   const bool use_oracle = options.use_oracle;
-  const bool use_power = options.use_power;
+  const ChannelSet channels = options.channels;
   return [&resolver, use_oracle,
-          use_power](const core::wire::SessionHello& hello) {
+          channels](const core::wire::SessionHello& hello) {
     const Resolved& r = resolver.resolve(hello.cube_mm, hello.height_mm);
     SessionRefs refs;
     refs.golden = &r.golden;
     if (use_oracle && r.oracle.counters_armed) refs.oracle = &r.oracle;
-    if (use_power && !r.golden_power.empty()) {
+    if (channels.power && !r.golden_power.empty()) {
       refs.golden_power = &r.golden_power;
+    }
+    if (channels.acoustic && !r.golden_acoustic.empty()) {
+      refs.golden_acoustic = &r.golden_acoustic;
+    }
+    if (channels.vibration && !r.golden_vibration.empty()) {
+      refs.golden_vibration = &r.golden_vibration;
     }
     return refs;
   };
@@ -245,6 +260,7 @@ void register_service_metrics() {
 SessionOptions session_options(const ServiceOptions& options) {
   SessionOptions s;
   s.detector = options.detector;
+  s.detector.channels = options.channels;
   s.windows_per_slot = options.pump.windows_per_slot;
   return s;
 }

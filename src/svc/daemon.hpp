@@ -47,7 +47,9 @@ struct ServiceOptions {
   OnlineDetectorOptions detector{};
   PumpOptions pump{};
   bool use_oracle = true;
-  bool use_power = true;
+  /// Enabled side channels; mirrored into the per-session detector and
+  /// part of the reference digest, exactly like FleetOptions::channels.
+  ChannelSet channels{};
   std::uint64_t reference_seed = 42;
   host::SliceProfile profile{};
   /// When set, golden references are served from / persisted to this

@@ -215,6 +215,33 @@ std::string FleetReport::to_json() const {
                   r.detector.power.windows_compared,
                   r.detector.power.mismatches.size());
     out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "      \"acoustic_windows_compared\": %zu,\n"
+                  "      \"acoustic_mismatches\": %zu,\n"
+                  "      \"vibration_windows_compared\": %zu,\n"
+                  "      \"vibration_mismatches\": %zu,\n",
+                  r.detector.acoustic.windows_compared,
+                  r.detector.acoustic.mismatches.size(),
+                  r.detector.vibration.windows_compared,
+                  r.detector.vibration.mismatches.size());
+    out += buf;
+    // Per-channel attribution: one row per registered channel of this
+    // rig's detector, in fusion (registration) order.
+    out += "      \"channels\": [";
+    for (std::size_t c = 0; c < r.detector.channels.size(); ++c) {
+      const ChannelVerdict& v = r.detector.channels[c];
+      out += c == 0 ? "\n" : ",\n";
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"channel\": \"%s\", \"armed\": %s, "
+                    "\"tripped\": %s, \"trip_window\": %u, "
+                    "\"windows_compared\": %llu, \"mismatches\": %llu}",
+                    channel_name(v.channel), v.armed ? "true" : "false",
+                    v.tripped ? "true" : "false", v.trip_window,
+                    static_cast<unsigned long long>(v.windows_compared),
+                    static_cast<unsigned long long>(v.mismatches));
+      out += buf;
+    }
+    out += r.detector.channels.empty() ? "],\n" : "\n      ],\n";
     out += "      ";
     append_kv(out, "final_counts_match", r.detector.final_counts_match);
     out += ",\n      ";
@@ -298,6 +325,28 @@ std::string FleetReport::to_string() const {
 
 Fleet::Fleet(FleetOptions options) : options_(std::move(options)) {}
 
+void attach_probes(host::RigOptions& ro, const ChannelSet& channels,
+                   std::uint64_t seed) {
+  // (Every run used to get the probe defaults verbatim, so the whole
+  // farm shared one noise sequence - two rigs' "independent" sensors
+  // were bit-identical.)
+  if (channels.power) {
+    plant::PowerProbeOptions po;
+    po.noise_seed = plant::probe_noise_seed(seed, po.noise_seed);
+    ro.power_probe = po;
+  }
+  if (channels.acoustic) {
+    plant::AcousticProbeOptions ao;
+    ao.noise_seed = plant::probe_noise_seed(seed, ao.noise_seed);
+    ro.acoustic_probe = ao;
+  }
+  if (channels.vibration) {
+    plant::VibrationProbeOptions vo;
+    vo.noise_seed = plant::probe_noise_seed(seed, vo.noise_seed);
+    ro.vibration_probe = vo;
+  }
+}
+
 namespace {
 
 /// Per-object reference data shared by every rig printing that object.
@@ -306,6 +355,8 @@ struct Reference {
   analyze::Oracle oracle;
   core::Capture golden;
   plant::PowerTrace golden_power;
+  plant::SideTrace golden_acoustic;
+  plant::SideTrace golden_vibration;
 };
 
 gcode::Program sabotaged_program(const gcode::Program& clean,
@@ -426,6 +477,8 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         if (have_snapshot[i]) {
           ref.golden = std::move(ref_snapshots[i].golden);
           ref.golden_power = std::move(ref_snapshots[i].golden_power);
+          ref.golden_acoustic = std::move(ref_snapshots[i].golden_acoustic);
+          ref.golden_vibration = std::move(ref_snapshots[i].golden_vibration);
           ref_guards[i] = GuardOutcome{RigStatus::kOk, 0, {}};
           ref_seconds[i] = seconds_since(job_t0);
           return ref;
@@ -436,11 +489,13 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
         // recomputed; only the simulation is worth persisting).
         const std::uint64_t ref_key = reference_digest(
             objects[i].first, objects[i].second, options_.profile,
-            options_.reference_seed, options_.use_power);
+            options_.reference_seed, options_.channels);
         if (ref_cache) {
           if (auto hit = ref_cache->get(ref_key)) {
             ref.golden = std::move(hit->golden);
             ref.golden_power = std::move(hit->golden_power);
+            ref.golden_acoustic = std::move(hit->golden_acoustic);
+            ref.golden_vibration = std::move(hit->golden_vibration);
             ref_guards[i] = GuardOutcome{RigStatus::kOk, 0, {}};
             if (!options_.save_captures_dir.empty()) {
               ref.golden.save_binary(options_.save_captures_dir +
@@ -463,9 +518,11 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
             (1ull << 32) + i, [&](const AttemptContext& ctx) {
               host::RigOptions ro;
               ro.firmware.jitter_seed = options_.reference_seed;
-              if (options_.use_power && !ctx.degraded) {
-                ro.power_probe = plant::PowerProbeOptions{};
-              }
+              // Degraded attempt: count channels only, no probes.
+              const ChannelSet probes = ctx.degraded
+                                            ? options_.channels.counts_only()
+                                            : options_.channels;
+              attach_probes(ro, probes, options_.reference_seed);
               host::Rig rig(ro);
               std::uint64_t txns = 0;
               rig.board().fpga().uart().on_transaction(
@@ -483,18 +540,25 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
               }
               ref.golden = std::move(res.capture);
               ref.golden_power = std::move(res.power_trace);
+              ref.golden_acoustic = std::move(res.acoustic_trace);
+              ref.golden_vibration = std::move(res.vibration_trace);
             });
         if (ref_guards[i].status == RigStatus::kLost) {
           ref.golden = core::Capture{};
           ref.golden_power.clear();
+          ref.golden_acoustic.clear();
+          ref.golden_vibration.clear();
         } else {
           // Persist only full-fidelity references: a degraded attempt
-          // ran without its power probe, and caching an empty power
-          // trace would silently disarm the power channel for every
+          // ran without its probes, and caching empty side-channel
+          // traces would silently disarm those channels for every
           // future campaign that hits this key.
           if (ref_cache && (ref_guards[i].status == RigStatus::kOk ||
                             ref_guards[i].status == RigStatus::kRecovered)) {
-            ref_cache->put(ref_key, RefEntry{ref.golden, ref.golden_power});
+            ref_cache->put(ref_key,
+                           RefEntry{ref.golden, ref.golden_power,
+                                    ref.golden_acoustic,
+                                    ref.golden_vibration});
           }
           if (!options_.save_captures_dir.empty()) {
             ref.golden.save_binary(options_.save_captures_dir + "/golden-" +
@@ -517,8 +581,10 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
     ck_out.references.resize(objects.size());
     for (std::size_t j = 0; j < objects.size(); ++j) {
       if (ref_guards[j].status == RigStatus::kLost) continue;
-      ck_out.references[j] = ReferenceSnapshot{refs[j].golden,
-                                               refs[j].golden_power};
+      ck_out.references[j] =
+          ReferenceSnapshot{refs[j].golden, refs[j].golden_power,
+                            refs[j].golden_acoustic,
+                            refs[j].golden_vibration};
     }
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       if (already_done[i]) {
@@ -590,21 +656,34 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
                      .chaos = spec.chaos.to_string()});
         }
 
-        // Degrade ladder: the final attempt drops the power channel.
-        const bool power = options_.use_power && !ctx.degraded;
+        // Degrade ladder: the final attempt falls back to the step-count
+        // subset alone (the Supervisor's count-channels fallback), never
+        // to more than the campaign asked for.
+        const ChannelSet live =
+            ctx.degraded
+                ? options_.channels.counts_only().intersect(options_.channels)
+                : options_.channels;
 
-        OnlineDetector detector(options_.detector);
+        OnlineDetectorOptions det_opts = options_.detector;
+        det_opts.channels = live;
+        OnlineDetector detector(det_opts);
         detector.set_golden(&ref.golden);
         if (options_.use_oracle && ref.oracle.counters_armed) {
           detector.set_oracle(&ref.oracle);
         }
-        if (power && !ref.golden_power.empty()) {
+        if (live.power && !ref.golden_power.empty()) {
           detector.set_golden_power(&ref.golden_power);
+        }
+        if (live.acoustic && !ref.golden_acoustic.empty()) {
+          detector.set_golden_acoustic(&ref.golden_acoustic);
+        }
+        if (live.vibration && !ref.golden_vibration.empty()) {
+          detector.set_golden_vibration(&ref.golden_vibration);
         }
 
         host::RigOptions ro;
         ro.firmware.jitter_seed = spec.seed;
-        if (power) ro.power_probe = plant::PowerProbeOptions{};
+        attach_probes(ro, live, spec.seed);
         // Safe-stopped rigs need no long post-kill physics observation.
         ro.post_kill_observation_s = 5.0;
         host::Rig rig(ro);
@@ -642,21 +721,48 @@ FleetReport Fleet::run(const std::vector<RigSpec>& specs) {
           return go;
         });
         std::size_t power_consumed = 0;
-        pump.on_slot([&rig, &detector, &power_consumed, &injector, &rec,
-                      record] {
-          plant::PowerTraceProbe* probe = rig.power_probe();
-          if (probe == nullptr) return;
-          if (injector.jam_power()) {
-            throw Error("chaos: power side-channel probe jammed");
-          }
-          const plant::PowerTrace& trace = probe->trace();
-          for (; power_consumed < trace.size(); ++power_consumed) {
-            if (record) {
-              rec.power(trace[power_consumed].t_s,
-                        trace[power_consumed].watts);
+        std::size_t acoustic_consumed = 0;
+        std::size_t vibration_consumed = 0;
+        pump.on_slot([&rig, &detector, &power_consumed, &acoustic_consumed,
+                      &vibration_consumed, &injector, &rec, record] {
+          if (plant::PowerTraceProbe* probe = rig.power_probe()) {
+            if (injector.jam_power()) {
+              throw Error("chaos: power side-channel probe jammed");
             }
-            detector.submit_power(trace[power_consumed].t_s,
-                                  trace[power_consumed].watts);
+            const plant::PowerTrace& trace = probe->trace();
+            for (; power_consumed < trace.size(); ++power_consumed) {
+              if (record) {
+                rec.power(trace[power_consumed].t_s,
+                          trace[power_consumed].watts);
+              }
+              detector.submit_power(trace[power_consumed].t_s,
+                                    trace[power_consumed].watts);
+            }
+          }
+          // New side channels ride the generic kSample frame; power keeps
+          // its dedicated frame so pre-multi-modal corpora stay replayable.
+          if (plant::AcousticTraceProbe* probe = rig.acoustic_probe()) {
+            const plant::SideTrace& trace = probe->trace();
+            for (; acoustic_consumed < trace.size(); ++acoustic_consumed) {
+              const plant::SideSample& s = trace[acoustic_consumed];
+              if (record) {
+                rec.sample(static_cast<std::uint8_t>(SampleKind::kAcoustic),
+                           s.t_s, s.value);
+              }
+              detector.submit_sample(SampleKind::kAcoustic, s.t_s, s.value);
+            }
+          }
+          if (plant::VibrationTraceProbe* probe = rig.vibration_probe()) {
+            const plant::SideTrace& trace = probe->trace();
+            for (; vibration_consumed < trace.size();
+                 ++vibration_consumed) {
+              const plant::SideSample& s = trace[vibration_consumed];
+              if (record) {
+                rec.sample(static_cast<std::uint8_t>(SampleKind::kVibration),
+                           s.t_s, s.value);
+              }
+              detector.submit_sample(SampleKind::kVibration, s.t_s, s.value);
+            }
           }
         });
 
@@ -825,7 +931,18 @@ std::vector<RigSpec> Fleet::specs_from_json(const std::string& text,
       doc.number_or("workers", static_cast<double>(options.workers)));
   options.safe_stop = doc.bool_or("safe_stop", options.safe_stop);
   options.use_oracle = doc.bool_or("use_oracle", options.use_oracle);
-  options.use_power = doc.bool_or("use_power", options.use_power);
+  // Back-compat: "use_power" predates the channel set and only gates the
+  // power channel; "channels" (a ChannelSet::parse list) wins when given.
+  options.channels.power =
+      doc.bool_or("use_power", options.channels.power);
+  const std::string channel_list = doc.string_or("channels", "");
+  if (!channel_list.empty()) {
+    try {
+      options.channels = ChannelSet::parse(channel_list);
+    } catch (const std::exception& e) {
+      throw Error(std::string("fleet spec: ") + e.what());
+    }
+  }
   options.reference_seed = static_cast<std::uint64_t>(doc.number_or(
       "reference_seed", static_cast<double>(options.reference_seed)));
   options.save_captures_dir =

@@ -11,8 +11,9 @@
 //
 //   1. Reference phase: for each distinct object in the fleet, slice the
 //      clean program, compute its static oracle, and print one reference
-//      part (fixed reference seed) to obtain the golden capture and
-//      golden power trace.  References are shared by every rig printing
+//      part (fixed reference seed) to obtain the golden capture and the
+//      golden side-channel traces (power, acoustic, vibration - per the
+//      enabled channel set).  References are shared by every rig printing
 //      that object and are computed on the same pool.
 //   2. Fleet phase: every rig prints under its detector.  A mid-print
 //      alarm safe-stops that rig's firmware (the paper's real-time
@@ -38,7 +39,19 @@
 #include "svc/pump.hpp"
 #include "svc/supervisor.hpp"
 
+namespace offramps::host {
+struct RigOptions;
+}  // namespace offramps::host
+
 namespace offramps::svc {
+
+/// Attaches one side-channel probe per enabled channel to `ro`, every
+/// probe's noise seed derived from `seed` via plant::probe_noise_seed.
+/// Shared by the batch fleet and the daemon's reference resolver so no
+/// caller can regress to the old fixed-default-seed behavior (which gave
+/// every rig in the farm the same sensor-noise sequence).
+void attach_probes(host::RigOptions& ro, const ChannelSet& channels,
+                   std::uint64_t seed);
 
 /// Sabotage implanted in one rig's g-code path (the Flaw3D families of
 /// paper Table II).  Parsed from "reduce:<factor>" / "relocate:<n>".
@@ -80,8 +93,12 @@ struct FleetOptions {
   /// Arm the static-oracle channel (end-of-print tight-margin check and
   /// g-code line attribution for alarms).
   bool use_oracle = true;
-  /// Attach power probes and arm the power-signature channel.
-  bool use_power = true;
+  /// Which side channels to probe and arm (steps, power, acoustic,
+  /// vibration - all on by default).  Probes are only attached for
+  /// enabled channels, and the same set keys the reference cache so a
+  /// golden without a channel's trace is never served to a campaign that
+  /// wants that channel.  Mirrored into detector.channels per rig.
+  ChannelSet channels{};
   /// Fixed jitter seed of the reference prints.
   std::uint64_t reference_seed = 42;
   /// Slicer profile shared by every object in the fleet.

@@ -9,19 +9,6 @@
 
 namespace offramps::svc {
 
-const char* channel_name(Channel c) {
-  switch (c) {
-    case Channel::kNone: return "none";
-    case Channel::kGoldenCompare: return "golden-compare";
-    case Channel::kStreamLength: return "stream-length";
-    case Channel::kGoldenFree: return "golden-free";
-    case Channel::kPower: return "power";
-    case Channel::kFinalCounts: return "final-counts";
-    case Channel::kStaticOracle: return "static-oracle";
-  }
-  return "?";
-}
-
 std::string OnlineReport::to_string() const {
   char buf[256];
   if (!alarmed) {
@@ -65,14 +52,15 @@ std::size_t estimate_gcode_line(const analyze::Oracle& oracle,
 }
 
 OnlineDetector::OnlineDetector(OnlineDetectorOptions options)
-    : options_(options),
-      ring_(options.ring_capacity),
-      golden_free_(options.machine) {}
+    : options_(options), ring_(options.ring_capacity) {
+  channels_ =
+      ChannelRegistry::global().make_enabled(options_.channels, options_);
+}
 
-void OnlineDetector::set_golden_power(const plant::PowerTrace* trace) {
-  golden_power_windows_ =
-      trace != nullptr ? detect::window_means(*trace, options_.power.window_s)
-                       : std::vector<double>{};
+void OnlineDetector::ensure_armed() {
+  if (armed_) return;
+  armed_ = true;
+  for (auto& channel : channels_) channel->arm(refs_);
 }
 
 void OnlineDetector::submit(const core::Transaction& txn) {
@@ -86,6 +74,19 @@ void OnlineDetector::submit(const core::Transaction& txn) {
     // ring was already draining: consume it inline rather than lose it.
     process(txn);
   }
+}
+
+void OnlineDetector::submit_sample(SampleKind kind, double t_s,
+                                   double value) {
+  ensure_armed();
+  // A fresh vector per event is free on the hot path: it only allocates
+  // when a channel actually trips, and keeps alarm-callback re-entrancy
+  // from sharing scratch state.
+  std::vector<ChannelTrip> trips;
+  for (auto& channel : channels_) {
+    channel->on_sample(kind, t_s, value, ctx_, trips);
+  }
+  fuse(trips);
 }
 
 std::size_t OnlineDetector::poll(std::size_t max_windows) {
@@ -138,101 +139,22 @@ void OnlineDetector::process(const core::Transaction& txn) {
 }
 
 void OnlineDetector::process_impl(const core::Transaction& txn) {
+  ensure_armed();
   ++report_.windows_processed;
-  last_counts_ = txn.counts;
-  last_tick_ns_ = txn.time_ns;
+  ctx_.windows_processed = report_.windows_processed;
+  ctx_.last_counts = txn.counts;
+  ctx_.last_tick_ns = txn.time_ns;
 
-  // Golden-compare channel (windowed step counts + stream overrun).
-  if (golden_ != nullptr) {
-    const std::size_t golden_len = golden_->transactions.size();
-    if (txn.index >= golden_len) {
-      // Stream overrun: the observed print has outlived the golden one.
-      // Tolerate the compare length tolerance plus a fixed slack (time
-      // noise stretches prints slightly); a sustained overrun means a
-      // print-lengthening Trojan.
-      const double allowed =
-          static_cast<double>(golden_len) * options_.compare.length_tolerance +
-          static_cast<double>(options_.length_slack_windows);
-      const auto over = static_cast<double>(txn.index - golden_len + 1);
-      if (over > allowed) {
-        raise(Channel::kStreamLength, txn.index, txn.time_ns, txn.counts);
-      }
-    } else {
-      const bool bad = detect::compare_transaction(
-          golden_->transactions[txn.index], txn, options_.compare,
-          mismatches_);
-      consecutive_ = bad ? consecutive_ + 1 : 0;
-      if (consecutive_ >= options_.consecutive_to_alarm) {
-        raise(Channel::kGoldenCompare, txn.index, txn.time_ns, txn.counts);
-      }
-    }
-    report_.compare_mismatches = mismatches_.size();
+  std::vector<ChannelTrip> trips;
+  for (auto& channel : channels_) {
+    channel->on_transaction(txn, ctx_, trips);
   }
-
-  // Golden-free channel (physical plausibility, no reference needed).
-  if (options_.golden_free) {
-    golden_free_.push(txn);
-    if (golden_free_.violation_count() >=
-        options_.golden_free_min_violations) {
-      raise(Channel::kGoldenFree, txn.index, txn.time_ns, txn.counts);
-    }
-  }
-}
-
-void OnlineDetector::submit_power(double t_s, double watts) {
-  if (golden_power_windows_.empty()) return;
-  if (!power_have_t0_) {
-    power_have_t0_ = true;
-    power_t0_ = t_s;
-  }
-  const double window_s = options_.power.window_s;
-  if (window_s <= 0.0) return;
-  const auto w = static_cast<std::size_t>((t_s - power_t0_) / window_s);
-  while (power_window_ < w) close_power_window();
-  power_sum_ += watts;
-  ++power_n_;
-}
-
-void OnlineDetector::close_power_window() {
-  // Empty windows (sampling gaps) repeat the previous mean, mirroring
-  // detect::window_means so the online channel sees the same series the
-  // offline compare_power would.
-  const double mean =
-      power_n_ > 0 ? power_sum_ / static_cast<double>(power_n_)
-                   : power_last_mean_;
-  power_last_mean_ = mean;
-  const std::size_t idx = power_window_;
-  ++power_window_;
-  power_sum_ = 0.0;
-  power_n_ = 0;
-
-  if (idx >= golden_power_windows_.size()) return;
-  ++report_.power.windows_compared;
-  // Leading edge windows (heat-up / homing transients) are skipped just
-  // like the offline comparison; the trailing edge skip falls out of
-  // finish() never closing the last partial windows.
-  if (idx < options_.power.skip_edge_windows) return;
-  const double golden_w = golden_power_windows_[idx];
-  const double delta = std::abs(golden_w - mean);
-  report_.power.largest_delta_w =
-      std::max(report_.power.largest_delta_w, delta);
-  if (delta > options_.power.tolerance_w) {
-    report_.power.mismatches.push_back({idx, golden_w, mean});
-    ++power_consecutive_;
-    if (power_consecutive_ >= options_.power.consecutive_to_flag) {
-      report_.power.sabotage_likely = true;
-      raise(Channel::kPower, static_cast<std::uint32_t>(
-                report_.windows_processed == 0 ? 0
-                                               : report_.windows_processed - 1),
-            last_tick_ns_, last_counts_);
-    }
-  } else {
-    power_consecutive_ = 0;
-  }
+  fuse(trips);
 }
 
 void OnlineDetector::finish(const core::Capture& capture) {
   drain();
+  ensure_armed();  // an empty stream still arms, so the report is honest
   finished_ = true;
   report_.stream_finished = true;
 
@@ -252,50 +174,28 @@ void OnlineDetector::finish(const core::Capture& capture) {
   }
 #endif
 
-  if (!options_.final_checks) return;
-
-  // The paper's exact (0% margin) end-of-print totals check.  Only
-  // meaningful when both prints ran to completion - a capture cut short
-  // by our own safe-stop has nothing comparable to freeze.
-  if (golden_ != nullptr && capture.print_completed &&
-      golden_->print_completed) {
-    report_.final_counts_match = capture.final_counts == golden_->final_counts;
-    if (!report_.final_counts_match) {
-      raise(Channel::kFinalCounts,
-            capture.transactions.empty()
-                ? 0
-                : capture.transactions.back().index,
-            last_tick_ns_, last_counts_);
-    }
+  std::vector<ChannelTrip> trips;
+  for (auto& channel : channels_) {
+    channel->on_finish(capture, ctx_, trips);
   }
-
-  // Static-oracle cross-check (tight margin, no golden print needed).
-  if (oracle_ != nullptr) {
-    report_.static_final =
-        detect::static_check(*oracle_, capture, options_.static_check);
-    if (report_.static_final.trojan_suspected &&
-        report_.static_final.print_completed &&
-        report_.static_final.oracle_armed) {
-      raise(Channel::kStaticOracle,
-            capture.transactions.empty()
-                ? 0
-                : capture.transactions.back().index,
-            last_tick_ns_, last_counts_);
-    }
-  }
+  fuse(trips);
 }
 
-void OnlineDetector::raise(Channel ch, std::uint32_t window,
-                           std::uint64_t tick_ns,
-                           const std::array<std::int32_t, 4>& counts) {
+void OnlineDetector::fuse(const std::vector<ChannelTrip>& trips) {
+  const ChannelTrip* first = pick_first_trip(trips);
+  if (first != nullptr) raise(*first);
+}
+
+void OnlineDetector::raise(const ChannelTrip& trip) {
   if (report_.alarmed) return;
   report_.alarmed = true;
   report_.alarmed_mid_print = !finished_;
-  report_.first_channel = ch;
-  report_.alarm_window = window;
-  report_.alarm_tick_ns = tick_ns;
+  report_.first_channel = trip.channel;
+  report_.alarm_window = trip.window;
+  report_.alarm_tick_ns = trip.tick_ns;
   report_.alarm_gcode_line =
-      oracle_ != nullptr ? estimate_gcode_line(*oracle_, counts) : 0;
+      refs_.oracle != nullptr ? estimate_gcode_line(*refs_.oracle, trip.counts)
+                              : 0;
   if (on_alarm_) on_alarm_(report());
 }
 
@@ -303,10 +203,8 @@ OnlineReport OnlineDetector::report() const {
   OnlineReport r = report_;
   r.ring_high_water = ring_.high_water();
   r.backpressure_stalls = backpressure_stalls_;
-  r.compare_mismatches = mismatches_.size();
-  if (options_.golden_free) {
-    r.golden_free = golden_free_.report(options_.golden_free_min_violations);
-  }
+  r.channels.clear();
+  for (const auto& channel : channels_) channel->fill_report(r);
   return r;
 }
 

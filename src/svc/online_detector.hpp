@@ -8,23 +8,32 @@
 // window is judged the moment it is drained, so sabotage is flagged
 // *while the print is running* instead of after the material is wasted.
 //
-// Detection channels, fused into one per-window verdict (first channel
-// to trip wins and is recorded with its latency):
+// Detection is pluggable: each way of judging the stream is one
+// `DetectionChannel` (svc/channel.hpp) instantiated from the process
+// registry.  The detector delivers every event - transaction window,
+// side-channel sample, end of stream - to each enabled channel in
+// registration order, then *fuses* the trips they emit into one
+// first-alarm verdict (earliest window wins; ties go to the earlier
+// registered channel) with per-channel attribution in the report.
+// The builtin channels:
 //
 //   * golden compare  - windowed step-count compare against a golden
 //                       capture (the paper's section V-C method, via
-//                       detect::compare_transaction), plus a sustained
-//                       stream-overrun check for print-lengthening
-//                       Trojans;
+//                       detect::compare_transaction);
+//   * stream length   - sustained stream overrun (print-lengthening
+//                       Trojans);
 //   * golden-free     - the physical-plausibility rules of
 //                       detect::StreamingGoldenFree (no reference
 //                       needed);
 //   * power signature - per-window mean-power compare against a golden
 //                       power trace (the side-channel baseline class);
+//   * acoustic        - audio-signing master-signature verification of
+//                       the machine's acoustic emission;
+//   * vibration       - per-window vibration-signature compare;
 //   * final checks    - at end of stream, the paper's exact 0%-margin
 //                       final-count check and the static-oracle
-//                       cross-check (detect::static_check).  These are
-//                       post-print by nature and are reported as such.
+//                       cross-check.  These are post-print by nature
+//                       and are reported as such.
 //
 // Backpressure: the ring has fixed capacity.  When a push finds it full
 // the producer STALLS - the backlog is drained inline (consumer
@@ -38,6 +47,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,24 +60,15 @@
 #include "detect/static_check.hpp"
 #include "plant/side_channel.hpp"
 #include "sim/ring_buffer.hpp"
+#include "svc/channel.hpp"
 
 namespace offramps::svc {
 
-/// Which detection channel raised the (first) alarm.
-enum class Channel : std::uint8_t {
-  kNone,
-  kGoldenCompare,  // windowed step-count mismatch vs golden capture
-  kStreamLength,   // stream ran measurably longer than golden
-  kGoldenFree,     // physical-plausibility rule violations
-  kPower,          // power-signature window mismatch
-  kFinalCounts,    // end-of-print 0%-margin golden check
-  kStaticOracle,   // end-of-print static-oracle cross-check
-};
-
-const char* channel_name(Channel c);
-
 /// Detector tuning.
 struct OnlineDetectorOptions {
+  /// Which channel groups to instantiate (see svc/channel.hpp).
+  ChannelSet channels{};
+
   /// Windowed golden comparison (paper defaults: 5% margin).
   detect::CompareOptions compare{};
   /// Consecutive suspicious windows before the golden-compare channel
@@ -85,6 +86,13 @@ struct OnlineDetectorOptions {
 
   /// Power channel tuning (armed only when a golden trace is provided).
   detect::PowerSignatureOptions power{};
+  /// Acoustic master-signature channel tuning.  The tolerance rides the
+  /// jitter-driven spread between two honest prints of the same part,
+  /// which the acoustic tone weights amplify harder than power does.
+  detect::SideSignatureOptions acoustic{1.0, 5.0, 3, 2};
+  /// Vibration channel tuning (the gantry axes swing the largest
+  /// levels, so honest spread is widest here).
+  detect::SideSignatureOptions vibration{1.0, 8.0, 3, 2};
 
   /// End-of-print checks (exact golden finals, static oracle).
   bool final_checks = true;
@@ -117,8 +125,13 @@ struct OnlineReport {
   std::size_t compare_mismatches = 0;
   detect::GoldenFreeReport golden_free;
   detect::PowerReport power;
+  detect::SideReport acoustic;
+  detect::SideReport vibration;
   bool final_counts_match = true;
   detect::StaticCheckReport static_final;
+  /// Per-channel attribution rows, one per instantiated channel, in
+  /// registration order.
+  std::vector<ChannelVerdict> channels;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -141,11 +154,21 @@ class OnlineDetector {
 
   /// Arms the golden-compare (and final-counts) channel.  The capture
   /// must outlive the detector.
-  void set_golden(const core::Capture* golden) { golden_ = golden; }
+  void set_golden(const core::Capture* golden) { refs_.golden = golden; }
   /// Arms the static-oracle final check and g-code line attribution.
-  void set_oracle(const analyze::Oracle* oracle) { oracle_ = oracle; }
+  void set_oracle(const analyze::Oracle* oracle) { refs_.oracle = oracle; }
   /// Arms the power channel.  The trace must outlive the detector.
-  void set_golden_power(const plant::PowerTrace* trace);
+  void set_golden_power(const plant::PowerTrace* trace) {
+    refs_.golden_power = trace;
+  }
+  /// Arms the acoustic master-signature channel.
+  void set_golden_acoustic(const plant::SideTrace* trace) {
+    refs_.golden_acoustic = trace;
+  }
+  /// Arms the vibration channel.
+  void set_golden_vibration(const plant::SideTrace* trace) {
+    refs_.golden_vibration = trace;
+  }
 
   /// Alarm hook, fired once on the first alarm (any channel).  The fleet
   /// orchestrator uses this for mid-print safe-stop.
@@ -156,7 +179,12 @@ class OnlineDetector {
   void submit(const core::Transaction& txn);
 
   /// Producer side: one power sample (seconds, watts).
-  void submit_power(double t_s, double watts);
+  void submit_power(double t_s, double watts) {
+    submit_sample(SampleKind::kPower, t_s, watts);
+  }
+
+  /// Producer side: one side-channel sample of any kind.
+  void submit_sample(SampleKind kind, double t_s, double value);
 
   /// Consumer side: processes up to `max_windows` queued transactions.
   /// Returns the number processed.
@@ -184,17 +212,23 @@ class OnlineDetector {
   /// instrumentation cannot change a verdict).
   void process(const core::Transaction& txn);
   void process_impl(const core::Transaction& txn);
-  void close_power_window();
-  void raise(Channel ch, std::uint32_t window, std::uint64_t tick_ns,
-             const std::array<std::int32_t, 4>& counts);
+  /// Arms every channel with the accumulated references, once, before
+  /// the first event is delivered.
+  void ensure_armed();
+  /// Fuses the trips one event produced into the first-alarm verdict.
+  void fuse(const std::vector<ChannelTrip>& trips);
+  void raise(const ChannelTrip& trip);
 
   OnlineDetectorOptions options_;
   sim::RingBuffer<core::Transaction> ring_;
-  const core::Capture* golden_ = nullptr;
-  const analyze::Oracle* oracle_ = nullptr;
+  ChannelRefs refs_;
+  std::vector<std::unique_ptr<DetectionChannel>> channels_;
+  bool armed_ = false;
   AlarmCallback on_alarm_;
 
   OnlineReport report_;
+  StreamContext ctx_;
+  std::vector<ChannelTrip> trips_;  // per-event scratch (no realloc churn)
   std::uint64_t backpressure_stalls_ = 0;
   bool finished_ = false;
   bool draining_ = false;
@@ -209,26 +243,6 @@ class OnlineDetector {
   obs::Histogram* obs_window_us_ = nullptr;
   std::uint32_t obs_sample_countdown_ = 1;
 #endif
-
-  // Golden-compare channel state.
-  std::uint32_t consecutive_ = 0;
-  std::vector<detect::Mismatch> mismatches_;
-  std::array<std::int32_t, 4> last_counts_{};
-  std::uint64_t last_tick_ns_ = 0;
-
-  // Golden-free channel state.
-  detect::StreamingGoldenFree golden_free_;
-  bool golden_free_alarmed_ = false;
-
-  // Power channel state.
-  std::vector<double> golden_power_windows_;
-  std::size_t power_window_ = 0;   // index of the window being filled
-  double power_t0_ = 0.0;
-  bool power_have_t0_ = false;
-  double power_sum_ = 0.0;
-  std::size_t power_n_ = 0;
-  double power_last_mean_ = 0.0;
-  std::uint32_t power_consecutive_ = 0;
 };
 
 }  // namespace offramps::svc

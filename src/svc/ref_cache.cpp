@@ -115,13 +115,19 @@ CacheCounters& cache_counters() {
 
 std::uint64_t reference_digest(double cube_mm, double height_mm,
                                const host::SliceProfile& p,
-                               std::uint64_t reference_seed, bool use_power) {
+                               std::uint64_t reference_seed,
+                               const ChannelSet& channels) {
   Fnv f;
-  f.str("offramps-reference-v1");
+  f.str("offramps-reference-v2");
   f.f64(cube_mm);
   f.f64(height_mm);
   f.u64(reference_seed);
-  f.u64(use_power ? 1 : 0);
+  // Each probe flag separately: a golden computed without the acoustic
+  // probe has no master signature, so it must not be addressable by a
+  // campaign that needs one.  (`steps` needs no probe and is excluded.)
+  f.u64(channels.power ? 1 : 0);
+  f.u64(channels.acoustic ? 1 : 0);
+  f.u64(channels.vibration ? 1 : 0);
   f.f64(p.layer_height_mm);
   f.f64(p.line_width_mm);
   f.f64(p.filament_diameter_mm);
@@ -167,7 +173,9 @@ std::vector<std::uint8_t> RefCache::encode_entry(std::uint64_t key,
                                                  const RefEntry& entry) {
   const auto blob = entry.golden.to_binary();
   std::vector<std::uint8_t> out;
-  out.reserve(32 + blob.size() + 16 * entry.golden_power.size());
+  out.reserve(48 + blob.size() + 16 * entry.golden_power.size() +
+              16 * entry.golden_acoustic.size() +
+              16 * entry.golden_vibration.size());
   for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
   put_u16(out, kVersion);
   put_u16(out, 0);  // reserved
@@ -178,6 +186,13 @@ std::vector<std::uint8_t> RefCache::encode_entry(std::uint64_t key,
   for (const auto& s : entry.golden_power) {
     put_f64(out, s.t_s);
     put_f64(out, s.watts);
+  }
+  for (const auto* trace : {&entry.golden_acoustic, &entry.golden_vibration}) {
+    put_u64(out, trace->size());
+    for (const auto& s : *trace) {
+      put_f64(out, s.t_s);
+      put_f64(out, s.value);
+    }
   }
   return out;
 }
@@ -218,6 +233,20 @@ RefEntry RefCache::decode_entry(const std::uint8_t* data, std::size_t size,
     s.t_s = r.f64();
     s.watts = r.f64();
     entry.golden_power.push_back(s);
+  }
+  for (plant::SideTrace* trace :
+       {&entry.golden_acoustic, &entry.golden_vibration}) {
+    const std::uint64_t n = r.u64();
+    if (n > r.remaining() / 16) {
+      throw Error("RefCache: truncated entry (side sample count lies)");
+    }
+    trace->reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      plant::SideSample s;
+      s.t_s = r.f64();
+      s.value = r.f64();
+      trace->push_back(s);
+    }
   }
   if (r.remaining() != 0) {
     throw Error("RefCache: trailing bytes after entry");

@@ -12,7 +12,9 @@
 //
 //   "OFRF" magic, u16 version, u16 reserved, u64 key,
 //   u64 capture-blob length + Capture::to_binary bytes,
-//   u64 power-sample count + per sample f64 t_s + f64 watts
+//   u64 power-sample count + per sample f64 t_s + f64 watts,
+//   u64 acoustic-sample count + per sample f64 t_s + f64 value,
+//   u64 vibration-sample count + per sample f64 t_s + f64 value
 //
 // The reader is bounded (every length prefix checked against the
 // remaining input before allocation) and paranoid: trailing garbage, a
@@ -35,18 +37,21 @@
 #include "core/capture.hpp"
 #include "host/slicer.hpp"
 #include "plant/side_channel.hpp"
+#include "svc/channel.hpp"
 
 namespace offramps::svc {
 
 /// Digest of every input the reference print is a function of: object
 /// geometry, the full slicer profile, the reference jitter seed, and
-/// whether the power probe was attached (a no-power golden must never
-/// silently disarm the power channel of a power-enabled campaign).
+/// which side-channel probes were attached (a power-only golden must
+/// never silently disarm the acoustic channel of a campaign that wants
+/// it - each channel flag is part of the key, so enabling a new channel
+/// forces a recompute instead of serving a golden with no trace for it).
 [[nodiscard]] std::uint64_t reference_digest(double cube_mm,
                                              double height_mm,
                                              const host::SliceProfile& profile,
                                              std::uint64_t reference_seed,
-                                             bool use_power);
+                                             const ChannelSet& channels);
 
 struct RefCacheOptions {
   std::string dir;
@@ -54,15 +59,18 @@ struct RefCacheOptions {
   std::uint64_t max_bytes = 0;
 };
 
-/// One cached reference: the golden capture plus its power snapshot.
+/// One cached reference: the golden capture plus its side-channel
+/// snapshots (each trace empty when that probe was not attached).
 struct RefEntry {
   core::Capture golden;
   plant::PowerTrace golden_power;
+  plant::SideTrace golden_acoustic;
+  plant::SideTrace golden_vibration;
 };
 
 class RefCache {
  public:
-  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::uint16_t kVersion = 2;
 
   /// Creates `options.dir` if needed.  Throws offramps::Error when the
   /// directory cannot be created.

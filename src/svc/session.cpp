@@ -46,6 +46,14 @@ void RigSession::on_frame(const core::wire::Frame& frame) {
         if (refs.golden_power != nullptr && !refs.golden_power->empty()) {
           detector_->set_golden_power(refs.golden_power);
         }
+        if (refs.golden_acoustic != nullptr &&
+            !refs.golden_acoustic->empty()) {
+          detector_->set_golden_acoustic(refs.golden_acoustic);
+        }
+        if (refs.golden_vibration != nullptr &&
+            !refs.golden_vibration->empty()) {
+          detector_->set_golden_vibration(refs.golden_vibration);
+        }
         break;
       }
       case FrameType::kTxn:
@@ -53,6 +61,10 @@ void RigSession::on_frame(const core::wire::Frame& frame) {
         break;
       case FrameType::kPower:
         detector_->submit_power(frame.power_t_s, frame.power_watts);
+        break;
+      case FrameType::kSample:
+        detector_->submit_sample(static_cast<SampleKind>(frame.sample_kind),
+                                 frame.sample_t_s, frame.sample_value);
         break;
       case FrameType::kSlot:
         detector_->poll(options_.windows_per_slot);

@@ -33,13 +33,15 @@
 namespace offramps::svc {
 
 /// References resolved for one session's object, after its hello.  The
-/// pointees must outlive the session.  `oracle`/`golden_power` may be
-/// null (channel disarmed, exactly like FleetOptions use_oracle /
-/// use_power).
+/// pointees must outlive the session.  `oracle` and the side-channel
+/// traces may be null (channel disarmed, exactly like FleetOptions
+/// use_oracle / the channel set).
 struct SessionRefs {
   const core::Capture* golden = nullptr;
   const analyze::Oracle* oracle = nullptr;
   const plant::PowerTrace* golden_power = nullptr;
+  const plant::SideTrace* golden_acoustic = nullptr;
+  const plant::SideTrace* golden_vibration = nullptr;
 };
 
 struct SessionOptions {

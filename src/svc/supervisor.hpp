@@ -11,8 +11,9 @@
 //
 //   ok         first attempt succeeded
 //   recovered  a retry succeeded at full fidelity
-//   degraded   the final, reduced-fidelity attempt succeeded (optional
-//              channels - today the power side-channel - disabled)
+//   degraded   the final, reduced-fidelity attempt succeeded (the
+//              side-channel probes disabled, step counting alone - the
+//              ChannelSet::counts_only() subset)
 //   lost       every attempt failed; the rig is quarantined and the
 //              campaign degrades gracefully around it
 //   pending    not yet run (campaign checkpointed / stopped early)
@@ -62,9 +63,9 @@ struct SupervisorOptions {
   std::uint64_t backoff_cap_ms = 2000;
   /// Jitter seed: the delay is a pure function of (seed, key, attempt).
   std::uint64_t backoff_seed = 0x0FF7A305;
-  /// Final attempt runs with optional channels (power side-channel)
-  /// disabled, trading fidelity for a verdict: success there is
-  /// kDegraded, not kRecovered.
+  /// Final attempt runs on the count-channels subset alone (every
+  /// side-channel probe disabled - ChannelSet::counts_only()), trading
+  /// fidelity for a verdict: success there is kDegraded, not kRecovered.
   bool degrade_channels = true;
 
   /// Watchdog cadence, in *sim* time.
@@ -92,7 +93,7 @@ struct SupervisorOptions {
 struct AttemptContext {
   std::uint32_t attempt = 0;
   /// True on the final attempt when degrade_channels is set: run with
-  /// optional channels off.
+  /// the step-count channel subset only (no side-channel probes).
   bool degraded = false;
 };
 

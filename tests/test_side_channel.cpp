@@ -112,7 +112,174 @@ TEST(WindowMeans, ReducesCorrectly) {
 }
 
 TEST(WindowMeans, EmptyTrace) {
-  EXPECT_TRUE(window_means({}, 1.0).empty());
+  EXPECT_TRUE(window_means(plant::PowerTrace{}, 1.0).empty());
+  EXPECT_TRUE(window_means(plant::SideTrace{}, 1.0).empty());
+}
+
+/// Attaches all three probes, noise seeds derived from the rig seed the
+/// way svc::attach_probes does it.
+host::RunResult multi_probed_run(const gcode::Program& p,
+                                 std::uint64_t seed) {
+  host::RigOptions options;
+  options.firmware.jitter_seed = seed;
+  plant::PowerProbeOptions po;
+  po.noise_seed = plant::probe_noise_seed(seed, po.noise_seed);
+  options.power_probe = po;
+  plant::AcousticProbeOptions ao;
+  ao.noise_seed = plant::probe_noise_seed(seed, ao.noise_seed);
+  options.acoustic_probe = ao;
+  plant::VibrationProbeOptions vo;
+  vo.noise_seed = plant::probe_noise_seed(seed, vo.noise_seed);
+  options.vibration_probe = vo;
+  host::Rig rig(options);
+  return rig.run(p);
+}
+
+double mean_between(const plant::SideTrace& trace, double t0, double t1) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : trace) {
+    if (s.t_s >= t0 && s.t_s < t1) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+TEST(AcousticProbe, TraceCoversTheWholeRunAt50ms) {
+  const host::RunResult r = multi_probed_run(object(), 1);
+  ASSERT_FALSE(r.acoustic_trace.empty());
+  EXPECT_NEAR(r.acoustic_trace.back().t_s, r.sim_seconds, 0.5);
+  const double dt = r.acoustic_trace[1].t_s - r.acoustic_trace[0].t_s;
+  EXPECT_NEAR(dt, 0.05, 1e-6);
+}
+
+TEST(AcousticProbe, PrintingIsLouderThanHeatup) {
+  const host::RunResult r = multi_probed_run(object(), 1);
+  // Heat-up: ambience only (motors disabled, fan off).
+  const double idle = mean_between(r.acoustic_trace, 2.0, 15.0);
+  EXPECT_NEAR(idle, 30.0, 2.0);
+  // Mid-print: motor tones and the part fan ride on the ambience.
+  const double printing = mean_between(r.acoustic_trace, 80.0, 100.0);
+  EXPECT_GT(printing, idle + 1.0);
+  EXPECT_LT(printing, 60.0);
+}
+
+TEST(VibrationProbe, OnlyMotionShakesTheFrame) {
+  const host::RunResult r = multi_probed_run(object(), 1);
+  ASSERT_FALSE(r.vibration_trace.empty());
+  // Heat-up: nothing moves - sensor floor plus noise.
+  const double idle = mean_between(r.vibration_trace, 2.0, 15.0);
+  EXPECT_NEAR(idle, 2.0, 1.5);
+  // Mid-print: the gantry swings real mass.
+  const double printing = mean_between(r.vibration_trace, 80.0, 100.0);
+  EXPECT_GT(printing, idle + 1.0);
+}
+
+// Regression pin: probe noise seeds must be derived per rig (and per
+// channel), never shared.  The original wiring attached every probe
+// with its option-struct default seed, so every rig in a fleet heard
+// the same microphone noise.
+TEST(ProbeNoiseSeed, DistinctPerRigAndPerChannel) {
+  const plant::AcousticProbeOptions ao;
+  const plant::VibrationProbeOptions vo;
+  const plant::PowerProbeOptions po;
+  // Adjacent rig seeds must still diverge (splitmix64 mixing).
+  EXPECT_NE(plant::probe_noise_seed(1000, ao.noise_seed),
+            plant::probe_noise_seed(1001, ao.noise_seed));
+  // Two channels on one rig are two different sensors.
+  EXPECT_NE(plant::probe_noise_seed(1000, ao.noise_seed),
+            plant::probe_noise_seed(1000, vo.noise_seed));
+  EXPECT_NE(plant::probe_noise_seed(1000, ao.noise_seed),
+            plant::probe_noise_seed(1000, po.noise_seed));
+  // Pure function: same rig, same channel, same seed.
+  EXPECT_EQ(plant::probe_noise_seed(1000, ao.noise_seed),
+            plant::probe_noise_seed(1000, ao.noise_seed));
+}
+
+TEST(ProbeNoiseSeed, TwoRigsRecordDifferentTraces) {
+  const gcode::Program p = object();
+  const host::RunResult a = multi_probed_run(p, 1000);
+  const host::RunResult b = multi_probed_run(p, 1001);
+  ASSERT_EQ(a.acoustic_trace.size(), b.acoustic_trace.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.acoustic_trace.size(); ++i) {
+    differing += a.acoustic_trace[i].value != b.acoustic_trace[i].value ? 1 : 0;
+  }
+  EXPECT_GT(differing, a.acoustic_trace.size() / 2)
+      << "two rigs' microphones must not share a noise sequence";
+  std::size_t vib_differing = 0;
+  for (std::size_t i = 0; i < a.vibration_trace.size(); ++i) {
+    vib_differing +=
+        a.vibration_trace[i].value != b.vibration_trace[i].value ? 1 : 0;
+  }
+  EXPECT_GT(vib_differing, a.vibration_trace.size() / 2);
+}
+
+TEST(SideSignature, CleanReprintPassesDespiteNoise) {
+  const gcode::Program p = object();
+  const auto golden = multi_probed_run(p, 1);
+  const auto reprint = multi_probed_run(p, 31337);
+  const SideSignatureOptions acoustic_opts{1.0, 5.0, 3, 2};
+  EXPECT_FALSE(compare_side(golden.acoustic_trace, reprint.acoustic_trace,
+                            acoustic_opts)
+                   .sabotage_likely);
+  const SideSignatureOptions vibration_opts{1.0, 8.0, 3, 2};
+  EXPECT_FALSE(compare_side(golden.vibration_trace, reprint.vibration_trace,
+                            vibration_opts)
+                   .sabotage_likely);
+}
+
+TEST(MasterSignature, DistillsAndVerifiesTheGoldenRecording) {
+  plant::SideTrace golden;
+  for (int i = 0; i < 400; ++i) {
+    golden.push_back({i * 0.05, 40.0});
+  }
+  const MasterSignature sig = make_master_signature(golden, 1.0);
+  EXPECT_EQ(sig.levels.size(), window_means(golden, 1.0).size());
+  EXPECT_EQ(sig.digest, signature_digest(sig.levels, sig.window_s));
+  EXPECT_FALSE(sig.empty());
+
+  // The recording itself verifies clean.
+  EXPECT_FALSE(verify_signature(sig, golden).sabotage_likely);
+
+  // A print that diverges mid-way from the signed recording is flagged.
+  plant::SideTrace tampered = golden;
+  for (auto& s : tampered) {
+    if (s.t_s > 10.0) s.value = 25.0;
+  }
+  const SideReport rep = verify_signature(sig, tampered);
+  EXPECT_TRUE(rep.sabotage_likely) << rep.to_string();
+  EXPECT_GT(rep.largest_delta, 10.0);
+}
+
+TEST(MasterSignature, DigestBindsLevelsAndWindowSize) {
+  plant::SideTrace golden;
+  for (int i = 0; i < 200; ++i) {
+    golden.push_back({i * 0.05, 40.0 + (i % 7)});
+  }
+  const MasterSignature one = make_master_signature(golden, 1.0);
+  const MasterSignature half = make_master_signature(golden, 0.5);
+  EXPECT_NE(one.digest, half.digest);
+  plant::SideTrace louder = golden;
+  louder[42].value += 1.0;
+  EXPECT_NE(make_master_signature(louder, 1.0).digest, one.digest);
+}
+
+TEST(SideReport, Rendering) {
+  plant::SideTrace g, o;
+  for (int i = 0; i < 200; ++i) {
+    g.push_back({i * 0.05, 40.0});
+    o.push_back({i * 0.05, i > 100 ? 20.0 : 40.0});
+  }
+  const SideReport rep = compare_side(g, o);
+  EXPECT_TRUE(rep.sabotage_likely);
+  const std::string text = rep.to_string(2);
+  EXPECT_NE(text.find("Sabotage likely (side channel)!"), std::string::npos);
+  EXPECT_NE(text.find("Window"), std::string::npos);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"windows_compared\""), std::string::npos);
 }
 
 TEST(PowerReport, Rendering) {

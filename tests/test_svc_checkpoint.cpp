@@ -206,8 +206,16 @@ TEST(CampaignDigest, SensitiveToSpecsAndOptions) {
   EXPECT_NE(campaign_digest(edited, options), base);
 
   FleetOptions opt2 = options;
-  opt2.use_power = !opt2.use_power;
+  opt2.channels.power = !opt2.channels.power;
   EXPECT_NE(campaign_digest(specs, opt2), base);
+
+  // Every side-channel flag is behavior-relevant on its own.
+  FleetOptions opt2a = options;
+  opt2a.channels.acoustic = !opt2a.channels.acoustic;
+  EXPECT_NE(campaign_digest(specs, opt2a), base);
+  FleetOptions opt2v = options;
+  opt2v.channels.vibration = !opt2v.channels.vibration;
+  EXPECT_NE(campaign_digest(specs, opt2v), base);
 
   FleetOptions opt3 = options;
   opt3.supervisor.max_attempts += 1;

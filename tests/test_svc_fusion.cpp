@@ -1,0 +1,362 @@
+// The fusion layer of the pluggable detector: channel naming, registry
+// order (= fusion tie-break order), pick_first_trip's verdict rule, and
+// end-to-end attribution through OnlineDetector - which modality raised
+// the first alarm, which were armed but quiet, and what the degraded
+// counts_only subset still covers.  These drive the detector directly
+// with synthetic streams so every fusion corner is deterministic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "host/rig.hpp"
+#include "svc/channel.hpp"
+#include "svc/fleet.hpp"
+#include "svc/online_detector.hpp"
+
+namespace {
+
+using offramps::core::Capture;
+using offramps::core::Transaction;
+using offramps::plant::SideTrace;
+using offramps::svc::Channel;
+using offramps::svc::channel_from_name;
+using offramps::svc::channel_name;
+using offramps::svc::ChannelRegistry;
+using offramps::svc::ChannelSet;
+using offramps::svc::ChannelTrip;
+using offramps::svc::ChannelVerdict;
+using offramps::svc::kChannelCount;
+using offramps::svc::OnlineDetector;
+using offramps::svc::OnlineDetectorOptions;
+using offramps::svc::OnlineReport;
+using offramps::svc::pick_first_trip;
+using offramps::svc::SampleKind;
+
+// ---- Channel naming (wire / JSON surface) -------------------------------
+
+TEST(ChannelNames, RoundTripOverEveryChannel) {
+  for (std::uint8_t v = 0; v < kChannelCount; ++v) {
+    const auto c = static_cast<Channel>(v);
+    const char* name = channel_name(c);
+    EXPECT_STRNE(name, "?") << "channel " << int(v) << " has no name";
+    EXPECT_EQ(channel_from_name(name), c)
+        << "name '" << name << "' does not round-trip";
+  }
+  EXPECT_EQ(channel_from_name("definitely-not-a-channel"), Channel::kNone);
+  EXPECT_EQ(channel_from_name(""), Channel::kNone);
+}
+
+TEST(ChannelNames, RegistryNamesMatchTheEnumNames) {
+  for (const auto& info : ChannelRegistry::global().list()) {
+    EXPECT_STREQ(info.name, channel_name(info.id));
+    EXPECT_EQ(channel_from_name(info.name), info.id);
+  }
+}
+
+// ---- Registry order = legacy fused priority -----------------------------
+
+TEST(ChannelRegistry, BuiltinsRegisterInLegacyPriorityOrder) {
+  const auto infos = ChannelRegistry::global().list();
+  ASSERT_GE(infos.size(), 8u);
+  const std::array<Channel, 8> expected{
+      Channel::kGoldenCompare, Channel::kStreamLength, Channel::kGoldenFree,
+      Channel::kPower,         Channel::kAcoustic,     Channel::kVibration,
+      Channel::kFinalCounts,   Channel::kStaticOracle};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(infos[i].id, expected[i]) << "registry slot " << i;
+    EXPECT_TRUE(ChannelRegistry::global().has(expected[i]));
+  }
+}
+
+// ---- pick_first_trip (the fusion rule itself) ---------------------------
+
+ChannelTrip trip(Channel c, std::uint32_t window) {
+  ChannelTrip t;
+  t.channel = c;
+  t.window = window;
+  return t;
+}
+
+TEST(PickFirstTrip, EmptyMeansNoAlarm) {
+  const std::vector<ChannelTrip> none;
+  EXPECT_EQ(pick_first_trip(none), nullptr);
+}
+
+TEST(PickFirstTrip, EarliestWindowWins) {
+  const std::vector<ChannelTrip> trips{trip(Channel::kPower, 9),
+                                       trip(Channel::kVibration, 3),
+                                       trip(Channel::kAcoustic, 7)};
+  const ChannelTrip* first = pick_first_trip(trips);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->channel, Channel::kVibration);
+  EXPECT_EQ(first->window, 3u);
+}
+
+TEST(PickFirstTrip, SameWindowTieGoesToDeliveryOrder) {
+  // Channels are delivered to in registration order, so the first trip
+  // in the vector is the earlier-registered channel: it must win the
+  // tie, reproducing the legacy fused priority byte for byte.
+  const std::vector<ChannelTrip> trips{trip(Channel::kGoldenCompare, 4),
+                                       trip(Channel::kPower, 4)};
+  const ChannelTrip* first = pick_first_trip(trips);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->channel, Channel::kGoldenCompare);
+
+  const std::vector<ChannelTrip> reversed{trip(Channel::kPower, 4),
+                                          trip(Channel::kGoldenCompare, 4)};
+  EXPECT_EQ(pick_first_trip(reversed)->channel, Channel::kPower);
+}
+
+// ---- End-to-end attribution through OnlineDetector ----------------------
+
+/// A flat synthetic side-channel recording: `seconds` of samples at the
+/// probes' 50 ms cadence.
+SideTrace flat_trace(double seconds, double level) {
+  SideTrace trace;
+  for (double t = 0.0; t < seconds; t += 0.05) {
+    trace.push_back({t, level});
+  }
+  return trace;
+}
+
+OnlineDetectorOptions quiet_options() {
+  OnlineDetectorOptions options;
+  // Synthetic streams are not physical prints; keep the golden-free
+  // machine model out of the way.
+  options.golden_free = false;
+  return options;
+}
+
+const ChannelVerdict* row(const OnlineReport& report, Channel c) {
+  for (const auto& v : report.channels) {
+    if (v.channel == c) return &v;
+  }
+  return nullptr;
+}
+
+TEST(Fusion, AcousticAloneTripsAndIsAttributed) {
+  const SideTrace golden = flat_trace(20.0, 40.0);
+  OnlineDetector det(quiet_options());
+  det.set_golden_acoustic(&golden);
+
+  // The observed recording tracks the signature for 8 s, then diverges
+  // far past the 5-level tolerance for good.
+  for (const auto& s : golden) {
+    det.submit_sample(SampleKind::kAcoustic, s.t_s,
+                      s.t_s < 8.0 ? s.value : s.value + 20.0);
+  }
+
+  const OnlineReport report = det.report();
+  EXPECT_TRUE(report.alarmed);
+  EXPECT_TRUE(report.alarmed_mid_print);
+  EXPECT_EQ(report.first_channel, Channel::kAcoustic);
+  EXPECT_TRUE(report.acoustic.sabotage_likely);
+
+  const ChannelVerdict* acoustic = row(report, Channel::kAcoustic);
+  ASSERT_NE(acoustic, nullptr);
+  EXPECT_TRUE(acoustic->armed);
+  EXPECT_TRUE(acoustic->tripped);
+  EXPECT_GT(acoustic->mismatches, 0u);
+  for (const auto& v : report.channels) {
+    if (v.channel != Channel::kAcoustic) {
+      EXPECT_FALSE(v.tripped) << channel_name(v.channel)
+                              << " must stay quiet on an acoustic-only fault";
+    }
+  }
+}
+
+TEST(Fusion, VibrationAloneTripsAndIsAttributed) {
+  const SideTrace golden = flat_trace(20.0, 5.0);
+  OnlineDetector det(quiet_options());
+  det.set_golden_vibration(&golden);
+
+  for (const auto& s : golden) {
+    det.submit_sample(SampleKind::kVibration, s.t_s,
+                      s.t_s < 8.0 ? s.value : s.value + 30.0);
+  }
+
+  const OnlineReport report = det.report();
+  EXPECT_TRUE(report.alarmed);
+  EXPECT_EQ(report.first_channel, Channel::kVibration);
+  const ChannelVerdict* vibration = row(report, Channel::kVibration);
+  ASSERT_NE(vibration, nullptr);
+  EXPECT_TRUE(vibration->tripped);
+  EXPECT_EQ(row(report, Channel::kAcoustic)->tripped, false);
+}
+
+TEST(Fusion, UnarmedSideChannelsReportButNeverJudge) {
+  // All channels enabled, but no golden traces provided: the side
+  // channels appear in the attribution with armed=false and a stream of
+  // their samples never produces a verdict.
+  OnlineDetector det(quiet_options());
+  for (double t = 0.0; t < 10.0; t += 0.05) {
+    det.submit_sample(SampleKind::kAcoustic, t, 99.0);
+    det.submit_sample(SampleKind::kVibration, t, 99.0);
+    det.submit_sample(SampleKind::kPower, t, 99.0);
+  }
+  const OnlineReport report = det.report();
+  EXPECT_FALSE(report.alarmed);
+  for (const Channel c :
+       {Channel::kPower, Channel::kAcoustic, Channel::kVibration}) {
+    const ChannelVerdict* v = row(report, c);
+    ASSERT_NE(v, nullptr) << channel_name(c);
+    EXPECT_FALSE(v->armed) << channel_name(c);
+    EXPECT_FALSE(v->tripped) << channel_name(c);
+    EXPECT_EQ(v->windows_compared, 0u) << channel_name(c);
+  }
+}
+
+TEST(Fusion, DisableFlagsDropChannelsEntirely) {
+  OnlineDetectorOptions options = quiet_options();
+  options.channels = ChannelSet{true, true, false, false};
+  const SideTrace golden = flat_trace(20.0, 40.0);
+  OnlineDetector det(options);
+  det.set_golden_acoustic(&golden);  // reference offered, channel off
+
+  // Samples for a disabled channel are dropped on the floor.
+  for (const auto& s : golden) {
+    det.submit_sample(SampleKind::kAcoustic, s.t_s, s.value + 20.0);
+  }
+  const OnlineReport report = det.report();
+  EXPECT_FALSE(report.alarmed);
+  EXPECT_EQ(row(report, Channel::kAcoustic), nullptr)
+      << "a disabled channel must not even appear in the attribution";
+  EXPECT_EQ(row(report, Channel::kVibration), nullptr);
+  EXPECT_NE(row(report, Channel::kPower), nullptr);
+  EXPECT_NE(row(report, Channel::kGoldenCompare), nullptr);
+}
+
+TEST(Fusion, CountsOnlySubsetStillCatchesStepSabotage) {
+  // The Supervisor's degraded ladder: side-channel probes gone, step
+  // counting alone.  The subset must drop every probe-backed channel yet
+  // keep the paper's core detection working.
+  OnlineDetectorOptions options = quiet_options();
+  options.channels = ChannelSet{}.counts_only();
+  options.consecutive_to_alarm = 1;
+
+  Capture golden;
+  golden.label = "golden";
+  golden.print_completed = true;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Transaction txn;
+    txn.index = i;
+    const auto base = static_cast<std::int32_t>(1000 + 100 * i);
+    txn.counts = {base, base + 1, base + 2, base + 3};
+    txn.time_ns = 100'000'000ull * (i + 1);
+    golden.transactions.push_back(txn);
+  }
+
+  OnlineDetector det(options);
+  det.set_golden(&golden);
+  for (const ChannelVerdict& v : det.report().channels) {
+    EXPECT_NE(v.channel, Channel::kPower);
+    EXPECT_NE(v.channel, Channel::kAcoustic);
+    EXPECT_NE(v.channel, Channel::kVibration);
+  }
+
+  Transaction bad = golden.transactions[0];
+  bad.counts[0] *= 2;
+  det.submit(bad);
+  det.drain();
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_EQ(det.report().first_channel, Channel::kGoldenCompare);
+}
+
+TEST(Fusion, EarliestWindowWinsAcrossModalities) {
+  // Both side channels diverge, but vibration diverges first: the fused
+  // verdict must attribute the alarm to the earlier stream position even
+  // though acoustic is the earlier-registered channel (and would win a
+  // same-window tie).  A clean transaction stream rides along so trips
+  // land on real capture windows (side-channel trips are attributed to
+  // the latest drained transaction window).
+  const SideTrace acoustic_golden = flat_trace(30.0, 40.0);
+  const SideTrace vibration_golden = flat_trace(30.0, 5.0);
+  Capture golden;
+  golden.label = "golden";
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    Transaction txn;
+    txn.index = i;
+    const auto base = static_cast<std::int32_t>(1000 + 10 * i);
+    txn.counts = {base, base, base, base};
+    txn.time_ns = 100'000'000ull * (i + 1);
+    golden.transactions.push_back(txn);
+  }
+
+  OnlineDetector det(quiet_options());
+  det.set_golden(&golden);
+  det.set_golden_acoustic(&acoustic_golden);
+  det.set_golden_vibration(&vibration_golden);
+
+  std::size_t next_txn = 0;
+  for (std::size_t i = 0; i < acoustic_golden.size(); ++i) {
+    const double t = acoustic_golden[i].t_s;
+    while (next_txn < golden.transactions.size() &&
+           static_cast<double>(golden.transactions[next_txn].time_ns) <=
+               t * 1e9) {
+      det.submit(golden.transactions[next_txn]);
+      det.drain();
+      ++next_txn;
+    }
+    // Vibration goes bad at 8 s, acoustic at 16 s; deliver acoustic
+    // first each tick so delivery order cannot be what decides.
+    det.submit_sample(SampleKind::kAcoustic, t, t < 16.0 ? 40.0 : 60.0);
+    det.submit_sample(SampleKind::kVibration, t, t < 8.0 ? 5.0 : 35.0);
+  }
+
+  const OnlineReport report = det.report();
+  EXPECT_TRUE(report.alarmed);
+  EXPECT_EQ(report.first_channel, Channel::kVibration);
+  const ChannelVerdict* vibration = row(report, Channel::kVibration);
+  const ChannelVerdict* acoustic = row(report, Channel::kAcoustic);
+  ASSERT_NE(vibration, nullptr);
+  ASSERT_NE(acoustic, nullptr);
+  EXPECT_TRUE(vibration->tripped);
+  ASSERT_TRUE(acoustic->tripped);
+  EXPECT_LT(vibration->trip_window, acoustic->trip_window);
+  EXPECT_EQ(report.alarm_window, vibration->trip_window);
+}
+
+// ---- attach_probes (the one probe-wiring point of the fleet) ------------
+
+TEST(AttachProbes, NoiseSeedsAreDerivedPerRig) {
+  // Regression pin for the shared-noise bug: every probe attachment
+  // (reference phase, live rigs, daemon) goes through attach_probes,
+  // which must derive the noise seed from the rig seed - the option
+  // defaults are channel tags, never seeds to run with.
+  offramps::host::RigOptions a, b;
+  offramps::svc::attach_probes(a, ChannelSet{}, 1000);
+  offramps::svc::attach_probes(b, ChannelSet{}, 1001);
+  ASSERT_TRUE(a.power_probe && a.acoustic_probe && a.vibration_probe);
+  EXPECT_EQ(a.power_probe->noise_seed,
+            offramps::plant::probe_noise_seed(
+                1000, offramps::plant::PowerProbeOptions{}.noise_seed));
+  EXPECT_EQ(a.acoustic_probe->noise_seed,
+            offramps::plant::probe_noise_seed(
+                1000, offramps::plant::AcousticProbeOptions{}.noise_seed));
+  EXPECT_EQ(a.vibration_probe->noise_seed,
+            offramps::plant::probe_noise_seed(
+                1000, offramps::plant::VibrationProbeOptions{}.noise_seed));
+  // Adjacent rig seeds must not share any probe's noise stream.
+  EXPECT_NE(a.power_probe->noise_seed, b.power_probe->noise_seed);
+  EXPECT_NE(a.acoustic_probe->noise_seed, b.acoustic_probe->noise_seed);
+  EXPECT_NE(a.vibration_probe->noise_seed, b.vibration_probe->noise_seed);
+}
+
+TEST(AttachProbes, HonorsTheChannelSet) {
+  offramps::host::RigOptions ro;
+  offramps::svc::attach_probes(ro, ChannelSet{}.counts_only(), 7);
+  EXPECT_FALSE(ro.power_probe.has_value());
+  EXPECT_FALSE(ro.acoustic_probe.has_value());
+  EXPECT_FALSE(ro.vibration_probe.has_value());
+
+  offramps::svc::attach_probes(ro, ChannelSet{true, false, true, false}, 7);
+  EXPECT_FALSE(ro.power_probe.has_value());
+  EXPECT_TRUE(ro.acoustic_probe.has_value());
+  EXPECT_FALSE(ro.vibration_probe.has_value());
+}
+
+}  // namespace

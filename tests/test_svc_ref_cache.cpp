@@ -27,12 +27,14 @@ using offramps::core::Capture;
 using offramps::core::Transaction;
 using offramps::host::ChaosInjector;
 using offramps::host::SliceProfile;
+using offramps::svc::ChannelSet;
 using offramps::svc::RefCache;
 using offramps::svc::RefCacheOptions;
 using offramps::svc::RefEntry;
 using offramps::svc::reference_digest;
 
-RefEntry sample_entry(std::size_t txns, std::size_t power_samples) {
+RefEntry sample_entry(std::size_t txns, std::size_t power_samples,
+                      std::size_t side_samples = 0) {
   RefEntry entry;
   entry.golden.label = "cache-test";
   entry.golden.print_completed = true;
@@ -49,8 +51,22 @@ RefEntry sample_entry(std::size_t txns, std::size_t power_samples) {
     entry.golden_power.push_back(
         {.t_s = 0.25 * static_cast<double>(i), .watts = 10.0 + i});
   }
+  for (std::size_t i = 0; i < side_samples; ++i) {
+    entry.golden_acoustic.push_back(
+        {.t_s = 0.05 * static_cast<double>(i), .value = 35.0 + i});
+  }
+  // Deliberately a different length than acoustic so a codec that swaps
+  // the two sections fails the round-trip.
+  for (std::size_t i = 0; i + 1 < side_samples; ++i) {
+    entry.golden_vibration.push_back(
+        {.t_s = 0.05 * static_cast<double>(i), .value = 3.0 + 0.5 * i});
+  }
   return entry;
 }
+
+/// Digest-key channel subsets, named for the tests below.
+ChannelSet all_channels() { return ChannelSet{}; }
+ChannelSet power_only() { return ChannelSet{true, true, false, false}; }
 
 std::filesystem::path fresh_dir(const std::string& name) {
   const std::filesystem::path dir =
@@ -61,25 +77,40 @@ std::filesystem::path fresh_dir(const std::string& name) {
 
 TEST(RefDigest, StableAndSensitiveToEveryInput) {
   const SliceProfile profile;
-  const std::uint64_t base = reference_digest(8.0, 3.0, profile, 42, true);
-  EXPECT_EQ(reference_digest(8.0, 3.0, profile, 42, true), base)
+  const std::uint64_t base =
+      reference_digest(8.0, 3.0, profile, 42, all_channels());
+  EXPECT_EQ(reference_digest(8.0, 3.0, profile, 42, all_channels()), base)
       << "same inputs must hash identically across calls";
 
   std::set<std::uint64_t> digests{base};
-  digests.insert(reference_digest(8.5, 3.0, profile, 42, true));
-  digests.insert(reference_digest(8.0, 2.0, profile, 42, true));
-  digests.insert(reference_digest(8.0, 3.0, profile, 43, true));
-  // A no-power golden must never serve a power-enabled campaign.
-  digests.insert(reference_digest(8.0, 3.0, profile, 42, false));
+  digests.insert(reference_digest(8.5, 3.0, profile, 42, all_channels()));
+  digests.insert(reference_digest(8.0, 2.0, profile, 42, all_channels()));
+  digests.insert(reference_digest(8.0, 3.0, profile, 43, all_channels()));
+  // A golden computed without a probe must never serve a campaign that
+  // expects that probe's trace: each side-channel flag perturbs the key.
+  digests.insert(reference_digest(8.0, 3.0, profile, 42, power_only()));
+  digests.insert(reference_digest(8.0, 3.0, profile, 42,
+                                  ChannelSet{true, false, false, false}));
+  digests.insert(reference_digest(8.0, 3.0, profile, 42,
+                                  ChannelSet{true, true, true, false}));
+  digests.insert(reference_digest(8.0, 3.0, profile, 42,
+                                  ChannelSet{true, true, false, true}));
   SliceProfile fat = profile;
   fat.layer_height_mm *= 2.0;
-  digests.insert(reference_digest(8.0, 3.0, fat, 42, true));
-  EXPECT_EQ(digests.size(), 6u) << "every input must perturb the digest";
+  digests.insert(reference_digest(8.0, 3.0, fat, 42, all_channels()));
+  EXPECT_EQ(digests.size(), 9u) << "every input must perturb the digest";
+
+  // `steps` gates no probe and no golden section, so it deliberately
+  // stays out of the key: the same entry serves either way.
+  ChannelSet no_steps = all_channels();
+  no_steps.steps = false;
+  EXPECT_EQ(reference_digest(8.0, 3.0, profile, 42, no_steps), base);
 }
 
 TEST(RefCacheCodec, RoundTripPreservesEverything) {
-  const RefEntry entry = sample_entry(12, 5);
-  const std::uint64_t key = reference_digest(8.0, 3.0, SliceProfile{}, 42, true);
+  const RefEntry entry = sample_entry(12, 5, 9);
+  const std::uint64_t key =
+      reference_digest(8.0, 3.0, SliceProfile{}, 42, all_channels());
   const std::vector<std::uint8_t> blob = RefCache::encode_entry(key, entry);
 
   const RefEntry back = RefCache::decode_entry(blob.data(), blob.size(), key);
@@ -89,18 +120,33 @@ TEST(RefCacheCodec, RoundTripPreservesEverything) {
     EXPECT_DOUBLE_EQ(back.golden_power[i].t_s, entry.golden_power[i].t_s);
     EXPECT_DOUBLE_EQ(back.golden_power[i].watts, entry.golden_power[i].watts);
   }
+  ASSERT_EQ(back.golden_acoustic.size(), entry.golden_acoustic.size());
+  for (std::size_t i = 0; i < back.golden_acoustic.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.golden_acoustic[i].t_s, entry.golden_acoustic[i].t_s);
+    EXPECT_DOUBLE_EQ(back.golden_acoustic[i].value,
+                     entry.golden_acoustic[i].value);
+  }
+  ASSERT_EQ(back.golden_vibration.size(), entry.golden_vibration.size());
+  for (std::size_t i = 0; i < back.golden_vibration.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.golden_vibration[i].t_s,
+                     entry.golden_vibration[i].t_s);
+    EXPECT_DOUBLE_EQ(back.golden_vibration[i].value,
+                     entry.golden_vibration[i].value);
+  }
 }
 
-TEST(RefCacheCodec, EmptyPowerTraceRoundTrips) {
-  const RefEntry entry = sample_entry(3, 0);
+TEST(RefCacheCodec, EmptyTracesRoundTrip) {
+  const RefEntry entry = sample_entry(3, 0, 0);
   const std::vector<std::uint8_t> blob = RefCache::encode_entry(7, entry);
   const RefEntry back = RefCache::decode_entry(blob.data(), blob.size(), 7);
   EXPECT_TRUE(back.golden_power.empty());
+  EXPECT_TRUE(back.golden_acoustic.empty());
+  EXPECT_TRUE(back.golden_vibration.empty());
   EXPECT_EQ(back.golden.size(), 3u);
 }
 
 TEST(RefCacheCodec, RejectsEveryMalformation) {
-  const RefEntry entry = sample_entry(8, 3);
+  const RefEntry entry = sample_entry(8, 3, 5);
   const std::uint64_t key = 0xDEADBEEFCAFEF00Dull;
   const std::vector<std::uint8_t> blob = RefCache::encode_entry(key, entry);
 
@@ -145,12 +191,13 @@ TEST(RefCacheCodec, RejectsEveryMalformation) {
 TEST(RefCache, MissThenPutThenHit) {
   const auto dir = fresh_dir("refcache_basic");
   RefCache cache({.dir = dir.string(), .max_bytes = 0});
-  const std::uint64_t key = reference_digest(6.0, 1.5, SliceProfile{}, 42, true);
+  const std::uint64_t key =
+      reference_digest(6.0, 1.5, SliceProfile{}, 42, all_channels());
 
   EXPECT_FALSE(cache.get(key).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
 
-  const RefEntry entry = sample_entry(10, 4);
+  const RefEntry entry = sample_entry(10, 4, 6);
   cache.put(key, entry);
   EXPECT_TRUE(std::filesystem::exists(cache.path_for(key)));
 
@@ -158,6 +205,8 @@ TEST(RefCache, MissThenPutThenHit) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->golden.to_binary(), entry.golden.to_binary());
   EXPECT_EQ(hit->golden_power.size(), 4u);
+  EXPECT_EQ(hit->golden_acoustic.size(), 6u);
+  EXPECT_EQ(hit->golden_vibration.size(), 5u);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().rejected, 0u);
 
@@ -191,6 +240,40 @@ TEST(RefCache, RejectedEntryIsDeletedAndRecomputable) {
   // The caller recomputes and the cache heals.
   cache.put(key, sample_entry(6, 2));
   EXPECT_TRUE(cache.get(key).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RefCache, PreMultiModalEntryMissesAndIsRecomputed) {
+  // An entry written by a build that predates the side-channel traces
+  // carries the old format version.  It must read as a miss (deleted,
+  // recomputed) - never be served to a campaign expecting acoustic and
+  // vibration goldens it cannot hold.
+  const auto dir = fresh_dir("refcache_version");
+  RefCache cache({.dir = dir.string(), .max_bytes = 0});
+  const std::uint64_t key =
+      reference_digest(6.0, 1.5, SliceProfile{}, 42, all_channels());
+  cache.put(key, sample_entry(6, 2, 3));
+
+  // Rewind the on-disk format version word (u16 at offset 4) to v1.
+  {
+    std::fstream f(cache.path_for(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(4);
+    f.put('\x01');
+    f.put('\x00');
+  }
+  EXPECT_FALSE(cache.get(key).has_value())
+      << "a version-skewed entry must read as a miss";
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for(key)))
+      << "the stale entry must be deleted so the campaign recomputes";
+
+  cache.put(key, sample_entry(6, 2, 3));
+  const auto healed = cache.get(key);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->golden_acoustic.size(), 3u);
+  EXPECT_EQ(healed->golden_vibration.size(), 2u);
   std::filesystem::remove_all(dir);
 }
 

@@ -8,6 +8,7 @@
 // streams) and test_svc_ref_cache (codec units): everything here runs
 // through Fleet::run once and exercises the recorded artifacts.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -35,8 +36,12 @@ using offramps::svc::RigStatus;
 using offramps::svc::ServiceOptions;
 
 std::filesystem::path fresh_dir(const std::string& name) {
+  // ctest runs each TEST of this binary as its own process, in
+  // parallel; suffix the pid so two shards never tear down each other's
+  // recording mid-replay.
   const std::filesystem::path dir =
-      std::filesystem::path(::testing::TempDir()) / name;
+      std::filesystem::path(::testing::TempDir()) /
+      (name + "." + std::to_string(::getpid()));
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;
@@ -70,7 +75,7 @@ ServiceOptions service_options(const std::string& cache_dir = "") {
   service.detector = fleet.detector;
   service.pump = fleet.pump;
   service.use_oracle = fleet.use_oracle;
-  service.use_power = fleet.use_power;
+  service.channels = fleet.channels;
   service.reference_seed = fleet.reference_seed;
   service.profile = fleet.profile;
   service.cache_dir = cache_dir;
@@ -125,7 +130,7 @@ TEST(RefCacheCampaign, TornEntryHealsByRecompute) {
   offramps::svc::RefCache probe({.dir = rec.cache_dir, .max_bytes = 0});
   const std::uint64_t key = offramps::svc::reference_digest(
       6.0, 1.5, recorded_options().profile, recorded_options().reference_seed,
-      recorded_options().use_power);
+      recorded_options().channels);
   const std::string path = probe.path_for(key);
   ASSERT_TRUE(std::filesystem::exists(path));
   offramps::host::ChaosInjector::tear_cache_entry(path);
